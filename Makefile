@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench examples clean doc quickbench
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# full reproduction run: every paper table/figure at the 10K MC budget
+bench:
+	dune exec bench/main.exe | tee bench_output.txt
+
+# reduced-budget pass for quick iteration
+quickbench:
+	SPSTA_BENCH_RUNS=500 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/timing_yield.exe
+	dune exec examples/power_estimation.exe
+	dune exec examples/glitch_analysis.exe
+	dune exec examples/process_variation.exe
+	dune exec examples/sequential_analysis.exe
+	dune exec examples/gate_sizing.exe
+
+clean:
+	dune clean
