@@ -1,0 +1,373 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (printed as the paper's rows/series), then times the competing
+   analyses with Bechamel.
+
+   Sections, in order:
+     TABLE1   four-value logic tables
+     FIG2     SUM and MAX basic operations
+     FIG3     AND-gate signal probability / toggling rate
+     FIG4     MAX vs WEIGHTED SUM distributions
+     TABLE2   critical-path statistics, input cases I and II
+     FIG1     chip timing distribution vs STA/SSTA views
+     TABLE3   wall-clock runtimes per circuit
+     SUMMARY  aggregate accuracy vs Monte Carlo (the paper's headline)
+     ABLATION t.o.p. backend; correlation handling; process variation
+     EXTENSION critical paths; sequential fixed point; chip delay/yield
+     ABLATION interconnect loading; cell library; multiple-input
+              switching; enclosure comparison (STA / Frechet / affine)
+     SCALING  runtime growth up to ~10k-gate profiles
+     BECHAMEL micro-benchmarks (one Test.make per table/figure path)
+
+   SPSTA_BENCH_RUNS overrides the Monte Carlo run count (default 10000). *)
+
+module Experiments = Spsta_experiments
+module Circuit = Spsta_netlist.Circuit
+module Analyzer = Spsta_core.Analyzer
+module Monte_carlo = Spsta_sim.Monte_carlo
+module Ssta = Spsta_ssta.Ssta
+
+let runs =
+  match Sys.getenv_opt "SPSTA_BENCH_RUNS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | Some _ | None -> 10_000 )
+  | None -> 10_000
+
+let seed = 42
+
+let section title body =
+  Printf.printf "==================== %s ====================\n%!" title;
+  body ();
+  print_newline ()
+
+let ablation () =
+  (* moment backend vs discretised backend: do the two t.o.p.
+     representations agree on endpoint moments? *)
+  let module B = (val Spsta_core.Top.discrete_backend ~dt:0.05) in
+  let module Disc = Analyzer.Make (B) in
+  let compare_circuit name =
+    let circuit = Experiments.Benchmarks.load name in
+    let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+    let moments = Analyzer.Moments.analyze circuit ~spec in
+    let disc = Disc.analyze circuit ~spec in
+    Printf.printf "%s (endpoint rise stats, moment vs discretised backend):\n" name;
+    List.iter
+      (fun e ->
+        let m_mu, m_sig, m_p =
+          Analyzer.Moments.transition_stats (Analyzer.Moments.signal moments e) `Rise
+        in
+        let d_mu, d_sig, d_p = Disc.transition_stats (Disc.signal disc e) `Rise in
+        Printf.printf
+          "  %-8s moment: mu %6.3f sig %6.3f P %5.3f | grid: mu %6.3f sig %6.3f P %5.3f\n"
+          (Circuit.net_name circuit e) m_mu m_sig m_p d_mu d_sig d_p)
+      (Circuit.endpoints circuit)
+  in
+  compare_circuit "s27";
+  compare_circuit "s344"
+
+let correlation_ablation () =
+  (* reconvergent-fanout signal probability: eq. 5 vs first-order
+     correction vs BDD-exact, on s27 *)
+  let circuit = Experiments.Benchmarks.s27 () in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  let p_src s = Spsta_sim.Input_spec.signal_probability (spec s) in
+  let eq5 = Spsta_core.Signal_prob.compute circuit ~p_source:p_src in
+  let corr = Spsta_core.Correlated_prob.compute circuit ~p_source:p_src in
+  let exact = Spsta_core.Exact_prob.compute circuit ~spec in
+  let sum5 = ref 0.0 and sumc = ref 0.0 and n = ref 0 in
+  Array.iter
+    (fun g ->
+      let reference = Spsta_core.Exact_prob.signal_probability exact g in
+      sum5 := !sum5 +. Float.abs (Spsta_core.Signal_prob.prob eq5 g -. reference);
+      sumc := !sumc +. Float.abs (Spsta_core.Correlated_prob.prob corr g -. reference);
+      incr n)
+    (Circuit.topo_gates circuit);
+  Printf.printf
+    "s27 signal probability, mean |error| vs BDD-exact:\n\
+    \  eq. 5 (independence):        %.5f\n\
+    \  eq. 15-17 (1st-order corr.): %.5f\n"
+    (!sum5 /. float_of_int !n)
+    (!sumc /. float_of_int !n)
+
+let process_variation_ablation () =
+  (* sweep per-gate delay sigma: SPSTA's predicted endpoint spread vs MC,
+     demonstrating that input-statistics variance dominates moderate
+     process variance (the paper's motivation point 2) *)
+  let circuit = Experiments.Benchmarks.load "s344" in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  Printf.printf "s344, case I, rising critical endpoint under process variation:\n";
+  Printf.printf "  %-8s %-22s %-22s\n" "sigma_d" "SPSTA mu/sigma" "MC mu/sigma";
+  List.iter
+    (fun delay_sigma ->
+      let spsta = Analyzer.Moments.analyze ~delay_sigma circuit ~spec in
+      let mc = Monte_carlo.simulate ~delay_sigma ~runs:(min runs 5000) ~seed circuit ~spec in
+      let e = Analyzer.Moments.critical_endpoint spsta `Rise in
+      let s_mu, s_sig, _ = Analyzer.Moments.transition_stats (Analyzer.Moments.signal spsta e) `Rise in
+      let stats = Monte_carlo.stats mc e in
+      let m_mu = Spsta_util.Stats.acc_mean stats.Monte_carlo.rise_times in
+      let m_sig = Spsta_util.Stats.acc_stddev stats.Monte_carlo.rise_times in
+      Printf.printf "  %-8.2f %8.3f / %-11.3f %8.3f / %-11.3f\n" delay_sigma s_mu s_sig m_mu m_sig)
+    [ 0.0; 0.1; 0.2; 0.4 ]
+
+let paths_section () =
+  let circuit = Experiments.Benchmarks.load "s344" in
+  let model =
+    Spsta_variation.Param_model.create ~sigma_global:0.05 ~sigma_spatial:0.05 ~sigma_random:0.05
+      ~grid:4 ()
+  in
+  let placement = Spsta_variation.Param_model.place model circuit in
+  let paths = Spsta_paths.Path_enum.enumerate ~k:6 circuit in
+  let stats = Spsta_paths.Path_stats.analyze model placement circuit paths in
+  let crit = Spsta_paths.Path_stats.criticality ~samples:(min runs 20_000) stats in
+  print_string (Spsta_paths.Path_stats.render circuit ~criticality:crit stats)
+
+let sequential_section () =
+  let circuit = Experiments.Benchmarks.s27 () in
+  let pi_spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  let fp = Spsta_core.Sequential.fixed_point circuit ~pi_spec in
+  let sim = Spsta_sim.Sequential_sim.simulate ~cycles:runs ~seed circuit ~pi_spec in
+  Printf.printf "s27 steady-state flip-flop statistics (fixed point, %d iterations, %s):\n"
+    (Spsta_core.Sequential.iterations fp)
+    (if Spsta_core.Sequential.converged fp then "converged" else "NOT converged");
+  List.iter
+    (fun (qnet, _) ->
+      let predicted = Spsta_core.Sequential.ff_final_one fp qnet in
+      let s = Spsta_sim.Sequential_sim.stats sim qnet in
+      let observed = Monte_carlo.p_one s +. Monte_carlo.p_fall s in
+      Printf.printf "  %-6s q_analytic %.4f | q_simulated %.4f\n"
+        (Circuit.net_name circuit qnet) predicted observed)
+    (Circuit.dffs circuit)
+
+let chip_delay_section () =
+  let circuit = Experiments.Benchmarks.load "s344" in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  let r = Spsta_core.Chip_delay.compute circuit ~spec in
+  Printf.printf
+    "s344 chip delay from SPSTA t.o.p. functions (cf. Fig. 1):\n\
+    \  idle-cycle probability %.4f, mean %.3f, sigma %.3f\n"
+    (Spsta_core.Chip_delay.p_idle r) (Spsta_core.Chip_delay.mean r)
+    (Spsta_core.Chip_delay.stddev r);
+  List.iter
+    (fun target ->
+      Printf.printf "  clock for %.1f%% yield: %.3f\n" (100.0 *. target)
+        (Spsta_core.Chip_delay.clock_for_yield r target))
+    [ 0.9; 0.99; 0.999 ]
+
+let interconnect_ablation () =
+  (* unit delays vs Elmore-loaded stage delays on s344, case I *)
+  let circuit = Experiments.Benchmarks.load "s344" in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  let wires = Spsta_interconnect.Wire_model.build circuit in
+  let delay_of = Spsta_interconnect.Wire_model.stage_delay wires in
+  let unit_r = Analyzer.Moments.analyze circuit ~spec in
+  let loaded_r = Analyzer.Moments.analyze ~delay_of circuit ~spec in
+  let e = Analyzer.Moments.critical_endpoint loaded_r `Rise in
+  let u_mu, u_sig, _ = Analyzer.Moments.transition_stats (Analyzer.Moments.signal unit_r e) `Rise in
+  let l_mu, l_sig, _ =
+    Analyzer.Moments.transition_stats (Analyzer.Moments.signal loaded_r e) `Rise
+  in
+  Printf.printf
+    "s344 critical rise endpoint %s:\n\
+    \  unit delays:       mu %.3f sigma %.3f\n\
+    \  Elmore wire loads: mu %.3f sigma %.3f (total wire cap %.1f)\n"
+    (Circuit.net_name circuit e) u_mu u_sig l_mu l_sig
+    (Spsta_interconnect.Wire_model.total_wire_capacitance wires)
+
+let cell_library_ablation () =
+  (* unit-delay model vs the characterised library, SPSTA vs MC *)
+  let circuit = Experiments.Benchmarks.s27 () in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  let lib = Spsta_netlist.Cell_library.default in
+  let delay_rf = Spsta_netlist.Cell_library.gate_delays lib circuit in
+  let spsta = Analyzer.Moments.analyze ~delay_rf circuit ~spec in
+  let rng = Spsta_util.Rng.create ~seed in
+  let g17 = Circuit.find_exn circuit "G17" in
+  let acc = Spsta_util.Stats.acc_create () in
+  let n_rise = ref 0 in
+  let trials = min runs 10_000 in
+  for _ = 1 to trials do
+    let r =
+      Spsta_sim.Logic_sim.run ~delay_rf circuit
+        ~source_values:(fun s -> Spsta_sim.Input_spec.sample rng (spec s))
+    in
+    match r.Spsta_sim.Logic_sim.values.(g17) with
+    | Spsta_logic.Value4.Rising ->
+      incr n_rise;
+      Spsta_util.Stats.acc_add acc r.Spsta_sim.Logic_sim.times.(g17)
+    | Spsta_logic.Value4.Falling | Spsta_logic.Value4.Zero | Spsta_logic.Value4.One -> ()
+  done;
+  let mu, sigma, p = Analyzer.Moments.transition_stats (Analyzer.Moments.signal spsta g17) `Rise in
+  Printf.printf
+    "s27 G17 rising under the characterised cell library (NAND/NOR skewed, fan-in loaded):\n\
+    \  SPSTA: P %.3f mu %.3f sigma %.3f\n\
+    \  MC:    P %.3f mu %.3f sigma %.3f\n"
+    p mu sigma
+    (float_of_int !n_rise /. float_of_int trials)
+    (Spsta_util.Stats.acc_mean acc) (Spsta_util.Stats.acc_stddev acc)
+
+let mis_ablation () =
+  (* the paper's motivating claim: ignoring multiple-input switching
+     underestimates mean gate delay; quantify on s386 with a 20% MAX
+     slowdown / 20% MIN speedup model applied to both SPSTA and MC *)
+  let circuit = Experiments.Benchmarks.load "s386" in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  (* slowdown-only model (toward-non-controlling simultaneity): isolates
+     the paper's "ignoring MIS underestimates the mean" direction *)
+  let model = Spsta_logic.Mis_model.make ~max_slowdown:0.25 ~min_speedup:0.0 () in
+  let endpoints = Circuit.endpoints circuit in
+  let report label ?mis () =
+    let spsta = Analyzer.Moments.analyze ?mis circuit ~spec in
+    let mc = Monte_carlo.simulate ?mis ~runs:(min runs 5000) ~seed circuit ~spec in
+    (* aggregate over endpoints with enough MC observations *)
+    let n = ref 0 and s_sum = ref 0.0 and m_sum = ref 0.0 in
+    List.iter
+      (fun e ->
+        let stats = Monte_carlo.stats mc e in
+        if stats.Monte_carlo.count_rise >= 100 then begin
+          incr n;
+          let s_mu, _, _ =
+            Analyzer.Moments.transition_stats (Analyzer.Moments.signal spsta e) `Rise
+          in
+          s_sum := !s_sum +. s_mu;
+          m_sum := !m_sum +. Spsta_util.Stats.acc_mean stats.Monte_carlo.rise_times
+        end)
+      endpoints;
+    Printf.printf "  %-12s mean rise arrival over %d endpoints: SPSTA %.3f | MC %.3f\n" label !n
+      (!s_sum /. float_of_int !n) (!m_sum /. float_of_int !n)
+  in
+  Printf.printf "s386 with and without a 25%% MAX-slowdown MIS model:\n";
+  report "no MIS" ();
+  report "MIS on" ~mis:model ()
+
+let enclosure_ablation () =
+  (* the paper's Fig. 1 pessimism theme, quantified three ways on s344:
+     corner STA, Frechet cdf bounds (ref [1]) and affine interval
+     analysis (refs [10, 20]) against the true MC chip-delay range *)
+  let circuit = Experiments.Benchmarks.load "s344" in
+  let sta =
+    Spsta_ssta.Sta.analyze ~input_bounds:{ Spsta_ssta.Sta.earliest = -3.0; latest = 3.0 } circuit
+  in
+  let frechet =
+    Spsta_ssta.Bounds_ssta.quantile_bounds
+      (Spsta_ssta.Bounds_ssta.chip_band (Spsta_ssta.Bounds_ssta.analyze circuit))
+      0.99
+  in
+  let affine = Spsta_variation.Interval_sta.analyze ~delay_radius:0.1 circuit in
+  let alo, ahi = Spsta_variation.Interval_sta.chip_interval affine in
+  let nlo, nhi = Spsta_variation.Interval_sta.naive_chip_interval affine in
+  let fig = Experiments.Fig1.run ~runs:(min runs 5000) ~seed ~circuit ~case:Experiments.Workloads.Case_i () in
+  Printf.printf
+    "s344 chip-delay enclosures (inputs +-3, gate delay 1 +- 0.1 where modelled):\n\
+    \  corner STA bound:            [%.2f, %.2f]\n\
+    \  Frechet 99%%-quantile band:   [%.2f, %.2f]\n\
+    \  affine interval (correlated): [%.2f, %.2f]\n\
+    \  naive interval:              [%.2f, %.2f]\n\
+    \  actual MC distribution:      mean %.2f sigma %.2f (input-statistics aware)\n"
+    (List.fold_left
+       (fun acc e -> Float.min acc (Spsta_ssta.Sta.bounds sta e).Spsta_ssta.Sta.earliest)
+       infinity (Circuit.endpoints circuit))
+    (Spsta_ssta.Sta.max_latest sta)
+    (fst frechet) (snd frechet) alo ahi nlo nhi
+    (Spsta_util.Stats.mean fig.Experiments.Fig1.mc_delays)
+    (Spsta_util.Stats.stddev fig.Experiments.Fig1.mc_delays)
+
+let scaling_section () =
+  (* runtime growth with circuit size (the paper's Table 3 claim that
+     SPSTA stays linear in the netlist): larger ISCAS'89 profiles with a
+     reduced MC budget *)
+  let table =
+    Spsta_util.Table.create
+      ~headers:[ "test"; "gates"; "SPSTA (s)"; "SSTA (s)"; "MC1000 (s)" ]
+  in
+  let time f =
+    let start = Sys.time () in
+    let _ = f () in
+    Sys.time () -. start
+  in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  List.iter
+    (fun name ->
+      let circuit = Experiments.Benchmarks.load name in
+      let t_spsta = time (fun () -> Analyzer.Moments.analyze circuit ~spec) in
+      let t_ssta = time (fun () -> Ssta.analyze circuit) in
+      let t_mc = time (fun () -> Monte_carlo.simulate ~runs:1000 ~seed circuit ~spec) in
+      Spsta_util.Table.add_row table
+        [ name; string_of_int (Circuit.gate_count circuit); Printf.sprintf "%.4f" t_spsta;
+          Printf.sprintf "%.4f" t_ssta; Printf.sprintf "%.4f" t_mc ])
+    [ "s344"; "s1238"; "s5378"; "s9234"; "s15850" ];
+  print_endline (Spsta_util.Table.render table)
+
+let bechamel_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  let circuit = Experiments.Benchmarks.load "s344" in
+  let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+  let stage name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [
+      stage "table2/spsta-s344" (fun () -> ignore (Analyzer.Moments.analyze circuit ~spec));
+      stage "table2+table3/ssta-s344" (fun () -> ignore (Ssta.analyze circuit));
+      stage "table2+table3/mc100-s344" (fun () ->
+          ignore (Monte_carlo.simulate ~runs:100 ~seed circuit ~spec));
+      stage "table1/value4-tables" (fun () -> ignore (Experiments.Table1.render ()));
+      stage "fig1/sta-ssta-views" (fun () ->
+          ignore (Experiments.Fig1.run ~runs:50 ~seed ~case:Experiments.Workloads.Case_i ()));
+      stage "fig2/sum-max-ops" (fun () -> ignore (Experiments.Fig2.run ()));
+      stage "fig3/and-gate" (fun () -> ignore (Experiments.Fig3.run ()));
+      stage "fig4/weighted-sum" (fun () -> ignore (Experiments.Fig4.run ()));
+      stage "summary/exact-prob-s27" (fun () ->
+          ignore (Spsta_core.Exact_prob.compute (Experiments.Benchmarks.s27 ()) ~spec));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  let report test =
+    let stats = analyze (benchmark test) in
+    Hashtbl.iter
+      (fun name result ->
+        match Bechamel.Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "  %-28s %14.1f ns/run\n%!" name est
+        | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+      stats
+  in
+  List.iter report tests
+
+let () =
+  section "TABLE1" (fun () -> print_string (Experiments.Table1.render ()));
+  section "FIG2" (fun () -> print_string (Experiments.Fig2.render (Experiments.Fig2.run ())));
+  section "FIG3" (fun () -> print_string (Experiments.Fig3.render (Experiments.Fig3.run ())));
+  section "FIG4" (fun () -> print_string (Experiments.Fig4.render (Experiments.Fig4.run ())));
+  section "TABLE2" (fun () ->
+      List.iter
+        (fun case ->
+          print_string
+            (Experiments.Table2.render ~case (Experiments.Table2.run_suite ~runs ~seed ~case ()));
+          print_newline ())
+        Experiments.Workloads.all_cases);
+  section "FIG1" (fun () ->
+      print_string
+        (Experiments.Fig1.render
+           (Experiments.Fig1.run ~runs ~seed ~case:Experiments.Workloads.Case_i ())));
+  section "TABLE3" (fun () ->
+      print_string
+        (Experiments.Table3.render
+           (Experiments.Table3.run_suite ~runs ~seed ~case:Experiments.Workloads.Case_i ())));
+  section "SUMMARY" (fun () ->
+      print_string (Experiments.Summary.render (Experiments.Summary.run ~runs ~seed ())));
+  section "ABLATION: t.o.p. backend" ablation;
+  section "ABLATION: correlation handling" correlation_ablation;
+  section "ABLATION: process variation" process_variation_ablation;
+  section "EXTENSION: critical paths" paths_section;
+  section "EXTENSION: sequential fixed point" sequential_section;
+  section "EXTENSION: chip delay / yield" chip_delay_section;
+  section "ABLATION: interconnect loading" interconnect_ablation;
+  section "ABLATION: cell library" cell_library_ablation;
+  section "ABLATION: multiple-input switching" mis_ablation;
+  section "ABLATION: enclosures" enclosure_ablation;
+  section "SCALING" scaling_section;
+  section "BECHAMEL" bechamel_benchmarks

@@ -1,0 +1,530 @@
+(* spsta: command-line front end.
+
+   Subcommands:
+     analyze    - SPSTA on a .bench file or named suite circuit
+     ssta       - the min/max-separated SSTA baseline
+     mc         - Monte Carlo reference simulation
+     power      - transition densities and dynamic power
+     exact-prob - BDD-exact signal probabilities vs eq. 5
+     paths      - K most critical paths with variational statistics
+     sequential - steady-state flip-flop statistics (fixed point vs sim)
+     chip-delay - chip-level delay distribution, yield, criticality
+     variation  - canonical-form SSTA under a correlated process model
+     gen        - emit a synthetic suite circuit as .bench
+     experiment - regenerate a paper table/figure
+     list       - list suite circuits and experiments *)
+
+open Cmdliner
+
+module Circuit = Spsta_netlist.Circuit
+module Bench_io = Spsta_netlist.Bench_io
+module Generator = Spsta_netlist.Generator
+module Input_spec = Spsta_sim.Input_spec
+module Monte_carlo = Spsta_sim.Monte_carlo
+module Analyzer = Spsta_core.Analyzer
+module Four_value = Spsta_core.Four_value
+module Experiments = Spsta_experiments
+
+let load_circuit name_or_path =
+  if Sys.file_exists name_or_path then
+    if Filename.check_suffix name_or_path ".v" then
+      Spsta_netlist.Verilog_io.parse_file name_or_path
+    else Bench_io.parse_file name_or_path
+  else
+    try Experiments.Benchmarks.load name_or_path
+    with Not_found ->
+      Printf.eprintf "error: %s is neither a file nor a suite circuit\n" name_or_path;
+      exit 1
+
+let case_of_string = function
+  | "I" | "i" | "1" -> Experiments.Workloads.Case_i
+  | "II" | "ii" | "2" -> Experiments.Workloads.Case_ii
+  | s ->
+    Printf.eprintf "error: unknown input case %s (use I or II)\n" s;
+    exit 1
+
+let circuit_arg =
+  let doc = "Circuit: a .bench file path or a suite name (e.g. s344)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let case_arg =
+  let doc = "Input statistics case: I (p1=p0=pr=pf=0.25) or II (15/75/2/8%)." in
+  Arg.(value & opt string "I" & info [ "case" ] ~docv:"CASE" ~doc)
+
+let runs_arg =
+  let doc = "Monte Carlo runs." in
+  Arg.(value & opt int 10_000 & info [ "runs" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (all analyses are deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let top_arg =
+  let doc = "Show only the N most critical endpoints (0 = all nets)." in
+  Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc)
+
+let print_header circuit =
+  Format.printf "%a@." Circuit.pp_summary circuit
+
+let endpoint_ids circuit = Circuit.endpoints circuit
+
+let analyze_cmd =
+  let run name case_str =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    print_header circuit;
+    let result = Analyzer.Moments.analyze circuit ~spec in
+    let table =
+      Spsta_util.Table.create
+        ~headers:[ "endpoint"; "P(r)"; "mu(r)"; "sigma(r)"; "P(f)"; "mu(f)"; "sigma(f)"; "SP" ]
+    in
+    let add e =
+      let s = Analyzer.Moments.signal result e in
+      let rmu, rsig, rp = Analyzer.Moments.transition_stats s `Rise in
+      let fmu, fsig, fp = Analyzer.Moments.transition_stats s `Fall in
+      Spsta_util.Table.add_row table
+        [
+          Circuit.net_name circuit e;
+          Printf.sprintf "%.3f" rp;
+          Printf.sprintf "%.3f" rmu;
+          Printf.sprintf "%.3f" rsig;
+          Printf.sprintf "%.3f" fp;
+          Printf.sprintf "%.3f" fmu;
+          Printf.sprintf "%.3f" fsig;
+          Printf.sprintf "%.3f" (Four_value.signal_probability s.Analyzer.Moments.probs);
+        ]
+    in
+    List.iter add (endpoint_ids circuit);
+    print_endline (Spsta_util.Table.render table)
+  in
+  let info = Cmd.info "analyze" ~doc:"SPSTA endpoint timing statistics" in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg)
+
+let ssta_cmd =
+  let run name =
+    let circuit = load_circuit name in
+    print_header circuit;
+    let result = Spsta_ssta.Ssta.analyze circuit in
+    let table =
+      Spsta_util.Table.create ~headers:[ "endpoint"; "mu(r)"; "sigma(r)"; "mu(f)"; "sigma(f)" ]
+    in
+    let add e =
+      let a = Spsta_ssta.Ssta.arrival result e in
+      let open Spsta_dist.Normal in
+      Spsta_util.Table.add_row table
+        [
+          Circuit.net_name circuit e;
+          Printf.sprintf "%.3f" (mean a.Spsta_ssta.Ssta.rise);
+          Printf.sprintf "%.3f" (stddev a.Spsta_ssta.Ssta.rise);
+          Printf.sprintf "%.3f" (mean a.Spsta_ssta.Ssta.fall);
+          Printf.sprintf "%.3f" (stddev a.Spsta_ssta.Ssta.fall);
+        ]
+    in
+    List.iter add (endpoint_ids circuit);
+    print_endline (Spsta_util.Table.render table)
+  in
+  let info = Cmd.info "ssta" ~doc:"Min/max-separated SSTA baseline" in
+  Cmd.v info Term.(const run $ circuit_arg)
+
+let mc_cmd =
+  let run name case_str runs seed =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    print_header circuit;
+    let result = Monte_carlo.simulate ~runs ~seed circuit ~spec in
+    let table =
+      Spsta_util.Table.create
+        ~headers:[ "endpoint"; "P(r)"; "mu(r)"; "sigma(r)"; "P(f)"; "mu(f)"; "sigma(f)"; "SP" ]
+    in
+    let add e =
+      let s = Monte_carlo.stats result e in
+      Spsta_util.Table.add_row table
+        [
+          Circuit.net_name circuit e;
+          Printf.sprintf "%.3f" (Monte_carlo.p_rise s);
+          Printf.sprintf "%.3f" (Spsta_util.Stats.acc_mean s.Monte_carlo.rise_times);
+          Printf.sprintf "%.3f" (Spsta_util.Stats.acc_stddev s.Monte_carlo.rise_times);
+          Printf.sprintf "%.3f" (Monte_carlo.p_fall s);
+          Printf.sprintf "%.3f" (Spsta_util.Stats.acc_mean s.Monte_carlo.fall_times);
+          Printf.sprintf "%.3f" (Spsta_util.Stats.acc_stddev s.Monte_carlo.fall_times);
+          Printf.sprintf "%.3f" (Monte_carlo.signal_probability s);
+        ]
+    in
+    List.iter add (endpoint_ids circuit);
+    print_endline (Spsta_util.Table.render table)
+  in
+  let info = Cmd.info "mc" ~doc:"Monte Carlo reference simulation" in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ runs_arg $ seed_arg)
+
+let power_cmd =
+  let run name case_str top =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    print_header circuit;
+    let density = Spsta_power.Transition_density.of_input_specs circuit ~spec in
+    let total_power =
+      Spsta_power.Power_model.dynamic_power circuit
+        ~density:(Spsta_power.Transition_density.density density)
+    in
+    Printf.printf "total switching activity: %.2f transitions/cycle\n"
+      (Spsta_power.Transition_density.total density);
+    Printf.printf "dynamic power (default params): %.3e W\n" total_power;
+    if top > 0 then begin
+      Printf.printf "top %d nets by power:\n" top;
+      let hot =
+        Spsta_power.Power_model.per_net_power circuit
+          ~density:(Spsta_power.Transition_density.density density)
+      in
+      List.iteri
+        (fun i (id, w) ->
+          if i < top then Printf.printf "  %-12s %.3e W\n" (Circuit.net_name circuit id) w)
+        hot
+    end
+  in
+  let info = Cmd.info "power" ~doc:"Transition density and dynamic power" in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ top_arg)
+
+let exact_prob_cmd =
+  let run name case_str =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    print_header circuit;
+    let exact = Spsta_core.Exact_prob.compute circuit ~spec in
+    let approx =
+      Spsta_core.Signal_prob.compute circuit
+        ~p_source:(fun s -> Input_spec.signal_probability (spec s))
+    in
+    let worst = ref (0, 0.0) in
+    let sum = ref 0.0 and n = ref 0 in
+    Array.iter
+      (fun g ->
+        let gap =
+          Float.abs
+            (Spsta_core.Exact_prob.signal_probability exact g -. Spsta_core.Signal_prob.prob approx g)
+        in
+        sum := !sum +. gap;
+        incr n;
+        if gap > snd !worst then worst := (g, gap))
+      (Circuit.topo_gates circuit);
+    Printf.printf "independence-assumption SP error vs BDD-exact: mean %.5f, worst %.5f at %s\n"
+      (if !n = 0 then 0.0 else !sum /. float_of_int !n)
+      (snd !worst)
+      (Circuit.net_name circuit (fst !worst))
+  in
+  let info = Cmd.info "exact-prob" ~doc:"BDD-exact signal probabilities vs eq. 5" in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg)
+
+let paths_cmd =
+  let run name k sigma_global sigma_spatial sigma_random =
+    let circuit = load_circuit name in
+    print_header circuit;
+    let model =
+      Spsta_variation.Param_model.create ~sigma_global ~sigma_spatial ~sigma_random ~grid:4 ()
+    in
+    let placement = Spsta_variation.Param_model.place model circuit in
+    let paths = Spsta_paths.Path_enum.enumerate ~k circuit in
+    let stats = Spsta_paths.Path_stats.analyze model placement circuit paths in
+    let crit = Spsta_paths.Path_stats.criticality stats in
+    print_endline (Spsta_paths.Path_stats.render circuit ~criticality:crit stats)
+  in
+  let k_arg =
+    let doc = "Number of critical paths to enumerate." in
+    Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let sigma name default doc = Arg.(value & opt float default & info [ name ] ~docv:"SIGMA" ~doc) in
+  let info = Cmd.info "paths" ~doc:"Critical paths with variational statistics" in
+  Cmd.v info
+    Term.(
+      const run $ circuit_arg $ k_arg
+      $ sigma "sigma-global" 0.05 "Die-to-die delay sigma."
+      $ sigma "sigma-spatial" 0.05 "Within-die spatially correlated sigma."
+      $ sigma "sigma-random" 0.05 "Per-gate independent sigma.")
+
+let sequential_cmd =
+  let run name case_str cycles seed =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let pi_spec = Experiments.Workloads.spec_fn case in
+    print_header circuit;
+    let fp = Spsta_core.Sequential.fixed_point circuit ~pi_spec in
+    Printf.printf "fixed point: %s after %d iterations\n"
+      (if Spsta_core.Sequential.converged fp then "converged" else "NOT converged")
+      (Spsta_core.Sequential.iterations fp);
+    let sim = Spsta_sim.Sequential_sim.simulate ~cycles ~seed circuit ~pi_spec in
+    let table =
+      Spsta_util.Table.create ~headers:[ "flip-flop"; "q (fixed point)"; "q (simulated)" ]
+    in
+    List.iter
+      (fun (qnet, _) ->
+        let predicted = Spsta_core.Sequential.ff_final_one fp qnet in
+        let s = Spsta_sim.Sequential_sim.stats sim qnet in
+        let observed = Monte_carlo.p_one s +. Monte_carlo.p_fall s in
+        Spsta_util.Table.add_row table
+          [ Circuit.net_name circuit qnet; Printf.sprintf "%.4f" predicted;
+            Printf.sprintf "%.4f" observed ])
+      (Circuit.dffs circuit);
+    print_endline (Spsta_util.Table.render table)
+  in
+  let cycles_arg =
+    let doc = "Measured simulation cycles." in
+    Arg.(value & opt int 10_000 & info [ "cycles" ] ~docv:"N" ~doc)
+  in
+  let info = Cmd.info "sequential" ~doc:"Steady-state flip-flop statistics" in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ cycles_arg $ seed_arg)
+
+let chip_delay_cmd =
+  let run name case_str top =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    print_header circuit;
+    let r = Spsta_core.Chip_delay.compute circuit ~spec in
+    Printf.printf "idle-cycle probability: %.4f\n" (Spsta_core.Chip_delay.p_idle r);
+    Printf.printf "chip delay: mean %.3f, stddev %.3f\n" (Spsta_core.Chip_delay.mean r)
+      (Spsta_core.Chip_delay.stddev r);
+    List.iter
+      (fun target ->
+        Printf.printf "clock for %.1f%% yield: %.3f\n" (100.0 *. target)
+          (Spsta_core.Chip_delay.clock_for_yield r target))
+      [ 0.9; 0.99; 0.999 ];
+    let crit = Spsta_core.Chip_delay.endpoint_criticality r in
+    let limit = if top > 0 then top else List.length crit in
+    Printf.printf "endpoint criticality (top %d):\n" limit;
+    List.iteri
+      (fun i (e, p) ->
+        if i < limit then Printf.printf "  %-12s %.4f\n" (Circuit.net_name circuit e) p)
+      crit
+  in
+  let info = Cmd.info "chip-delay" ~doc:"Chip-level delay distribution and yield" in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ top_arg)
+
+let variation_cmd =
+  let run name sigma_global sigma_spatial sigma_random grid =
+    let circuit = load_circuit name in
+    print_header circuit;
+    let model =
+      Spsta_variation.Param_model.create ~sigma_global ~sigma_spatial ~sigma_random ~grid ()
+    in
+    let placement = Spsta_variation.Param_model.place model circuit in
+    let r = Spsta_variation.Canonical_ssta.analyze model placement circuit in
+    let chip = Spsta_variation.Canonical_ssta.chip_delay r in
+    Printf.printf "canonical-form SSTA chip delay: mean %.3f, sigma %.3f\n"
+      chip.Spsta_variation.Canonical.mean
+      (Spsta_variation.Canonical.stddev chip);
+    let e_rise = Spsta_variation.Canonical_ssta.critical_endpoint r `Rise in
+    let e_fall = Spsta_variation.Canonical_ssta.critical_endpoint r `Fall in
+    let show direction e =
+      let a = Spsta_variation.Canonical_ssta.arrival r e in
+      let form =
+        match direction with
+        | `Rise -> a.Spsta_variation.Canonical_ssta.rise
+        | `Fall -> a.Spsta_variation.Canonical_ssta.fall
+      in
+      Printf.printf "critical %s endpoint %s: mean %.3f sigma %.3f\n"
+        (match direction with `Rise -> "rise" | `Fall -> "fall")
+        (Circuit.net_name circuit e) form.Spsta_variation.Canonical.mean
+        (Spsta_variation.Canonical.stddev form)
+    in
+    show `Rise e_rise;
+    show `Fall e_fall;
+    if e_rise <> e_fall then
+      Printf.printf "rise/fall critical endpoint correlation: %.3f\n"
+        (Spsta_variation.Canonical_ssta.endpoint_correlation r `Rise e_rise e_fall)
+  in
+  let sigma name default doc = Arg.(value & opt float default & info [ name ] ~docv:"SIGMA" ~doc) in
+  let grid_arg =
+    let doc = "Spatial-correlation grid dimension." in
+    Arg.(value & opt int 4 & info [ "grid" ] ~docv:"G" ~doc)
+  in
+  let info = Cmd.info "variation" ~doc:"Canonical-form SSTA under process variation" in
+  Cmd.v info
+    Term.(
+      const run $ circuit_arg
+      $ sigma "sigma-global" 0.1 "Die-to-die delay sigma."
+      $ sigma "sigma-spatial" 0.1 "Within-die spatially correlated sigma."
+      $ sigma "sigma-random" 0.1 "Per-gate independent sigma."
+      $ grid_arg)
+
+let report_cmd =
+  let run name clock =
+    let circuit = load_circuit name in
+    print_header circuit;
+    print_endline "structure:";
+    List.iter
+      (fun (key, value) -> Printf.printf "  %-16s %d\n" key value)
+      (Spsta_netlist.Transform.statistics circuit);
+    let r = Spsta_ssta.Timing_report.analyze ~clock_period:clock circuit in
+    Printf.printf "timing at clock %.2f:\n" clock;
+    print_string (Spsta_ssta.Timing_report.render circuit r)
+  in
+  let clock_arg =
+    let doc = "Clock period constraint." in
+    Arg.(value & opt float 10.0 & info [ "clock" ] ~docv:"T" ~doc)
+  in
+  let info = Cmd.info "report" ~doc:"Structural and slack report" in
+  Cmd.v info Term.(const run $ circuit_arg $ clock_arg)
+
+let waveform_cmd =
+  let run name net_name case_str =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    let net =
+      match net_name with
+      | Some n -> (
+        match Circuit.find circuit n with
+        | Some id -> id
+        | None ->
+          Printf.eprintf "error: no net named %s\n" n;
+          exit 1 )
+      | None ->
+        (* default: the deepest endpoint *)
+        List.fold_left
+          (fun best e -> if Circuit.level circuit e > Circuit.level circuit best then e else best)
+          (List.hd (Circuit.endpoints circuit))
+          (Circuit.endpoints circuit)
+    in
+    print_header circuit;
+    let module B = (val Spsta_core.Top.discrete_backend ~dt:0.1) in
+    let module A = Spsta_core.Analyzer.Make (B) in
+    let r = A.analyze circuit ~spec in
+    let s = A.signal r net in
+    Printf.printf "net %s: " (Circuit.net_name circuit net);
+    Format.printf "%a@." Spsta_core.Four_value.pp s.A.probs;
+    let show label top =
+      let total = Spsta_dist.Discrete.total top in
+      if total <= 0.0 then Printf.printf "%s: no transitions\n" label
+      else begin
+        Printf.printf "%s t.o.p. (P = %.3f, mean %.3f, sigma %.3f, skew %+.3f):\n" label total
+          (Spsta_dist.Discrete.mean top) (Spsta_dist.Discrete.stddev top)
+          (Spsta_dist.Discrete.skewness top);
+        let peak =
+          List.fold_left (fun acc (_, m) -> Float.max acc m) 0.0 (Spsta_dist.Discrete.series top)
+        in
+        List.iter
+          (fun (t, m) ->
+            if m > peak /. 50.0 then
+              Printf.printf "  %7.2f | %s\n" t
+                (String.make (int_of_float (Float.round (m /. peak *. 50.0))) '#'))
+          (Spsta_dist.Discrete.series top)
+      end
+    in
+    show "rise" s.A.rise;
+    show "fall" s.A.fall
+  in
+  let net_arg =
+    let doc = "Net to display (default: the deepest endpoint)." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"NET" ~doc)
+  in
+  let info = Cmd.info "waveform" ~doc:"ASCII t.o.p. waveform of a net" in
+  Cmd.v info Term.(const run $ circuit_arg $ net_arg $ case_arg)
+
+let export_cmd =
+  let run name case_str out_dir runs seed =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+    let file base = Filename.concat out_dir base in
+    let circuit_name = if Circuit.name circuit = "" then "circuit" else Circuit.name circuit in
+    (* chip delay distribution *)
+    Experiments.Export.write_file
+      ~path:(file (circuit_name ^ "_chip_delay.csv"))
+      (Experiments.Export.chip_delay_distribution circuit ~spec);
+    (* per-endpoint t.o.p. series and MC histogram for the deepest endpoint *)
+    let e =
+      List.fold_left
+        (fun best x -> if Circuit.level circuit x > Circuit.level circuit best then x else best)
+        (List.hd (Circuit.endpoints circuit))
+        (Circuit.endpoints circuit)
+    in
+    Experiments.Export.write_file
+      ~path:(file (Printf.sprintf "%s_%s_top.csv" circuit_name (Circuit.net_name circuit e)))
+      (Experiments.Export.top_series circuit ~spec ~net:e);
+    Experiments.Export.write_file
+      ~path:(file (Printf.sprintf "%s_%s_mc.csv" circuit_name (Circuit.net_name circuit e)))
+      (Experiments.Export.mc_histogram ~runs ~seed circuit ~spec ~net:e);
+    Printf.printf "wrote 3 CSV files under %s\n" out_dir
+  in
+  let out_arg =
+    let doc = "Output directory for the CSV files." in
+    Arg.(value & opt string "export" & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let info = Cmd.info "export" ~doc:"Export analysis artefacts as CSV" in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ out_arg $ runs_arg $ seed_arg)
+
+let gen_cmd =
+  let run name out format =
+    match Generator.find_profile name with
+    | None ->
+      Printf.eprintf "error: no profile named %s\n" name;
+      exit 1
+    | Some profile ->
+      let circuit = Generator.generate profile in
+      let to_string, write_file =
+        match format with
+        | "bench" -> (Bench_io.to_string, Bench_io.write_file)
+        | "verilog" | "v" ->
+          (Spsta_netlist.Verilog_io.to_string, Spsta_netlist.Verilog_io.write_file)
+        | other ->
+          Printf.eprintf "error: unknown format %s (bench or verilog)\n" other;
+          exit 1
+      in
+      ( match out with
+      | None -> print_string (to_string circuit)
+      | Some path ->
+        write_file circuit path;
+        Printf.printf "wrote %s\n" path )
+  in
+  let out_arg =
+    let doc = "Output path (stdout when omitted)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+  in
+  let format_arg =
+    let doc = "Netlist format: bench (default) or verilog." in
+    Arg.(value & opt string "bench" & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let info = Cmd.info "gen" ~doc:"Emit a synthetic suite circuit as .bench or Verilog" in
+  Cmd.v info Term.(const run $ circuit_arg $ out_arg $ format_arg)
+
+let experiment_cmd =
+  let run id runs seed =
+    match Experiments.Runner.run ~runs ~seed id with
+    | output -> print_string output
+    | exception Not_found ->
+      Printf.eprintf "error: unknown experiment %s (one of: %s)\n" id
+        (String.concat ", " Experiments.Runner.experiment_ids);
+      exit 1
+  in
+  let id_arg =
+    let doc = "Experiment id: table1, table2, table3, fig1..fig4, summary." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let info = Cmd.info "experiment" ~doc:"Regenerate a paper table or figure" in
+  Cmd.v info Term.(const run $ id_arg $ runs_arg $ seed_arg)
+
+let list_cmd =
+  let run () =
+    print_endline "suite circuits:";
+    List.iter
+      (fun c -> Format.printf "  %a@." Circuit.pp_summary c)
+      (Experiments.Benchmarks.all ());
+    print_endline "experiments:";
+    List.iter (Printf.printf "  %s\n") Experiments.Runner.experiment_ids
+  in
+  let info = Cmd.info "list" ~doc:"List suite circuits and experiments" in
+  Cmd.v info Term.(const run $ const ())
+
+let main =
+  let doc = "Signal Probability Based Statistical Timing Analysis (DATE 2008)" in
+  let info = Cmd.info "spsta" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ analyze_cmd; ssta_cmd; mc_cmd; power_cmd; exact_prob_cmd; paths_cmd; sequential_cmd;
+      chip_delay_cmd; variation_cmd; report_cmd; waveform_cmd; export_cmd; gen_cmd;
+      experiment_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

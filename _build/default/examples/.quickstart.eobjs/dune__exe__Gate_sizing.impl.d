@@ -1,0 +1,1 @@
+examples/gate_sizing.ml: Array Format Hashtbl List Printf Spsta_core Spsta_experiments Spsta_netlist Sys

@@ -1,0 +1,1 @@
+examples/glitch_analysis.ml: Array Format Hashtbl List Printf Spsta_core Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim Spsta_util Sys

@@ -1,0 +1,1 @@
+examples/glitch_analysis.mli:

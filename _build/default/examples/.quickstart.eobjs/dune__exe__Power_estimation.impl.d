@@ -1,0 +1,1 @@
+examples/power_estimation.ml: Array Format List Printf Spsta_core Spsta_experiments Spsta_netlist Spsta_power Spsta_sim Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Spsta_core Spsta_experiments Spsta_netlist Spsta_sim Spsta_util Sys

@@ -1,0 +1,1 @@
+examples/timing_yield.ml: Array Format List Printf Spsta_core Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim Spsta_ssta Spsta_util Sys

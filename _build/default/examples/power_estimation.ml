@@ -1,0 +1,65 @@
+(* Power estimation from signal statistics (paper §2.2 and §3.1).
+
+   The integral of a t.o.p. function is a toggling rate, so the same
+   SPSTA pass that produces timing distributions also produces switching
+   activity.  This example compares three activity estimates on a suite
+   circuit:
+
+     - transition density (eq. 6, Boolean-difference weighted, glitches
+       included),
+     - SPSTA four-value transition probabilities (glitch-filtered),
+     - Monte Carlo observed transition frequencies,
+
+   and converts each into a dynamic power figure.
+
+     dune exec examples/power_estimation.exe [-- circuit-name] *)
+
+module Circuit = Spsta_netlist.Circuit
+module Analyzer = Spsta_core.Analyzer
+module Four_value = Spsta_core.Four_value
+module Monte_carlo = Spsta_sim.Monte_carlo
+module Transition_density = Spsta_power.Transition_density
+module Power_model = Spsta_power.Power_model
+module Workloads = Spsta_experiments.Workloads
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s298" in
+  let circuit = Spsta_experiments.Benchmarks.load name in
+  Format.printf "circuit: %a@." Circuit.pp_summary circuit;
+  List.iter
+    (fun case ->
+      let spec = Workloads.spec_fn case in
+      let density = Transition_density.of_input_specs circuit ~spec in
+      let spsta = Analyzer.Moments.analyze circuit ~spec in
+      let mc = Monte_carlo.simulate ~runs:10_000 ~seed:3 circuit ~spec in
+      let spsta_rate id =
+        Four_value.toggling_rate (Analyzer.Moments.signal spsta id).Analyzer.Moments.probs
+      in
+      let mc_rate id = Monte_carlo.toggling_rate (Monte_carlo.stats mc id) in
+      let total f =
+        let acc = ref 0.0 in
+        for id = 0 to Circuit.num_nets circuit - 1 do
+          acc := !acc +. f id
+        done;
+        !acc
+      in
+      let power f = Power_model.dynamic_power circuit ~density:f in
+      Printf.printf
+        "case %s:\n\
+        \  activity (transitions/cycle): density %.2f | spsta (glitch-free) %.2f | mc %.2f\n\
+        \  dynamic power:                density %.3e W | spsta %.3e W | mc %.3e W\n"
+        (Workloads.case_name case)
+        (total (Transition_density.density density))
+        (total spsta_rate) (total mc_rate)
+        (power (Transition_density.density density))
+        (power spsta_rate) (power mc_rate))
+    Workloads.all_cases;
+  print_endline "\ntop 5 power nets (case I, transition density):";
+  let density =
+    Transition_density.of_input_specs circuit ~spec:(Workloads.spec_fn Workloads.Case_i)
+  in
+  let hot = Power_model.per_net_power circuit ~density:(Transition_density.density density) in
+  List.iteri
+    (fun i (id, w) ->
+      if i < 5 then Printf.printf "  %-12s %.3e W\n" (Circuit.net_name circuit id) w)
+    hot

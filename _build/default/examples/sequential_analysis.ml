@@ -1,0 +1,56 @@
+(* Sequential (multi-cycle) analysis.
+
+   The paper assigns flip-flop output statistics by hand.  This example
+   computes them instead: the fixed-point iteration of
+   Spsta_core.Sequential finds flip-flop launch statistics consistent
+   with the circuit, validates them against a real multi-cycle simulation
+   (Spsta_sim.Sequential_sim), and then runs the timing analysis with the
+   converged statistics.
+
+     dune exec examples/sequential_analysis.exe [-- circuit-name] *)
+
+module Circuit = Spsta_netlist.Circuit
+module Sequential = Spsta_core.Sequential
+module Sequential_sim = Spsta_sim.Sequential_sim
+module Monte_carlo = Spsta_sim.Monte_carlo
+module Analyzer = Spsta_core.Analyzer
+module Workloads = Spsta_experiments.Workloads
+module Stats = Spsta_util.Stats
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s27" in
+  let circuit = Spsta_experiments.Benchmarks.load name in
+  Format.printf "circuit: %a@.@." Circuit.pp_summary circuit;
+  let pi_spec = Workloads.spec_fn Workloads.Case_i in
+
+  (* 1. fixed point *)
+  let fp = Sequential.fixed_point circuit ~pi_spec in
+  Printf.printf "fixed point %s after %d iterations\n"
+    (if Sequential.converged fp then "converged" else "DID NOT converge")
+    (Sequential.iterations fp);
+
+  (* 2. validate against a multi-cycle simulation *)
+  let sim = Sequential_sim.simulate ~cycles:20_000 ~seed:11 circuit ~pi_spec in
+  print_endline "flip-flop steady state (analytic vs 20000 simulated cycles):";
+  List.iter
+    (fun (qnet, _) ->
+      let s = Sequential_sim.stats sim qnet in
+      Printf.printf "  %-8s q = %.4f vs %.4f\n" (Circuit.net_name circuit qnet)
+        (Sequential.ff_final_one fp qnet)
+        (Monte_carlo.p_one s +. Monte_carlo.p_fall s))
+    (Circuit.dffs circuit);
+
+  (* 3. timing with the converged launch statistics *)
+  let spec = Sequential.spec fp ~pi_spec in
+  let spsta = Analyzer.Moments.analyze circuit ~spec in
+  print_endline "\nendpoint timing with converged flip-flop statistics (vs sequential sim):";
+  List.iter
+    (fun e ->
+      let mu, sigma, p = Analyzer.Moments.transition_stats (Analyzer.Moments.signal spsta e) `Rise in
+      let s = Sequential_sim.stats sim e in
+      Printf.printf
+        "  %-8s rise: SPSTA P %.3f mu %.3f sig %.3f | sim P %.3f mu %.3f sig %.3f\n"
+        (Circuit.net_name circuit e) p mu sigma (Monte_carlo.p_rise s)
+        (Stats.acc_mean s.Monte_carlo.rise_times)
+        (Stats.acc_stddev s.Monte_carlo.rise_times))
+    (Circuit.endpoints circuit)

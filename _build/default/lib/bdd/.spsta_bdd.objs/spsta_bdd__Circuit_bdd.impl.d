@@ -1,0 +1,1 @@
+lib/bdd/circuit_bdd.ml: Array Bdd Hashtbl List Spsta_netlist

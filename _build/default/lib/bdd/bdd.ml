@@ -1,0 +1,146 @@
+type t = Leaf of bool | Node of { id : int; var : int; lo : t; hi : t }
+
+exception Size_limit_exceeded
+
+type manager = {
+  nvars : int;
+  max_nodes : int;
+  unique : (int * int * int, t) Hashtbl.t; (* (var, lo id, hi id) -> node *)
+  and_memo : (int * int, t) Hashtbl.t;
+  xor_memo : (int * int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let node_id = function Leaf false -> 0 | Leaf true -> 1 | Node { id; _ } -> id
+
+let create ?(max_nodes = 2_000_000) ~nvars () =
+  if nvars < 0 then invalid_arg "Bdd.create: negative nvars";
+  {
+    nvars;
+    max_nodes;
+    unique = Hashtbl.create 1024;
+    and_memo = Hashtbl.create 1024;
+    xor_memo = Hashtbl.create 1024;
+    next_id = 2;
+  }
+
+let nvars m = m.nvars
+let zero _ = Leaf false
+let one _ = Leaf true
+
+let mk m ~var ~lo ~hi =
+  if node_id lo = node_id hi then lo
+  else begin
+    let key = (var, node_id lo, node_id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      if m.next_id - 2 >= m.max_nodes then raise Size_limit_exceeded;
+      let n = Node { id = m.next_id; var; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.replace m.unique key n;
+      n
+  end
+
+let var m i =
+  if i < 0 || i >= m.nvars then invalid_arg "Bdd.var: index outside universe";
+  mk m ~var:i ~lo:(Leaf false) ~hi:(Leaf true)
+
+let top_var = function Leaf _ -> max_int | Node { var; _ } -> var
+
+let cofactor0 v t = match t with Leaf _ -> t | Node { var; lo; _ } -> if var = v then lo else t
+let cofactor1 v t = match t with Leaf _ -> t | Node { var; hi; _ } -> if var = v then hi else t
+
+let rec apply m memo op a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Leaf (op x y)
+  | _ ->
+    let key =
+      (* commutative ops: normalise operand order to share memo entries *)
+      let ia = node_id a and ib = node_id b in
+      if ia <= ib then (ia, ib) else (ib, ia)
+    in
+    ( match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+      let v = min (top_var a) (top_var b) in
+      let r =
+        mk m ~var:v
+          ~lo:(apply m memo op (cofactor0 v a) (cofactor0 v b))
+          ~hi:(apply m memo op (cofactor1 v a) (cofactor1 v b))
+      in
+      Hashtbl.replace memo key r;
+      r )
+
+let band m a b =
+  match (a, b) with
+  | Leaf false, _ | _, Leaf false -> Leaf false
+  | Leaf true, x | x, Leaf true -> x
+  | _ -> apply m m.and_memo ( && ) a b
+
+let bxor m a b =
+  match (a, b) with
+  | Leaf false, x | x, Leaf false -> x
+  | _ -> apply m m.xor_memo ( <> ) a b
+
+let bnot m a = bxor m a (Leaf true)
+
+let bor m a b = bnot m (band m (bnot m a) (bnot m b))
+
+let apply_gate m kind operands =
+  let module G = Spsta_logic.Gate_kind in
+  let n = List.length operands in
+  if n < G.min_arity kind then invalid_arg "Bdd.apply_gate: fan-in below minimum";
+  (match G.max_arity kind with
+  | Some mx when n > mx -> invalid_arg "Bdd.apply_gate: fan-in above maximum"
+  | Some _ | None -> ());
+  let fold op init = List.fold_left op init operands in
+  let base =
+    match kind with
+    | G.And | G.Nand -> fold (band m) (Leaf true)
+    | G.Or | G.Nor -> fold (bor m) (Leaf false)
+    | G.Xor | G.Xnor -> fold (bxor m) (Leaf false)
+    | G.Not | G.Buf -> ( match operands with [ x ] -> x | [] | _ :: _ -> assert false )
+  in
+  if G.inverting kind then bnot m base else base
+
+let equal a b = node_id a = node_id b
+
+let is_const = function Leaf b -> Some b | Node _ -> None
+
+let rec eval t assign =
+  match t with
+  | Leaf b -> b
+  | Node { var; lo; hi; _ } -> if assign var then eval hi assign else eval lo assign
+
+let size t =
+  let seen = Hashtbl.create 64 in
+  let rec visit = function
+    | Leaf _ -> ()
+    | Node { id; lo; hi; _ } ->
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.replace seen id ();
+        visit lo;
+        visit hi
+      end
+  in
+  visit t;
+  Hashtbl.length seen
+
+let prob_one _m t p =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf true -> 1.0
+    | Leaf false -> 0.0
+    | Node { id; var; lo; hi } -> (
+      match Hashtbl.find_opt memo id with
+      | Some x -> x
+      | None ->
+        let pv = p var in
+        let x = (pv *. go hi) +. ((1.0 -. pv) *. go lo) in
+        Hashtbl.replace memo id x;
+        x )
+  in
+  go t
+
+let node_count m = m.next_id - 2

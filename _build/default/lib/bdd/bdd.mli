@@ -1,0 +1,54 @@
+(** Reduced ordered binary decision diagrams with hash-consing.
+
+    The paper's §3.5 computes *exact* signal probabilities — including
+    reconvergent-fanout correlations that the independence-based eq. 5
+    misses — by building the Boolean function of every net over the
+    circuit sources and evaluating the one-probability by a weighted BDD
+    traversal.  This module is that substrate. *)
+
+type manager
+(** Unique-table and memo state.  One manager per variable universe. *)
+
+type t
+(** A BDD node handle, valid for its manager only. *)
+
+exception Size_limit_exceeded
+(** Raised when a manager's node budget (see {!create}) is exhausted. *)
+
+val create : ?max_nodes:int -> nvars:int -> unit -> manager
+(** [nvars] fixes the variable universe 0..nvars-1 (variable order =
+    index order).  [max_nodes] (default 2_000_000) bounds unique-table
+    growth; exceeding it raises {!Size_limit_exceeded}. *)
+
+val nvars : manager -> int
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+(** Raises [Invalid_argument] if the index is outside the universe. *)
+
+val bnot : manager -> t -> t
+val band : manager -> t -> t -> t
+val bor : manager -> t -> t -> t
+val bxor : manager -> t -> t -> t
+val apply_gate : manager -> Spsta_logic.Gate_kind.t -> t list -> t
+(** Fold a gate over already-built operand BDDs. *)
+
+val equal : t -> t -> bool
+(** Constant-time (hash-consed) semantic equality within one manager. *)
+
+val is_const : t -> bool option
+(** [Some b] if the BDD is the constant [b]. *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under a variable assignment. *)
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from this root. *)
+
+val prob_one : manager -> t -> (int -> float) -> float
+(** [prob_one m t p]: probability that the function is 1 when variable
+    [i] is an independent Bernoulli with success probability [p i].
+    Exact; linear in the BDD size (memoized per call). *)
+
+val node_count : manager -> int
+(** Total unique nodes allocated in the manager. *)

@@ -1,0 +1,38 @@
+module Circuit = Spsta_netlist.Circuit
+
+exception Size_limit_exceeded
+
+type t = {
+  manager : Bdd.manager;
+  circuit : Circuit.t;
+  bdds : Bdd.t array; (* indexed by net id *)
+  source_vars : (Circuit.id, int) Hashtbl.t;
+}
+
+let build ?max_nodes circuit =
+  let sources = Circuit.sources circuit in
+  let nvars = List.length sources in
+  let manager = Bdd.create ?max_nodes ~nvars () in
+  let source_vars = Hashtbl.create nvars in
+  List.iteri (fun i s -> Hashtbl.replace source_vars s i) sources;
+  let n = Circuit.num_nets circuit in
+  let bdds = Array.make n (Bdd.zero manager) in
+  ( try
+      List.iteri (fun i s -> bdds.(s) <- Bdd.var manager i) sources;
+      Array.iter
+        (fun g ->
+          match Circuit.driver circuit g with
+          | Circuit.Gate { kind; inputs } ->
+            let operands = Array.to_list (Array.map (fun i -> bdds.(i)) inputs) in
+            bdds.(g) <- Bdd.apply_gate manager kind operands
+          | Circuit.Input | Circuit.Dff_output _ -> assert false)
+        (Circuit.topo_gates circuit)
+    with Bdd.Size_limit_exceeded -> raise Size_limit_exceeded );
+  { manager; circuit; bdds; source_vars }
+
+let manager t = t.manager
+let circuit t = t.circuit
+let bdd_of_net t id = t.bdds.(id)
+let source_index t id = Hashtbl.find_opt t.source_vars id
+
+let exact_prob_one t ~p_source id = Bdd.prob_one t.manager t.bdds.(id) p_source

@@ -1,0 +1,27 @@
+(** Building per-net BDDs for a circuit, over its timing sources (primary
+    inputs and flip-flop outputs) as BDD variables.  Source [i] in
+    [Circuit.sources] order is variable [i]. *)
+
+type t
+
+exception Size_limit_exceeded
+(** Re-raised from the underlying manager when the circuit's functions
+    are too large to build exactly. *)
+
+val build : ?max_nodes:int -> Spsta_netlist.Circuit.t -> t
+(** Builds the BDD of every net in one topological sweep. *)
+
+val manager : t -> Bdd.manager
+val circuit : t -> Spsta_netlist.Circuit.t
+
+val bdd_of_net : t -> Spsta_netlist.Circuit.id -> Bdd.t
+(** The net's function over the sources; sources map to their own
+    variable. *)
+
+val source_index : t -> Spsta_netlist.Circuit.id -> int option
+(** Variable index of a source net ([None] for internal nets). *)
+
+val exact_prob_one : t -> p_source:(int -> float) -> Spsta_netlist.Circuit.id -> float
+(** Exact signal probability of a net given independent per-source
+    one-probabilities (paper §3.5: correlations from reconvergent fanout
+    are handled exactly). *)

@@ -1,0 +1,1 @@
+lib/dist/clark.ml: Float List Normal Spsta_util

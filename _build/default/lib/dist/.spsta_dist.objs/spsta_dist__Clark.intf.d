@@ -1,0 +1,1 @@
+lib/dist/clark.mli: Normal

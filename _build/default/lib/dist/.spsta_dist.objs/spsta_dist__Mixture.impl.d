@@ -1,0 +1,1 @@
+lib/dist/mixture.ml: Array Clark Float List Normal Spsta_util

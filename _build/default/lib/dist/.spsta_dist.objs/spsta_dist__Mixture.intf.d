@@ -1,0 +1,1 @@
+lib/dist/mixture.mli: Clark Normal Spsta_util

@@ -1,0 +1,51 @@
+type moments = { mean : float; variance : float }
+
+(* theta^2 = var1 + var2 - 2 cov is the variance of (t1 - t2); when it
+   vanishes the two arrivals differ by a constant and the MAX is exactly
+   the one with the larger mean. *)
+let theta ~cov (a : Normal.t) (b : Normal.t) =
+  let v = Normal.variance a +. Normal.variance b -. (2.0 *. cov) in
+  sqrt (Float.max v 0.0)
+
+let tightness ?(cov = 0.0) (a : Normal.t) (b : Normal.t) =
+  let th = theta ~cov a b in
+  if th <= 0.0 then if Normal.mean a >= Normal.mean b then 1.0 else 0.0
+  else Spsta_util.Special.normal_cdf ((Normal.mean a -. Normal.mean b) /. th)
+
+let max_moments ?(cov = 0.0) (a : Normal.t) (b : Normal.t) =
+  let th = theta ~cov a b in
+  if th <= 0.0 then
+    if Normal.mean a >= Normal.mean b then
+      { mean = Normal.mean a; variance = Normal.variance a }
+    else { mean = Normal.mean b; variance = Normal.variance b }
+  else begin
+    let mu1 = Normal.mean a and mu2 = Normal.mean b in
+    let lambda = (mu1 -. mu2) /. th in
+    let p = Spsta_util.Special.normal_pdf lambda in
+    let q = Spsta_util.Special.normal_cdf lambda in
+    let mean = (mu1 *. q) +. (mu2 *. (1.0 -. q)) +. (th *. p) in
+    let second =
+      (((mu1 *. mu1) +. Normal.variance a) *. q)
+      +. (((mu2 *. mu2) +. Normal.variance b) *. (1.0 -. q))
+      +. ((mu1 +. mu2) *. th *. p)
+    in
+    { mean; variance = Float.max (second -. (mean *. mean)) 0.0 }
+  end
+
+let negate (n : Normal.t) = Normal.make ~mu:(-.Normal.mean n) ~sigma:(Normal.stddev n)
+
+let min_moments ?(cov = 0.0) a b =
+  let m = max_moments ~cov (negate a) (negate b) in
+  { m with mean = -.m.mean }
+
+let to_normal (m : moments) = Normal.make ~mu:m.mean ~sigma:(sqrt m.variance)
+
+let max_normal ?(cov = 0.0) a b = to_normal (max_moments ~cov a b)
+let min_normal ?(cov = 0.0) a b = to_normal (min_moments ~cov a b)
+
+let fold_many name op = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | first :: rest -> List.fold_left (fun acc n -> op acc n) first rest
+
+let max_normal_many dists = fold_many "Clark.max_normal_many" (max_normal ~cov:0.0) dists
+let min_normal_many dists = fold_many "Clark.min_normal_many" (min_normal ~cov:0.0) dists

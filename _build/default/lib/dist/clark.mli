@@ -1,0 +1,29 @@
+(** Clark's moment-matching MAX/MIN of two (possibly correlated) normal
+    arrival times — the paper's eq. 4 and the workhorse of SSTA.
+
+    The true distribution of MAX(t1, t2) is not normal; these functions
+    return the exact first two moments, which SSTA then re-interprets as a
+    normal ("moment matching"). *)
+
+type moments = { mean : float; variance : float }
+
+val max_moments : ?cov:float -> Normal.t -> Normal.t -> moments
+(** First two moments of MAX(t1, t2); [cov] defaults to 0 (independent). *)
+
+val min_moments : ?cov:float -> Normal.t -> Normal.t -> moments
+(** Via MIN(t1, t2) = -MAX(-t1, -t2). *)
+
+val max_normal : ?cov:float -> Normal.t -> Normal.t -> Normal.t
+(** Moment-matched normal approximation of the MAX. *)
+
+val min_normal : ?cov:float -> Normal.t -> Normal.t -> Normal.t
+
+val max_normal_many : Normal.t list -> Normal.t
+(** Left-associated pairwise MAX of independent arrivals.
+    Raises [Invalid_argument] on an empty list. *)
+
+val min_normal_many : Normal.t list -> Normal.t
+
+val tightness : ?cov:float -> Normal.t -> Normal.t -> float
+(** Clark's Q = P(t1 > t2): the probability the first input dominates the
+    MAX. Used for criticality estimation. *)

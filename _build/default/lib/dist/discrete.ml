@@ -1,0 +1,193 @@
+type t = {
+  dt : float;
+  k0 : int; (* origin bin index: bin i holds mass at time (k0 + i) * dt *)
+  mass : float array;
+}
+
+let dt t = t.dt
+let total t = Array.fold_left ( +. ) 0.0 t.mass
+
+let check_dt d = if d <= 0.0 then invalid_arg "Discrete: dt must be positive"
+
+let zero ~dt =
+  check_dt dt;
+  { dt; k0 = 0; mass = [||] }
+
+let time t i = float_of_int (t.k0 + i) *. t.dt
+let bin_of_time ~dt x = int_of_float (Float.round (x /. dt))
+
+let of_normal ~dt ~mass (n : Normal.t) =
+  check_dt dt;
+  if mass < 0.0 then invalid_arg "Discrete.of_normal: negative mass";
+  if mass = 0.0 then zero ~dt
+  else if Normal.stddev n = 0.0 then
+    { dt; k0 = bin_of_time ~dt (Normal.mean n); mass = [| mass |] }
+  else begin
+    let lo = Normal.mean n -. (6.0 *. Normal.stddev n) in
+    let hi = Normal.mean n +. (6.0 *. Normal.stddev n) in
+    let k_lo = bin_of_time ~dt lo and k_hi = bin_of_time ~dt hi in
+    let bins = k_hi - k_lo + 1 in
+    (* allocate each bin the cdf increment over its cell: exact mass, no
+       quadrature error accumulation *)
+    let edge k = (float_of_int k -. 0.5) *. dt in
+    let arr =
+      Array.init bins (fun i ->
+          let k = k_lo + i in
+          Normal.cdf n (edge (k + 1)) -. Normal.cdf n (edge k))
+    in
+    let covered = Array.fold_left ( +. ) 0.0 arr in
+    let factor = if covered > 0.0 then mass /. covered else 0.0 in
+    { dt; k0 = k_lo; mass = Array.map (fun m -> m *. factor) arr }
+  end
+
+let of_points ~dt points =
+  check_dt dt;
+  List.iter (fun (_, m) -> if m < 0.0 then invalid_arg "Discrete.of_points: negative mass") points;
+  match points with
+  | [] -> zero ~dt
+  | _ ->
+    let ks = List.map (fun (x, m) -> (bin_of_time ~dt x, m)) points in
+    let k_lo = List.fold_left (fun acc (k, _) -> min acc k) max_int ks in
+    let k_hi = List.fold_left (fun acc (k, _) -> max acc k) min_int ks in
+    let arr = Array.make (k_hi - k_lo + 1) 0.0 in
+    List.iter (fun (k, m) -> arr.(k - k_lo) <- arr.(k - k_lo) +. m) ks;
+    { dt; k0 = k_lo; mass = arr }
+
+let scale t f =
+  if f < 0.0 then invalid_arg "Discrete.scale: negative factor";
+  { t with mass = Array.map (fun m -> m *. f) t.mass }
+
+let require_same_dt a b =
+  if Float.abs (a.dt -. b.dt) > 1e-12 then invalid_arg "Discrete: grid step mismatch"
+
+let add a b =
+  require_same_dt a b;
+  if Array.length a.mass = 0 then b
+  else if Array.length b.mass = 0 then a
+  else begin
+    let k_lo = min a.k0 b.k0 in
+    let k_hi = max (a.k0 + Array.length a.mass) (b.k0 + Array.length b.mass) in
+    let arr = Array.make (k_hi - k_lo) 0.0 in
+    Array.iteri (fun i m -> arr.(a.k0 - k_lo + i) <- arr.(a.k0 - k_lo + i) +. m) a.mass;
+    Array.iteri (fun i m -> arr.(b.k0 - k_lo + i) <- arr.(b.k0 - k_lo + i) +. m) b.mass;
+    { dt = a.dt; k0 = k_lo; mass = arr }
+  end
+
+let sum ~dt ts = List.fold_left add (zero ~dt) ts
+
+let shift t d = { t with k0 = t.k0 + bin_of_time ~dt:t.dt d }
+
+let convolve a b =
+  require_same_dt a b;
+  let na = Array.length a.mass and nb = Array.length b.mass in
+  if na = 0 || nb = 0 then zero ~dt:a.dt
+  else begin
+    let arr = Array.make (na + nb - 1) 0.0 in
+    for i = 0 to na - 1 do
+      if a.mass.(i) <> 0.0 then
+        for j = 0 to nb - 1 do
+          arr.(i + j) <- arr.(i + j) +. (a.mass.(i) *. b.mass.(j))
+        done
+    done;
+    { dt = a.dt; k0 = a.k0 + b.k0; mass = arr }
+  end
+
+let normalized t =
+  let w = total t in
+  if w <= 0.0 then invalid_arg "Discrete: zero-mass distribution";
+  scale t (1.0 /. w)
+
+(* P(max = k) = pa(k) * Fb(k-1) + pb(k) * Fa(k-1) + pa(k) * pb(k), with
+   F the inclusive cdf up to the previous bin: exact for independent
+   lattice random variables. *)
+let max_independent a b =
+  require_same_dt a b;
+  let a = normalized a and b = normalized b in
+  let k_lo = min a.k0 b.k0 in
+  let k_hi = max (a.k0 + Array.length a.mass) (b.k0 + Array.length b.mass) in
+  let n = k_hi - k_lo in
+  let pa = Array.make n 0.0 and pb = Array.make n 0.0 in
+  Array.iteri (fun i m -> pa.(a.k0 - k_lo + i) <- m) a.mass;
+  Array.iteri (fun i m -> pb.(b.k0 - k_lo + i) <- m) b.mass;
+  let out = Array.make n 0.0 in
+  let fa = ref 0.0 and fb = ref 0.0 in
+  for k = 0 to n - 1 do
+    out.(k) <- (pa.(k) *. !fb) +. (pb.(k) *. !fa) +. (pa.(k) *. pb.(k));
+    fa := !fa +. pa.(k);
+    fb := !fb +. pb.(k)
+  done;
+  { dt = a.dt; k0 = k_lo; mass = out }
+
+let reflect t =
+  let n = Array.length t.mass in
+  if n = 0 then t
+  else begin
+    let arr = Array.init n (fun i -> t.mass.(n - 1 - i)) in
+    { t with k0 = -(t.k0 + n - 1); mass = arr }
+  end
+
+let min_independent a b = reflect (max_independent (reflect a) (reflect b))
+
+let raw_moments t =
+  let w = total t in
+  if w <= 0.0 then None
+  else begin
+    let m1 = ref 0.0 and m2 = ref 0.0 in
+    Array.iteri
+      (fun i m ->
+        let x = time t i in
+        m1 := !m1 +. (m *. x);
+        m2 := !m2 +. (m *. x *. x))
+      t.mass;
+    Some (!m1 /. w, !m2 /. w)
+  end
+
+let mean t = match raw_moments t with None -> 0.0 | Some (m1, _) -> m1
+
+let variance t =
+  match raw_moments t with
+  | None -> 0.0
+  | Some (m1, m2) -> Float.max (m2 -. (m1 *. m1)) 0.0
+
+let stddev t = sqrt (variance t)
+
+let skewness t =
+  match raw_moments t with
+  | None -> 0.0
+  | Some (m1, m2) ->
+    let var = Float.max (m2 -. (m1 *. m1)) 0.0 in
+    if var <= 0.0 then 0.0
+    else begin
+      let w = total t in
+      let m3 = ref 0.0 in
+      Array.iteri
+        (fun i m ->
+          let x = time t i in
+          m3 := !m3 +. (m *. x *. x *. x))
+        t.mass;
+      let m3 = !m3 /. w in
+      let central3 = m3 -. (3.0 *. m1 *. m2) +. (2.0 *. m1 *. m1 *. m1) in
+      central3 /. (var ** 1.5)
+    end
+
+let cdf t x =
+  let acc = ref 0.0 in
+  Array.iteri (fun i m -> if time t i <= x +. 1e-12 then acc := !acc +. m) t.mass;
+  !acc
+
+let quantile t p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Discrete.quantile: p outside (0,1]";
+  let w = total t in
+  if w <= 0.0 then invalid_arg "Discrete.quantile: empty distribution";
+  let target = p *. w in
+  let rec scan i acc =
+    if i >= Array.length t.mass then time t (Array.length t.mass - 1)
+    else
+      let acc = acc +. t.mass.(i) in
+      if acc >= target -. 1e-15 then time t i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let series t = Array.to_list (Array.mapi (fun i m -> (time t i, m)) t.mass)
+
+let density_series t = Array.to_list (Array.mapi (fun i m -> (time t i, m /. t.dt)) t.mass)

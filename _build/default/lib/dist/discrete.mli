@@ -1,0 +1,71 @@
+(** Grid-discretised distributions on a uniform time lattice.
+
+    This is the functional backend for t.o.p. propagation: it represents an
+    arbitrary (sub-)probability mass over time, so it captures the
+    non-normal shapes produced by MAX (Fig. 2/Fig. 4 of the paper) without
+    a normality assumption.  All values produced by one analysis share a
+    grid step [dt]; origins are integer multiples of [dt] so binary
+    operations align bins exactly. *)
+
+type t
+
+val dt : t -> float
+val total : t -> float
+(** Total mass: the transition occurrence probability. *)
+
+val zero : dt:float -> t
+(** The empty (never-transitions) distribution. *)
+
+val of_normal : dt:float -> mass:float -> Normal.t -> t
+(** Discretise a normal over ±6σ, scaled so the total equals [mass].
+    Raises [Invalid_argument] on negative mass or non-positive [dt]. *)
+
+val of_points : dt:float -> (float * float) list -> t
+(** Point masses at given (time, mass) pairs; times are rounded to the
+    grid.  Raises [Invalid_argument] on negative masses. *)
+
+val scale : t -> float -> t
+(** Multiply all mass (non-negative factor). *)
+
+val add : t -> t -> t
+(** Pointwise mass addition (the WEIGHTED SUM after scaling).
+    Raises [Invalid_argument] on mismatched [dt]. *)
+
+val sum : dt:float -> t list -> t
+
+val shift : t -> float -> t
+(** Add a deterministic delay (rounded to the grid). *)
+
+val convolve : t -> t -> t
+(** Sum of independent random variables (normalised or not: masses
+    multiply).  Used for variational gate delays. *)
+
+val max_independent : t -> t -> t
+(** Distribution of MAX(X, Y) for independent X ~ a/|a|, Y ~ b/|b|,
+    returned with unit mass.  Raises [Invalid_argument] if either input
+    has zero mass or the grids mismatch. *)
+
+val min_independent : t -> t -> t
+
+val mean : t -> float
+(** Mean of the normalised distribution; 0 when empty. *)
+
+val variance : t -> float
+val stddev : t -> float
+
+val skewness : t -> float
+(** Standardised third central moment of the normalised distribution;
+    0 when empty or degenerate. *)
+
+val cdf : t -> float -> float
+(** Unnormalised: mass at or before the given time. *)
+
+val quantile : t -> float -> float
+(** Time at which the *normalised* cdf first reaches p in (0,1].
+    Raises [Invalid_argument] when empty. *)
+
+val series : t -> (float * float) list
+(** (bin time, mass) pairs over the support, for plotting/printing. *)
+
+val density_series : t -> (float * float) list
+(** (bin time, mass/dt) pairs: a pdf-like view of the t.o.p. function. *)

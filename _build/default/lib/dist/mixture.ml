@@ -1,0 +1,154 @@
+type component = { weight : float; dist : Normal.t }
+
+type t = component list
+
+let weight_epsilon = 1e-15
+
+let empty = []
+
+let singleton ~weight dist =
+  if weight < 0.0 then invalid_arg "Mixture.singleton: negative weight";
+  if weight <= weight_epsilon then [] else [ { weight; dist } ]
+
+let components t = t
+let total_weight t = List.fold_left (fun acc c -> acc +. c.weight) 0.0 t
+let is_empty t = total_weight t <= weight_epsilon
+
+let scale t k =
+  if k < 0.0 then invalid_arg "Mixture.scale: negative factor";
+  if k <= weight_epsilon then []
+  else List.map (fun c -> { c with weight = c.weight *. k }) t
+
+let add a b = a @ b
+let sum ts = List.concat ts
+
+let add_delay t d = List.map (fun c -> { c with dist = Normal.add_constant c.dist d }) t
+
+let add_normal_delay t d = List.map (fun c -> { c with dist = Normal.sum c.dist d }) t
+
+let raw_moments t =
+  (* first and second raw moments of the normalised mixture *)
+  let w = total_weight t in
+  if w <= weight_epsilon then None
+  else begin
+    let m1 = ref 0.0 and m2 = ref 0.0 in
+    let accumulate c =
+      let mu = Normal.mean c.dist in
+      m1 := !m1 +. (c.weight *. mu);
+      m2 := !m2 +. (c.weight *. ((mu *. mu) +. Normal.variance c.dist))
+    in
+    List.iter accumulate t;
+    Some (!m1 /. w, !m2 /. w)
+  end
+
+let mean t = match raw_moments t with None -> 0.0 | Some (m1, _) -> m1
+
+let variance t =
+  match raw_moments t with
+  | None -> 0.0
+  | Some (m1, m2) -> Float.max (m2 -. (m1 *. m1)) 0.0
+
+let stddev t = sqrt (variance t)
+
+(* third raw moment of a normal: mu^3 + 3 mu sigma^2 *)
+let skewness t =
+  match raw_moments t with
+  | None -> 0.0
+  | Some (m1, m2) ->
+    let var = Float.max (m2 -. (m1 *. m1)) 0.0 in
+    if var <= 0.0 then 0.0
+    else begin
+      let w = total_weight t in
+      let m3 = ref 0.0 in
+      let accumulate c =
+        let mu = Normal.mean c.dist and v = Normal.variance c.dist in
+        m3 := !m3 +. (c.weight *. ((mu *. mu *. mu) +. (3.0 *. mu *. v)))
+      in
+      List.iter accumulate t;
+      let m3 = !m3 /. w in
+      let central3 = m3 -. (3.0 *. m1 *. m2) +. (2.0 *. m1 *. m1 *. m1) in
+      central3 /. (var ** 1.5)
+    end
+
+let normalized_moments t =
+  match raw_moments t with
+  | None -> None
+  | Some (m1, m2) -> Some { Clark.mean = m1; variance = Float.max (m2 -. (m1 *. m1)) 0.0 }
+
+let as_normal t =
+  match normalized_moments t with
+  | None -> None
+  | Some m -> Some (Normal.make ~mu:m.Clark.mean ~sigma:(sqrt m.Clark.variance))
+
+(* Moment-preserving merge of two components into one normal. *)
+let merge_pair a b =
+  let w = a.weight +. b.weight in
+  let mu = ((a.weight *. Normal.mean a.dist) +. (b.weight *. Normal.mean b.dist)) /. w in
+  let second c = (Normal.mean c.dist *. Normal.mean c.dist) +. Normal.variance c.dist in
+  let m2 = ((a.weight *. second a) +. (b.weight *. second b)) /. w in
+  let var = Float.max (m2 -. (mu *. mu)) 0.0 in
+  { weight = w; dist = Normal.make ~mu ~sigma:(sqrt var) }
+
+let compact ?(max_components = 64) t =
+  let t = List.filter (fun c -> c.weight > weight_epsilon) t in
+  if List.length t <= max_components then t
+  else begin
+    (* Sort by mean, then repeatedly merge the closest adjacent pair.  A
+       simple O(n^2) loop is fine: n is bounded by gate fan-in work. *)
+    let arr = List.sort (fun a b -> compare (Normal.mean a.dist) (Normal.mean b.dist)) t in
+    let rec shrink items =
+      if List.length items <= max_components then items
+      else begin
+        (* find index of adjacent pair with the closest means *)
+        let rec best i best_i best_gap = function
+          | a :: (b :: _ as rest) ->
+            let gap = Normal.mean b.dist -. Normal.mean a.dist in
+            if gap < best_gap then best (i + 1) i gap rest else best (i + 1) best_i best_gap rest
+          | [ _ ] | [] -> best_i
+        in
+        let target = best 0 0 infinity items in
+        let rec rebuild i = function
+          | a :: b :: rest when i = target -> merge_pair a b :: rest
+          | x :: rest -> x :: rebuild (i + 1) rest
+          | [] -> []
+        in
+        shrink (rebuild 0 items)
+      end
+    in
+    shrink arr
+  end
+
+let cdf t x =
+  let w = total_weight t in
+  if w <= weight_epsilon then 0.0
+  else List.fold_left (fun acc c -> acc +. (c.weight *. Normal.cdf c.dist x)) 0.0 t /. w
+
+let quantile t p =
+  if not (p > 0.0 && p < 1.0) then invalid_arg "Mixture.quantile: p outside (0,1)";
+  if is_empty t then invalid_arg "Mixture.quantile: empty mixture";
+  (* bracket the quantile across all components' 8-sigma envelopes *)
+  let lo, hi =
+    List.fold_left
+      (fun (lo, hi) c ->
+        ( Float.min lo (Normal.mean c.dist -. (8.0 *. Normal.stddev c.dist) -. 1.0),
+          Float.max hi (Normal.mean c.dist +. (8.0 *. Normal.stddev c.dist) +. 1.0) ))
+      (infinity, neg_infinity) t
+  in
+  let rec bisect lo hi i =
+    if i = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if cdf t mid < p then bisect mid hi (i - 1) else bisect lo mid (i - 1)
+    end
+  in
+  bisect lo hi 60
+
+let sample rng t =
+  let w = total_weight t in
+  if w <= weight_epsilon then None
+  else begin
+    let arr = Array.of_list t in
+    let weights = Array.map (fun c -> c.weight) arr in
+    let i = Spsta_util.Rng.choose_index rng weights in
+    Some (Normal.sample rng arr.(i).dist)
+  end

@@ -1,0 +1,76 @@
+(** Weighted mixtures of normal components.
+
+    This is the moment-based representation of a signal transition
+    temporal-occurrence-probability (t.o.p.) function (paper §3.1/§3.4):
+    total weight = transition occurrence probability (the t.o.p. integral,
+    i.e. the toggling rate per cycle), and the normalised mixture is the
+    arrival-time pdf.  The paper's WEIGHTED SUM (eq. 8) is mixture
+    combination. *)
+
+type component = { weight : float; dist : Normal.t }
+
+type t
+(** A (possibly empty) mixture.  Empty = no transition ever occurs. *)
+
+val empty : t
+val singleton : weight:float -> Normal.t -> t
+(** Raises [Invalid_argument] on a negative weight. *)
+
+val components : t -> component list
+val total_weight : t -> float
+(** The t.o.p. integral: occurrence probability of the transition. *)
+
+val is_empty : t -> bool
+(** True when the total weight is (numerically) zero. *)
+
+val scale : t -> float -> t
+(** Multiply every weight (the P(dy/dx_i) factor of eq. 8). *)
+
+val add : t -> t -> t
+(** WEIGHTED SUM: union of components. *)
+
+val sum : t list -> t
+
+val add_delay : t -> float -> t
+(** Shift every component by a deterministic gate delay (SUM, eq. 1). *)
+
+val add_normal_delay : t -> Normal.t -> t
+(** Convolve every component with an independent normal delay. *)
+
+val mean : t -> float
+(** Mean of the normalised mixture; 0 when empty. *)
+
+val variance : t -> float
+(** Variance of the normalised mixture (includes between-component
+    spread); 0 when empty. *)
+
+val stddev : t -> float
+
+val skewness : t -> float
+(** Standardised third central moment of the normalised mixture —
+    exact (each normal component contributes analytically); 0 when the
+    variance vanishes.  This is what quantifies the MAX-induced
+    asymmetry SSTA's normality assumption hides (paper Fig. 2/4). *)
+
+val normalized_moments : t -> Clark.moments option
+(** [None] when empty. *)
+
+val as_normal : t -> Normal.t option
+(** Moment-matched normal of the normalised mixture; [None] when empty. *)
+
+val compact : ?max_components:int -> t -> t
+(** Merge components to bound mixture growth.  Components are merged by
+    moment matching of adjacent (by mean) components until at most
+    [max_components] remain (default 64).  Total weight, normalised mean
+    and variance are preserved exactly for each pairwise merge. *)
+
+val cdf : t -> float -> float
+(** Cdf of the normalised mixture; 0 everywhere when empty. *)
+
+val quantile : t -> float -> float
+(** p-quantile of the normalised mixture (bisection on {!cdf}).
+    Raises [Invalid_argument] for p outside (0, 1) or an empty
+    mixture. *)
+
+val sample : Spsta_util.Rng.t -> t -> float option
+(** Draw an arrival time from the normalised mixture ([None] if empty). *)

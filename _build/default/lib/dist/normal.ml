@@ -1,0 +1,30 @@
+type t = { mu : float; sigma : float }
+
+let make ~mu ~sigma =
+  if sigma < 0.0 then invalid_arg "Normal.make: negative sigma";
+  { mu; sigma }
+
+let standard = { mu = 0.0; sigma = 1.0 }
+let mean t = t.mu
+let stddev t = t.sigma
+let variance t = t.sigma *. t.sigma
+
+let pdf t x =
+  if t.sigma = 0.0 then if x = t.mu then infinity else 0.0
+  else Spsta_util.Special.normal_pdf ((x -. t.mu) /. t.sigma) /. t.sigma
+
+let cdf t x =
+  if t.sigma = 0.0 then if x < t.mu then 0.0 else 1.0
+  else Spsta_util.Special.normal_cdf ((x -. t.mu) /. t.sigma)
+
+let quantile t p = t.mu +. (t.sigma *. Spsta_util.Special.normal_quantile p)
+let add_constant t c = { t with mu = t.mu +. c }
+
+let sum a b = { mu = a.mu +. b.mu; sigma = sqrt ((a.sigma *. a.sigma) +. (b.sigma *. b.sigma)) }
+
+let sum_correlated a b ~cov =
+  let var = (a.sigma *. a.sigma) +. (b.sigma *. b.sigma) +. (2.0 *. cov) in
+  if var < -1e-12 then invalid_arg "Normal.sum_correlated: negative variance";
+  { mu = a.mu +. b.mu; sigma = sqrt (Float.max var 0.0) }
+
+let sample rng t = Spsta_util.Rng.gaussian rng ~mu:t.mu ~sigma:t.sigma

@@ -1,0 +1,32 @@
+(** Normal (Gaussian) distributions: the atomic arrival-time model of both
+    SSTA and the moment-based SPSTA backend (paper §2.1). *)
+
+type t = { mu : float; sigma : float }
+(** [sigma >= 0]; a zero sigma denotes a deterministic arrival. *)
+
+val make : mu:float -> sigma:float -> t
+(** Raises [Invalid_argument] on negative [sigma]. *)
+
+val standard : t
+(** N(0, 1) — the paper's primary-input arrival distribution. *)
+
+val mean : t -> float
+val stddev : t -> float
+val variance : t -> float
+
+val pdf : t -> float -> float
+val cdf : t -> float -> float
+val quantile : t -> float -> float
+
+val add_constant : t -> float -> t
+(** Deterministic delay addition: shifts the mean (paper eq. 2 with a
+    constant delay). *)
+
+val sum : t -> t -> t
+(** Sum of independent normals (paper eq. 2 with zero covariance). *)
+
+val sum_correlated : t -> t -> cov:float -> t
+(** Paper eq. 2 with explicit covariance.  Raises [Invalid_argument] if
+    the implied variance is negative. *)
+
+val sample : Spsta_util.Rng.t -> t -> float

@@ -1,0 +1,1 @@
+lib/experiments/benchmarks.ml: List Spsta_netlist

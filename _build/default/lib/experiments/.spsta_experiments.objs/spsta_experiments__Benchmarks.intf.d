@@ -1,0 +1,1 @@
+lib/experiments/benchmarks.mli: Spsta_netlist

@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Buffer Hashtbl List Option Printf Spsta_core Spsta_dist Spsta_logic Spsta_netlist Spsta_sim Spsta_util Table2

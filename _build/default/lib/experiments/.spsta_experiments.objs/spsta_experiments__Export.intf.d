@@ -1,0 +1,1 @@
+lib/experiments/export.mli: Spsta_netlist Spsta_sim Table2

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Array Benchmarks Buffer Float List Printf Spsta_dist Spsta_logic Spsta_netlist Spsta_sim Spsta_ssta Spsta_util Workloads

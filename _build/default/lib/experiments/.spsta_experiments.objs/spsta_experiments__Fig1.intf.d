@@ -1,0 +1,1 @@
+lib/experiments/fig1.mli: Spsta_dist Spsta_netlist Workloads

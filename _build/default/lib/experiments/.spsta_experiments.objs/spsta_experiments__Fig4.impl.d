@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Buffer List Printf Spsta_core Spsta_dist Spsta_logic Spsta_sim

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Fig1 Fig2 Fig3 Fig4 Summary Table1 Table2 Table3 Workloads

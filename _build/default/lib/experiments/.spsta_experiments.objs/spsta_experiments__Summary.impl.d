@@ -1,0 +1,1 @@
+lib/experiments/summary.ml: Array Benchmarks List Printf Spsta_core Spsta_netlist Spsta_sim Spsta_util Table2 Workloads

@@ -1,0 +1,1 @@
+lib/experiments/summary.mli: Table2

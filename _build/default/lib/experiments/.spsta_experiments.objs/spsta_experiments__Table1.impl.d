@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: List Printf Spsta_logic Spsta_util

@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Benchmarks List Printf Spsta_core Spsta_netlist Spsta_sim Spsta_ssta Spsta_util Sys Workloads

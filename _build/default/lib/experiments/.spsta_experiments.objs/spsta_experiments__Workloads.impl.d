@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Spsta_sim

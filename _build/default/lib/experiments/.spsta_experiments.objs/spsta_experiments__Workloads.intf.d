@@ -1,0 +1,1 @@
+lib/experiments/workloads.mli: Spsta_netlist Spsta_sim

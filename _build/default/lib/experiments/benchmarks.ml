@@ -1,0 +1,57 @@
+module Circuit = Spsta_netlist.Circuit
+module Bench_io = Spsta_netlist.Bench_io
+module Generator = Spsta_netlist.Generator
+
+let s27_bench_text =
+  "# s27 (ISCAS'89)\n\
+   INPUT(G0)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   OUTPUT(G17)\n\
+   G5 = DFF(G10)\n\
+   G6 = DFF(G11)\n\
+   G7 = DFF(G13)\n\
+   G14 = NOT(G0)\n\
+   G17 = NOT(G11)\n\
+   G8 = AND(G14, G6)\n\
+   G15 = OR(G12, G8)\n\
+   G16 = OR(G3, G8)\n\
+   G9 = NAND(G16, G15)\n\
+   G10 = NOR(G14, G11)\n\
+   G11 = NOR(G5, G9)\n\
+   G12 = NOR(G1, G7)\n\
+   G13 = NOR(G2, G12)\n"
+
+let s27 () = Bench_io.parse_string ~name:"s27" s27_bench_text
+
+let c17_bench_text =
+  "# c17 (ISCAS'85)\n\
+   INPUT(G1)\n\
+   INPUT(G2)\n\
+   INPUT(G3)\n\
+   INPUT(G6)\n\
+   INPUT(G7)\n\
+   OUTPUT(G22)\n\
+   OUTPUT(G23)\n\
+   G10 = NAND(G1, G3)\n\
+   G11 = NAND(G3, G6)\n\
+   G16 = NAND(G2, G11)\n\
+   G19 = NAND(G11, G7)\n\
+   G22 = NAND(G10, G16)\n\
+   G23 = NAND(G16, G19)\n"
+
+let c17 () = Bench_io.parse_string ~name:"c17" c17_bench_text
+
+let evaluated_names =
+  [ "s208"; "s298"; "s344"; "s349"; "s382"; "s386"; "s526"; "s1196"; "s1238" ]
+
+let load name =
+  if name = "s27" then s27 ()
+  else if name = "c17" then c17 ()
+  else
+    match Generator.find_profile name with
+    | Some profile -> Generator.generate profile
+    | None -> raise Not_found
+
+let all () = load "c17" :: load "s27" :: List.map load evaluated_names

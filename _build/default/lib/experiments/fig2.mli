@@ -1,0 +1,16 @@
+(** Fig. 2 of the paper: the two basic SSTA operations.  SUM of two
+    normals stays normal; MAX of two normals is skewed and *not* normal —
+    rendered by comparing Clark's moment-matched normal against the exact
+    lattice distribution. *)
+
+type result = {
+  sum_exact : Spsta_dist.Normal.t;  (** N(3,1) + N(2,0.5) *)
+  max_clark : Spsta_dist.Normal.t;  (** moment-matched MAX(N(3,1), N(3,2)) *)
+  max_exact_series : (float * float) list;  (** exact density of the MAX *)
+  max_exact_mean : float;
+  max_exact_stddev : float;
+  max_skewness : float;  (** of the exact MAX: nonzero = non-normal *)
+}
+
+val run : ?dt:float -> unit -> result
+val render : result -> string

@@ -1,0 +1,15 @@
+(** Fig. 3 of the paper: signal probability and signal toggling rate
+    computation for a two-input AND gate (eq. 5 and eq. 6). *)
+
+type result = {
+  p_inputs : float * float;
+  rho_inputs : float * float;
+  p_output : float;  (** P(y) = P(x1) P(x2) *)
+  boolean_diff_probs : float * float;  (** P(dy/dx1), P(dy/dx2) *)
+  rho_output : float;  (** eq. 6 *)
+}
+
+val run : ?p1:float -> ?p2:float -> ?rho1:float -> ?rho2:float -> unit -> result
+(** Defaults reproduce the paper's 0.5/0.5 example. *)
+
+val render : result -> string

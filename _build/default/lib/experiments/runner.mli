@@ -1,0 +1,9 @@
+(** Dispatch table from experiment identifiers (as used in DESIGN.md and
+    the CLI) to the code that regenerates each paper artefact. *)
+
+val experiment_ids : string list
+(** "table1", "table2", "table3", "fig1" .. "fig4", "summary". *)
+
+val run : ?runs:int -> ?seed:int -> string -> string
+(** Produce the rendered artefact.  Raises [Not_found] on unknown ids.
+    [runs]/[seed] apply to the Monte-Carlo-backed experiments. *)

@@ -1,0 +1,29 @@
+module Value4 = Spsta_logic.Value4
+module Gate_kind = Spsta_logic.Gate_kind
+module Timing_rule = Spsta_logic.Timing_rule
+module Table = Spsta_util.Table
+
+let cell kind op a b =
+  let v = op a b in
+  let annotation =
+    (* annotate the simultaneous-switching diagonal like the paper *)
+    if Value4.is_transition v && Value4.is_transition a && Value4.is_transition b then
+      Printf.sprintf "%s (%s)" (Value4.to_string v)
+        (Timing_rule.to_string (Timing_rule.for_output kind v))
+    else Value4.to_string v
+  in
+  annotation
+
+let render_gate name kind op =
+  let table = Table.create ~headers:(name :: List.map Value4.to_string Value4.all) in
+  List.iter
+    (fun a ->
+      Table.add_row table
+        (Value4.to_string a :: List.map (fun b -> cell kind op a b) Value4.all))
+    Value4.all;
+  Table.render table
+
+let render () =
+  Printf.sprintf "Table 1: four-value logic operations\n%s\n\n%s\n"
+    (render_gate "AND" Gate_kind.And Value4.land2)
+    (render_gate "OR" Gate_kind.Or Value4.lor2)

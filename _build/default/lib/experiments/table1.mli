@@ -1,0 +1,6 @@
+(** Table 1 of the paper: the four-value AND and OR operations, with the
+    MIN/MAX arrival-time annotation for simultaneous same-direction input
+    transitions.  Generated from {!Spsta_logic.Value4}, so the rendering
+    is also a machine check of the implemented semantics. *)
+
+val render : unit -> string

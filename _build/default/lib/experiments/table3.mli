@@ -1,0 +1,15 @@
+(** Table 3 of the paper: CPU runtimes of SPSTA, SSTA and 10K-run Monte
+    Carlo per circuit.  Absolute seconds are machine-specific; the
+    reproduced claim is the ordering (SSTA < SPSTA << MC). *)
+
+type row = {
+  circuit_name : string;
+  spsta_seconds : float;
+  ssta_seconds : float;
+  mc_seconds : float;
+  mc_runs : int;
+}
+
+val run_circuit : ?runs:int -> ?seed:int -> Spsta_netlist.Circuit.t -> case:Workloads.case -> row
+val run_suite : ?runs:int -> ?seed:int -> case:Workloads.case -> unit -> row list
+val render : row list -> string

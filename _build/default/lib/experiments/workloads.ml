@@ -1,0 +1,11 @@
+type case = Case_i | Case_ii
+
+let all_cases = [ Case_i; Case_ii ]
+let case_name = function Case_i -> "I" | Case_ii -> "II"
+
+let spec_of_case = function
+  | Case_i -> Spsta_sim.Input_spec.case_i
+  | Case_ii -> Spsta_sim.Input_spec.case_ii
+
+let uniform spec _id = spec
+let spec_fn case = uniform (spec_of_case case)

@@ -1,0 +1,1 @@
+lib/interconnect/wire_model.mli: Rc_tree Spsta_netlist Spsta_variation

@@ -1,0 +1,91 @@
+type node = int
+
+type entry = {
+  parent : int; (* -1 for the root *)
+  resistance : float; (* of the segment from the parent *)
+  capacitance : float;
+}
+
+type t = {
+  mutable entries : entry array;
+  mutable size : int;
+  driver_resistance : float;
+}
+
+let create ?(driver_resistance = 0.0) ~root_cap () =
+  if driver_resistance < 0.0 then invalid_arg "Rc_tree.create: negative driver resistance";
+  if root_cap < 0.0 then invalid_arg "Rc_tree.create: negative capacitance";
+  {
+    entries = Array.make 8 { parent = -1; resistance = 0.0; capacitance = root_cap };
+    size = 1;
+    driver_resistance;
+  }
+
+let root _ = 0
+
+let add_child t parent ~resistance ~capacitance =
+  if resistance < 0.0 || capacitance < 0.0 then invalid_arg "Rc_tree.add_child: negative R or C";
+  if parent < 0 || parent >= t.size then invalid_arg "Rc_tree.add_child: unknown parent";
+  if t.size = Array.length t.entries then begin
+    let next = Array.make (2 * t.size) t.entries.(0) in
+    Array.blit t.entries 0 next 0 t.size;
+    t.entries <- next
+  end;
+  t.entries.(t.size) <- { parent; resistance; capacitance };
+  t.size <- t.size + 1;
+  t.size - 1
+
+let node_count t = t.size
+
+let total_capacitance t =
+  let acc = ref 0.0 in
+  for i = 0 to t.size - 1 do
+    acc := !acc +. t.entries.(i).capacitance
+  done;
+  !acc
+
+(* C of the subtree rooted at each node: children appear after parents,
+   so one reverse sweep accumulates *)
+let subtree_caps t =
+  let caps = Array.init t.size (fun i -> t.entries.(i).capacitance) in
+  for i = t.size - 1 downto 1 do
+    caps.(t.entries.(i).parent) <- caps.(t.entries.(i).parent) +. caps.(i)
+  done;
+  caps
+
+let elmore_delay t node =
+  if node < 0 || node >= t.size then invalid_arg "Rc_tree.elmore_delay: unknown node";
+  let caps = subtree_caps t in
+  let rec walk i acc =
+    if i = 0 then acc +. (t.driver_resistance *. caps.(0))
+    else walk t.entries.(i).parent (acc +. (t.entries.(i).resistance *. caps.(i)))
+  in
+  walk node 0.0
+
+let worst_elmore t =
+  let worst = ref 0.0 in
+  for i = 0 to t.size - 1 do
+    let d = elmore_delay t i in
+    if d > !worst then worst := d
+  done;
+  !worst
+
+let balanced ?driver_resistance ~fanout ~segment_r ~segment_c ~sink_cap () =
+  let t = create ?driver_resistance ~root_cap:0.0 () in
+  for _ = 1 to fanout do
+    ignore (add_child t (root t) ~resistance:segment_r ~capacitance:(segment_c +. sink_cap))
+  done;
+  t
+
+let chain ?driver_resistance ~stages ~segment_r ~segment_c ~sink_cap () =
+  let t = create ?driver_resistance ~root_cap:0.0 () in
+  let rec extend parent remaining =
+    if remaining = 0 then ()
+    else begin
+      let cap = if remaining = 1 then segment_c +. sink_cap else segment_c in
+      let child = add_child t parent ~resistance:segment_r ~capacitance:cap in
+      extend child (remaining - 1)
+    end
+  in
+  extend (root t) stages;
+  t

@@ -1,0 +1,56 @@
+(** RC trees and the Elmore delay metric — the interconnect substrate the
+    paper's discussion of variational interconnect analysis (§1, refs
+    [3, 9, 10, 17]) presumes.
+
+    A tree is rooted at the driver; each node carries the resistance of
+    the wire segment from its parent and its own capacitance.  The Elmore
+    delay to a sink is sum over the root-to-sink path segments of
+    R(segment) * C(subtree below the segment). *)
+
+type node
+(** A tree node handle. *)
+
+type t
+
+val create : ?driver_resistance:float -> root_cap:float -> unit -> t
+(** A fresh tree whose root (the driver output) has the given
+    capacitance; [driver_resistance] (default 0) is in series before the
+    root and sees the whole tree. *)
+
+val root : t -> node
+
+val add_child : t -> node -> resistance:float -> capacitance:float -> node
+(** Attach a wire segment + node under a parent.
+    Raises [Invalid_argument] on negative R or C. *)
+
+val total_capacitance : t -> float
+
+val elmore_delay : t -> node -> float
+(** Elmore delay from the driver to this node. *)
+
+val worst_elmore : t -> float
+(** Maximum Elmore delay over all nodes. *)
+
+val node_count : t -> int
+
+val balanced :
+  ?driver_resistance:float ->
+  fanout:int ->
+  segment_r:float ->
+  segment_c:float ->
+  sink_cap:float ->
+  unit ->
+  t
+(** A star topology: [fanout] sinks, each behind one wire segment —
+    the default net model used by {!Wire_model}. *)
+
+val chain :
+  ?driver_resistance:float ->
+  stages:int ->
+  segment_r:float ->
+  segment_c:float ->
+  sink_cap:float ->
+  unit ->
+  t
+(** A single line of [stages] segments with the sink at the far end —
+    the classic distributed-RC wire. *)

@@ -1,0 +1,1 @@
+lib/logic/gate_kind.ml: Fun List Printf String Value4

@@ -1,0 +1,1 @@
+lib/logic/mis_model.ml: Timing_rule

@@ -1,0 +1,1 @@
+lib/logic/timing_rule.ml: Float Gate_kind List Value4

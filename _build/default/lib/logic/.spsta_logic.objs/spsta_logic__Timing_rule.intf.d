@@ -1,0 +1,1 @@
+lib/logic/timing_rule.mli: Gate_kind Value4

@@ -1,0 +1,1 @@
+lib/logic/truth.ml: Array Bytes Char Gate_kind Int List

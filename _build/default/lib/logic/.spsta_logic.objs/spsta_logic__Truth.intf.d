@@ -1,0 +1,1 @@
+lib/logic/truth.mli: Gate_kind

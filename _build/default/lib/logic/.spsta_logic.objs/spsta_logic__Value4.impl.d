@@ -1,0 +1,1 @@
+lib/logic/value4.ml: Format Int

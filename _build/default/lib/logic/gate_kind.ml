@@ -1,0 +1,77 @@
+type t = And | Nand | Or | Nor | Xor | Xnor | Not | Buf
+
+let all = [ And; Nand; Or; Nor; Xor; Xnor; Not; Buf ]
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Not -> "NOT"
+  | Buf -> "BUF"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "NOT" | "INV" -> Some Not
+  | "BUF" | "BUFF" -> Some Buf
+  | _ -> None
+
+let min_arity = function
+  | Not | Buf -> 1
+  | And | Nand | Or | Nor | Xor | Xnor -> 2
+
+let max_arity = function
+  | Not | Buf -> Some 1
+  | And | Nand | Or | Nor | Xor | Xnor -> None
+
+let inverting = function
+  | Nand | Nor | Xnor | Not -> true
+  | And | Or | Xor | Buf -> false
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Xor | Xnor | Not | Buf -> None
+
+let controlled_value t =
+  match controlling_value t with
+  | None -> None
+  | Some c ->
+    (* a controlling input c yields base-gate output c for AND/OR families *)
+    Some (if inverting t then not c else c)
+
+let check_arity t inputs =
+  let n = List.length inputs in
+  if n < min_arity t then
+    invalid_arg (Printf.sprintf "Gate_kind.%s: needs >= %d inputs, got %d" (to_string t) (min_arity t) n);
+  match max_arity t with
+  | Some m when n > m ->
+    invalid_arg (Printf.sprintf "Gate_kind.%s: needs <= %d inputs, got %d" (to_string t) m n)
+  | Some _ | None -> ()
+
+let eval_bool t inputs =
+  check_arity t inputs;
+  let base =
+    match t with
+    | And | Nand -> List.for_all Fun.id inputs
+    | Or | Nor -> List.exists Fun.id inputs
+    | Xor | Xnor -> List.fold_left (fun acc b -> acc <> b) false inputs
+    | Not | Buf -> ( match inputs with [ b ] -> b | [] | _ :: _ -> assert false )
+  in
+  if inverting t then not base else base
+
+let eval4 t inputs =
+  check_arity t inputs;
+  let init = eval_bool t (List.map Value4.initial inputs) in
+  let final = eval_bool t (List.map Value4.final inputs) in
+  Value4.of_initial_final init final

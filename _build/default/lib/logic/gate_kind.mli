@@ -1,0 +1,36 @@
+(** The gate vocabulary of ISCAS'89 [.bench] netlists, with the logical
+    attributes the analyses need: controlling/controlled values (§3.3),
+    output inversion, Boolean and four-value evaluation. *)
+
+type t = And | Nand | Or | Nor | Xor | Xnor | Not | Buf
+
+val all : t list
+val equal : t -> t -> bool
+val to_string : t -> string
+(** Upper-case [.bench] spelling, e.g. "NAND". *)
+
+val of_string : string -> t option
+(** Case-insensitive; accepts the "BUFF" spelling used by some benchmarks. *)
+
+val min_arity : t -> int
+val max_arity : t -> int option
+(** [None] = unbounded (AND/OR families accept any fan-in >= 1). *)
+
+val inverting : t -> bool
+(** Whether the gate logically complements (NAND/NOR/XNOR/NOT). *)
+
+val controlling_value : t -> bool option
+(** The input value that forces the output regardless of other inputs:
+    0 for AND/NAND, 1 for OR/NOR, none for XOR/XNOR/NOT/BUF. *)
+
+val controlled_value : t -> bool option
+(** Output value produced by a controlling input. *)
+
+val eval_bool : t -> bool list -> bool
+(** Boolean evaluation.  Raises [Invalid_argument] on an arity violation
+    (e.g. NOT with two inputs). *)
+
+val eval4 : t -> Value4.t list -> Value4.t
+(** Four-value evaluation under the paper's no-glitch convention:
+    start-of-cycle and end-of-cycle levels are evaluated independently
+    (matches Table 1 for AND/OR and extends it to the full vocabulary). *)

@@ -1,0 +1,16 @@
+type t = { min_speedup : float; max_slowdown : float; window : float }
+
+let make ?(min_speedup = 0.15) ?(max_slowdown = 0.10) ?(window = infinity) () =
+  if min_speedup < 0.0 || max_slowdown < 0.0 then
+    invalid_arg "Mis_model.make: negative rate";
+  if not (window > 0.0) then invalid_arg "Mis_model.make: window must be positive";
+  { min_speedup; max_slowdown; window }
+
+let none = { min_speedup = 0.0; max_slowdown = 0.0; window = infinity }
+
+let factor t rule ~simultaneous =
+  if simultaneous < 1 then invalid_arg "Mis_model.factor: needs at least one switching input";
+  let extra = float_of_int (simultaneous - 1) in
+  match rule with
+  | Timing_rule.Min -> 1.0 /. (1.0 +. (t.min_speedup *. extra))
+  | Timing_rule.Max -> 1.0 +. (t.max_slowdown *. extra)

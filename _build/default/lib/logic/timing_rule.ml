@@ -1,0 +1,27 @@
+type t = Min | Max
+
+let equal (a : t) (b : t) = a = b
+let to_string = function Min -> "MIN" | Max -> "MAX"
+
+let for_output kind out =
+  let final =
+    match out with
+    | Value4.Rising -> true
+    | Value4.Falling -> false
+    | Value4.Zero | Value4.One -> invalid_arg "Timing_rule.for_output: steady output"
+  in
+  match Gate_kind.controlled_value kind with
+  | None -> Max
+  | Some controlled ->
+    (* ending at the controlled value means an input reached the
+       controlling value: first such input wins (MIN); ending at the
+       non-controlled value requires every input non-controlling: last
+       transition wins (MAX) *)
+    if final = controlled then Min else Max
+
+let combine rule times =
+  match times with
+  | [] -> invalid_arg "Timing_rule.combine: no transitioning inputs"
+  | first :: rest ->
+    let op = match rule with Min -> Float.min | Max -> Float.max in
+    List.fold_left op first rest

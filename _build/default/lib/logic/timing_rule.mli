@@ -1,0 +1,23 @@
+(** Which of MIN or MAX governs an output transition's arrival time.
+
+    For a gate with a controlling value, a transition *toward* the
+    controlling value propagates as soon as the first input reaches it
+    (MIN), while a transition toward the non-controlling value must wait
+    for the last input (MAX) — the paper's Table 1 annotations.  Gates
+    without a controlling value (XOR family, inverters, buffers) settle
+    with the last transitioning input (MAX; exact when a single input
+    switches). *)
+
+type t = Min | Max
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val for_output : Gate_kind.t -> Value4.t -> t
+(** [for_output kind out] — [out] is the gate's *own* output transition
+    ([Rising] or [Falling], after any inversion).
+    Raises [Invalid_argument] for steady outputs. *)
+
+val combine : t -> float list -> float
+(** Fold arrival times under the rule.
+    Raises [Invalid_argument] on an empty list. *)

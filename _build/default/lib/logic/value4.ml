@@ -1,0 +1,44 @@
+type t = Zero | One | Rising | Falling
+
+let equal a b =
+  match (a, b) with
+  | Zero, Zero | One, One | Rising, Rising | Falling, Falling -> true
+  | (Zero | One | Rising | Falling), _ -> false
+
+let rank = function Zero -> 0 | One -> 1 | Rising -> 2 | Falling -> 3
+let compare a b = Int.compare (rank a) (rank b)
+
+let to_string = function Zero -> "0" | One -> "1" | Rising -> "r" | Falling -> "f"
+
+let of_char = function
+  | '0' -> Some Zero
+  | '1' -> Some One
+  | 'r' -> Some Rising
+  | 'f' -> Some Falling
+  | _ -> None
+
+let all = [ Zero; One; Rising; Falling ]
+
+let initial = function Zero | Rising -> false | One | Falling -> true
+let final = function Zero | Falling -> false | One | Rising -> true
+
+let of_initial_final i f =
+  match (i, f) with
+  | false, false -> Zero
+  | true, true -> One
+  | false, true -> Rising
+  | true, false -> Falling
+
+let is_transition = function Rising | Falling -> true | Zero | One -> false
+
+(* The no-glitch Table 1 semantics fall out of evaluating the start-of-
+   cycle and end-of-cycle levels separately: a net that starts and ends at
+   the same level is steady even if it would pulse in between. *)
+let lift2 op a b = of_initial_final (op (initial a) (initial b)) (op (final a) (final b))
+
+let lnot v = of_initial_final (not (initial v)) (not (final v))
+let land2 = lift2 ( && )
+let lor2 = lift2 ( || )
+let lxor2 = lift2 (fun x y -> x <> y)
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

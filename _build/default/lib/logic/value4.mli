@@ -1,0 +1,44 @@
+(** The paper's four-value logic (§3.3): logic zero, logic one, rising
+    transition, falling transition.
+
+    A value describes what a net does during one clock cycle.  [Rising]
+    means the net starts the cycle at 0 and ends at 1; the *time* of the
+    transition is tracked separately by the simulators and analyzers. *)
+
+type t = Zero | One | Rising | Falling
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+(** "0", "1", "r", "f" — the paper's notation. *)
+
+val of_char : char -> t option
+(** Inverse of {!to_string} on single characters. *)
+
+val all : t list
+
+val initial : t -> bool
+(** Value at the start of the cycle: [Rising] starts low, [Falling] high. *)
+
+val final : t -> bool
+(** Value at the end of the cycle. *)
+
+val of_initial_final : bool -> bool -> t
+(** Reconstruct a four-value symbol from start/end-of-cycle levels. *)
+
+val is_transition : t -> bool
+
+val lnot : t -> t
+(** Four-value negation: swaps 0/1 and r/f. *)
+
+val land2 : t -> t -> t
+(** Four-value AND per Table 1 of the paper (glitches resolve to the
+    steady value: [land2 Rising Falling = Zero]). *)
+
+val lor2 : t -> t -> t
+(** Four-value OR per Table 1. *)
+
+val lxor2 : t -> t -> t
+(** Four-value XOR under the same no-glitch convention. *)
+
+val pp : Format.formatter -> t -> unit

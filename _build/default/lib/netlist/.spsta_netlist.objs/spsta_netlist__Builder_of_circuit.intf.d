@@ -1,0 +1,1 @@
+lib/netlist/builder_of_circuit.mli: Circuit

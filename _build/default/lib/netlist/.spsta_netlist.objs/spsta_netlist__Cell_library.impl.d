@@ -1,0 +1,1 @@
+lib/netlist/cell_library.ml: Array Circuit Float List Spsta_logic

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Circuit Hashtbl List Printf Spsta_logic Spsta_util

@@ -1,0 +1,1 @@
+lib/netlist/transform.ml: Array Builder_of_circuit Circuit Hashtbl List Printf Spsta_logic String

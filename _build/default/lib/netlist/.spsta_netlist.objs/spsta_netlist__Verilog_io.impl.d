@@ -1,0 +1,1 @@
+lib/netlist/verilog_io.ml: Array Buffer Circuit Hashtbl List Printf Spsta_logic String

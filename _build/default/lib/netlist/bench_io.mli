@@ -1,0 +1,24 @@
+(** Reader and writer for the ISCAS'89 [.bench] netlist format:
+
+    {v
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G8 = AND(G14, G6)
+    v} *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> Circuit.t
+(** Raises {!Parse_error} on malformed text and
+    {!Circuit.Invalid_circuit} on structurally invalid netlists. *)
+
+val parse_file : string -> Circuit.t
+(** Circuit name defaults to the file basename without extension. *)
+
+val to_string : Circuit.t -> string
+(** Render back to [.bench]; [parse_string (to_string c)] is structurally
+    identical to [c]. *)
+
+val write_file : Circuit.t -> string -> unit

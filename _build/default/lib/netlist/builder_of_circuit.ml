@@ -1,0 +1,13 @@
+let builder_with_interface circuit =
+  let b = Circuit.Builder.create ~name:(Circuit.name circuit) () in
+  List.iter
+    (fun i -> Circuit.Builder.add_input b (Circuit.net_name circuit i))
+    (Circuit.primary_inputs circuit);
+  List.iter
+    (fun o -> Circuit.Builder.add_output b (Circuit.net_name circuit o))
+    (Circuit.primary_outputs circuit);
+  List.iter
+    (fun (q, d) ->
+      Circuit.Builder.add_dff b ~q:(Circuit.net_name circuit q) ~d:(Circuit.net_name circuit d))
+    (Circuit.dffs circuit);
+  b

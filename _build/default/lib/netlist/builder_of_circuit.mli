@@ -1,0 +1,5 @@
+(** Internal helper shared by netlist transformations: a fresh builder
+    pre-populated with a circuit's interface (inputs, outputs,
+    flip-flops) so a rewrite only re-emits gates. *)
+
+val builder_with_interface : Circuit.t -> Circuit.Builder.t

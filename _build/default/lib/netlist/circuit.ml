@@ -1,0 +1,238 @@
+type id = int
+
+type driver =
+  | Input
+  | Dff_output of { data : id }
+  | Gate of { kind : Spsta_logic.Gate_kind.t; inputs : id array }
+
+exception Invalid_circuit of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_circuit s)) fmt
+
+type t = {
+  name : string;
+  names : string array;
+  ids : (string, id) Hashtbl.t;
+  drivers : driver array;
+  primary_inputs : id list;
+  primary_outputs : id list;
+  dffs : (id * id) list;
+  fanouts : id array array;
+  topo : id array; (* gate nets only, in evaluation order *)
+  levels : int array;
+  depth : int;
+}
+
+module Builder = struct
+  type pending =
+    | P_input
+    | P_dff of string (* d net name *)
+    | P_gate of Spsta_logic.Gate_kind.t * string list
+
+  type t = {
+    circuit_name : string;
+    mutable order : string list; (* declaration order, reversed *)
+    table : (string, pending) Hashtbl.t;
+    mutable outs : string list; (* reversed *)
+    referenced : (string, unit) Hashtbl.t;
+  }
+
+  let create ?(name = "") () =
+    { circuit_name = name; order = []; table = Hashtbl.create 64; outs = []; referenced = Hashtbl.create 64 }
+
+  let declare b name pending =
+    if Hashtbl.mem b.table name then invalid "net %s has multiple drivers" name;
+    Hashtbl.replace b.table name pending;
+    b.order <- name :: b.order
+
+  let reference b name = Hashtbl.replace b.referenced name ()
+
+  let add_input b name = declare b name P_input
+
+  let add_dff b ~q ~d =
+    declare b q (P_dff d);
+    reference b d
+
+  let add_gate b ~output kind inputs =
+    let n = List.length inputs in
+    if n < Spsta_logic.Gate_kind.min_arity kind then
+      invalid "gate %s driving %s: fan-in %d below minimum" (Spsta_logic.Gate_kind.to_string kind)
+        output n;
+    (match Spsta_logic.Gate_kind.max_arity kind with
+    | Some m when n > m ->
+      invalid "gate %s driving %s: fan-in %d above maximum" (Spsta_logic.Gate_kind.to_string kind)
+        output n
+    | Some _ | None -> ());
+    declare b output (P_gate (kind, inputs));
+    List.iter (reference b) inputs
+
+  let add_output b name =
+    b.outs <- name :: b.outs;
+    reference b name
+
+  (* Kahn topological sort restricted to combinational edges; flip-flops
+     break timing loops (Q is a source, D an endpoint). *)
+  let topo_sort drivers =
+    let n = Array.length drivers in
+    let indegree = Array.make n 0 in
+    let succs = Array.make n [] in
+    Array.iteri
+      (fun out d ->
+        match d with
+        | Input | Dff_output _ -> ()
+        | Gate { inputs; _ } ->
+          indegree.(out) <- Array.length inputs;
+          Array.iter (fun i -> succs.(i) <- out :: succs.(i)) inputs)
+      drivers;
+    let queue = Queue.create () in
+    Array.iteri
+      (fun i d ->
+        match d with
+        | Input | Dff_output _ -> Queue.add i queue
+        | Gate _ -> if indegree.(i) = 0 then Queue.add i queue)
+      drivers;
+    let order = ref [] in
+    let seen = ref 0 in
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      incr seen;
+      (match drivers.(i) with Gate _ -> order := i :: !order | Input | Dff_output _ -> ());
+      let release out =
+        indegree.(out) <- indegree.(out) - 1;
+        if indegree.(out) = 0 then Queue.add out queue
+      in
+      List.iter release succs.(i)
+    done;
+    if !seen <> n then invalid "combinational cycle detected";
+    Array.of_list (List.rev !order)
+
+  let finalize b =
+    let order = List.rev b.order in
+    (* every referenced net must be driven *)
+    Hashtbl.iter
+      (fun name () -> if not (Hashtbl.mem b.table name) then invalid "net %s is referenced but never driven" name)
+      b.referenced;
+    List.iter
+      (fun name -> if not (Hashtbl.mem b.table name) then invalid "output %s is never driven" name)
+      (List.rev b.outs);
+    let names = Array.of_list order in
+    let ids = Hashtbl.create (Array.length names) in
+    Array.iteri (fun i name -> Hashtbl.replace ids name i) names;
+    let id_of name =
+      match Hashtbl.find_opt ids name with
+      | Some i -> i
+      | None -> invalid "net %s is referenced but never driven" name
+    in
+    let drivers =
+      Array.map
+        (fun name ->
+          match Hashtbl.find b.table name with
+          | P_input -> Input
+          | P_dff d -> Dff_output { data = id_of d }
+          | P_gate (kind, inputs) ->
+            Gate { kind; inputs = Array.of_list (List.map id_of inputs) })
+        names
+    in
+    let topo = topo_sort drivers in
+    let n = Array.length drivers in
+    let levels = Array.make n 0 in
+    Array.iter
+      (fun g ->
+        match drivers.(g) with
+        | Gate { inputs; _ } ->
+          levels.(g) <- 1 + Array.fold_left (fun acc i -> max acc levels.(i)) 0 inputs
+        | Input | Dff_output _ -> assert false)
+      topo;
+    let depth = Array.fold_left max 0 levels in
+    let fanout_lists = Array.make n [] in
+    Array.iteri
+      (fun out d ->
+        match d with
+        | Input -> ()
+        | Dff_output { data } -> fanout_lists.(data) <- out :: fanout_lists.(data)
+        | Gate { inputs; _ } ->
+          Array.iter (fun i -> fanout_lists.(i) <- out :: fanout_lists.(i)) inputs)
+      drivers;
+    let fanouts = Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists in
+    let primary_inputs =
+      List.filter_map
+        (fun name ->
+          match Hashtbl.find b.table name with
+          | P_input -> Some (id_of name)
+          | P_dff _ | P_gate _ -> None)
+        order
+    in
+    let dffs =
+      List.filter_map
+        (fun name ->
+          match Hashtbl.find b.table name with
+          | P_dff d -> Some (id_of name, id_of d)
+          | P_input | P_gate _ -> None)
+        order
+    in
+    let primary_outputs = List.map id_of (List.rev b.outs) in
+    {
+      name = b.circuit_name;
+      names;
+      ids;
+      drivers;
+      primary_inputs;
+      primary_outputs;
+      dffs;
+      fanouts;
+      topo;
+      levels;
+      depth;
+    }
+end
+
+let name t = t.name
+let num_nets t = Array.length t.names
+
+let net_name t i = t.names.(i)
+let find t name = Hashtbl.find_opt t.ids name
+
+let find_exn t name =
+  match find t name with Some i -> i | None -> raise Not_found
+
+let driver t i = t.drivers.(i)
+let primary_inputs t = t.primary_inputs
+let primary_outputs t = t.primary_outputs
+let dffs t = t.dffs
+let sources t = t.primary_inputs @ List.map fst t.dffs
+
+let endpoints t =
+  let candidates = t.primary_outputs @ List.map snd t.dffs in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun i ->
+      if Hashtbl.mem seen i then false
+      else begin
+        Hashtbl.replace seen i ();
+        true
+      end)
+    candidates
+
+let fanout t i = t.fanouts.(i)
+let topo_gates t = t.topo
+let level t i = t.levels.(i)
+let depth t = t.depth
+
+let gate_count t =
+  Array.fold_left
+    (fun acc d -> match d with Gate _ -> acc + 1 | Input | Dff_output _ -> acc)
+    0 t.drivers
+
+let count_gates_of_kind t kind =
+  Array.fold_left
+    (fun acc d ->
+      match d with
+      | Gate { kind = k; _ } when Spsta_logic.Gate_kind.equal k kind -> acc + 1
+      | Gate _ | Input | Dff_output _ -> acc)
+    0 t.drivers
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: %d PI, %d PO, %d DFF, %d gates, depth %d"
+    (if t.name = "" then "<unnamed>" else t.name)
+    (List.length t.primary_inputs) (List.length t.primary_outputs) (List.length t.dffs)
+    (gate_count t) t.depth

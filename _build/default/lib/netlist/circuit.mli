@@ -1,0 +1,78 @@
+(** Gate-level sequential circuits in the ISCAS'89 style: primary inputs,
+    primary outputs, D flip-flops, and combinational gates over named nets.
+
+    For timing purposes flip-flop outputs are *timing sources* (they launch
+    a cycle alongside the primary inputs, and the paper assigns them input
+    statistics exactly like primary inputs) and flip-flop data inputs are
+    *timing endpoints* alongside the primary outputs. *)
+
+type id = int
+(** Dense net identifier, [0 .. num_nets - 1]. *)
+
+type driver =
+  | Input  (** primary input *)
+  | Dff_output of { data : id }  (** flip-flop Q; [data] is its D net *)
+  | Gate of { kind : Spsta_logic.Gate_kind.t; inputs : id array }
+
+type t
+
+exception Invalid_circuit of string
+(** Raised by {!Builder.finalize} on undriven nets, arity violations,
+    duplicate drivers, or combinational cycles. *)
+
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : ?name:string -> unit -> t
+  val add_input : t -> string -> unit
+  val add_dff : t -> q:string -> d:string -> unit
+  val add_gate : t -> output:string -> Spsta_logic.Gate_kind.t -> string list -> unit
+  val add_output : t -> string -> unit
+  val finalize : t -> circuit
+  (** Validates and freezes the circuit; computes topological order,
+      levels and fanout maps.  Raises {!Invalid_circuit}. *)
+end
+
+val name : t -> string
+(** Circuit name ("" when not set). *)
+
+val num_nets : t -> int
+val net_name : t -> id -> string
+val find : t -> string -> id option
+val find_exn : t -> string -> id
+(** Raises [Not_found]. *)
+
+val driver : t -> id -> driver
+
+val primary_inputs : t -> id list
+val primary_outputs : t -> id list
+val dffs : t -> (id * id) list
+(** (q, d) pairs. *)
+
+val sources : t -> id list
+(** Primary inputs followed by flip-flop outputs: the nets that receive
+    input statistics. *)
+
+val endpoints : t -> id list
+(** Primary outputs followed by flip-flop data nets (deduplicated):
+    where critical-path statistics are read. *)
+
+val fanout : t -> id -> id array
+(** Gates (and flip-flops, via their data pin) driven by a net. *)
+
+val topo_gates : t -> id array
+(** All [Gate] nets in a valid combinational evaluation order. *)
+
+val level : t -> id -> int
+(** Unit-delay logic level: 0 for sources, 1 + max(input levels) for
+    gates. *)
+
+val depth : t -> int
+(** Maximum level over all nets (0 for a gate-free circuit). *)
+
+val gate_count : t -> int
+val count_gates_of_kind : t -> Spsta_logic.Gate_kind.t -> int
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line "name: #PI #PO #DFF #gates depth" summary. *)

@@ -1,0 +1,172 @@
+type profile = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  n_dffs : int;
+  n_gates : int;
+  target_depth : int;
+  seed : int;
+}
+
+module Rng = Spsta_util.Rng
+module Gate_kind = Spsta_logic.Gate_kind
+
+(* gate mix loosely modelled on ISCAS'89 circuits: mostly 2-input
+   AND/OR-family gates with a healthy share of inverters *)
+let kind_choices =
+  [| (Gate_kind.And, 0.22); (Gate_kind.Nand, 0.16); (Gate_kind.Or, 0.18);
+     (Gate_kind.Nor, 0.14); (Gate_kind.Not, 0.18); (Gate_kind.Buf, 0.02);
+     (Gate_kind.Xor, 0.05); (Gate_kind.Xnor, 0.05) |]
+
+let pick_kind rng =
+  let weights = Array.map snd kind_choices in
+  fst kind_choices.(Rng.choose_index rng weights)
+
+let pick_fanin rng kind =
+  match kind with
+  | Gate_kind.Not | Gate_kind.Buf -> 1
+  | Gate_kind.And | Gate_kind.Nand | Gate_kind.Or | Gate_kind.Nor | Gate_kind.Xor
+  | Gate_kind.Xnor ->
+    let u = Rng.float rng in
+    if u < 0.70 then 2 else if u < 0.95 then 3 else 4
+
+let validate p =
+  if p.n_inputs < 0 || p.n_dffs < 0 then invalid_arg "Generator: negative interface count";
+  if p.n_inputs + p.n_dffs = 0 then invalid_arg "Generator: circuit needs at least one source";
+  if p.n_outputs < 1 then invalid_arg "Generator: circuit needs at least one output";
+  if p.target_depth < 1 then invalid_arg "Generator: target depth must be >= 1";
+  if p.n_gates < p.target_depth then invalid_arg "Generator: gate budget below target depth"
+
+let generate p =
+  validate p;
+  let rng = Rng.create ~seed:p.seed in
+  let builder = Circuit.Builder.create ~name:p.name () in
+  let input_names = List.init p.n_inputs (fun i -> Printf.sprintf "I%d" i) in
+  let dff_q_names = List.init p.n_dffs (fun i -> Printf.sprintf "Q%d" i) in
+  List.iter (Circuit.Builder.add_input builder) input_names;
+  let sources = Array.of_list (input_names @ dff_q_names) in
+  (* nets_at.(l) = names of nets whose unit-delay level is l *)
+  let nets_at = Array.make (p.target_depth + 1) [] in
+  nets_at.(0) <- Array.to_list sources;
+  let any_net_below rng l =
+    (* uniform over levels [0, l), then uniform within the level; biases
+       toward higher levels are applied by callers choosing l *)
+    let rec attempt tries =
+      if tries = 0 then sources.(Rng.int rng (Array.length sources))
+      else begin
+        let lvl = Rng.int rng l in
+        match nets_at.(lvl) with
+        | [] -> attempt (tries - 1)
+        | nets ->
+          let arr = Array.of_list nets in
+          arr.(Rng.int rng (Array.length arr))
+      end
+    in
+    attempt 8
+  in
+  let net_at_level rng l =
+    match nets_at.(l) with
+    | [] -> any_net_below rng (l + 1)
+    | nets ->
+      let arr = Array.of_list nets in
+      arr.(Rng.int rng (Array.length arr))
+  in
+  let gate_counter = ref 0 in
+  let fresh_gate_name () =
+    incr gate_counter;
+    Printf.sprintf "N%d" !gate_counter
+  in
+  let emit_gate ~level kind inputs =
+    let name = fresh_gate_name () in
+    Circuit.Builder.add_gate builder ~output:name kind inputs;
+    nets_at.(level) <- name :: nets_at.(level);
+    name
+  in
+  (* depth spine: a chain of 2-input gates guaranteeing the target depth *)
+  let spine_end = ref "" in
+  for l = 1 to p.target_depth do
+    let primary = if l = 1 then net_at_level rng 0 else !spine_end in
+    let side = any_net_below rng l in
+    let kind =
+      (* spine gates are 2-input AND/OR family so the depth is also a
+         sensitisable path under typical input statistics *)
+      match Rng.int rng 4 with
+      | 0 -> Gate_kind.And
+      | 1 -> Gate_kind.Or
+      | 2 -> Gate_kind.Nand
+      | _ -> Gate_kind.Nor
+    in
+    spine_end := emit_gate ~level:l kind [ primary; side ]
+  done;
+  (* remaining gates: levels biased to the middle of the depth range *)
+  let remaining = p.n_gates - p.target_depth in
+  for _ = 1 to remaining do
+    let kind = pick_kind rng in
+    let fanin = pick_fanin rng kind in
+    let l = 1 + Rng.int rng p.target_depth in
+    let first = net_at_level rng (l - 1) in
+    let others = List.init (fanin - 1) (fun _ -> any_net_below rng l) in
+    let inputs = first :: others in
+    (* reject degenerate gates whose inputs repeat a net (common with tiny
+       source pools): retry with distinct-ish choice, else allow for
+       1-input kinds only *)
+    let distinct = List.sort_uniq compare inputs in
+    let inputs = if List.length distinct = List.length inputs then inputs else distinct in
+    let inputs = if List.length inputs < Gate_kind.min_arity kind then [ List.hd inputs ] else inputs in
+    let kind, inputs =
+      if List.length inputs = 1 then ((if Rng.bool rng then Gate_kind.Not else Gate_kind.Buf), inputs)
+      else (kind, inputs)
+    in
+    ignore (emit_gate ~level:l kind inputs)
+  done;
+  (* primary outputs: spine end first, then deepest-available gates *)
+  let deep_nets =
+    let rec collect l acc =
+      if l = 0 then acc else collect (l - 1) (acc @ nets_at.(l))
+    in
+    collect p.target_depth []
+  in
+  let deep_nets = Array.of_list deep_nets in
+  Circuit.Builder.add_output builder !spine_end;
+  let used = Hashtbl.create 16 in
+  Hashtbl.replace used !spine_end ();
+  let pick_endpoint () =
+    let n = Array.length deep_nets in
+    let rec attempt tries =
+      let candidate = deep_nets.(Rng.int rng (min n (max 1 (n / 2)))) in
+      if Hashtbl.mem used candidate && tries > 0 then attempt (tries - 1) else candidate
+    in
+    let c = attempt 16 in
+    Hashtbl.replace used c ();
+    c
+  in
+  for _ = 2 to p.n_outputs do
+    Circuit.Builder.add_output builder (pick_endpoint ())
+  done;
+  List.iter (fun q -> Circuit.Builder.add_dff builder ~q ~d:(pick_endpoint ())) dff_q_names;
+  Circuit.Builder.finalize builder
+
+let iscas89_profiles =
+  [
+    { name = "s27"; n_inputs = 4; n_outputs = 1; n_dffs = 3; n_gates = 10; target_depth = 4; seed = 2701 };
+    { name = "s208"; n_inputs = 10; n_outputs = 1; n_dffs = 8; n_gates = 96; target_depth = 8; seed = 20801 };
+    { name = "s298"; n_inputs = 3; n_outputs = 6; n_dffs = 14; n_gates = 119; target_depth = 6; seed = 29801 };
+    { name = "s344"; n_inputs = 9; n_outputs = 11; n_dffs = 15; n_gates = 160; target_depth = 9; seed = 34401 };
+    { name = "s349"; n_inputs = 9; n_outputs = 11; n_dffs = 15; n_gates = 161; target_depth = 9; seed = 34901 };
+    { name = "s382"; n_inputs = 3; n_outputs = 6; n_dffs = 21; n_gates = 158; target_depth = 7; seed = 38201 };
+    { name = "s386"; n_inputs = 7; n_outputs = 7; n_dffs = 6; n_gates = 159; target_depth = 9; seed = 38601 };
+    { name = "s526"; n_inputs = 3; n_outputs = 6; n_dffs = 21; n_gates = 193; target_depth = 6; seed = 52601 };
+    { name = "s1196"; n_inputs = 14; n_outputs = 14; n_dffs = 18; n_gates = 529; target_depth = 14; seed = 119601 };
+    { name = "s1238"; n_inputs = 14; n_outputs = 14; n_dffs = 18; n_gates = 508; target_depth = 13; seed = 123801 };
+  ]
+
+let extended_profiles =
+  [
+    { name = "s5378"; n_inputs = 35; n_outputs = 49; n_dffs = 179; n_gates = 2779; target_depth = 12; seed = 537801 };
+    { name = "s9234"; n_inputs = 36; n_outputs = 39; n_dffs = 211; n_gates = 5597; target_depth = 14; seed = 923401 };
+    { name = "s13207"; n_inputs = 62; n_outputs = 152; n_dffs = 638; n_gates = 7951; target_depth = 14; seed = 1320701 };
+    { name = "s15850"; n_inputs = 77; n_outputs = 150; n_dffs = 534; n_gates = 9772; target_depth = 16; seed = 1585001 };
+  ]
+
+let find_profile name =
+  List.find_opt (fun p -> p.name = name) (iscas89_profiles @ extended_profiles)

@@ -1,0 +1,41 @@
+(** Seeded synthetic circuit generator.
+
+    The original ISCAS'89 netlists are not redistributable inside this
+    repository (see DESIGN.md, substitution 1), so the experiments run on
+    deterministic random logic whose *interface and size profile* (primary
+    input/output counts, flip-flop count, gate count, gate mix, logic
+    depth) match each published benchmark.  The analyses under test only
+    see netlist structure plus input statistics, so this preserves the
+    behaviours the paper measures: deep MIN/MAX chains, reconvergent
+    fanout, mixed gate types. *)
+
+type profile = {
+  name : string;
+  n_inputs : int;  (** primary inputs *)
+  n_outputs : int;  (** primary outputs *)
+  n_dffs : int;
+  n_gates : int;  (** combinational gates, flip-flops excluded *)
+  target_depth : int;  (** desired unit-delay logic depth (>= 1) *)
+  seed : int;
+}
+
+val generate : profile -> Circuit.t
+(** Deterministic in [profile] (including [seed]).  The result is a valid
+    circuit with exactly the requested interface counts and gate count;
+    its depth is at least [target_depth] (a dedicated depth-spine
+    guarantees it) and the spine output feeds a primary output, so
+    critical paths reach the requested depth.
+    Raises [Invalid_argument] on nonsensical profiles (e.g. no sources,
+    or [n_gates < target_depth]). *)
+
+val iscas89_profiles : profile list
+(** Size profiles of the ten ISCAS'89 circuits used in the paper (s27 is
+    included for completeness alongside the nine evaluated ones), with
+    fixed seeds so the whole experiment suite is reproducible. *)
+
+val extended_profiles : profile list
+(** Larger ISCAS'89 profiles (s5378 .. s15850) beyond the paper's
+    evaluation set, for scaling studies. *)
+
+val find_profile : string -> profile option
+(** Look up a profile by name (covering both lists), e.g. "s344". *)

@@ -1,0 +1,23 @@
+(** Structural netlist transformations.
+
+    These are semantics-preserving rewrites (checked by property tests):
+    the transformed circuit computes the same Boolean function on every
+    net that survives, which also pins down the probabilistic analyses —
+    signal probabilities are invariant, and unit-delay arrival times
+    scale with the structural depth in a predictable way. *)
+
+val decompose_gates : ?max_fanin:int -> Circuit.t -> Circuit.t
+(** Rewrite every gate with more than [max_fanin] (default 2) inputs
+    into a balanced tree of [max_fanin]-input gates of the base
+    associative kind, with the inversion (for NAND/NOR/XNOR) applied at
+    the root.  Net names of original gates are preserved; helper nets get
+    fresh names. *)
+
+val strip_buffers : Circuit.t -> Circuit.t
+(** Remove BUF gates by reconnecting their fanout to their input.
+    Buffers that drive primary outputs or flip-flops are kept (the name
+    is part of the interface). *)
+
+val statistics : Circuit.t -> (string * int) list
+(** Named structural counters (nets, gates per kind, fanout max, ...)
+    for reports. *)

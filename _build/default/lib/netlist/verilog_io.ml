@@ -1,0 +1,226 @@
+module Gate_kind = Spsta_logic.Gate_kind
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ---- lexer ---- *)
+
+type token = Ident of string | Punct of char
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '$' || c = '\\' || c = '[' || c = ']' || c = '.'
+
+(* tokens tagged with their source line for error reporting *)
+let tokenize text =
+  let tokens = ref [] in
+  let n = String.length text in
+  let line = ref 1 in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '/' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && !i + 1 < n && text.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail !line "unterminated block comment"
+        else if text.[!i] = '*' && text.[!i + 1] = '/' then i := !i + 2
+        else begin
+          if text.[!i] = '\n' then incr line;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char text.[!i] do
+        incr i
+      done;
+      tokens := (Ident (String.sub text start (!i - start)), !line) :: !tokens
+    end
+    else if c = '(' || c = ')' || c = ',' || c = ';' then begin
+      tokens := (Punct c, !line) :: !tokens;
+      incr i
+    end
+    else fail !line "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* ---- parser ---- *)
+
+type stream = { mutable tokens : (token * int) list; mutable last_line : int }
+
+let next s =
+  match s.tokens with
+  | [] -> fail s.last_line "unexpected end of input"
+  | (t, l) :: rest ->
+    s.tokens <- rest;
+    s.last_line <- l;
+    (t, l)
+
+let expect_punct s c =
+  match next s with
+  | Punct p, _ when p = c -> ()
+  | Ident id, l -> fail l "expected %C, got identifier %s" c id
+  | Punct p, l -> fail l "expected %C, got %C" c p
+
+let expect_ident s =
+  match next s with
+  | Ident id, l -> (id, l)
+  | Punct p, l -> fail l "expected identifier, got %C" p
+
+let expect_keyword s kw =
+  let id, l = expect_ident s in
+  if String.lowercase_ascii id <> kw then fail l "expected %s, got %s" kw id
+
+(* identifier list terminated by ';' *)
+let ident_list s =
+  let rec go acc =
+    let id, _ = expect_ident s in
+    match next s with
+    | Punct ',', _ -> go (id :: acc)
+    | Punct ';', _ -> List.rev (id :: acc)
+    | Punct p, l -> fail l "expected ',' or ';', got %C" p
+    | Ident other, l -> fail l "expected ',' or ';', got %s" other
+  in
+  go []
+
+(* parenthesised identifier list *)
+let paren_list s =
+  expect_punct s '(';
+  let rec go acc =
+    let id, _ = expect_ident s in
+    match next s with
+    | Punct ',', _ -> go (id :: acc)
+    | Punct ')', _ -> List.rev (id :: acc)
+    | Punct p, l -> fail l "expected ',' or ')', got %C" p
+    | Ident other, l -> fail l "expected ',' or ')', got %s" other
+  in
+  go []
+
+let parse_string ?name text =
+  let s = { tokens = tokenize text; last_line = 1 } in
+  expect_keyword s "module";
+  let module_name, _ = expect_ident s in
+  let _ports = paren_list s in
+  expect_punct s ';';
+  let builder =
+    Circuit.Builder.create ~name:(match name with Some n -> n | None -> module_name) ()
+  in
+  let outputs = ref [] in
+  let rec statements () =
+    match next s with
+    | Ident kw, line -> (
+      match String.lowercase_ascii kw with
+      | "endmodule" -> ()
+      | "input" ->
+        List.iter (Circuit.Builder.add_input builder) (ident_list s);
+        statements ()
+      | "output" ->
+        outputs := !outputs @ ident_list s;
+        statements ()
+      | "wire" | "reg" ->
+        ignore (ident_list s);
+        statements ()
+      | "dff" -> (
+        (* optional instance name, then (Q, D) *)
+        let ports =
+          match next s with
+          | Punct '(', _ ->
+            s.tokens <- (Punct '(', line) :: s.tokens;
+            paren_list s
+          | Ident _, _ -> paren_list s
+          | Punct p, l -> fail l "expected instance name or '(', got %C" p
+        in
+        expect_punct s ';';
+        match ports with
+        | [ q; d ] ->
+          Circuit.Builder.add_dff builder ~q ~d;
+          statements ()
+        | _ -> fail line "dff expects exactly (Q, D)" )
+      | lower -> (
+        match Gate_kind.of_string lower with
+        | None -> fail line "unknown statement or primitive %s" kw
+        | Some kind -> (
+          let ports =
+            match next s with
+            | Punct '(', _ ->
+              s.tokens <- (Punct '(', line) :: s.tokens;
+              paren_list s
+            | Ident _, _ -> paren_list s
+            | Punct p, l -> fail l "expected instance name or '(', got %C" p
+          in
+          expect_punct s ';';
+          match ports with
+          | out :: (_ :: _ as inputs) ->
+            Circuit.Builder.add_gate builder ~output:out kind inputs;
+            statements ()
+          | _ -> fail line "primitive %s needs an output and at least one input" kw ) ) )
+    | Punct p, l -> fail l "unexpected %C" p
+  in
+  statements ();
+  List.iter (Circuit.Builder.add_output builder) !outputs;
+  Circuit.Builder.finalize builder
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let to_string circuit =
+  let buf = Buffer.create 4096 in
+  let net = Circuit.net_name circuit in
+  let name = if Circuit.name circuit = "" then "top" else Circuit.name circuit in
+  let inputs = List.map net (Circuit.primary_inputs circuit) in
+  let outputs = List.map net (Circuit.primary_outputs circuit) in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s (%s);\n" name (String.concat ", " (inputs @ outputs)));
+  if inputs <> [] then
+    Buffer.add_string buf (Printf.sprintf "  input %s;\n" (String.concat ", " inputs));
+  if outputs <> [] then
+    Buffer.add_string buf (Printf.sprintf "  output %s;\n" (String.concat ", " outputs));
+  let interface = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace interface n ()) (inputs @ outputs);
+  let wires =
+    List.init (Circuit.num_nets circuit) (fun i -> net i)
+    |> List.filter (fun n -> not (Hashtbl.mem interface n))
+  in
+  if wires <> [] then
+    Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (String.concat ", " wires));
+  List.iteri
+    (fun i (q, d) ->
+      Buffer.add_string buf (Printf.sprintf "  dff DFF_%d (%s, %s);\n" i (net q) (net d)))
+    (Circuit.dffs circuit);
+  Array.iteri
+    (fun i g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { kind; inputs } ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s %s_%d (%s, %s);\n"
+             (String.lowercase_ascii (Gate_kind.to_string kind))
+             (String.uppercase_ascii (Gate_kind.to_string kind))
+             i (net g)
+             (String.concat ", " (Array.to_list (Array.map net inputs))))
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let write_file circuit path =
+  let oc = open_out path in
+  output_string oc (to_string circuit);
+  close_out oc

@@ -1,0 +1,32 @@
+(** Reader and writer for gate-level structural Verilog, the other
+    format ISCAS benchmarks circulate in:
+
+    {v
+    module s27 (G0, G1, G2, G3, G17);
+      input G0, G1, G2, G3;
+      output G17;
+      wire G8, G9;
+      not NOT_0 (G14, G0);
+      nand (G9, G16, G15);
+      dff DFF_0 (G5, G10);   // (Q, D)
+    endmodule
+    v}
+
+    Supported primitives: and, nand, or, nor, xor, xnor, not, buf, and
+    dff instances with (Q, D) port order.  Instance names are optional
+    and ignored (the output net names the gate, as in {!Circuit}). *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> Circuit.t
+(** [name] overrides the module name as the circuit name.
+    Raises {!Parse_error} on malformed text and
+    {!Circuit.Invalid_circuit} on structurally invalid netlists. *)
+
+val parse_file : string -> Circuit.t
+
+val to_string : Circuit.t -> string
+(** Render as structural Verilog; [parse_string (to_string c)] is
+    structurally identical to [c]. *)
+
+val write_file : Circuit.t -> string -> unit

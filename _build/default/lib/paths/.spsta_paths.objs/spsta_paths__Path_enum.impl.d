@@ -1,0 +1,1 @@
+lib/paths/path_enum.ml: Array Hashtbl Int List Printf Spsta_netlist Spsta_util String

@@ -1,0 +1,1 @@
+lib/paths/path_enum.mli: Spsta_netlist

@@ -1,0 +1,1 @@
+lib/paths/path_stats.ml: Array Buffer Hashtbl List Path_enum Printf Spsta_netlist Spsta_util Spsta_variation

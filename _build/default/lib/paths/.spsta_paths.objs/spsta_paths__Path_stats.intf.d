@@ -1,0 +1,1 @@
+lib/paths/path_stats.mli: Path_enum Spsta_netlist Spsta_variation

@@ -1,0 +1,68 @@
+module Circuit = Spsta_netlist.Circuit
+module Heap = Spsta_util.Heap
+
+type t = {
+  source : Circuit.id;
+  gates : Circuit.id list;
+  endpoint : Circuit.id;
+}
+
+let length p = List.length p.gates
+
+let nets p = p.source :: p.gates
+
+let shared_gates a b =
+  let set = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace set g ()) a.gates;
+  List.fold_left (fun acc g -> if Hashtbl.mem set g then acc + 1 else acc) 0 b.gates
+
+(* partial backtrace: [head] still to be expanded, [gates] already fixed
+   in source-to-endpoint order starting just after [head].  The priority
+   is an exact bound: level(head) counts the most gates any extension of
+   [head] can add. *)
+type partial = { head : Circuit.id; fixed : Circuit.id list; bound : int }
+
+let enumerate ?endpoint ~k circuit =
+  if k <= 0 then []
+  else begin
+    let heap =
+      (* max-heap on the bound: invert the comparison *)
+      Heap.create ~cmp:(fun a b -> Int.compare b.bound a.bound)
+    in
+    let endpoints = match endpoint with Some e -> [ e ] | None -> Circuit.endpoints circuit in
+    let seed e =
+      Heap.push heap { head = e; fixed = []; bound = Circuit.level circuit e }
+    in
+    List.iter seed endpoints;
+    let results = ref [] in
+    let count = ref 0 in
+    let endpoint_of head fixed =
+      match List.rev fixed with last :: _ -> last | [] -> head
+    in
+    let rec search () =
+      if !count < k then
+        match Heap.pop heap with
+        | None -> ()
+        | Some { head; fixed; bound } -> (
+          match Circuit.driver circuit head with
+          | Circuit.Input | Circuit.Dff_output _ ->
+            results := { source = head; gates = fixed; endpoint = endpoint_of head fixed } :: !results;
+            incr count;
+            search ()
+          | Circuit.Gate { inputs; _ } ->
+            let distinct = List.sort_uniq compare (Array.to_list inputs) in
+            List.iter
+              (fun i ->
+                Heap.push heap
+                  { head = i; fixed = head :: fixed; bound = Circuit.level circuit i + List.length fixed + 1 })
+              distinct;
+            ignore bound;
+            search () )
+    in
+    search ();
+    List.rev !results
+  end
+
+let to_string circuit p =
+  let names = List.map (Circuit.net_name circuit) (nets p) in
+  Printf.sprintf "%s (length %d)" (String.concat " -> " names) (length p)

@@ -1,0 +1,32 @@
+(** Structural critical-path enumeration (the substrate of path-based
+    SSTA, paper §1): the K longest source-to-endpoint paths under unit
+    gate delays, in exactly descending length order (A* backward search
+    with the per-net logic level as the heuristic, which is exact). *)
+
+type t = {
+  source : Spsta_netlist.Circuit.id;
+  gates : Spsta_netlist.Circuit.id list;  (** in source-to-endpoint order *)
+  endpoint : Spsta_netlist.Circuit.id;  (** = last gate, or the source for degenerate paths *)
+}
+
+val length : t -> int
+(** Number of gates = unit-delay path delay. *)
+
+val nets : t -> Spsta_netlist.Circuit.id list
+(** Source followed by the gates. *)
+
+val shared_gates : t -> t -> int
+(** Number of gates on both paths (path-sharing, the correlation source). *)
+
+val enumerate :
+  ?endpoint:Spsta_netlist.Circuit.id ->
+  k:int ->
+  Spsta_netlist.Circuit.t ->
+  t list
+(** The [k] longest paths ending at [endpoint] (default: all endpoints
+    considered together), longest first; ties broken arbitrarily but
+    deterministically.  Returns fewer than [k] when the circuit has
+    fewer distinct paths. *)
+
+val to_string : Spsta_netlist.Circuit.t -> t -> string
+(** "I3 -> N7 -> N12 -> N31 (length 3)". *)

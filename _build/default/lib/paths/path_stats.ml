@@ -1,0 +1,113 @@
+module Circuit = Spsta_netlist.Circuit
+module Canonical = Spsta_variation.Canonical
+module Param_model = Spsta_variation.Param_model
+module Rng = Spsta_util.Rng
+
+type t = {
+  path_list : Path_enum.t list;
+  forms : Canonical.t array;
+  nparams : int;
+}
+
+let analyze ?(input_sigma = 1.0) model placement circuit path_list =
+  if input_sigma < 0.0 then invalid_arg "Path_stats.analyze: negative input sigma";
+  ignore circuit;
+  let shared = Param_model.num_params model in
+  (* index the gates and sources appearing on any analysed path *)
+  let gate_index = Hashtbl.create 64 and source_index = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun g -> if not (Hashtbl.mem gate_index g) then Hashtbl.add gate_index g (Hashtbl.length gate_index))
+        p.Path_enum.gates;
+      let s = p.Path_enum.source in
+      if not (Hashtbl.mem source_index s) then Hashtbl.add source_index s (Hashtbl.length source_index))
+    path_list;
+  let n_gates = Hashtbl.length gate_index and n_sources = Hashtbl.length source_index in
+  let nparams = shared + n_gates + n_sources in
+  (* decompose per-gate delays into the extended vector so shared gates
+     share their random terms across paths *)
+  let sigma_random =
+    (* recover the model's per-gate random sigma from a canonical form *)
+    let probe =
+      match path_list with
+      | { Path_enum.gates = g :: _; _ } :: _ -> Some g
+      | _ -> None
+    in
+    match probe with
+    | None -> 0.0
+    | Some g -> (Param_model.gate_delay_canonical model placement g).Canonical.rand
+  in
+  let form_of_path p =
+    let mean = ref 0.0 in
+    let sens = Array.make nparams 0.0 in
+    List.iter
+      (fun g ->
+        let d = Param_model.gate_delay_canonical model placement g in
+        mean := !mean +. d.Canonical.mean;
+        Array.iteri (fun i s -> sens.(i) <- sens.(i) +. s) d.Canonical.sens;
+        sens.(shared + Hashtbl.find gate_index g) <-
+          sens.(shared + Hashtbl.find gate_index g) +. sigma_random)
+      p.Path_enum.gates;
+    sens.(shared + n_gates + Hashtbl.find source_index p.Path_enum.source) <- input_sigma;
+    Canonical.make ~mean:!mean ~sens ~rand:0.0
+  in
+  { path_list; forms = Array.of_list (List.map form_of_path path_list); nparams }
+
+let paths t = t.path_list
+let delay_form t i = t.forms.(i)
+let delay_mean t i = t.forms.(i).Canonical.mean
+let delay_stddev t i = Canonical.stddev t.forms.(i)
+let correlation t i j = Canonical.correlation t.forms.(i) t.forms.(j)
+
+let criticality ?(samples = 20_000) ?(seed = 42) t =
+  let k = Array.length t.forms in
+  let wins = Array.make k 0 in
+  if k > 0 then begin
+    let rng = Rng.create ~seed in
+    for _ = 1 to samples do
+      let params = Array.init t.nparams (fun _ -> Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+      let best = ref 0 and best_delay = ref neg_infinity in
+      Array.iteri
+        (fun i form ->
+          let d = Canonical.sample rng ~params form in
+          if d > !best_delay then begin
+            best_delay := d;
+            best := i
+          end)
+        t.forms;
+      wins.(!best) <- wins.(!best) + 1
+    done
+  end;
+  Array.map (fun w -> float_of_int w /. float_of_int samples) wins
+
+let render circuit ?criticality t =
+  let buf = Buffer.create 2048 in
+  let table =
+    Spsta_util.Table.create ~headers:[ "#"; "path"; "len"; "mu"; "sigma"; "criticality" ]
+  in
+  List.iteri
+    (fun i p ->
+      Spsta_util.Table.add_row table
+        [
+          string_of_int i;
+          Path_enum.to_string circuit p;
+          string_of_int (Path_enum.length p);
+          Printf.sprintf "%.3f" (delay_mean t i);
+          Printf.sprintf "%.3f" (delay_stddev t i);
+          (match criticality with Some c -> Printf.sprintf "%.3f" c.(i) | None -> "-");
+        ])
+    t.path_list;
+  Buffer.add_string buf (Spsta_util.Table.render table);
+  let k = Array.length t.forms in
+  if k > 1 then begin
+    Buffer.add_string buf "\npath delay correlations:\n";
+    for i = 0 to k - 1 do
+      Buffer.add_string buf "  ";
+      for j = 0 to k - 1 do
+        Buffer.add_string buf (Printf.sprintf "%6.2f" (correlation t i j))
+      done;
+      Buffer.add_string buf "\n"
+    done
+  end;
+  Buffer.contents buf

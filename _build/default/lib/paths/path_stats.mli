@@ -1,0 +1,42 @@
+(** Statistical path analysis (path-based SSTA, paper §1): per-path
+    delay distributions under a correlated process model, pairwise path
+    correlations from shared segments and shared parameters, and path
+    criticality probabilities.
+
+    Path delays are represented exactly as first-order canonical forms
+    over an extended parameter vector: the process model's shared
+    parameters plus one independent parameter per gate appearing on any
+    analysed path, so two paths sharing a gate share that gate's random
+    delay term — the "correlations due to path-sharing" that block-based
+    (mean, sigma) analysis loses. *)
+
+type t
+
+val analyze :
+  ?input_sigma:float ->
+  Spsta_variation.Param_model.t ->
+  Spsta_variation.Param_model.placement ->
+  Spsta_netlist.Circuit.t ->
+  Path_enum.t list ->
+  t
+(** [input_sigma] (default 1.0) is the per-source arrival sigma,
+    independent per source (shared when two paths launch from the same
+    source). *)
+
+val paths : t -> Path_enum.t list
+val delay_form : t -> int -> Spsta_variation.Canonical.t
+(** Canonical delay of path [i] (same index as {!paths}). *)
+
+val delay_mean : t -> int -> float
+val delay_stddev : t -> int -> float
+
+val correlation : t -> int -> int -> float
+(** Delay correlation between two paths. *)
+
+val criticality : ?samples:int -> ?seed:int -> t -> float array
+(** Monte Carlo estimate of P(path i has the largest delay), summing to
+    1 over the analysed set (default 20_000 samples, seed 42). *)
+
+val render : Spsta_netlist.Circuit.t -> ?criticality:float array -> t -> string
+(** Table of paths with mean / sigma / criticality and the pairwise
+    correlation matrix. *)

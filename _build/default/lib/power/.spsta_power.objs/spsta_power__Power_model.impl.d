@@ -1,0 +1,1 @@
+lib/power/power_model.ml: Array List Spsta_netlist

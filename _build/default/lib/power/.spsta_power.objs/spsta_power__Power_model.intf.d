@@ -1,0 +1,1 @@
+lib/power/power_model.mli: Spsta_netlist

@@ -1,0 +1,1 @@
+lib/power/transition_density.ml: Array List Spsta_core Spsta_logic Spsta_netlist Spsta_sim

@@ -1,0 +1,1 @@
+lib/power/transition_density.mli: Spsta_netlist Spsta_sim

@@ -1,0 +1,31 @@
+module Circuit = Spsta_netlist.Circuit
+
+type params = {
+  vdd : float;
+  frequency : float;
+  gate_input_cap : float;
+  wire_cap : float;
+}
+
+let default_params =
+  { vdd = 1.2; frequency = 1.0e9; gate_input_cap = 2.0e-15; wire_cap = 5.0e-15 }
+
+let net_capacitance params circuit id =
+  params.wire_cap +. (params.gate_input_cap *. float_of_int (Array.length (Circuit.fanout circuit id)))
+
+let net_power params circuit density id =
+  0.5 *. params.vdd *. params.vdd *. params.frequency
+  *. net_capacitance params circuit id *. density id
+
+let dynamic_power ?(params = default_params) circuit ~density =
+  let total = ref 0.0 in
+  for id = 0 to Circuit.num_nets circuit - 1 do
+    total := !total +. net_power params circuit density id
+  done;
+  !total
+
+let per_net_power ?(params = default_params) circuit ~density =
+  let entries =
+    List.init (Circuit.num_nets circuit) (fun id -> (id, net_power params circuit density id))
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) entries

@@ -1,0 +1,34 @@
+(** Dynamic power estimation from switching activity: the paper's §3.1
+    observes that t.o.p. integrals are exactly the per-net toggling rates
+    power estimation needs, so SPSTA results feed straight into
+    P = 1/2 V^2 f * sum_y C_y rho_y. *)
+
+type params = {
+  vdd : float;  (** supply voltage, volts *)
+  frequency : float;  (** clock frequency, Hz *)
+  gate_input_cap : float;  (** capacitance per driven gate input, farads *)
+  wire_cap : float;  (** fixed per-net wiring capacitance, farads *)
+}
+
+val default_params : params
+(** 1.2 V, 1 GHz, 2 fF per fan-out pin, 5 fF of wire per net — a generic
+    mid-2000s technology flavour; absolute watts are illustrative, the
+    analyses compare activities. *)
+
+val net_capacitance : params -> Spsta_netlist.Circuit.t -> Spsta_netlist.Circuit.id -> float
+(** [wire_cap + gate_input_cap * fanout]. *)
+
+val dynamic_power :
+  ?params:params ->
+  Spsta_netlist.Circuit.t ->
+  density:(Spsta_netlist.Circuit.id -> float) ->
+  float
+(** Total dynamic power in watts given per-net transition densities
+    (per cycle). *)
+
+val per_net_power :
+  ?params:params ->
+  Spsta_netlist.Circuit.t ->
+  density:(Spsta_netlist.Circuit.id -> float) ->
+  (Spsta_netlist.Circuit.id * float) list
+(** Per-net contributions, sorted descending — a power hot-spot report. *)

@@ -1,0 +1,37 @@
+module Circuit = Spsta_netlist.Circuit
+module Truth = Spsta_logic.Truth
+module Input_spec = Spsta_sim.Input_spec
+module Signal_prob = Spsta_core.Signal_prob
+
+type t = float array
+
+let compute circuit ~p_one ~source_rate =
+  let n = Circuit.num_nets circuit in
+  let density = Array.make n 0.0 in
+  List.iter (fun s -> density.(s) <- source_rate s) (Circuit.sources circuit);
+  Array.iter
+    (fun g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { kind; inputs } ->
+        let k = Array.length inputs in
+        let truth = Truth.of_gate kind ~arity:k in
+        let p = Array.map p_one inputs in
+        let total = ref 0.0 in
+        for i = 0 to k - 1 do
+          let w = Truth.prob_one (Truth.boolean_difference truth i) p in
+          total := !total +. (w *. density.(inputs.(i)))
+        done;
+        density.(g) <- !total
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  density
+
+let of_input_specs circuit ~spec =
+  let sp =
+    Signal_prob.compute circuit ~p_source:(fun s -> Input_spec.signal_probability (spec s))
+  in
+  compute circuit ~p_one:(Signal_prob.prob sp)
+    ~source_rate:(fun s -> Input_spec.toggling_rate (spec s))
+
+let density t id = t.(id)
+let total t = Array.fold_left ( +. ) 0.0 t

@@ -1,0 +1,25 @@
+(** Transition densities (paper §2.2.2, eq. 6; Najm 1993): the expected
+    number of transitions per cycle of every net, from source toggling
+    rates weighted by Boolean-difference probabilities.  Glitches are
+    included, which is why densities can exceed the four-value transition
+    probabilities. *)
+
+type t
+
+val compute :
+  Spsta_netlist.Circuit.t ->
+  p_one:(Spsta_netlist.Circuit.id -> float) ->
+  source_rate:(Spsta_netlist.Circuit.id -> float) ->
+  t
+(** [p_one] gives static signal probabilities at every net (only sources
+    are read for the weights' inputs via internal propagation);
+    [source_rate] the toggling rate of each source. *)
+
+val of_input_specs :
+  Spsta_netlist.Circuit.t ->
+  spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
+  t
+
+val density : t -> Spsta_netlist.Circuit.id -> float
+val total : t -> float
+(** Sum over all nets: the aggregate switching activity. *)

@@ -1,0 +1,1 @@
+lib/sim/event_sim.ml: Array Float Hashtbl Int List Spsta_logic Spsta_netlist Spsta_util

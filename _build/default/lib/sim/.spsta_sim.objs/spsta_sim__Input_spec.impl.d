@@ -1,0 +1,1 @@
+lib/sim/input_spec.ml: Float List Spsta_dist Spsta_logic Spsta_util

@@ -1,0 +1,1 @@
+lib/sim/input_spec.mli: Spsta_dist Spsta_logic Spsta_util

@@ -1,0 +1,1 @@
+lib/sim/logic_sim.ml: Array Float Input_spec List Spsta_logic Spsta_netlist Spsta_util

@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.ml: Array Domain Int64 Logic_sim Spsta_logic Spsta_netlist Spsta_util

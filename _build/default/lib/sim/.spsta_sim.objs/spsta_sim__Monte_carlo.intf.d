@@ -1,0 +1,1 @@
+lib/sim/monte_carlo.mli: Input_spec Spsta_logic Spsta_netlist Spsta_util

@@ -1,0 +1,1 @@
+lib/sim/sequential_sim.ml: Array Hashtbl Input_spec Logic_sim Monte_carlo Spsta_logic Spsta_netlist Spsta_util

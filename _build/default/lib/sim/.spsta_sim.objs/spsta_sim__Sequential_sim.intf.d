@@ -1,0 +1,1 @@
+lib/sim/sequential_sim.mli: Input_spec Monte_carlo Spsta_netlist

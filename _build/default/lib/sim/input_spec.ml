@@ -1,0 +1,39 @@
+module Normal = Spsta_dist.Normal
+module Value4 = Spsta_logic.Value4
+
+type t = {
+  p_zero : float;
+  p_one : float;
+  p_rise : float;
+  p_fall : float;
+  rise_arrival : Normal.t;
+  fall_arrival : Normal.t;
+}
+
+let make ?(rise_arrival = Normal.standard) ?(fall_arrival = Normal.standard) ~p_zero ~p_one
+    ~p_rise ~p_fall () =
+  let probs = [ p_zero; p_one; p_rise; p_fall ] in
+  List.iter (fun p -> if p < 0.0 then invalid_arg "Input_spec.make: negative probability") probs;
+  let total = List.fold_left ( +. ) 0.0 probs in
+  if Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg "Input_spec.make: probabilities must sum to 1";
+  { p_zero; p_one; p_rise; p_fall; rise_arrival; fall_arrival }
+
+let case_i = make ~p_zero:0.25 ~p_one:0.25 ~p_rise:0.25 ~p_fall:0.25 ()
+let case_ii = make ~p_zero:0.75 ~p_one:0.15 ~p_rise:0.02 ~p_fall:0.08 ()
+
+let signal_probability t = t.p_one +. ((t.p_rise +. t.p_fall) /. 2.0)
+let toggling_rate t = t.p_rise +. t.p_fall
+
+let toggling_variance t =
+  let rho = toggling_rate t in
+  rho *. (1.0 -. rho)
+
+let sample rng t =
+  let weights = [| t.p_zero; t.p_one; t.p_rise; t.p_fall |] in
+  match Spsta_util.Rng.choose_index rng weights with
+  | 0 -> (Value4.Zero, 0.0)
+  | 1 -> (Value4.One, 0.0)
+  | 2 -> (Value4.Rising, Normal.sample rng t.rise_arrival)
+  | 3 -> (Value4.Falling, Normal.sample rng t.fall_arrival)
+  | _ -> assert false

@@ -1,0 +1,52 @@
+(** Statistical characterisation of a timing source (primary input or
+    flip-flop output) over one clock cycle: the four-value occurrence
+    probabilities and the arrival-time distributions of its transitions.
+
+    This is the "input statistics" whose effect on chip timing the paper
+    argues SSTA wrongly ignores. *)
+
+type t = {
+  p_zero : float;
+  p_one : float;
+  p_rise : float;
+  p_fall : float;
+  rise_arrival : Spsta_dist.Normal.t;
+  fall_arrival : Spsta_dist.Normal.t;
+}
+
+val make :
+  ?rise_arrival:Spsta_dist.Normal.t ->
+  ?fall_arrival:Spsta_dist.Normal.t ->
+  p_zero:float ->
+  p_one:float ->
+  p_rise:float ->
+  p_fall:float ->
+  unit ->
+  t
+(** Arrival distributions default to the standard normal (the paper's
+    choice).  Raises [Invalid_argument] unless the four probabilities are
+    non-negative and sum to 1 (within 1e-9). *)
+
+val case_i : t
+(** The paper's experiment part (I): all four values equally likely.
+    Signal probability 0.5, mean toggling rate 0.5, toggling variance
+    0.25. *)
+
+val case_ii : t
+(** The paper's experiment part (II): 15% one, 75% zero, 2% rising,
+    8% falling.  Signal probability 0.2, mean toggling rate 0.1,
+    toggling variance 0.09. *)
+
+val signal_probability : t -> float
+(** Time-averaged probability of observing logic one:
+    [p_one + (p_rise + p_fall) / 2]. *)
+
+val toggling_rate : t -> float
+(** [p_rise + p_fall]: expected transitions per cycle. *)
+
+val toggling_variance : t -> float
+(** Variance of the per-cycle transition count (a Bernoulli variable). *)
+
+val sample : Spsta_util.Rng.t -> t -> Spsta_logic.Value4.t * float
+(** Draw a cycle behaviour: the four-value symbol and, for transitions,
+    the arrival time (0 for steady values). *)

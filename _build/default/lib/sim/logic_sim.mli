@@ -1,0 +1,46 @@
+(** Single-cycle four-value logic simulation with arrival-time
+    propagation — one Monte Carlo trial of the paper's reference
+    simulator (§4): four-value symbols propagate through the netlist, no
+    glitches are counted, and transition times combine under the MIN/MAX
+    rule dictated by each gate's logic and the transition direction.
+
+    Arrival times are exact for gates with a controlling value and for
+    single-switching-input XOR gates; for XOR-family gates with several
+    switching inputs the reported time is the conservative settle bound
+    (the transient can cancel internally and settle earlier — see
+    {!Event_sim} for the exact waveform). *)
+
+type result = {
+  values : Spsta_logic.Value4.t array;  (** per net id *)
+  times : float array;  (** arrival time per net id; meaningful only for transitions *)
+}
+
+val run :
+  ?gate_delay:float ->
+  ?delay_of:(Spsta_netlist.Circuit.id -> float) ->
+  ?delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
+  ?mis:Spsta_logic.Mis_model.t ->
+  Spsta_netlist.Circuit.t ->
+  source_values:(Spsta_netlist.Circuit.id -> Spsta_logic.Value4.t * float) ->
+  result
+(** [run circuit ~source_values] assigns each source net the given
+    four-value symbol and arrival time, then evaluates every gate in
+    topological order.  [gate_delay] defaults to 1.0 (the paper's unit
+    gate delay; net delays are zero); [delay_of] overrides the delay per
+    gate (e.g. a per-run process-variation sample); [delay_rf] gives
+    direction-dependent (rise, fall) delays (e.g. a {!Spsta_netlist.Cell_library})
+    and takes precedence over both. *)
+
+val run_random :
+  ?gate_delay:float ->
+  ?delay_sigma:float ->
+  ?mis:Spsta_logic.Mis_model.t ->
+  Spsta_util.Rng.t ->
+  Spsta_netlist.Circuit.t ->
+  spec:(Spsta_netlist.Circuit.id -> Input_spec.t) ->
+  result
+(** Draw every source independently from its {!Input_spec.t} and
+    simulate.  A positive [delay_sigma] draws every gate's delay from
+    N(gate_delay, delay_sigma) independently for this run (process
+    variation for a concrete input vector — the paper's §1 point that
+    variation effects differ per vector). *)

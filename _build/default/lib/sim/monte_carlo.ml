@@ -1,0 +1,116 @@
+module Circuit = Spsta_netlist.Circuit
+module Value4 = Spsta_logic.Value4
+module Stats = Spsta_util.Stats
+
+type net_stats = {
+  n_runs : int;
+  count_zero : int;
+  count_one : int;
+  count_rise : int;
+  count_fall : int;
+  rise_times : Stats.acc;
+  fall_times : Stats.acc;
+}
+
+let ratio count n = if n = 0 then 0.0 else float_of_int count /. float_of_int n
+
+let p_zero s = ratio s.count_zero s.n_runs
+let p_one s = ratio s.count_one s.n_runs
+let p_rise s = ratio s.count_rise s.n_runs
+let p_fall s = ratio s.count_fall s.n_runs
+let signal_probability s = p_one s +. ((p_rise s +. p_fall s) /. 2.0)
+let toggling_rate s = p_rise s +. p_fall s
+
+type mutable_stats = {
+  mutable zero : int;
+  mutable one : int;
+  mutable rise : int;
+  mutable fall : int;
+  rise_acc : Stats.acc;
+  fall_acc : Stats.acc;
+}
+
+type result = { circuit : Circuit.t; runs : int; per_net : net_stats array }
+
+let simulate ?gate_delay ?delay_sigma ?mis ?(runs = 10_000) ~seed circuit ~spec =
+  let n = Circuit.num_nets circuit in
+  let accs =
+    Array.init n (fun _ ->
+        { zero = 0; one = 0; rise = 0; fall = 0; rise_acc = Stats.acc_create (); fall_acc = Stats.acc_create () })
+  in
+  let rng = Spsta_util.Rng.create ~seed in
+  for _ = 1 to runs do
+    let r = Logic_sim.run_random ?gate_delay ?delay_sigma ?mis rng circuit ~spec in
+    for i = 0 to n - 1 do
+      let a = accs.(i) in
+      match r.Logic_sim.values.(i) with
+      | Value4.Zero -> a.zero <- a.zero + 1
+      | Value4.One -> a.one <- a.one + 1
+      | Value4.Rising ->
+        a.rise <- a.rise + 1;
+        Stats.acc_add a.rise_acc r.Logic_sim.times.(i)
+      | Value4.Falling ->
+        a.fall <- a.fall + 1;
+        Stats.acc_add a.fall_acc r.Logic_sim.times.(i)
+    done
+  done;
+  let per_net =
+    Array.map
+      (fun a ->
+        {
+          n_runs = runs;
+          count_zero = a.zero;
+          count_one = a.one;
+          count_rise = a.rise;
+          count_fall = a.fall;
+          rise_times = a.rise_acc;
+          fall_times = a.fall_acc;
+        })
+      accs
+  in
+  { circuit; runs; per_net }
+
+let stats r id = r.per_net.(id)
+
+let merge a b =
+  if Circuit.num_nets a.circuit <> Circuit.num_nets b.circuit then
+    invalid_arg "Monte_carlo.merge: mismatched circuits";
+  let combine (x : net_stats) (y : net_stats) =
+    {
+      n_runs = x.n_runs + y.n_runs;
+      count_zero = x.count_zero + y.count_zero;
+      count_one = x.count_one + y.count_one;
+      count_rise = x.count_rise + y.count_rise;
+      count_fall = x.count_fall + y.count_fall;
+      rise_times = Stats.acc_merge x.rise_times y.rise_times;
+      fall_times = Stats.acc_merge x.fall_times y.fall_times;
+    }
+  in
+  {
+    circuit = a.circuit;
+    runs = a.runs + b.runs;
+    per_net = Array.mapi (fun i x -> combine x b.per_net.(i)) a.per_net;
+  }
+
+let simulate_parallel ?gate_delay ?delay_sigma ?mis ?(runs = 10_000) ?domains ~seed circuit
+    ~spec =
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> d
+    | Some _ -> invalid_arg "Monte_carlo.simulate_parallel: domains must be positive"
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  (* deterministic per-shard seeds derived from the master seed *)
+  let master = Spsta_util.Rng.create ~seed in
+  let shard_seed = Array.init domains (fun _ -> Int64.to_int (Spsta_util.Rng.bits64 master)) in
+  let shard_runs = Array.init domains (fun i -> (runs + i) / domains) in
+  let worker i () =
+    simulate ?gate_delay ?delay_sigma ?mis ~runs:shard_runs.(i) ~seed:shard_seed.(i) circuit
+      ~spec
+  in
+  if domains = 1 then worker 0 ()
+  else begin
+    let handles = Array.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    let first = worker 0 () in
+    Array.fold_left (fun acc h -> merge acc (Domain.join h)) first handles
+  end

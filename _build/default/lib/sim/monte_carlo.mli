@@ -1,0 +1,64 @@
+(** Monte Carlo statistical timing: repeat {!Logic_sim} trials with
+    independently drawn source behaviours and accumulate per-net
+    statistics — the paper's accuracy reference (10,000 runs in §4). *)
+
+type net_stats = {
+  n_runs : int;
+  count_zero : int;
+  count_one : int;
+  count_rise : int;
+  count_fall : int;
+  rise_times : Spsta_util.Stats.acc;  (** arrival times of observed rises *)
+  fall_times : Spsta_util.Stats.acc;
+}
+
+val p_zero : net_stats -> float
+val p_one : net_stats -> float
+val p_rise : net_stats -> float
+val p_fall : net_stats -> float
+val signal_probability : net_stats -> float
+(** Time-averaged one-probability: p_one + (p_rise + p_fall)/2. *)
+
+val toggling_rate : net_stats -> float
+
+type result = {
+  circuit : Spsta_netlist.Circuit.t;
+  runs : int;
+  per_net : net_stats array;
+}
+
+val simulate :
+  ?gate_delay:float ->
+  ?delay_sigma:float ->
+  ?mis:Spsta_logic.Mis_model.t ->
+  ?runs:int ->
+  seed:int ->
+  Spsta_netlist.Circuit.t ->
+  spec:(Spsta_netlist.Circuit.id -> Input_spec.t) ->
+  result
+(** [runs] defaults to 10_000, matching the paper.  [delay_sigma] adds
+    independent N(gate_delay, delay_sigma) process variation per gate
+    per run (default 0). *)
+
+val simulate_parallel :
+  ?gate_delay:float ->
+  ?delay_sigma:float ->
+  ?mis:Spsta_logic.Mis_model.t ->
+  ?runs:int ->
+  ?domains:int ->
+  seed:int ->
+  Spsta_netlist.Circuit.t ->
+  spec:(Spsta_netlist.Circuit.id -> Input_spec.t) ->
+  result
+(** Multicore variant: the runs are split across [domains] (default:
+    the machine's recommended domain count) worker domains, each with
+    its own generator derived deterministically from [seed], and the
+    per-net statistics are merged.  The result is deterministic given
+    ([seed], [domains]) but differs from the sequential {!simulate}
+    stream for the same seed. *)
+
+val merge : result -> result -> result
+(** Combine two results over the same circuit (e.g. shards of a larger
+    campaign).  Raises [Invalid_argument] on mismatched circuits. *)
+
+val stats : result -> Spsta_netlist.Circuit.id -> net_stats

@@ -1,0 +1,1 @@
+lib/spsta/analyzer.ml: Array Four_value List Option Spsta_dist Spsta_logic Spsta_netlist Spsta_sim Top

@@ -1,0 +1,1 @@
+lib/spsta/analyzer.mli: Four_value Spsta_logic Spsta_netlist Spsta_sim Top

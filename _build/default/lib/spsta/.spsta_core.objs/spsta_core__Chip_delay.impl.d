@@ -1,0 +1,1 @@
+lib/spsta/chip_delay.ml: Analyzer Float List Spsta_dist Spsta_netlist Top

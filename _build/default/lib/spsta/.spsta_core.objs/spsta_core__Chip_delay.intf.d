@@ -1,0 +1,1 @@
+lib/spsta/chip_delay.mli: Spsta_dist Spsta_netlist Spsta_sim

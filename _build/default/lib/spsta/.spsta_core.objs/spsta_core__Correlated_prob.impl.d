@@ -1,0 +1,1 @@
+lib/spsta/correlated_prob.ml: Array Float List Spsta_logic Spsta_netlist

@@ -1,0 +1,1 @@
+lib/spsta/correlated_prob.mli: Spsta_netlist

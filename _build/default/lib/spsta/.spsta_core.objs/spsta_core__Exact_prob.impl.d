@@ -1,0 +1,1 @@
+lib/spsta/exact_prob.ml: Array Float List Signal_prob Spsta_bdd Spsta_netlist Spsta_sim

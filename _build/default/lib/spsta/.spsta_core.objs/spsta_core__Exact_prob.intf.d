@@ -1,0 +1,1 @@
+lib/spsta/exact_prob.mli: Signal_prob Spsta_netlist Spsta_sim

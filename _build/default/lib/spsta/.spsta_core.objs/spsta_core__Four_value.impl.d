@@ -1,0 +1,1 @@
+lib/spsta/four_value.ml: Float Format List Spsta_logic Spsta_sim

@@ -1,0 +1,1 @@
+lib/spsta/four_value.mli: Format Spsta_logic Spsta_sim

@@ -1,0 +1,1 @@
+lib/spsta/sequential.ml: Array Float Four_value Hashtbl List Spsta_dist Spsta_netlist Spsta_sim

@@ -1,0 +1,1 @@
+lib/spsta/sequential.mli: Four_value Spsta_netlist Spsta_sim

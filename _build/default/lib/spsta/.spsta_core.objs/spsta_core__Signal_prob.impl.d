@@ -1,0 +1,1 @@
+lib/spsta/signal_prob.ml: Array List Spsta_logic Spsta_netlist

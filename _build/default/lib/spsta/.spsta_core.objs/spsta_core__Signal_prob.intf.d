@@ -1,0 +1,1 @@
+lib/spsta/signal_prob.mli: Spsta_netlist

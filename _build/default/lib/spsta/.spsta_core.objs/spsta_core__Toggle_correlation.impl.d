@@ -1,0 +1,1 @@
+lib/spsta/toggle_correlation.ml: Array Float List Signal_prob Spsta_logic Spsta_netlist Spsta_sim

@@ -1,0 +1,1 @@
+lib/spsta/toggle_correlation.mli: Spsta_netlist Spsta_sim

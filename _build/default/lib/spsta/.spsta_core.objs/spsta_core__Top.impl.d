@@ -1,0 +1,1 @@
+lib/spsta/top.ml: List Spsta_dist Spsta_logic

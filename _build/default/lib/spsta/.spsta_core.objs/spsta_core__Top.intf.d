@@ -1,0 +1,1 @@
+lib/spsta/top.mli: Spsta_dist Spsta_logic

@@ -1,0 +1,1 @@
+lib/spsta/two_value.ml: Array List Signal_prob Spsta_dist Spsta_logic Spsta_netlist Spsta_sim

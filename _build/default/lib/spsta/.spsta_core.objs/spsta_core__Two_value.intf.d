@@ -1,0 +1,1 @@
+lib/spsta/two_value.mli: Spsta_dist Spsta_netlist Spsta_sim

@@ -1,0 +1,257 @@
+module Circuit = Spsta_netlist.Circuit
+module Value4 = Spsta_logic.Value4
+module Gate_kind = Spsta_logic.Gate_kind
+module Timing_rule = Spsta_logic.Timing_rule
+module Input_spec = Spsta_sim.Input_spec
+
+module Make (B : Top.BACKEND) = struct
+  type signal = { probs : Four_value.t; rise : B.top; fall : B.top }
+
+  let source_signal (spec : Input_spec.t) =
+    {
+      probs = Four_value.of_input_spec spec;
+      rise = B.of_normal ~weight:spec.Input_spec.p_rise spec.Input_spec.rise_arrival;
+      fall = B.of_normal ~weight:spec.Input_spec.p_fall spec.Input_spec.fall_arrival;
+    }
+
+  (* The base, non-inverting associative kind of each gate; inversion is
+     applied afterwards by swapping 0/1 and rise/fall. *)
+  let base_kind = function
+    | Gate_kind.And | Gate_kind.Nand -> Gate_kind.And
+    | Gate_kind.Or | Gate_kind.Nor -> Gate_kind.Or
+    | Gate_kind.Xor | Gate_kind.Xnor -> Gate_kind.Xor
+    | Gate_kind.Not | Gate_kind.Buf -> Gate_kind.Buf
+
+  let invert_signal s =
+    {
+      probs =
+        Four_value.make ~p_zero:s.probs.Four_value.p_one ~p_one:s.probs.Four_value.p_zero
+          ~p_rise:s.probs.Four_value.p_fall ~p_fall:s.probs.Four_value.p_rise;
+      rise = s.fall;
+      fall = s.rise;
+    }
+
+  let normalised top =
+    let w = B.total top in
+    if w > 0.0 then B.scale top (1.0 /. w) else top
+
+  (* Eq. 11 generalised: enumerate input four-value combinations, weight
+     each by the product of input probabilities, and combine the arrival
+     pdfs of the transitioning inputs under the gate's MIN/MAX rule.
+     [extra_term_delay rule out k] shifts a term decided by [k]
+     switching inputs (the multiple-input-switching correction). *)
+  let enumerate_gate ?extra_term_delay kind (inputs : signal array) =
+    let k = Array.length inputs in
+    let norm_rise = Array.map (fun s -> normalised s.rise) inputs in
+    let norm_fall = Array.map (fun s -> normalised s.fall) inputs in
+    let p_zero = ref 0.0 and p_one = ref 0.0 in
+    let rise_acc = ref B.empty and fall_acc = ref B.empty in
+    let rise_mass = ref 0.0 and fall_mass = ref 0.0 in
+    let values = Array.make k Value4.Zero in
+    let rec go i weight =
+      if weight <= 0.0 then ()
+      else if i = k then begin
+        let out = Gate_kind.eval4 kind (Array.to_list values) in
+        match out with
+        | Value4.Zero -> p_zero := !p_zero +. weight
+        | Value4.One -> p_one := !p_one +. weight
+        | Value4.Rising | Value4.Falling ->
+          let rule = Timing_rule.for_output kind out in
+          let tops = ref [] in
+          for j = k - 1 downto 0 do
+            match values.(j) with
+            | Value4.Rising -> tops := norm_rise.(j) :: !tops
+            | Value4.Falling -> tops := norm_fall.(j) :: !tops
+            | Value4.Zero | Value4.One -> ()
+          done;
+          (* a transition probability can be positive while its t.o.p.
+             was epsilon-truncated to zero mass (weights ~1e-16 on deep
+             circuits); such branches carry negligible weight — drop
+             them and let the closing renormalisation absorb it *)
+          if List.exists (fun top -> B.total top <= 0.0) !tops then ()
+          else begin
+          let combined = B.combine rule !tops in
+          let combined =
+            match extra_term_delay with
+            | None -> combined
+            | Some f ->
+              let extra = f rule out (List.length !tops) in
+              if extra = 0.0 then combined else B.shift combined extra
+          in
+          let contribution = B.scale combined weight in
+          ( match out with
+          | Value4.Rising ->
+            rise_acc := B.add !rise_acc contribution;
+            rise_mass := !rise_mass +. weight
+          | Value4.Falling ->
+            fall_acc := B.add !fall_acc contribution;
+            fall_mass := !fall_mass +. weight
+          | Value4.Zero | Value4.One -> assert false )
+          end
+      end
+      else begin
+        let dist = inputs.(i).probs in
+        let branch v =
+          let p = Four_value.prob dist v in
+          if p > 0.0 then begin
+            values.(i) <- v;
+            go (i + 1) (weight *. p)
+          end
+        in
+        List.iter branch Value4.all
+      end
+    in
+    go 0 1.0;
+    let total = !p_zero +. !p_one +. !rise_mass +. !fall_mass in
+    let probs =
+      Four_value.make ~p_zero:(!p_zero /. total) ~p_one:(!p_one /. total)
+        ~p_rise:(!rise_mass /. total) ~p_fall:(!fall_mass /. total)
+    in
+    { probs; rise = B.compact !rise_acc; fall = B.compact !fall_acc }
+
+  let shift_signal s (d_rise, d_fall) sigma =
+    if sigma > 0.0 then
+      { s with
+        rise = B.convolve_normal s.rise (Spsta_dist.Normal.make ~mu:d_rise ~sigma);
+        fall = B.convolve_normal s.fall (Spsta_dist.Normal.make ~mu:d_fall ~sigma) }
+    else
+      { s with
+        rise = (if d_rise = 0.0 then s.rise else B.shift s.rise d_rise);
+        fall = (if d_fall = 0.0 then s.fall else B.shift s.fall d_fall) }
+
+  let gate_output ?(gate_delay = 1.0) ?gate_delay_rf ?(delay_sigma = 0.0) ?mis
+      ?(max_enumerated_fanin = 6) kind inputs =
+    if inputs = [] then invalid_arg "Analyzer.gate_output: no inputs";
+    let base = base_kind kind in
+    let inputs = Array.of_list inputs in
+    let delays =
+      match gate_delay_rf with Some rf -> rf | None -> (gate_delay, gate_delay)
+    in
+    let extra_term_delay =
+      (* MIS: a term decided by k simultaneous switching inputs gets its
+         direction's delay scaled; the base enumeration's output
+         direction maps to the inverted one for NAND/NOR/XNOR *)
+      match mis with
+      | None -> None
+      | Some model ->
+        let d_rise, d_fall = delays in
+        Some
+          (fun rule out k ->
+            let final_out = if Gate_kind.inverting kind then Value4.lnot out else out in
+            let d =
+              match final_out with
+              | Value4.Rising -> d_rise
+              | Value4.Falling -> d_fall
+              | Value4.Zero | Value4.One -> 0.0
+            in
+            d *. (Spsta_logic.Mis_model.factor model rule ~simultaneous:k -. 1.0))
+    in
+    let combined =
+      match base with
+      | Gate_kind.Buf -> inputs.(0)
+      | Gate_kind.And | Gate_kind.Or | Gate_kind.Xor ->
+        if Array.length inputs <= max_enumerated_fanin then
+          enumerate_gate ?extra_term_delay base inputs
+        else
+          (* pairwise fold over the associative base kind (exact under
+             the same input-independence assumption; MIS sees at most
+             pairwise simultaneity on this path) *)
+          Array.fold_left
+            (fun acc s ->
+              match acc with
+              | None -> Some s
+              | Some a -> Some (enumerate_gate ?extra_term_delay base [| a; s |]))
+            None inputs
+          |> Option.get
+      | Gate_kind.Nand | Gate_kind.Nor | Gate_kind.Xnor | Gate_kind.Not -> assert false
+    in
+    let combined = if Gate_kind.inverting kind then invert_signal combined else combined in
+    shift_signal combined delays delay_sigma
+
+  type result = { circuit : Circuit.t; per_net : signal array }
+
+  let analyze ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit ~spec =
+    let n = Circuit.num_nets circuit in
+    let dummy =
+      { probs = Four_value.make ~p_zero:1.0 ~p_one:0.0 ~p_rise:0.0 ~p_fall:0.0;
+        rise = B.empty; fall = B.empty }
+    in
+    let per_net = Array.make n dummy in
+    List.iter (fun s -> per_net.(s) <- source_signal (spec s)) (Circuit.sources circuit);
+    Array.iter
+      (fun g ->
+        match Circuit.driver circuit g with
+        | Circuit.Gate { kind; inputs } ->
+          let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
+          let gate_delay =
+            match delay_of with Some f -> Some (f g) | None -> gate_delay
+          in
+          let gate_delay_rf = Option.map (fun f -> f g) delay_rf in
+          per_net.(g) <-
+            gate_output ?gate_delay ?gate_delay_rf ?delay_sigma ?mis ?max_enumerated_fanin kind
+              operands
+        | Circuit.Input | Circuit.Dff_output _ -> assert false)
+      (Circuit.topo_gates circuit);
+    { circuit; per_net }
+
+  let circuit r = r.circuit
+  let signal r id = r.per_net.(id)
+
+  let update ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin r ~changed ~spec =
+    let circuit = r.circuit in
+    let n = Circuit.num_nets circuit in
+    (* mark the union of fanout cones of the changed nets *)
+    let dirty = Array.make n false in
+    let rec mark id =
+      if not dirty.(id) then begin
+        dirty.(id) <- true;
+        Array.iter mark (Circuit.fanout circuit id)
+      end
+    in
+    List.iter mark changed;
+    let per_net = Array.copy r.per_net in
+    (* refresh dirty sources (their statistics may be what changed) *)
+    List.iter (fun s -> if dirty.(s) then per_net.(s) <- source_signal (spec s)) (Circuit.sources circuit);
+    Array.iter
+      (fun g ->
+        if dirty.(g) then
+          match Circuit.driver circuit g with
+          | Circuit.Gate { kind; inputs } ->
+            let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
+            let gate_delay = match delay_of with Some f -> Some (f g) | None -> gate_delay in
+            let gate_delay_rf = Option.map (fun f -> f g) delay_rf in
+            per_net.(g) <-
+              gate_output ?gate_delay ?gate_delay_rf ?delay_sigma ?mis ?max_enumerated_fanin kind
+                operands
+          | Circuit.Input | Circuit.Dff_output _ -> ())
+      (Circuit.topo_gates circuit);
+    { circuit; per_net }
+
+  let direction_top s = function `Rise -> s.rise | `Fall -> s.fall
+
+  let transition_stats s direction =
+    let top = direction_top s direction in
+    (B.mean top, B.stddev top, B.total top)
+
+  let critical_endpoint r direction =
+    match Circuit.endpoints r.circuit with
+    | [] -> invalid_arg "Analyzer.critical_endpoint: circuit has no endpoints"
+    | (first :: _ as endpoints) ->
+      let transitioning =
+        List.filter (fun e -> B.total (direction_top r.per_net.(e) direction) > 0.0) endpoints
+      in
+      ( match transitioning with
+      | [] ->
+        List.fold_left
+          (fun best e ->
+            if Circuit.level r.circuit e > Circuit.level r.circuit best then e else best)
+          first endpoints
+      | e0 :: rest ->
+        List.fold_left
+          (fun best e ->
+            let mean_of x = B.mean (direction_top r.per_net.(x) direction) in
+            if mean_of e > mean_of best then e else best)
+          e0 rest )
+end
+
+module Moments = Make (Top.Moment_backend)

@@ -1,0 +1,86 @@
+(** The SPSTA engine (paper §3): propagates four-value signal
+    probabilities and transition t.o.p. functions through a netlist in
+    one topological traversal, replacing SSTA's unconditional MIN/MAX
+    with the WEIGHTED SUM over input-value combinations (eq. 8/11), with
+    MIN/MAX applied only inside multiple-input-switching terms.
+
+    The engine is a functor over the t.o.p. representation; see {!Top}. *)
+
+module Make (B : Top.BACKEND) : sig
+  type signal = {
+    probs : Four_value.t;
+    rise : B.top;  (** total mass = probs.p_rise *)
+    fall : B.top;  (** total mass = probs.p_fall *)
+  }
+
+  val source_signal : Spsta_sim.Input_spec.t -> signal
+  (** The signal of a timing source under the given input statistics. *)
+
+  val gate_output :
+    ?gate_delay:float ->
+    ?gate_delay_rf:float * float ->
+    ?delay_sigma:float ->
+    ?mis:Spsta_logic.Mis_model.t ->
+    ?max_enumerated_fanin:int ->
+    Spsta_logic.Gate_kind.t ->
+    signal list ->
+    signal
+  (** One gate step (exposed for unit tests and the Fig. 4 bench).
+      Inputs are treated as independent.  Fan-ins above
+      [max_enumerated_fanin] (default 6) are folded pairwise over the
+      gate's base associative kind, which is exact under the same
+      independence assumption.  [gate_delay] defaults to 1.0;
+      [gate_delay_rf] supplies direction-dependent (rise, fall) delays
+      and overrides it; a positive [delay_sigma] models process
+      variation as an independent normal delay per gate (default 0). *)
+
+  type result
+
+  val analyze :
+    ?gate_delay:float ->
+    ?delay_sigma:float ->
+    ?delay_of:(Spsta_netlist.Circuit.id -> float) ->
+    ?delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
+    ?mis:Spsta_logic.Mis_model.t ->
+    ?max_enumerated_fanin:int ->
+    Spsta_netlist.Circuit.t ->
+    spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
+    result
+  (** [delay_of] overrides the deterministic delay per gate (e.g. a
+      wire-load model); [delay_rf] gives direction-dependent (rise,
+      fall) delays (e.g. {!Spsta_netlist.Cell_library.gate_delays}) and
+      takes precedence; [delay_sigma] applies on top of either. *)
+
+  val circuit : result -> Spsta_netlist.Circuit.t
+  val signal : result -> Spsta_netlist.Circuit.id -> signal
+
+  val update :
+    ?gate_delay:float ->
+    ?delay_sigma:float ->
+    ?delay_of:(Spsta_netlist.Circuit.id -> float) ->
+    ?delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
+    ?mis:Spsta_logic.Mis_model.t ->
+    ?max_enumerated_fanin:int ->
+    result ->
+    changed:Spsta_netlist.Circuit.id list ->
+    spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
+    result
+  (** Incremental re-analysis (the block-based property the paper's
+      intro highlights): recompute only the fanout cones of the
+      [changed] nets — e.g. sources whose statistics changed, or gates
+      whose delay model changed.  The result is identical to a full
+      {!analyze} under the new parameters provided everything outside
+      the cones is unchanged.  The input [result] is not mutated. *)
+
+  val critical_endpoint : result -> [ `Rise | `Fall ] -> Spsta_netlist.Circuit.id
+  (** Endpoint with the largest normalised mean arrival in the given
+      direction among endpoints whose transition probability is nonzero
+      (falls back to the deepest endpoint if none transitions).
+      Raises [Invalid_argument] if the circuit has no endpoints. *)
+
+  val transition_stats : signal -> [ `Rise | `Fall ] -> float * float * float
+  (** (mean, stddev, occurrence probability) of the chosen transition. *)
+end
+
+module Moments : module type of Make (Top.Moment_backend)
+(** The default moment/mixture instantiation. *)

@@ -1,0 +1,96 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+
+type t = { probs : float array; cov : float array array }
+
+let clamp01 p = Float.min 1.0 (Float.max 0.0 p)
+
+(* A "virtual" partially-built gate expression: its one-probability and
+   its covariance against every circuit net. *)
+type virtual_net = { p : float; row : float array }
+
+let compute circuit ~p_source =
+  let n = Circuit.num_nets circuit in
+  let probs = Array.make n 0.0 in
+  let cov = Array.make_matrix n n 0.0 in
+  let init_source s =
+    let p = p_source s in
+    if not (p >= 0.0 && p <= 1.0) then invalid_arg "Correlated_prob.compute: probability outside [0,1]";
+    probs.(s) <- p;
+    cov.(s).(s) <- p *. (1.0 -. p)
+  in
+  List.iter init_source (Circuit.sources circuit);
+  let of_net i = { p = probs.(i); row = Array.copy cov.(i) } in
+  let vnot v = { p = 1.0 -. v.p; row = Array.map (fun c -> -.c) v.row } in
+  (* AND of two virtuals: eq. 15 for the probability; covariance rows by
+     the first-order expansion cov(ab, k) ~ P(b) cov(a,k) + P(a) cov(b,k).
+     cov(a, b) itself is only known when one operand is a real net whose
+     row covers the other; we thread it explicitly. *)
+  let vand ~cov_ab a b =
+    let p = clamp01 ((a.p *. b.p) +. cov_ab) in
+    let row = Array.init n (fun k -> (b.p *. a.row.(k)) +. (a.p *. b.row.(k))) in
+    { p; row }
+  in
+  (* cov between a virtual and a real net: read from the virtual's row *)
+  let fold_assoc ~op first_net rest_nets =
+    List.fold_left
+      (fun acc i ->
+        let operand = of_net i in
+        op acc operand ~cov_ab:acc.row.(i))
+      (of_net first_net) rest_nets
+  in
+  let and_op acc operand ~cov_ab = vand ~cov_ab acc operand in
+  let or_op acc operand ~cov_ab =
+    (* a OR b = NOT (NOT a AND NOT b); cov(!a,!b) = cov(a,b) *)
+    vnot (vand ~cov_ab (vnot acc) (vnot operand))
+  in
+  let xor_op acc operand ~cov_ab =
+    (* a XOR b = (a AND !b) + (!a AND b), a disjoint union: probabilities
+       and covariance rows add exactly *)
+    let t1 = vand ~cov_ab:(-.cov_ab) acc (vnot operand) in
+    let t2 = vand ~cov_ab:(-.cov_ab) (vnot acc) operand in
+    { p = clamp01 (t1.p +. t2.p); row = Array.init n (fun k -> t1.row.(k) +. t2.row.(k)) }
+  in
+  let step g kind inputs =
+    let input_list = Array.to_list inputs in
+    let result =
+      match (kind, input_list) with
+      | (Gate_kind.Not | Gate_kind.Buf), [ i ] ->
+        let v = of_net i in
+        if Gate_kind.equal kind Gate_kind.Not then vnot v else v
+      | (Gate_kind.Not | Gate_kind.Buf), _ -> invalid_arg "Correlated_prob: NOT/BUF arity"
+      | (Gate_kind.And | Gate_kind.Nand | Gate_kind.Or | Gate_kind.Nor | Gate_kind.Xor
+        | Gate_kind.Xnor), [] ->
+        invalid_arg "Correlated_prob: empty gate"
+      | (Gate_kind.And | Gate_kind.Nand), first :: rest ->
+        let v = fold_assoc ~op:and_op first rest in
+        if Gate_kind.inverting kind then vnot v else v
+      | (Gate_kind.Or | Gate_kind.Nor), first :: rest ->
+        let v = fold_assoc ~op:or_op first rest in
+        if Gate_kind.inverting kind then vnot v else v
+      | (Gate_kind.Xor | Gate_kind.Xnor), first :: rest ->
+        let v = fold_assoc ~op:xor_op first rest in
+        if Gate_kind.inverting kind then vnot v else v
+    in
+    probs.(g) <- result.p;
+    Array.blit result.row 0 cov.(g) 0 n;
+    (* keep the matrix symmetric and the diagonal Bernoulli-consistent *)
+    for k = 0 to n - 1 do
+      cov.(k).(g) <- cov.(g).(k)
+    done;
+    cov.(g).(g) <- result.p *. (1.0 -. result.p)
+  in
+  Array.iter
+    (fun g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { kind; inputs } -> step g kind inputs
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  { probs; cov }
+
+let prob t id = t.probs.(id)
+let covariance t a b = t.cov.(a).(b)
+
+let correlation t a b =
+  let sa = sqrt t.cov.(a).(a) and sb = sqrt t.cov.(b).(b) in
+  if sa <= 0.0 || sb <= 0.0 then 0.0 else t.cov.(a).(b) /. (sa *. sb)

@@ -1,0 +1,27 @@
+(** Signal probabilities with first-order correlation tracking (paper
+    §3.5, eq. 14–17).
+
+    Eq. 5 assumes gate inputs are independent; exact computation (eq. 14)
+    needs covariances of every order.  This module implements the
+    truncated middle ground the paper describes: it propagates
+    one-probabilities *and* the full pairwise covariance matrix, applying
+    [P(x1 x2) = P(x1) P(x2) + cov(x1, x2)] (eq. 15) exactly and dropping
+    third- and higher-order central moments when projecting covariances
+    through gates.  Accuracy sits between eq. 5 and the BDD-exact
+    computation (verified in the test suite). *)
+
+type t
+
+val compute :
+  Spsta_netlist.Circuit.t ->
+  p_source:(Spsta_netlist.Circuit.id -> float) ->
+  t
+(** Sources are independent Bernoullis with the given one-probabilities.
+    O(nets^2) memory. *)
+
+val prob : t -> Spsta_netlist.Circuit.id -> float
+(** P(net = 1), first-order corrected. *)
+
+val covariance : t -> Spsta_netlist.Circuit.id -> Spsta_netlist.Circuit.id -> float
+
+val correlation : t -> Spsta_netlist.Circuit.id -> Spsta_netlist.Circuit.id -> float

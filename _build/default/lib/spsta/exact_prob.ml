@@ -1,0 +1,31 @@
+module Circuit = Spsta_netlist.Circuit
+module Circuit_bdd = Spsta_bdd.Circuit_bdd
+module Input_spec = Spsta_sim.Input_spec
+
+type t = {
+  bdds : Circuit_bdd.t;
+  p_initial : float array; (* per source variable index *)
+  p_final : float array;
+}
+
+let compute ?max_nodes circuit ~spec =
+  let bdds = Circuit_bdd.build ?max_nodes circuit in
+  let sources = Circuit.sources circuit in
+  let n = List.length sources in
+  let p_initial = Array.make n 0.0 and p_final = Array.make n 0.0 in
+  List.iteri
+    (fun i s ->
+      let sp = spec s in
+      (* one at cycle start: steady one or falling; at cycle end: steady
+         one or risen *)
+      p_initial.(i) <- sp.Input_spec.p_one +. sp.Input_spec.p_fall;
+      p_final.(i) <- sp.Input_spec.p_one +. sp.Input_spec.p_rise)
+    sources;
+  { bdds; p_initial; p_final }
+
+let prob_initial_one t id = Circuit_bdd.exact_prob_one t.bdds ~p_source:(fun v -> t.p_initial.(v)) id
+let prob_final_one t id = Circuit_bdd.exact_prob_one t.bdds ~p_source:(fun v -> t.p_final.(v)) id
+
+let signal_probability t id = (prob_initial_one t id +. prob_final_one t id) /. 2.0
+
+let independence_gap t ~approx id = Float.abs (Signal_prob.prob approx id -. prob_final_one t id)

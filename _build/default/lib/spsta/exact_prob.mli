@@ -1,0 +1,28 @@
+(** BDD-exact signal probabilities (paper §3.5): unlike eq. 5, which
+    assumes gate inputs are independent, building each net's Boolean
+    function over the circuit sources accounts exactly for
+    reconvergent-fanout correlations. *)
+
+type t
+
+val compute :
+  ?max_nodes:int ->
+  Spsta_netlist.Circuit.t ->
+  spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
+  t
+(** Raises [Spsta_bdd.Circuit_bdd.Size_limit_exceeded] when the circuit
+    functions exceed the node budget. *)
+
+val prob_initial_one : t -> Spsta_netlist.Circuit.id -> float
+(** Exact probability the net is one at the start of the cycle. *)
+
+val prob_final_one : t -> Spsta_netlist.Circuit.id -> float
+
+val signal_probability : t -> Spsta_netlist.Circuit.id -> float
+(** Exact time-averaged one-probability:
+    (start-of-cycle + end-of-cycle) / 2. *)
+
+val independence_gap :
+  t -> approx:Signal_prob.t -> Spsta_netlist.Circuit.id -> float
+(** Absolute error of the independence-based estimate against the exact
+    end-of-cycle probability for one net. *)

@@ -1,0 +1,70 @@
+module Value4 = Spsta_logic.Value4
+module Gate_kind = Spsta_logic.Gate_kind
+
+type t = { p_zero : float; p_one : float; p_rise : float; p_fall : float }
+
+let make ~p_zero ~p_one ~p_rise ~p_fall =
+  let probs = [ p_zero; p_one; p_rise; p_fall ] in
+  List.iter (fun p -> if p < -1e-12 then invalid_arg "Four_value.make: negative probability") probs;
+  let total = List.fold_left ( +. ) 0.0 probs in
+  if Float.abs (total -. 1.0) > 1e-9 then invalid_arg "Four_value.make: probabilities must sum to 1";
+  let clamp p = Float.max p 0.0 in
+  { p_zero = clamp p_zero; p_one = clamp p_one; p_rise = clamp p_rise; p_fall = clamp p_fall }
+
+let of_input_spec (s : Spsta_sim.Input_spec.t) =
+  make ~p_zero:s.Spsta_sim.Input_spec.p_zero ~p_one:s.Spsta_sim.Input_spec.p_one
+    ~p_rise:s.Spsta_sim.Input_spec.p_rise ~p_fall:s.Spsta_sim.Input_spec.p_fall
+
+let prob t = function
+  | Value4.Zero -> t.p_zero
+  | Value4.One -> t.p_one
+  | Value4.Rising -> t.p_rise
+  | Value4.Falling -> t.p_fall
+
+let signal_probability t = t.p_one +. ((t.p_rise +. t.p_fall) /. 2.0)
+let toggling_rate t = t.p_rise +. t.p_fall
+let initial_one t = t.p_one +. t.p_fall
+let final_one t = t.p_one +. t.p_rise
+
+(* Exact O(4^k) enumeration with zero-weight pruning.  [visit] receives
+   each input-value combination (as a list, innermost input first is
+   avoided by building in order) together with its joint probability. *)
+let enumerate inputs visit =
+  let rec go acc_rev weight = function
+    | [] -> visit (List.rev acc_rev) weight
+    | dist :: rest ->
+      let branch v =
+        let p = prob dist v in
+        if p > 0.0 then go (v :: acc_rev) (weight *. p) rest
+      in
+      List.iter branch Value4.all
+  in
+  go [] 1.0 inputs
+
+let gate_output kind inputs =
+  let zero = ref 0.0 and one = ref 0.0 and rise = ref 0.0 and fall = ref 0.0 in
+  let visit values weight =
+    match Gate_kind.eval4 kind values with
+    | Value4.Zero -> zero := !zero +. weight
+    | Value4.One -> one := !one +. weight
+    | Value4.Rising -> rise := !rise +. weight
+    | Value4.Falling -> fall := !fall +. weight
+  in
+  enumerate inputs visit;
+  let total = !zero +. !one +. !rise +. !fall in
+  (* renormalise away float drift so downstream [make] checks hold *)
+  if total <= 0.0 then invalid_arg "Four_value.gate_output: degenerate inputs";
+  make ~p_zero:(!zero /. total) ~p_one:(!one /. total) ~p_rise:(!rise /. total)
+    ~p_fall:(!fall /. total)
+
+let and_gate_closed_form inputs =
+  if inputs = [] then invalid_arg "Four_value.and_gate_closed_form: no inputs";
+  let product f = List.fold_left (fun acc x -> acc *. f x) 1.0 inputs in
+  let p_one = product (fun x -> x.p_one) in
+  let p_rise = product (fun x -> x.p_one +. x.p_rise) -. p_one in
+  let p_fall = product (fun x -> x.p_one +. x.p_fall) -. p_one in
+  let p_zero = 1.0 -. p_one -. p_rise -. p_fall in
+  make ~p_zero ~p_one ~p_rise ~p_fall
+
+let pp fmt t =
+  Format.fprintf fmt "{0:%.4f 1:%.4f r:%.4f f:%.4f}" t.p_zero t.p_one t.p_rise t.p_fall

@@ -1,0 +1,38 @@
+(** Four-value signal probabilities (paper §3.3, eq. 9/10): per net, the
+    occurrence probabilities of logic zero, logic one, a rising and a
+    falling transition over one clock cycle. *)
+
+type t = { p_zero : float; p_one : float; p_rise : float; p_fall : float }
+
+val make : p_zero:float -> p_one:float -> p_rise:float -> p_fall:float -> t
+(** Raises [Invalid_argument] unless non-negative and summing to 1
+    (within 1e-9). *)
+
+val of_input_spec : Spsta_sim.Input_spec.t -> t
+
+val prob : t -> Spsta_logic.Value4.t -> float
+
+val signal_probability : t -> float
+(** Time-averaged one-probability: [p_one + (p_rise + p_fall) / 2]. *)
+
+val toggling_rate : t -> float
+
+val initial_one : t -> float
+(** Probability the net starts the cycle at one: [p_one + p_fall]. *)
+
+val final_one : t -> float
+(** Probability the net ends the cycle at one: [p_one + p_rise]. *)
+
+val gate_output : Spsta_logic.Gate_kind.t -> t list -> t
+(** Eq. 9/10 generalised by exact enumeration: the output four-value
+    probabilities of a gate whose inputs are independent with the given
+    distributions.  For the AND/OR families this reproduces the paper's
+    closed-form products exactly (checked by tests); enumeration is
+    [O(4^k)] with early pruning of zero-weight branches. *)
+
+val and_gate_closed_form : t list -> t
+(** Paper eq. 10 verbatim (products over [(P1 + Pr)] etc.) for an AND
+    gate — kept separate so tests can confirm the enumeration matches
+    the published formulas. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+module Circuit = Spsta_netlist.Circuit
+module Truth = Spsta_logic.Truth
+
+type t = float array
+
+let compute circuit ~p_source =
+  let n = Circuit.num_nets circuit in
+  let probs = Array.make n 0.0 in
+  let assign_source s =
+    let p = p_source s in
+    if not (p >= 0.0 && p <= 1.0) then invalid_arg "Signal_prob.compute: probability outside [0,1]";
+    probs.(s) <- p
+  in
+  List.iter assign_source (Circuit.sources circuit);
+  Array.iter
+    (fun g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { kind; inputs } ->
+        let truth = Truth.of_gate kind ~arity:(Array.length inputs) in
+        let p = Array.map (fun i -> probs.(i)) inputs in
+        probs.(g) <- Truth.prob_one truth p
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  probs
+
+let prob t id = t.(id)
+let all t = Array.copy t

@@ -1,0 +1,20 @@
+(** Two-value signal probability propagation (paper §2.2.1, eq. 5): given
+    independent one-probabilities at the sources, compute P(net = 1) for
+    every net in a single topological traversal, treating gate inputs as
+    independent (reconvergent-fanout correlations are ignored — see
+    {!Exact_prob} for the BDD-exact variant and {!Correlated_prob} for
+    the first-order correction). *)
+
+type t
+
+val compute :
+  Spsta_netlist.Circuit.t ->
+  p_source:(Spsta_netlist.Circuit.id -> float) ->
+  t
+(** Raises [Invalid_argument] if a source probability is outside [0,1]. *)
+
+val prob : t -> Spsta_netlist.Circuit.id -> float
+(** P(net = 1). *)
+
+val all : t -> float array
+(** Indexed by net id. *)

@@ -1,0 +1,77 @@
+module Circuit = Spsta_netlist.Circuit
+module Truth = Spsta_logic.Truth
+module Input_spec = Spsta_sim.Input_spec
+
+type source_moments = { mean : float; variance : float }
+
+type t = {
+  means : float array; (* per net *)
+  cov : float array array; (* full symmetric covariance matrix *)
+}
+
+let compute circuit ~p_one ~source_rate =
+  let n = Circuit.num_nets circuit in
+  let means = Array.make n 0.0 in
+  let cov = Array.make_matrix n n 0.0 in
+  let init_source s =
+    let m = source_rate s in
+    if m.variance < 0.0 then invalid_arg "Toggle_correlation.compute: negative source variance";
+    means.(s) <- m.mean;
+    cov.(s).(s) <- m.variance
+  in
+  List.iter init_source (Circuit.sources circuit);
+  let step g kind (inputs : Circuit.id array) =
+    let k = Array.length inputs in
+    let truth = Truth.of_gate kind ~arity:k in
+    let p = Array.map (fun i -> p_one i) inputs in
+    let weights =
+      Array.init k (fun i -> Truth.prob_one (Truth.boolean_difference truth i) p)
+    in
+    let m = ref 0.0 in
+    for i = 0 to k - 1 do
+      m := !m +. (weights.(i) *. means.(inputs.(i)))
+    done;
+    means.(g) <- !m;
+    (* cov(g, k) = sum_i w_i cov(x_i, k) for every already-known net k;
+       diagonal = sum_{i,j} w_i w_j cov(x_i, x_j) *)
+    for other = 0 to n - 1 do
+      if other <> g then begin
+        let c = ref 0.0 in
+        for i = 0 to k - 1 do
+          c := !c +. (weights.(i) *. cov.(inputs.(i)).(other))
+        done;
+        cov.(g).(other) <- !c;
+        cov.(other).(g) <- !c
+      end
+    done;
+    let v = ref 0.0 in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        v := !v +. (weights.(i) *. weights.(j) *. cov.(inputs.(i)).(inputs.(j)))
+      done
+    done;
+    cov.(g).(g) <- Float.max !v 0.0
+  in
+  Array.iter
+    (fun g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { kind; inputs } -> step g kind inputs
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  { means; cov }
+
+let of_input_specs circuit ~spec =
+  let sp = Signal_prob.compute circuit ~p_source:(fun s -> Input_spec.signal_probability (spec s)) in
+  let source_rate s =
+    let i = spec s in
+    { mean = Input_spec.toggling_rate i; variance = Input_spec.toggling_variance i }
+  in
+  compute circuit ~p_one:(Signal_prob.prob sp) ~source_rate
+
+let mean_rate t id = t.means.(id)
+let variance t id = t.cov.(id).(id)
+let covariance t a b = t.cov.(a).(b)
+
+let correlation t a b =
+  let sa = sqrt (variance t a) and sb = sqrt (variance t b) in
+  if sa <= 0.0 || sb <= 0.0 then 0.0 else covariance t a b /. (sa *. sb)

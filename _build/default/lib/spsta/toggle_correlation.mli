@@ -1,0 +1,35 @@
+(** Moments and correlations of signal toggling rates (paper §3.4,
+    eq. 13).
+
+    Toggling rates are treated as correlated random variables (their
+    randomness coming from the input ensemble); a net's rate is the
+    Boolean-difference-weighted sum of its gate's input rates (eq. 6),
+    which is linear, so means, variances and covariances propagate in a
+    single netlist traversal — including the covariances induced by
+    reconvergent fanout, which the independence-based analysis drops. *)
+
+type t
+
+type source_moments = { mean : float; variance : float }
+
+val compute :
+  Spsta_netlist.Circuit.t ->
+  p_one:(Spsta_netlist.Circuit.id -> float) ->
+  source_rate:(Spsta_netlist.Circuit.id -> source_moments) ->
+  t
+(** [p_one] supplies the static signal probabilities used in the
+    Boolean-difference weights (typically from {!Signal_prob}); sources
+    are pairwise uncorrelated, as in the paper's experiments. *)
+
+val of_input_specs :
+  Spsta_netlist.Circuit.t ->
+  spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
+  t
+(** Convenience wrapper: signal probabilities via eq. 5 and source
+    toggling moments from the input statistics. *)
+
+val mean_rate : t -> Spsta_netlist.Circuit.id -> float
+val variance : t -> Spsta_netlist.Circuit.id -> float
+val covariance : t -> Spsta_netlist.Circuit.id -> Spsta_netlist.Circuit.id -> float
+val correlation : t -> Spsta_netlist.Circuit.id -> Spsta_netlist.Circuit.id -> float
+(** 0 when either variance vanishes. *)

@@ -1,0 +1,89 @@
+module Timing_rule = Spsta_logic.Timing_rule
+module Normal = Spsta_dist.Normal
+module Mixture = Spsta_dist.Mixture
+module Discrete = Spsta_dist.Discrete
+module Clark = Spsta_dist.Clark
+
+module type BACKEND = sig
+  type top
+
+  val empty : top
+  val of_normal : weight:float -> Normal.t -> top
+  val total : top -> float
+  val scale : top -> float -> top
+  val add : top -> top -> top
+  val shift : top -> float -> top
+  val convolve_normal : top -> Normal.t -> top
+  val combine : Timing_rule.t -> top list -> top
+  val mean : top -> float
+  val stddev : top -> float
+  val compact : top -> top
+end
+
+module Moment_backend : BACKEND with type top = Mixture.t = struct
+  type top = Mixture.t
+
+  let empty = Mixture.empty
+  let of_normal ~weight dist = Mixture.singleton ~weight dist
+  let total = Mixture.total_weight
+  let scale = Mixture.scale
+  let add = Mixture.add
+  let shift = Mixture.add_delay
+  let convolve_normal = Mixture.add_normal_delay
+
+  (* moment-match each operand's normalised mixture to a normal, then
+     Clark-fold; exact for single operands *)
+  let combine rule tops =
+    let as_normal top =
+      match Mixture.as_normal top with
+      | Some n -> n
+      | None -> invalid_arg "Top.Moment_backend.combine: zero-mass operand"
+    in
+    let normals = List.map as_normal tops in
+    let folded =
+      match rule with
+      | Timing_rule.Max -> Clark.max_normal_many normals
+      | Timing_rule.Min -> Clark.min_normal_many normals
+    in
+    Mixture.singleton ~weight:1.0 folded
+
+  let mean = Mixture.mean
+  let stddev = Mixture.stddev
+  let compact top = Mixture.compact ~max_components:16 top
+end
+
+let discrete_backend ~dt : (module BACKEND with type top = Discrete.t) =
+  (module struct
+    type top = Discrete.t
+
+    let empty = Discrete.zero ~dt
+    let of_normal ~weight dist = Discrete.of_normal ~dt ~mass:weight dist
+    let total = Discrete.total
+    let scale = Discrete.scale
+    let add = Discrete.add
+    let shift = Discrete.shift
+
+    let convolve_normal top delay =
+      if Discrete.total top <= 0.0 then top
+      else Discrete.convolve top (Discrete.of_normal ~dt ~mass:1.0 delay)
+
+    let combine rule tops =
+      match tops with
+      | [] -> invalid_arg "Top.discrete_backend.combine: no operands"
+      | first :: rest ->
+        let op =
+          match rule with
+          | Timing_rule.Max -> Discrete.max_independent
+          | Timing_rule.Min -> Discrete.min_independent
+        in
+        let normalise top =
+          let w = Discrete.total top in
+          if w <= 0.0 then invalid_arg "Top.discrete_backend.combine: zero-mass operand";
+          Discrete.scale top (1.0 /. w)
+        in
+        List.fold_left (fun acc top -> op acc (normalise top)) (normalise first) rest
+
+    let mean = Discrete.mean
+    let stddev = Discrete.stddev
+    let compact top = top
+  end)

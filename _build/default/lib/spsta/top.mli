@@ -1,0 +1,51 @@
+(** Signal transition temporal occurrence probability (t.o.p.) functions
+    (paper Definition 3) behind a common interface, so the SPSTA engine
+    can run with either representation:
+
+    - {!Moment_backend}: weighted mixtures of normals — fast, carries the
+      first two moments exactly through WEIGHTED SUM; MAX/MIN inside a
+      multiple-input-switching term is moment-matched (Clark).
+    - {!discrete_backend}: mass functions on a uniform time grid — slower
+      but captures arbitrary shapes (Fig. 4) with an exact lattice
+      MAX/MIN. *)
+
+module type BACKEND = sig
+  type top
+  (** A t.o.p. function: a non-negative measure over time whose total
+      mass is the transition occurrence probability. *)
+
+  val empty : top
+  val of_normal : weight:float -> Spsta_dist.Normal.t -> top
+  (** A transition occurring with probability [weight], arriving with
+      the given distribution. *)
+
+  val total : top -> float
+  val scale : top -> float -> top
+  val add : top -> top -> top
+  (** WEIGHTED SUM accumulation (eq. 8/11: callers apply the weights via
+      {!scale}). *)
+
+  val shift : top -> float -> top
+  (** Deterministic gate-delay addition. *)
+
+  val convolve_normal : top -> Spsta_dist.Normal.t -> top
+  (** Add an independent normal gate delay (process variation, §1):
+      convolution with the delay distribution. *)
+
+  val combine : Spsta_logic.Timing_rule.t -> top list -> top
+  (** MIN/MAX of the *normalised* arguments, returned with unit mass —
+      the [Max_{x_i in R}] factor of eq. 11.  Inputs with zero mass are
+      invalid; raises [Invalid_argument] on an empty list. *)
+
+  val mean : top -> float
+  (** Mean of the normalised measure; 0 when empty. *)
+
+  val stddev : top -> float
+  val compact : top -> top
+  (** Bound representation growth (no-op where not needed). *)
+end
+
+module Moment_backend : BACKEND with type top = Spsta_dist.Mixture.t
+
+val discrete_backend : dt:float -> (module BACKEND with type top = Spsta_dist.Discrete.t)
+(** All values produced by one analysis share the grid step [dt]. *)

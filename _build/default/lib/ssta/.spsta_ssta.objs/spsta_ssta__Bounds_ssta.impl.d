@@ -1,0 +1,1 @@
+lib/ssta/bounds_ssta.ml: Array Float List Spsta_dist Spsta_netlist

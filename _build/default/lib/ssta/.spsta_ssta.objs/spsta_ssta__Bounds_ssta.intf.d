@@ -1,0 +1,1 @@
+lib/ssta/bounds_ssta.mli: Spsta_dist Spsta_netlist

@@ -1,0 +1,1 @@
+lib/ssta/ssta.ml: Array List Spsta_dist Spsta_logic Spsta_netlist

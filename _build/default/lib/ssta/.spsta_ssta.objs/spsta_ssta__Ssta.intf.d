@@ -1,0 +1,1 @@
+lib/ssta/ssta.mli: Spsta_dist Spsta_netlist

@@ -1,0 +1,1 @@
+lib/ssta/sta.ml: Array Float List Spsta_netlist

@@ -1,0 +1,1 @@
+lib/ssta/sta.mli: Spsta_netlist

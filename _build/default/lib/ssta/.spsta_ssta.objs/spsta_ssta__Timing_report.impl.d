@@ -1,0 +1,1 @@
+lib/ssta/timing_report.ml: Array Buffer Float List Printf Spsta_netlist

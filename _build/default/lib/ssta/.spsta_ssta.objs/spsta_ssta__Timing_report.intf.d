@@ -1,0 +1,1 @@
+lib/ssta/timing_report.mli: Spsta_netlist

@@ -1,0 +1,84 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Normal = Spsta_dist.Normal
+module Clark = Spsta_dist.Clark
+
+type arrival = { rise : Normal.t; fall : Normal.t }
+
+type result = { circuit : Circuit.t; per_net : arrival array }
+
+let default_input = { rise = Normal.standard; fall = Normal.standard }
+
+(* Base (non-inverted) gate timing: which inputs feed the output rise and
+   under which operation.  AND: output rise = MAX of input rises, output
+   fall = MIN of input falls; OR is the dual; XOR is direction-agnostic
+   and conservatively takes the MAX over both directions of all inputs. *)
+let base_arrivals kind (inputs : arrival list) =
+  match kind with
+  | Gate_kind.Not | Gate_kind.Buf -> (
+    match inputs with
+    | [ a ] -> (a.rise, a.fall)
+    | [] | _ :: _ -> invalid_arg "Ssta: NOT/BUF expects one input" )
+  | Gate_kind.And | Gate_kind.Nand ->
+    ( Clark.max_normal_many (List.map (fun a -> a.rise) inputs),
+      Clark.min_normal_many (List.map (fun a -> a.fall) inputs) )
+  | Gate_kind.Or | Gate_kind.Nor ->
+    ( Clark.min_normal_many (List.map (fun a -> a.rise) inputs),
+      Clark.max_normal_many (List.map (fun a -> a.fall) inputs) )
+  | Gate_kind.Xor | Gate_kind.Xnor ->
+    let both = List.concat_map (fun a -> [ a.rise; a.fall ]) inputs in
+    let settle = Clark.max_normal_many both in
+    (settle, settle)
+
+let run ~delay_rf_of ?(input_arrival = default_input) circuit =
+  let n = Circuit.num_nets circuit in
+  let per_net = Array.make n input_arrival in
+  let step g kind inputs =
+    let input_arrivals = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
+    let base_rise, base_fall = base_arrivals kind input_arrivals in
+    let rise0, fall0 =
+      if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
+    in
+    let d_rise, d_fall = delay_rf_of g in
+    { rise = Normal.sum rise0 d_rise; fall = Normal.sum fall0 d_fall }
+  in
+  Array.iter
+    (fun g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { kind; inputs } -> per_net.(g) <- step g kind inputs
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  { circuit; per_net }
+
+let analyze ?(gate_delay = 1.0) ?input_arrival circuit =
+  let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
+  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival circuit
+
+let analyze_variational ~gate_delay ?input_arrival circuit =
+  run ~delay_rf_of:(fun g -> let d = gate_delay g in (d, d)) ?input_arrival circuit
+
+let analyze_rf ~delay_rf ?input_arrival circuit =
+  let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
+  run
+    ~delay_rf_of:(fun g ->
+      let rise, fall = delay_rf g in
+      (to_normal rise, to_normal fall))
+    ?input_arrival circuit
+
+let arrival r id = r.per_net.(id)
+
+let mean_of direction a =
+  match direction with `Rise -> Normal.mean a.rise | `Fall -> Normal.mean a.fall
+
+let critical_endpoint r direction =
+  match Circuit.endpoints r.circuit with
+  | [] -> invalid_arg "Ssta.critical_endpoint: circuit has no endpoints"
+  | first :: rest ->
+    List.fold_left
+      (fun best e ->
+        if mean_of direction r.per_net.(e) > mean_of direction r.per_net.(best) then e else best)
+      first rest
+
+let max_arrival r direction =
+  let e = critical_endpoint r direction in
+  match direction with `Rise -> r.per_net.(e).rise | `Fall -> r.per_net.(e).fall

@@ -1,0 +1,47 @@
+(** Block-based, min/max-separated statistical static timing analysis —
+    the paper's baseline (§2.1 and §4).
+
+    Every net carries one normal arrival distribution per transition
+    direction.  SUM adds the gate delay (eq. 2); multi-input gates apply
+    Clark's moment-matched MAX or MIN (eq. 4) according to the gate logic
+    and transition direction; inverting gates swap rise and fall.  Like
+    static timing analysis, SSTA assumes a transition always occurs, so
+    it is oblivious to input statistics — the property the paper
+    criticises. *)
+
+type arrival = { rise : Spsta_dist.Normal.t; fall : Spsta_dist.Normal.t }
+
+type result
+
+val analyze :
+  ?gate_delay:float ->
+  ?input_arrival:arrival ->
+  Spsta_netlist.Circuit.t ->
+  result
+(** [input_arrival] defaults to standard normal for both directions (the
+    paper's source statistics). [gate_delay] is deterministic and
+    defaults to 1.0. *)
+
+val analyze_variational :
+  gate_delay:(Spsta_netlist.Circuit.id -> Spsta_dist.Normal.t) ->
+  ?input_arrival:arrival ->
+  Spsta_netlist.Circuit.t ->
+  result
+(** Same propagation with an independent normal delay per gate — used by
+    the process-variation ablation. *)
+
+val analyze_rf :
+  delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
+  ?input_arrival:arrival ->
+  Spsta_netlist.Circuit.t ->
+  result
+(** Deterministic but direction-dependent (rise, fall) delays per gate —
+    for cell-library timing ({!Spsta_netlist.Cell_library}). *)
+
+val arrival : result -> Spsta_netlist.Circuit.id -> arrival
+
+val critical_endpoint : result -> [ `Rise | `Fall ] -> Spsta_netlist.Circuit.id
+(** Endpoint with the largest mean arrival for the given direction. *)
+
+val max_arrival : result -> [ `Rise | `Fall ] -> Spsta_dist.Normal.t
+(** Arrival distribution at the {!critical_endpoint}. *)

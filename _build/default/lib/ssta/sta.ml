@@ -1,0 +1,37 @@
+module Circuit = Spsta_netlist.Circuit
+
+type bounds = { earliest : float; latest : float }
+
+type result = { circuit : Circuit.t; per_net : bounds array }
+
+let analyze ?(gate_delay = 1.0) ?(input_bounds = { earliest = 0.0; latest = 0.0 }) circuit =
+  let n = Circuit.num_nets circuit in
+  let per_net = Array.make n input_bounds in
+  Array.iter
+    (fun g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { inputs; _ } ->
+        let earliest =
+          Array.fold_left (fun acc i -> Float.min acc per_net.(i).earliest) infinity inputs
+        in
+        let latest =
+          Array.fold_left (fun acc i -> Float.max acc per_net.(i).latest) neg_infinity inputs
+        in
+        per_net.(g) <- { earliest = earliest +. gate_delay; latest = latest +. gate_delay }
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  { circuit; per_net }
+
+let bounds r id = r.per_net.(id)
+
+let critical_endpoint r =
+  match Circuit.endpoints r.circuit with
+  | [] -> invalid_arg "Sta.critical_endpoint: circuit has no endpoints"
+  | first :: rest ->
+    List.fold_left
+      (fun best e -> if r.per_net.(e).latest > r.per_net.(best).latest then e else best)
+      first rest
+
+let max_latest r =
+  List.fold_left (fun acc e -> Float.max acc r.per_net.(e).latest) neg_infinity
+    (Circuit.endpoints r.circuit)

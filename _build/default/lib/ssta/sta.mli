@@ -1,0 +1,24 @@
+(** Classical corner static timing analysis: per-net [min, max] arrival
+    bounds under unit gate delays, input-vector oblivious.  This is the
+    "two dotted lines" of the paper's Fig. 1. *)
+
+type bounds = { earliest : float; latest : float }
+
+type result
+
+val analyze :
+  ?gate_delay:float ->
+  ?input_bounds:bounds ->
+  Spsta_netlist.Circuit.t ->
+  result
+(** [input_bounds] defaults to {earliest = 0.; latest = 0.}; the paper's
+    N(0,1) inputs are commonly bounded at +-3 sigma, i.e.
+    [{earliest = -3.; latest = 3.}]. *)
+
+val bounds : result -> Spsta_netlist.Circuit.id -> bounds
+
+val critical_endpoint : result -> Spsta_netlist.Circuit.id
+(** Endpoint with the largest [latest] arrival. *)
+
+val max_latest : result -> float
+(** Largest [latest] over all endpoints — the STA clock-period bound. *)

@@ -1,0 +1,20 @@
+(** A mutable binary heap with an explicit ordering, used for
+    priority-driven searches (e.g. longest-path enumeration). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Min-heap with respect to [cmp] (pop returns the smallest). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum. *)
+
+val peek : 'a t -> 'a option
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list
+(** Drains the heap (ascending). *)

@@ -1,0 +1,55 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+
+let add t x =
+  let bins = Array.length t.counts in
+  let raw = int_of_float (Float.floor ((x -. t.lo) /. t.width)) in
+  let i = if raw < 0 then 0 else if raw >= bins then bins - 1 else raw in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+let bin_count t = Array.length t.counts
+let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. t.width)
+
+let density t i =
+  if t.total = 0 then 0.0
+  else float_of_int t.counts.(i) /. (float_of_int t.total *. t.width)
+
+let densities t = Array.init (bin_count t) (fun i -> (bin_center t i, density t i))
+
+let of_samples ?(bins = 50) samples =
+  if Array.length samples = 0 then invalid_arg "Histogram.of_samples: empty array";
+  let lo = Array.fold_left Float.min infinity samples in
+  let hi = Array.fold_left Float.max neg_infinity samples in
+  let hi = if hi > lo then hi else lo +. 1.0 in
+  (* widen slightly so the max sample falls inside the last bin *)
+  let t = create ~lo ~hi:(hi +. ((hi -. lo) *. 1e-9) +. 1e-12) ~bins in
+  Array.iter (add t) samples;
+  t
+
+let render ?(width = 50) t =
+  let max_density = ref 0.0 in
+  for i = 0 to bin_count t - 1 do
+    if density t i > !max_density then max_density := density t i
+  done;
+  let buf = Buffer.create 1024 in
+  for i = 0 to bin_count t - 1 do
+    let d = density t i in
+    let bar_len =
+      if !max_density <= 0.0 then 0
+      else int_of_float (Float.round (d /. !max_density *. float_of_int width))
+    in
+    Buffer.add_string buf (Printf.sprintf "%8.3f | %s\n" (bin_center t i) (String.make bar_len '#'))
+  done;
+  Buffer.contents buf

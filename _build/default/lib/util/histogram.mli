@@ -1,0 +1,30 @@
+(** Fixed-bin histograms, used to visualise Monte Carlo arrival-time
+    distributions (Fig. 1) and to compare distribution shapes. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [lo, hi) with [bins] equal bins.
+    Raises [Invalid_argument] if [bins <= 0] or [hi <= lo]. *)
+
+val add : t -> float -> unit
+(** Samples outside [lo, hi) are clamped into the end bins. *)
+
+val count : t -> int
+(** Total samples added. *)
+
+val bin_count : t -> int
+val bin_center : t -> int -> float
+val density : t -> int -> float
+(** Normalised height of bin [i] so the histogram integrates to 1;
+    0 when the histogram is empty. *)
+
+val densities : t -> (float * float) array
+(** All (center, density) pairs, in bin order. *)
+
+val of_samples : ?bins:int -> float array -> t
+(** Histogram spanning the sample range (default 50 bins).
+    Raises [Invalid_argument] on an empty array. *)
+
+val render : ?width:int -> t -> string
+(** ASCII bar rendering, one bin per line — handy in example programs. *)

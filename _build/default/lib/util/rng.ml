@@ -1,0 +1,93 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float option; (* cached second Box-Muller deviate *)
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: expands a single 64-bit seed into well-mixed words, the
+   recommended way to seed xoshiro generators. *)
+let splitmix64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_seed64 seed =
+  let st = ref seed in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; spare = None }
+
+let create ~seed = of_seed64 (Int64.of_int seed)
+
+let copy t = { t with spare = t.spare }
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = of_seed64 (bits64 t)
+
+let float t =
+  (* 53 high bits -> uniform double in [0,1) *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* rejection-free for our purposes: modulo bias is ~n/2^63, negligible *)
+  let v = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int n))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t ~p = float t < p
+
+let gaussian t ~mu ~sigma =
+  match t.spare with
+  | Some z ->
+    t.spare <- None;
+    mu +. (sigma *. z)
+  | None ->
+    let rec draw () =
+      let u = float t in
+      if u <= 1e-300 then draw () else u
+    in
+    let u1 = draw () in
+    let u2 = float t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.spare <- Some (r *. sin theta);
+    mu +. (sigma *. r *. cos theta)
+
+let choose_index t weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Rng.choose_index: empty weights";
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    if weights.(i) < 0.0 then invalid_arg "Rng.choose_index: negative weight";
+    total := !total +. weights.(i)
+  done;
+  if !total <= 0.0 then invalid_arg "Rng.choose_index: zero total weight";
+  let target = float t *. !total in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

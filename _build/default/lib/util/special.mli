@@ -1,0 +1,19 @@
+(** Special functions needed by the statistical timing formulas:
+    the error function and the standard normal pdf/cdf/quantile. *)
+
+val erf : float -> float
+(** Error function, accurate to ~1.2e-7 absolute (sufficient for timing
+    moments; validated against high-precision references in the tests). *)
+
+val erfc : float -> float
+(** Complementary error function, [1 - erf x] without cancellation. *)
+
+val normal_pdf : float -> float
+(** Standard normal density φ(x). *)
+
+val normal_cdf : float -> float
+(** Standard normal distribution function Φ(x). *)
+
+val normal_quantile : float -> float
+(** Inverse of {!normal_cdf} on (0, 1) (Acklam's rational approximation,
+    relative error < 1.15e-9).  Raises [Invalid_argument] outside (0, 1). *)

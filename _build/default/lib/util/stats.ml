@@ -1,0 +1,124 @@
+type acc = {
+  mutable n : int;
+  mutable mu : float;
+  mutable m2 : float; (* sum of squared deviations from the running mean *)
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let acc_create () = { n = 0; mu = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+let acc_add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mu in
+  t.mu <- t.mu +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mu));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let acc_count t = t.n
+let acc_mean t = if t.n = 0 then 0.0 else t.mu
+let acc_variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+let acc_stddev t = sqrt (acc_variance t)
+
+let acc_min t =
+  if t.n = 0 then invalid_arg "Stats.acc_min: empty accumulator";
+  t.lo
+
+let acc_max t =
+  if t.n = 0 then invalid_arg "Stats.acc_max: empty accumulator";
+  t.hi
+
+let acc_merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mu -. a.mu in
+    let nf = float_of_int n in
+    let mu = a.mu +. (delta *. float_of_int b.n /. nf) in
+    let m2 =
+      a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+    in
+    { n; mu; m2; lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+  end
+
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let central_moment xs ~order ~mu =
+  let n = float_of_int (Array.length xs) in
+  Array.fold_left (fun acc x -> acc +. ((x -. mu) ** float_of_int order)) 0.0 xs /. n
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  central_moment xs ~order:2 ~mu:(mean xs)
+
+let stddev xs = sqrt (variance xs)
+
+let skewness xs =
+  check_nonempty "Stats.skewness" xs;
+  let mu = mean xs in
+  let v = central_moment xs ~order:2 ~mu in
+  if v <= 0.0 then 0.0 else central_moment xs ~order:3 ~mu /. (v ** 1.5)
+
+let covariance xs ys =
+  check_nonempty "Stats.covariance" xs;
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Stats.covariance: length mismatch";
+  let mx = mean xs and my = mean ys in
+  let n = float_of_int (Array.length xs) in
+  let sum = ref 0.0 in
+  Array.iteri (fun i x -> sum := !sum +. ((x -. mx) *. (ys.(i) -. my))) xs;
+  !sum /. n
+
+let correlation xs ys =
+  let sx = stddev xs and sy = stddev ys in
+  if sx <= 0.0 || sy <= 0.0 then 0.0 else covariance xs ys /. (sx *. sy)
+
+let percentile xs ~p =
+  check_nonempty "Stats.percentile" xs;
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Stats.percentile: p outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = p *. float_of_int (n - 1) in
+  let i = int_of_float (Float.floor pos) in
+  if i >= n - 1 then sorted.(n - 1)
+  else
+    let frac = pos -. float_of_int i in
+    (sorted.(i) *. (1.0 -. frac)) +. (sorted.(i + 1) *. frac)
+
+let relative_error ~reference x =
+  let diff = Float.abs (x -. reference) in
+  if reference = 0.0 then diff else diff /. Float.abs reference
+
+let ks_statistic xs ~cdf =
+  check_nonempty "Stats.ks_statistic" xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let nf = float_of_int n in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let f = cdf x in
+      (* the empirical cdf jumps from i/n to (i+1)/n at x *)
+      worst := Float.max !worst (Float.abs (f -. (float_of_int i /. nf)));
+      worst := Float.max !worst (Float.abs (f -. (float_of_int (i + 1) /. nf))))
+    sorted;
+  !worst
+
+let ks_critical ~n ~alpha =
+  if n <= 0 then invalid_arg "Stats.ks_critical: n must be positive";
+  let c =
+    if Float.abs (alpha -. 0.10) < 1e-9 then 1.224
+    else if Float.abs (alpha -. 0.05) < 1e-9 then 1.358
+    else if Float.abs (alpha -. 0.01) < 1e-9 then 1.628
+    else invalid_arg "Stats.ks_critical: unsupported alpha"
+  in
+  c /. sqrt (float_of_int n)

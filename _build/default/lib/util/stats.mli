@@ -1,0 +1,55 @@
+(** Descriptive statistics: streaming (Welford) accumulators and helpers
+    over float arrays.  Used by the Monte Carlo reference simulator and by
+    the experiment harness when comparing analyses. *)
+
+type acc
+(** Streaming accumulator for count / mean / variance / extrema. *)
+
+val acc_create : unit -> acc
+val acc_add : acc -> float -> unit
+val acc_count : acc -> int
+val acc_mean : acc -> float
+(** Mean of the observations; 0 if empty. *)
+
+val acc_variance : acc -> float
+(** Population variance (divides by n); 0 if fewer than 2 samples. *)
+
+val acc_stddev : acc -> float
+val acc_min : acc -> float
+(** Raises [Invalid_argument] if empty. *)
+
+val acc_max : acc -> float
+(** Raises [Invalid_argument] if empty. *)
+
+val acc_merge : acc -> acc -> acc
+(** Combine two accumulators as if their streams were concatenated. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Population variance. *)
+
+val stddev : float array -> float
+val skewness : float array -> float
+(** Standardised third central moment; 0 when the variance vanishes. *)
+
+val covariance : float array -> float array -> float
+(** Population covariance; arrays must have equal nonzero length. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation; 0 when either variance vanishes. *)
+
+val percentile : float array -> p:float -> float
+(** Linear-interpolation percentile, [p] in [0, 1].  Sorts a copy. *)
+
+val relative_error : reference:float -> float -> float
+(** |x - reference| / |reference|; |x - reference| when reference = 0. *)
+
+val ks_statistic : float array -> cdf:(float -> float) -> float
+(** One-sample Kolmogorov-Smirnov statistic: the supremum distance
+    between the sample's empirical cdf and the model [cdf].  Sorts a
+    copy.  Raises [Invalid_argument] on an empty array. *)
+
+val ks_critical : n:int -> alpha:float -> float
+(** Asymptotic critical value c(alpha) / sqrt(n) for the one-sample KS
+    test; supported alphas: 0.1, 0.05, 0.01 (raises [Invalid_argument]
+    otherwise). *)

@@ -1,0 +1,52 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = { headers : string list; mutable rows : row list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: row width differs from header";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let cell_float x = Printf.sprintf "%.2f" x
+
+let render ?(align = Right) t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let pad i c =
+    let w = widths.(i) in
+    let n = w - String.length c in
+    if n <= 0 then c
+    else
+      match align with
+      | Left -> c ^ String.make n ' '
+      | Right -> String.make n ' ' ^ c
+  in
+  let line cells = "| " ^ String.concat " | " (List.mapi pad cells) ^ " |" in
+  let rule =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line t.headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter
+    (function
+      | Cells c -> Buffer.add_string buf (line c ^ "\n")
+      | Separator -> Buffer.add_string buf (rule ^ "\n"))
+    rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf

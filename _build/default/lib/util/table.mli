@@ -1,0 +1,20 @@
+(** Minimal ASCII table rendering for experiment reports, mirroring the
+    row/column layout of the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups (e.g. rising vs falling blocks). *)
+
+val render : ?align:align -> t -> string
+(** Render with column padding; [align] applies to data cells
+    (headers are centred-ish via left alignment). Default [Right]. *)
+
+val cell_float : float -> string
+(** Standard 2-decimal cell formatting used across the experiment tables. *)

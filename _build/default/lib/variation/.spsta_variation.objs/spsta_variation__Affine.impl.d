@@ -1,0 +1,1 @@
+lib/variation/affine.ml: Float List

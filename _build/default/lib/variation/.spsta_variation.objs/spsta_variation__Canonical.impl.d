@@ -1,0 +1,1 @@
+lib/variation/canonical.ml: Array Float List Spsta_dist Spsta_util

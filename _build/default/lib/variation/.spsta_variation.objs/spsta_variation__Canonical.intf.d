@@ -1,0 +1,1 @@
+lib/variation/canonical.mli: Spsta_dist Spsta_util

@@ -1,0 +1,1 @@
+lib/variation/canonical_ssta.ml: Array Canonical List Param_model Spsta_logic Spsta_netlist

@@ -1,0 +1,1 @@
+lib/variation/canonical_ssta.mli: Canonical Param_model Spsta_netlist

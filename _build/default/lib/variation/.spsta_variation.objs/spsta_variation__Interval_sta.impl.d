@@ -1,0 +1,1 @@
+lib/variation/interval_sta.ml: Affine Array Float List Spsta_netlist

@@ -1,0 +1,1 @@
+lib/variation/interval_sta.mli: Affine Spsta_netlist

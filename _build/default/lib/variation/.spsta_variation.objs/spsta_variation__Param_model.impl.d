@@ -1,0 +1,1 @@
+lib/variation/param_model.ml: Array Canonical List Spsta_netlist Spsta_util

@@ -1,0 +1,1 @@
+lib/variation/param_model.mli: Canonical Spsta_netlist Spsta_util

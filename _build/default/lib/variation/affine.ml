@@ -1,0 +1,92 @@
+(* Terms are kept as a sorted association list (symbol id -> coeff),
+   which keeps add/sub linear and deterministic. *)
+
+type t = { center : float; terms : (int * float) list }
+
+type context = { mutable next : int }
+
+let create_context () = { next = 0 }
+
+let fresh ctx =
+  let s = ctx.next in
+  ctx.next <- ctx.next + 1;
+  s
+
+let constant c = { center = c; terms = [] }
+
+let make ctx ~center ~radius =
+  if radius < 0.0 then invalid_arg "Affine.make: negative radius";
+  if radius = 0.0 then constant center
+  else { center; terms = [ (fresh ctx, radius) ] }
+
+let center t = t.center
+
+let radius t = List.fold_left (fun acc (_, c) -> acc +. Float.abs c) 0.0 t.terms
+
+let interval t =
+  let r = radius t in
+  (t.center -. r, t.center +. r)
+
+let merge_terms op a b =
+  let rec go xs ys =
+    match (xs, ys) with
+    | [], rest -> List.map (fun (s, c) -> (s, op 0.0 c)) rest
+    | rest, [] -> List.map (fun (s, c) -> (s, op c 0.0)) rest
+    | (sx, cx) :: xs', (sy, cy) :: ys' ->
+      if sx = sy then begin
+        let c = op cx cy in
+        if c = 0.0 then go xs' ys' else (sx, c) :: go xs' ys'
+      end
+      else if sx < sy then (sx, op cx 0.0) :: go xs' ys
+      else (sy, op 0.0 cy) :: go xs ys'
+  in
+  go a b
+
+let add a b = { center = a.center +. b.center; terms = merge_terms ( +. ) a.terms b.terms }
+let sub a b = { center = a.center -. b.center; terms = merge_terms ( -. ) a.terms b.terms }
+let add_constant t c = { t with center = t.center +. c }
+
+let scale k t =
+  if k = 0.0 then constant 0.0
+  else { center = k *. t.center; terms = List.map (fun (s, c) -> (s, k *. c)) t.terms }
+
+let neg t = scale (-1.0) t
+
+(* max(x, y) = (x + y)/2 + |x - y|/2.  When the ranges overlap, enclose
+   |d| over [dlo, dhi] (dlo < 0 < dhi) by its Chebyshev chord
+   alpha*d + beta +- beta, with alpha = (dhi + dlo) / (dhi - dlo) and
+   beta = half the chord's value at 0; keeping the alpha*d term
+   preserves the correlation between the result and its operands. *)
+let join_max ctx a b =
+  let d = sub a b in
+  let dlo, dhi = interval d in
+  if dlo >= 0.0 then a
+  else if dhi <= 0.0 then b
+  else begin
+    let alpha = (dhi +. dlo) /. (dhi -. dlo) in
+    let chord_at_zero = -.dlo *. (1.0 +. alpha) in
+    let beta = chord_at_zero /. 2.0 in
+    let abs_d =
+      let linear = scale alpha d in
+      let noise = { center = beta; terms = [ (fresh ctx, beta) ] } in
+      add linear noise
+    in
+    scale 0.5 (add (add a b) abs_d)
+  end
+
+let join_max_many ctx = function
+  | [] -> invalid_arg "Affine.join_max_many: empty list"
+  | first :: rest -> List.fold_left (join_max ctx) first rest
+
+let eval t assign =
+  List.fold_left
+    (fun acc (s, c) ->
+      let v = Float.max (-1.0) (Float.min 1.0 (assign s)) in
+      acc +. (c *. v))
+    t.center t.terms
+
+let dominant_symbols t n =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) t.terms
+  in
+  List.filteri (fun i _ -> i < n) sorted

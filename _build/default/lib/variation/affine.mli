@@ -1,0 +1,50 @@
+(** Affine interval arithmetic (the paper's §3.6 symbolic track;
+    Ma/Rutenbar-style interval-valued analysis, refs [10, 20]).
+
+    A value is x = center + sum_i coeff_i * eps_i with each noise symbol
+    eps_i ranging over [-1, 1].  Unlike plain intervals, shared symbols
+    preserve correlation: x - x = 0 exactly, and reconvergent paths stay
+    tight.  All operations compute *guaranteed enclosures*: every
+    pointwise evaluation of the operands (under any eps assignment) is
+    contained in the result's range. *)
+
+type t
+
+type context
+(** Supply of fresh noise symbols. *)
+
+val create_context : unit -> context
+
+val constant : float -> t
+val make : context -> center:float -> radius:float -> t
+(** A fresh independent uncertainty: center +- radius with a new noise
+    symbol.  Raises [Invalid_argument] on negative radius. *)
+
+val center : t -> float
+val radius : t -> float
+(** Sum of coefficient magnitudes. *)
+
+val interval : t -> float * float
+(** (lo, hi) = center -+ radius. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val add_constant : t -> float -> t
+val scale : float -> t -> t
+val neg : t -> t
+
+val join_max : context -> t -> t -> t
+(** Sound enclosure of max(x, y): exact when the ranges are disjoint,
+    otherwise (x + y)/2 + |x - y|/2 with the absolute value enclosed
+    via a fresh symbol. *)
+
+val join_max_many : context -> t list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val eval : t -> (int -> float) -> float
+(** Evaluate under a concrete noise assignment (values are clamped to
+    [-1, 1] to stay within the model). *)
+
+val dominant_symbols : t -> int -> (int * float) list
+(** The [n] largest-magnitude noise terms — which uncertainty sources
+    drive this value. *)

@@ -1,0 +1,91 @@
+module Normal = Spsta_dist.Normal
+module Special = Spsta_util.Special
+
+type t = { mean : float; sens : float array; rand : float }
+
+let make ~mean ~sens ~rand =
+  if rand < 0.0 then invalid_arg "Canonical.make: negative independent sigma";
+  { mean; sens; rand }
+
+let constant ~nparams x = { mean = x; sens = Array.make nparams 0.0; rand = 0.0 }
+
+let nparams t = Array.length t.sens
+
+let variance t =
+  Array.fold_left (fun acc s -> acc +. (s *. s)) (t.rand *. t.rand) t.sens
+
+let stddev t = sqrt (variance t)
+
+let check_compatible a b =
+  if Array.length a.sens <> Array.length b.sens then
+    invalid_arg "Canonical: parameter-count mismatch"
+
+let covariance a b =
+  check_compatible a b;
+  let acc = ref 0.0 in
+  Array.iteri (fun i s -> acc := !acc +. (s *. b.sens.(i))) a.sens;
+  !acc
+
+let correlation a b =
+  let sa = stddev a and sb = stddev b in
+  if sa <= 0.0 || sb <= 0.0 then 0.0 else covariance a b /. (sa *. sb)
+
+let add a b =
+  check_compatible a b;
+  {
+    mean = a.mean +. b.mean;
+    sens = Array.mapi (fun i s -> s +. b.sens.(i)) a.sens;
+    rand = sqrt ((a.rand *. a.rand) +. (b.rand *. b.rand));
+  }
+
+let add_constant t c = { t with mean = t.mean +. c }
+let negate t = { mean = -.t.mean; sens = Array.map (fun s -> -.s) t.sens; rand = t.rand }
+
+let scale t k =
+  { mean = k *. t.mean; sens = Array.map (fun s -> k *. s) t.sens; rand = Float.abs k *. t.rand }
+
+(* Clark MAX with the covariance implied by the shared parameters, then
+   re-expression: sensitivities blend with the tightness Q (the standard
+   canonical-SSTA recipe); the independent sigma is set so the canonical
+   variance equals Clark's second moment. *)
+let max2 a b =
+  check_compatible a b;
+  let var_a = variance a and var_b = variance b in
+  let cov = covariance a b in
+  let theta2 = var_a +. var_b -. (2.0 *. cov) in
+  if theta2 <= 1e-24 then if a.mean >= b.mean then a else b
+  else begin
+    let theta = sqrt theta2 in
+    let lambda = (a.mean -. b.mean) /. theta in
+    let q = Special.normal_cdf lambda in
+    let p = Special.normal_pdf lambda in
+    let mean = (a.mean *. q) +. (b.mean *. (1.0 -. q)) +. (theta *. p) in
+    let second =
+      (((a.mean *. a.mean) +. var_a) *. q)
+      +. (((b.mean *. b.mean) +. var_b) *. (1.0 -. q))
+      +. ((a.mean +. b.mean) *. theta *. p)
+    in
+    let var_clark = Float.max (second -. (mean *. mean)) 0.0 in
+    let sens = Array.mapi (fun i s -> (q *. s) +. ((1.0 -. q) *. b.sens.(i))) a.sens in
+    let linear_var = Array.fold_left (fun acc s -> acc +. (s *. s)) 0.0 sens in
+    let rand2 = Float.max (var_clark -. linear_var) 0.0 in
+    { mean; sens; rand = sqrt rand2 }
+  end
+
+let min2 a b = negate (max2 (negate a) (negate b))
+
+let fold_many name op = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | first :: rest -> List.fold_left op first rest
+
+let max_many forms = fold_many "Canonical.max_many" max2 forms
+let min_many forms = fold_many "Canonical.min_many" min2 forms
+
+let to_normal t = Normal.make ~mu:t.mean ~sigma:(stddev t)
+
+let sample rng ~params t =
+  if Array.length params <> Array.length t.sens then
+    invalid_arg "Canonical.sample: parameter-count mismatch";
+  let linear = ref t.mean in
+  Array.iteri (fun i s -> linear := !linear +. (s *. params.(i))) t.sens;
+  if t.rand > 0.0 then !linear +. Spsta_util.Rng.gaussian rng ~mu:0.0 ~sigma:t.rand else !linear

@@ -1,0 +1,55 @@
+(** First-order canonical timing forms (Visweswariah et al., DAC 2004 —
+    the block-based SSTA the paper cites as reference [25]):
+
+      A = mean + sum_i sens.(i) * dX_i + rand * dR
+
+    with dX_i shared standard-normal parameters (process variation) and
+    dR an independent standard normal private to this form.  Linear
+    operations are exact; MAX/MIN moment-match the result back onto the
+    canonical form (Clark), preserving the correlation structure that a
+    plain (mean, sigma) representation loses. *)
+
+type t = {
+  mean : float;
+  sens : float array;  (** sensitivity to each shared parameter *)
+  rand : float;  (** independent-term sigma, >= 0 *)
+}
+
+val make : mean:float -> sens:float array -> rand:float -> t
+(** Raises [Invalid_argument] on negative [rand]. *)
+
+val constant : nparams:int -> float -> t
+val nparams : t -> int
+
+val variance : t -> float
+val stddev : t -> float
+val covariance : t -> t -> float
+(** Shared-parameter covariance (independent terms contribute nothing
+    across distinct forms). *)
+
+val correlation : t -> t -> float
+
+val add : t -> t -> t
+(** Sum of the two forms treating their [rand] terms as independent
+    (exact for SUM of arrival + delay).
+    Raises [Invalid_argument] on parameter-count mismatch. *)
+
+val add_constant : t -> float -> t
+val negate : t -> t
+val scale : t -> float -> t
+
+val max2 : t -> t -> t
+(** Clark MAX re-expressed canonically: sensitivities blend by the
+    tightness probability; the independent term absorbs the variance the
+    linear part cannot express. *)
+
+val min2 : t -> t -> t
+val max_many : t list -> t
+(** Raises [Invalid_argument] on an empty list. *)
+
+val min_many : t list -> t
+
+val to_normal : t -> Spsta_dist.Normal.t
+val sample : Spsta_util.Rng.t -> params:float array -> t -> float
+(** Evaluate under a concrete parameter vector, drawing the independent
+    term from the given generator. *)

@@ -1,0 +1,33 @@
+(** Block-based SSTA over first-order canonical forms — the
+    principal-component-aware SSTA the paper positions itself against
+    (its reference [25]).  Identical MIN/MAX structure to
+    {!Spsta_ssta.Ssta} but arrivals are canonical forms over a shared
+    process-parameter vector, so path-sharing and spatial correlations
+    survive the MAX operation. *)
+
+type arrival = { rise : Canonical.t; fall : Canonical.t }
+
+type result
+
+val analyze :
+  ?input_sigma:float ->
+  Param_model.t ->
+  Param_model.placement ->
+  Spsta_netlist.Circuit.t ->
+  result
+(** Source arrivals are N(0, input_sigma) in the independent term
+    (default 1.0, the paper's inputs); gate delays come from the model's
+    canonical forms. *)
+
+val arrival : result -> Spsta_netlist.Circuit.id -> arrival
+
+val critical_endpoint : result -> [ `Rise | `Fall ] -> Spsta_netlist.Circuit.id
+
+val endpoint_correlation :
+  result -> [ `Rise | `Fall ] -> Spsta_netlist.Circuit.id -> Spsta_netlist.Circuit.id -> float
+(** Correlation between two endpoint arrivals through the shared
+    parameters — information a (mean, sigma)-only SSTA cannot provide. *)
+
+val chip_delay : result -> Canonical.t
+(** Canonical MAX over all endpoint arrivals (both directions): the
+    clock-period-setting distribution. *)

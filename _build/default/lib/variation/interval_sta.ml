@@ -1,0 +1,68 @@
+module Circuit = Spsta_netlist.Circuit
+
+type result = {
+  circuit : Circuit.t;
+  per_net : Affine.t array;
+  naive : (float * float) array; (* plain interval propagation, for comparison *)
+}
+
+let analyze ?(gate_delay = 1.0) ?(delay_radius = 0.0) ?(input_radius = 3.0) circuit =
+  if delay_radius < 0.0 || input_radius < 0.0 then
+    invalid_arg "Interval_sta.analyze: negative radius";
+  let ctx = Affine.create_context () in
+  let n = Circuit.num_nets circuit in
+  let per_net = Array.make n (Affine.constant 0.0) in
+  let naive = Array.make n (0.0, 0.0) in
+  List.iter
+    (fun s ->
+      per_net.(s) <- Affine.make ctx ~center:0.0 ~radius:input_radius;
+      naive.(s) <- (-.input_radius, input_radius))
+    (Circuit.sources circuit);
+  Array.iter
+    (fun g ->
+      match Circuit.driver circuit g with
+      | Circuit.Gate { inputs; _ } ->
+        let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
+        let delay = Affine.make ctx ~center:gate_delay ~radius:delay_radius in
+        per_net.(g) <- Affine.add (Affine.join_max_many ctx operands) delay;
+        let lo =
+          Array.fold_left (fun acc i -> Float.max acc (fst naive.(i))) neg_infinity inputs
+        in
+        let hi =
+          Array.fold_left (fun acc i -> Float.max acc (snd naive.(i))) neg_infinity inputs
+        in
+        naive.(g) <- (lo +. gate_delay -. delay_radius, hi +. gate_delay +. delay_radius)
+      | Circuit.Input | Circuit.Dff_output _ -> assert false)
+    (Circuit.topo_gates circuit);
+  { circuit; per_net; naive }
+
+let arrival r id = r.per_net.(id)
+
+(* intersect the affine enclosure with the naive one: both are
+   guaranteed, so their intersection is too and is never wider *)
+let arrival_interval r id =
+  let alo, ahi = Affine.interval r.per_net.(id) in
+  let nlo, nhi = r.naive.(id) in
+  (Float.max alo nlo, Float.min ahi nhi)
+
+let endpoints_exn r =
+  match Circuit.endpoints r.circuit with
+  | [] -> invalid_arg "Interval_sta: circuit has no endpoints"
+  | endpoints -> endpoints
+
+let chip_interval r =
+  let endpoints = endpoints_exn r in
+  (* interval of the max: combine endpoint enclosures conservatively *)
+  List.fold_left
+    (fun (lo, hi) e ->
+      let elo, ehi = arrival_interval r e in
+      (Float.max lo elo, Float.max hi ehi))
+    (neg_infinity, neg_infinity) endpoints
+
+let naive_chip_interval r =
+  List.fold_left
+    (fun (lo, hi) e ->
+      let elo, ehi = r.naive.(e) in
+      (Float.max lo elo, Float.max hi ehi))
+    (neg_infinity, neg_infinity)
+    (endpoints_exn r)

@@ -1,0 +1,1 @@
+test/test_affine.ml: Alcotest Array Float Hashtbl List QCheck QCheck_alcotest Spsta_experiments Spsta_logic Spsta_netlist Spsta_util Spsta_variation

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Array Float List Spsta_core Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim Spsta_util

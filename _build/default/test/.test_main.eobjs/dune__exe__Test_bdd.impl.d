@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Float Gen List QCheck QCheck_alcotest Spsta_bdd Spsta_logic

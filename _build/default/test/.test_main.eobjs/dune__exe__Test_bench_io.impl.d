@@ -1,0 +1,1 @@
+test/test_bench_io.ml: Alcotest Filename Fun List Spsta_experiments Spsta_logic Spsta_netlist String Sys

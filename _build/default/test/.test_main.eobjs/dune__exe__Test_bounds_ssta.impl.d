@@ -1,0 +1,1 @@
+test/test_bounds_ssta.ml: Alcotest Array Float List Printf Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_ssta Spsta_util

@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Array Float List Printf Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim Spsta_util Spsta_variation

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Hashtbl List Spsta_logic Spsta_netlist

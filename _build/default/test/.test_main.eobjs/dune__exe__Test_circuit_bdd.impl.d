@@ -1,0 +1,1 @@
+test/test_circuit_bdd.ml: Alcotest Array List Spsta_bdd Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim

@@ -1,0 +1,1 @@
+test/test_clark.ml: Alcotest Float QCheck QCheck_alcotest Spsta_dist Spsta_util

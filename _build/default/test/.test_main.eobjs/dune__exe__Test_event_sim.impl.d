@@ -1,0 +1,1 @@
+test/test_event_sim.ml: Alcotest Array Float Hashtbl List QCheck QCheck_alcotest Spsta_logic Spsta_netlist Spsta_power Spsta_sim Spsta_util

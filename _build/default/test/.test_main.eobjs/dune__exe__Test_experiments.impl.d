@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float List Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim String

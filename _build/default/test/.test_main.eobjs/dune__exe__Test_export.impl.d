@@ -1,0 +1,1 @@
+test/test_export.ml: Alcotest Filename Float Fun List Spsta_core Spsta_experiments Spsta_netlist String Sys

@@ -1,0 +1,1 @@
+test/test_four_value.ml: Alcotest Float List QCheck QCheck_alcotest Spsta_core Spsta_logic

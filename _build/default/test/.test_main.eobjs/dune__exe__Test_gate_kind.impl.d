@@ -1,0 +1,1 @@
+test/test_gate_kind.ml: Alcotest List QCheck QCheck_alcotest Spsta_logic

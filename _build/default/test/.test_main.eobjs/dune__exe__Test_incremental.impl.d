@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Array Float Hashtbl List Spsta_core Spsta_experiments Spsta_netlist Spsta_sim

@@ -1,0 +1,1 @@
+test/test_input_spec.ml: Alcotest Float Hashtbl Option Spsta_logic Spsta_sim Spsta_util

@@ -1,0 +1,1 @@
+test/test_logic_sim.ml: Alcotest Array Float List QCheck QCheck_alcotest Spsta_logic Spsta_netlist Spsta_sim Spsta_util

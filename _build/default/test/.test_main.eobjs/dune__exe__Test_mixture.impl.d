@@ -1,0 +1,1 @@
+test/test_mixture.ml: Alcotest Float Gen List QCheck QCheck_alcotest Spsta_dist Spsta_util

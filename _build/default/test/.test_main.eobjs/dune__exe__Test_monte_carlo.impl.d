@@ -1,0 +1,1 @@
+test/test_monte_carlo.ml: Alcotest Float List Spsta_logic Spsta_netlist Spsta_sim Spsta_util

@@ -1,0 +1,1 @@
+test/test_normal.ml: Alcotest Float List QCheck QCheck_alcotest Spsta_dist Spsta_util

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array Float Int List QCheck QCheck_alcotest Spsta_experiments Spsta_logic Spsta_netlist Spsta_paths Spsta_util Spsta_variation String

@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Array Float List Printf Spsta_core Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim

@@ -1,0 +1,1 @@
+test/test_signal_prob.ml: Alcotest Array Float List Spsta_bdd Spsta_core Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim

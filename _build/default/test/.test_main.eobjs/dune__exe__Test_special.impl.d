@@ -1,0 +1,1 @@
+test/test_special.ml: Alcotest Float List QCheck QCheck_alcotest Spsta_util

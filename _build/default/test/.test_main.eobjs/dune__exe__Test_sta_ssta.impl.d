@@ -1,0 +1,1 @@
+test/test_sta_ssta.ml: Alcotest Float List Printf Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_ssta

@@ -1,0 +1,1 @@
+test/test_timing_report.ml: Alcotest Float List Spsta_experiments Spsta_logic Spsta_netlist Spsta_ssta String

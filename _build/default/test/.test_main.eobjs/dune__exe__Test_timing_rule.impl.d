@@ -1,0 +1,1 @@
+test/test_timing_rule.ml: Alcotest Fmt List Spsta_logic

@@ -1,0 +1,1 @@
+test/test_toggle_power.ml: Alcotest Array Float List Spsta_core Spsta_experiments Spsta_logic Spsta_netlist Spsta_power Spsta_sim

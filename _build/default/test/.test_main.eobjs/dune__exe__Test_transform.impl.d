@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Float Hashtbl List Printf Spsta_core Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim Spsta_util

@@ -1,0 +1,1 @@
+test/test_truth.ml: Alcotest Array Float Gen QCheck QCheck_alcotest Spsta_logic

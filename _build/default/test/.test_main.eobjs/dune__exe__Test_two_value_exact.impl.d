@@ -1,0 +1,1 @@
+test/test_two_value_exact.ml: Alcotest Array Float List Printf Spsta_core Spsta_dist Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim

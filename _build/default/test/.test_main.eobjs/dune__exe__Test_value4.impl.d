@@ -1,0 +1,1 @@
+test/test_value4.ml: Alcotest List Printf QCheck QCheck_alcotest Spsta_logic String

@@ -1,0 +1,1 @@
+test/test_verilog_io.ml: Alcotest Array Filename Fun List Spsta_experiments Spsta_logic Spsta_netlist Spsta_sim Sys

@@ -1,0 +1,159 @@
+module Affine = Spsta_variation.Affine
+module Interval_sta = Spsta_variation.Interval_sta
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Rng = Spsta_util.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let test_basics () =
+  let ctx = Affine.create_context () in
+  let x = Affine.make ctx ~center:2.0 ~radius:1.0 in
+  close "center" 2.0 (Affine.center x);
+  close "radius" 1.0 (Affine.radius x);
+  let lo, hi = Affine.interval x in
+  close "lo" 1.0 lo;
+  close "hi" 3.0 hi;
+  Alcotest.check_raises "negative radius" (Invalid_argument "Affine.make: negative radius")
+    (fun () -> ignore (Affine.make ctx ~center:0.0 ~radius:(-1.0)))
+
+let test_correlation_cancels () =
+  (* the whole point of affine over intervals: x - x = 0 exactly *)
+  let ctx = Affine.create_context () in
+  let x = Affine.make ctx ~center:5.0 ~radius:2.0 in
+  let d = Affine.sub x x in
+  close "x - x center" 0.0 (Affine.center d);
+  close "x - x radius" 0.0 (Affine.radius d);
+  (* independent uncertainties add radii *)
+  let y = Affine.make ctx ~center:0.0 ~radius:3.0 in
+  close "independent sum radius" 5.0 (Affine.radius (Affine.add x y))
+
+let test_scale_neg () =
+  let ctx = Affine.create_context () in
+  let x = Affine.make ctx ~center:1.0 ~radius:2.0 in
+  let s = Affine.scale (-2.0) x in
+  close "scaled center" (-2.0) (Affine.center s);
+  close "scaled radius" 4.0 (Affine.radius s);
+  close "neg + add cancels" 0.0 (Affine.radius (Affine.add x (Affine.neg x)))
+
+let test_join_max_disjoint () =
+  let ctx = Affine.create_context () in
+  let early = Affine.make ctx ~center:0.0 ~radius:1.0 in
+  let late = Affine.make ctx ~center:10.0 ~radius:1.0 in
+  let m = Affine.join_max ctx early late in
+  close "disjoint max = later operand" 10.0 (Affine.center m)
+
+let join_max_sound =
+  QCheck.Test.make ~name:"join_max encloses pointwise max" ~count:300
+    QCheck.(
+      quad (float_range (-5.) 5.) (float_range 0. 3.) (float_range (-5.) 5.) (float_range 0. 3.))
+    (fun (c1, r1, c2, r2) ->
+      let ctx = Affine.create_context () in
+      let a = Affine.make ctx ~center:c1 ~radius:r1 in
+      let b = Affine.make ctx ~center:c2 ~radius:r2 in
+      let m = Affine.join_max ctx a b in
+      let lo, hi = Affine.interval m in
+      let rng = Rng.create ~seed:7 in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let assign = Hashtbl.create 8 in
+        let value s =
+          match Hashtbl.find_opt assign s with
+          | Some v -> v
+          | None ->
+            let v = (2.0 *. Rng.float rng) -. 1.0 in
+            Hashtbl.replace assign s v;
+            v
+        in
+        let va = Affine.eval a value and vb = Affine.eval b value in
+        let truth = Float.max va vb in
+        if truth < lo -. 1e-9 || truth > hi +. 1e-9 then ok := false
+      done;
+      !ok)
+
+let test_eval_clamps () =
+  let ctx = Affine.create_context () in
+  let x = Affine.make ctx ~center:0.0 ~radius:1.0 in
+  close "clamped evaluation" 1.0 (Affine.eval x (fun _ -> 5.0))
+
+let test_dominant_symbols () =
+  let ctx = Affine.create_context () in
+  let a = Affine.make ctx ~center:0.0 ~radius:0.1 in
+  let b = Affine.make ctx ~center:0.0 ~radius:5.0 in
+  let s = Affine.add a b in
+  match Affine.dominant_symbols s 1 with
+  | [ (_, c) ] -> close "largest term" 5.0 (Float.abs c)
+  | _ -> Alcotest.fail "expected one dominant symbol"
+
+(* interval STA: Monte Carlo realisations stay inside the enclosures *)
+let test_interval_sta_containment () =
+  let c = Spsta_experiments.Benchmarks.load "s386" in
+  let r = Interval_sta.analyze ~delay_radius:0.2 ~input_radius:3.0 c in
+  let rng = Rng.create ~seed:13 in
+  let n = Circuit.num_nets c in
+  let arrivals = Array.make n 0.0 in
+  for _ = 1 to 200 do
+    (* uniform realisations inside the model's ranges *)
+    List.iter
+      (fun s -> arrivals.(s) <- 3.0 *. ((2.0 *. Rng.float rng) -. 1.0))
+      (Circuit.sources c);
+    Array.iter
+      (fun g ->
+        match Circuit.driver c g with
+        | Circuit.Gate { inputs; _ } ->
+          let delay = 1.0 +. (0.2 *. ((2.0 *. Rng.float rng) -. 1.0)) in
+          arrivals.(g) <-
+            delay +. Array.fold_left (fun acc i -> Float.max acc arrivals.(i)) neg_infinity inputs
+        | Circuit.Input | Circuit.Dff_output _ -> assert false)
+      (Circuit.topo_gates c);
+    List.iter
+      (fun e ->
+        let lo, hi = Interval_sta.arrival_interval r e in
+        if arrivals.(e) < lo -. 1e-9 || arrivals.(e) > hi +. 1e-9 then
+          Alcotest.failf "arrival %.3f outside enclosure [%.3f, %.3f] at %s" arrivals.(e) lo hi
+            (Circuit.net_name c e))
+      (Circuit.endpoints c)
+  done
+
+let test_interval_not_wider_than_naive () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let r = Interval_sta.analyze ~delay_radius:0.1 c in
+  let alo, ahi = Interval_sta.chip_interval r in
+  let nlo, nhi = Interval_sta.naive_chip_interval r in
+  Alcotest.(check bool) "intersected enclosure within naive" true
+    (alo >= nlo -. 1e-9 && ahi <= nhi +. 1e-9)
+
+let test_reconvergence_tightness () =
+  (* diamond where both paths share the same source: the arrival spread
+     at the reconvergence point comes only from the shared source, and
+     the affine form knows it *)
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"p" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"q" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.And [ "p"; "q" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let r = Interval_sta.analyze ~input_radius:3.0 c in
+  let y = Circuit.find_exn c "y" in
+  let lo, hi = Interval_sta.arrival_interval r y in
+  (* exact answer: a + 2 with a in [-3, 3] -> [-1, 5]; the affine form
+     recognises p and q as identical *)
+  close "reconvergent lo" (-1.0) lo ~tol:1e-9;
+  close "reconvergent hi" 5.0 hi ~tol:1e-9
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "correlation cancels" `Quick test_correlation_cancels;
+    Alcotest.test_case "scale/neg" `Quick test_scale_neg;
+    Alcotest.test_case "disjoint max" `Quick test_join_max_disjoint;
+    QCheck_alcotest.to_alcotest join_max_sound;
+    Alcotest.test_case "eval clamps" `Quick test_eval_clamps;
+    Alcotest.test_case "dominant symbols" `Quick test_dominant_symbols;
+    Alcotest.test_case "interval STA containment" `Quick test_interval_sta_containment;
+    Alcotest.test_case "no wider than naive" `Quick test_interval_not_wider_than_naive;
+    Alcotest.test_case "reconvergence tightness" `Quick test_reconvergence_tightness;
+  ]

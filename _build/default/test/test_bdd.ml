@@ -1,0 +1,166 @@
+module Bdd = Spsta_bdd.Bdd
+module Gate_kind = Spsta_logic.Gate_kind
+module Truth = Spsta_logic.Truth
+
+let test_constants () =
+  let m = Bdd.create ~nvars:2 () in
+  Alcotest.(check bool) "zero is const false" true (Bdd.is_const (Bdd.zero m) = Some false);
+  Alcotest.(check bool) "one is const true" true (Bdd.is_const (Bdd.one m) = Some true);
+  Alcotest.(check bool) "var is not const" true (Bdd.is_const (Bdd.var m 0) = None)
+
+let test_var_bounds () =
+  let m = Bdd.create ~nvars:2 () in
+  Alcotest.check_raises "var out of range" (Invalid_argument "Bdd.var: index outside universe")
+    (fun () -> ignore (Bdd.var m 2))
+
+let test_hash_consing () =
+  let m = Bdd.create ~nvars:3 () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let x = Bdd.band m a b and y = Bdd.band m b a in
+  Alcotest.(check bool) "AND commutes to the same node" true (Bdd.equal x y);
+  let z = Bdd.bnot m (Bdd.bnot m x) in
+  Alcotest.(check bool) "double negation is physical identity" true (Bdd.equal x z)
+
+let test_basic_laws () =
+  let m = Bdd.create ~nvars:3 () in
+  let a = Bdd.var m 0 in
+  Alcotest.(check bool) "a AND !a = 0" true
+    (Bdd.equal (Bdd.band m a (Bdd.bnot m a)) (Bdd.zero m));
+  Alcotest.(check bool) "a OR !a = 1" true (Bdd.equal (Bdd.bor m a (Bdd.bnot m a)) (Bdd.one m));
+  Alcotest.(check bool) "a XOR a = 0" true (Bdd.equal (Bdd.bxor m a a) (Bdd.zero m));
+  Alcotest.(check bool) "a AND 1 = a" true (Bdd.equal (Bdd.band m a (Bdd.one m)) a)
+
+let test_eval () =
+  let m = Bdd.create ~nvars:3 () in
+  let f =
+    (* (x0 AND x1) OR x2 *)
+    Bdd.bor m (Bdd.band m (Bdd.var m 0) (Bdd.var m 1)) (Bdd.var m 2)
+  in
+  let assign bits v = bits land (1 lsl v) <> 0 in
+  for bits = 0 to 7 do
+    let expected = (assign bits 0 && assign bits 1) || assign bits 2 in
+    Alcotest.(check bool) "eval matches" expected (Bdd.eval f (assign bits))
+  done
+
+let test_apply_gate () =
+  let m = Bdd.create ~nvars:3 () in
+  let vars = [ Bdd.var m 0; Bdd.var m 1; Bdd.var m 2 ] in
+  List.iter
+    (fun kind ->
+      let f = Bdd.apply_gate m kind vars in
+      let truth = Truth.of_gate kind ~arity:3 in
+      for bits = 0 to 7 do
+        Alcotest.(check bool)
+          (Gate_kind.to_string kind)
+          (Truth.eval truth bits)
+          (Bdd.eval f (fun v -> bits land (1 lsl v) <> 0))
+      done)
+    [ Gate_kind.And; Gate_kind.Nand; Gate_kind.Or; Gate_kind.Nor; Gate_kind.Xor; Gate_kind.Xnor ]
+
+let test_prob_one () =
+  let m = Bdd.create ~nvars:2 () in
+  let p = function 0 -> 0.5 | _ -> 0.3 in
+  let f = Bdd.band m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check (float 1e-12)) "P(and)" 0.15 (Bdd.prob_one m f p);
+  let g = Bdd.bor m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check (float 1e-12)) "P(or)" 0.65 (Bdd.prob_one m g p);
+  Alcotest.(check (float 1e-12)) "P(const 1)" 1.0 (Bdd.prob_one m (Bdd.one m) p)
+
+let test_size () =
+  let m = Bdd.create ~nvars:4 () in
+  Alcotest.(check int) "leaf size" 0 (Bdd.size (Bdd.one m));
+  Alcotest.(check int) "var size" 1 (Bdd.size (Bdd.var m 0));
+  (* parity of n vars needs 2n-1 nodes in a BDD without complement edges *)
+  let parity =
+    List.fold_left (Bdd.bxor m) (Bdd.zero m) [ Bdd.var m 0; Bdd.var m 1; Bdd.var m 2; Bdd.var m 3 ]
+  in
+  Alcotest.(check int) "parity size" 7 (Bdd.size parity)
+
+let test_size_limit () =
+  let m = Bdd.create ~max_nodes:3 ~nvars:8 () in
+  Alcotest.(check bool) "node budget enforced" true
+    ( match
+        List.fold_left (Bdd.bxor m) (Bdd.zero m) (List.init 8 (fun i -> Bdd.var m i))
+      with
+    | (_ : Bdd.t) -> false
+    | exception Bdd.Size_limit_exceeded -> true )
+
+(* random 3-var expressions: BDD semantics = truth-table semantics *)
+let random_expr_semantics =
+  let gen =
+    (* encode an expression tree: leaves are vars, internal nodes ops *)
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 0 then map (fun i -> `Var i) (int_range 0 2)
+          else
+            frequency
+              [
+                (1, map (fun i -> `Var i) (int_range 0 2));
+                (2, map2 (fun a b -> `And (a, b)) (self (n / 2)) (self (n / 2)));
+                (2, map2 (fun a b -> `Or (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map2 (fun a b -> `Xor (a, b)) (self (n / 2)) (self (n / 2)));
+                (1, map (fun a -> `Not a) (self (n - 1)));
+              ]))
+  in
+  QCheck.Test.make ~name:"random expressions: BDD = truth table" ~count:300 (QCheck.make gen)
+    (fun expr ->
+      let m = Bdd.create ~nvars:3 () in
+      let rec to_bdd = function
+        | `Var i -> Bdd.var m i
+        | `And (a, b) -> Bdd.band m (to_bdd a) (to_bdd b)
+        | `Or (a, b) -> Bdd.bor m (to_bdd a) (to_bdd b)
+        | `Xor (a, b) -> Bdd.bxor m (to_bdd a) (to_bdd b)
+        | `Not a -> Bdd.bnot m (to_bdd a)
+      in
+      let rec to_truth = function
+        | `Var i -> Truth.var ~arity:3 i
+        | `And (a, b) -> Truth.land2 (to_truth a) (to_truth b)
+        | `Or (a, b) -> Truth.lor2 (to_truth a) (to_truth b)
+        | `Xor (a, b) -> Truth.lxor2 (to_truth a) (to_truth b)
+        | `Not a -> Truth.lnot (to_truth a)
+      in
+      let f = to_bdd expr and t = to_truth expr in
+      let ok = ref true in
+      for bits = 0 to 7 do
+        if Bdd.eval f (fun v -> bits land (1 lsl v) <> 0) <> Truth.eval t bits then ok := false
+      done;
+      !ok)
+
+(* prob_one agrees with exact weighted enumeration of the truth table *)
+let prob_matches_enumeration =
+  QCheck.Test.make ~name:"prob_one = weighted minterm sum" ~count:200
+    QCheck.(
+      pair (array_of_size (Gen.return 8) bool)
+        (triple (float_range 0. 1.) (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (table, (p0, p1, p2)) ->
+      let m = Bdd.create ~nvars:3 () in
+      (* build the BDD from the truth table via Shannon minterms *)
+      let f = ref (Bdd.zero m) in
+      for bits = 0 to 7 do
+        if table.(bits) then begin
+          let minterm = ref (Bdd.one m) in
+          for v = 0 to 2 do
+            let lit = if bits land (1 lsl v) <> 0 then Bdd.var m v else Bdd.bnot m (Bdd.var m v) in
+            minterm := Bdd.band m !minterm lit
+          done;
+          f := Bdd.bor m !f !minterm
+        end
+      done;
+      let probs = [| p0; p1; p2 |] in
+      let truth = Truth.create ~arity:3 (fun a -> table.(a)) in
+      Float.abs (Bdd.prob_one m !f (fun v -> probs.(v)) -. Truth.prob_one truth probs) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "var bounds" `Quick test_var_bounds;
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "boolean laws" `Quick test_basic_laws;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "apply_gate" `Quick test_apply_gate;
+    Alcotest.test_case "prob_one" `Quick test_prob_one;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "size limit" `Quick test_size_limit;
+    QCheck_alcotest.to_alcotest random_expr_semantics;
+    QCheck_alcotest.to_alcotest prob_matches_enumeration;
+  ]

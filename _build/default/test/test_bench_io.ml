@@ -1,0 +1,96 @@
+module Circuit = Spsta_netlist.Circuit
+module Bench_io = Spsta_netlist.Bench_io
+module Gate_kind = Spsta_logic.Gate_kind
+
+let s27 () = Spsta_experiments.Benchmarks.s27 ()
+
+let test_parse_s27 () =
+  let c = s27 () in
+  Alcotest.(check int) "inputs" 4 (List.length (Circuit.primary_inputs c));
+  Alcotest.(check int) "outputs" 1 (List.length (Circuit.primary_outputs c));
+  Alcotest.(check int) "dffs" 3 (List.length (Circuit.dffs c));
+  Alcotest.(check int) "gates" 10 (Circuit.gate_count c);
+  Alcotest.(check int) "NOR gates" 4 (Circuit.count_gates_of_kind c Gate_kind.Nor);
+  Alcotest.(check int) "NOT gates" 2 (Circuit.count_gates_of_kind c Gate_kind.Not)
+
+let test_roundtrip () =
+  let c = s27 () in
+  let c' = Bench_io.parse_string ~name:"s27" (Bench_io.to_string c) in
+  Alcotest.(check int) "nets preserved" (Circuit.num_nets c) (Circuit.num_nets c');
+  Alcotest.(check int) "gates preserved" (Circuit.gate_count c) (Circuit.gate_count c');
+  Alcotest.(check int) "depth preserved" (Circuit.depth c) (Circuit.depth c');
+  (* same drivers net-by-net (by name) *)
+  List.iter
+    (fun (q, d) ->
+      let q' = Circuit.find_exn c' (Circuit.net_name c q) in
+      match Circuit.driver c' q' with
+      | Circuit.Dff_output { data } ->
+        Alcotest.(check string) "dff data preserved" (Circuit.net_name c d) (Circuit.net_name c' data)
+      | Circuit.Input | Circuit.Gate _ -> Alcotest.fail "expected DFF")
+    (Circuit.dffs c)
+
+let test_comments_and_blanks () =
+  let text = "# a comment\n\nINPUT(x)   # trailing comment\nOUTPUT(y)\ny = NOT(x)\n" in
+  let c = Bench_io.parse_string text in
+  Alcotest.(check int) "one gate" 1 (Circuit.gate_count c)
+
+let test_whitespace_tolerance () =
+  let text = "INPUT( x )\nOUTPUT( y )\n  y   =  AND( x ,  x )  \n" in
+  let c = Bench_io.parse_string text in
+  Alcotest.(check int) "one gate" 1 (Circuit.gate_count c)
+
+let expect_parse_error ~line text =
+  match Bench_io.parse_string text with
+  | (_ : Circuit.t) -> Alcotest.fail "expected Parse_error"
+  | exception Bench_io.Parse_error { line = l; _ } ->
+    Alcotest.(check int) "error line" line l
+
+let test_parse_errors () =
+  expect_parse_error ~line:1 "INPUT x\n";
+  expect_parse_error ~line:2 "INPUT(a)\ny = FROB(a)\n";
+  expect_parse_error ~line:1 "WIBBLE(a)\n";
+  expect_parse_error ~line:3 "INPUT(a)\nOUTPUT(y)\ny = DFF(a, a)\n";
+  expect_parse_error ~line:1 "INPUT(a b)\n"
+
+let test_buff_alias () =
+  let c = Bench_io.parse_string "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\n" in
+  Alcotest.(check int) "BUFF parsed as BUF" 1 (Circuit.count_gates_of_kind c Gate_kind.Buf)
+
+let test_invalid_circuit_propagates () =
+  Alcotest.(check bool) "undriven ref raises Invalid_circuit" true
+    ( match Bench_io.parse_string "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n" with
+    | (_ : Circuit.t) -> false
+    | exception Circuit.Invalid_circuit _ -> true )
+
+let test_generator_roundtrip () =
+  let profile =
+    { Spsta_netlist.Generator.name = "rt"; n_inputs = 5; n_outputs = 3; n_dffs = 4;
+      n_gates = 40; target_depth = 5; seed = 99 }
+  in
+  let c = Spsta_netlist.Generator.generate profile in
+  let c' = Bench_io.parse_string ~name:"rt" (Bench_io.to_string c) in
+  Alcotest.(check int) "generated circuit roundtrips" (Circuit.num_nets c) (Circuit.num_nets c');
+  Alcotest.(check int) "depth roundtrips" (Circuit.depth c) (Circuit.depth c')
+
+let test_write_file () =
+  let path = Filename.temp_file "spsta_test" ".bench" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bench_io.write_file (s27 ()) path;
+      let c = Bench_io.parse_file path in
+      Alcotest.(check bool) "name from filename" true (String.length (Circuit.name c) > 0);
+      Alcotest.(check int) "gates" 10 (Circuit.gate_count c))
+
+let suite =
+  [
+    Alcotest.test_case "parse s27" `Quick test_parse_s27;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "whitespace tolerance" `Quick test_whitespace_tolerance;
+    Alcotest.test_case "parse errors with line numbers" `Quick test_parse_errors;
+    Alcotest.test_case "BUFF alias" `Quick test_buff_alias;
+    Alcotest.test_case "invalid circuit propagates" `Quick test_invalid_circuit_propagates;
+    Alcotest.test_case "generator roundtrip" `Quick test_generator_roundtrip;
+    Alcotest.test_case "write_file/parse_file" `Quick test_write_file;
+  ]

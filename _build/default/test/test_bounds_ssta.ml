@@ -1,0 +1,148 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Bounds_ssta = Spsta_ssta.Bounds_ssta
+module Normal = Spsta_dist.Normal
+module Rng = Spsta_util.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let buffer_chain n =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  let prev = ref "a" in
+  for i = 1 to n do
+    let name = Printf.sprintf "n%d" i in
+    Circuit.Builder.add_gate b ~output:name Gate_kind.Buf [ !prev ];
+    prev := name
+  done;
+  Circuit.Builder.add_output b !prev;
+  Circuit.Builder.finalize b
+
+let test_chain_bounds_tight () =
+  (* single-input gates: no MAX, bounds collapse to the exact cdf *)
+  let c = buffer_chain 3 in
+  let r = Bounds_ssta.analyze ~dt:0.05 c in
+  let out = List.hd (Circuit.primary_outputs c) in
+  let b = Bounds_ssta.band r out in
+  Array.iteri
+    (fun i t ->
+      close "band is tight on a chain" b.Bounds_ssta.lower.(i) b.Bounds_ssta.upper.(i) ~tol:1e-9;
+      close "matches the shifted normal" (Normal.cdf (Normal.make ~mu:3.0 ~sigma:1.0) t)
+        b.Bounds_ssta.upper.(i) ~tol:0.02)
+    b.Bounds_ssta.times
+
+let test_band_ordering () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let r = Bounds_ssta.analyze c in
+  List.iter
+    (fun e ->
+      let b = Bounds_ssta.band r e in
+      Array.iteri
+        (fun i _ ->
+          if b.Bounds_ssta.lower.(i) > b.Bounds_ssta.upper.(i) +. 1e-9 then
+            Alcotest.fail "lower bound exceeds upper bound")
+        b.Bounds_ssta.times)
+    (Circuit.endpoints c)
+
+let test_bounds_monotone () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let r = Bounds_ssta.analyze c in
+  let b = Bounds_ssta.chip_band r in
+  let check name arr =
+    let previous = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x < !previous -. 1e-9 then Alcotest.failf "%s cdf bound not monotone" name;
+        previous := x)
+      arr
+  in
+  check "lower" b.Bounds_ssta.lower;
+  check "upper" b.Bounds_ssta.upper
+
+(* reference: a path-delay Monte Carlo with real shared-path
+   correlations; its empirical cdf must lie within the band *)
+let max_recursion_mc ~runs ~seed circuit =
+  let rng = Rng.create ~seed in
+  let n = Circuit.num_nets circuit in
+  let arrivals = Array.make n 0.0 in
+  let endpoints = Circuit.endpoints circuit in
+  let samples = Array.make runs 0.0 in
+  for run = 0 to runs - 1 do
+    List.iter
+      (fun s -> arrivals.(s) <- Rng.gaussian rng ~mu:0.0 ~sigma:1.0)
+      (Circuit.sources circuit);
+    Array.iter
+      (fun g ->
+        match Circuit.driver circuit g with
+        | Circuit.Gate { inputs; _ } ->
+          arrivals.(g) <-
+            1.0 +. Array.fold_left (fun acc i -> Float.max acc arrivals.(i)) neg_infinity inputs
+        | Circuit.Input | Circuit.Dff_output _ -> assert false)
+      (Circuit.topo_gates circuit);
+    samples.(run) <-
+      List.fold_left (fun acc e -> Float.max acc arrivals.(e)) neg_infinity endpoints
+  done;
+  samples
+
+let test_mc_within_chip_band () =
+  let c = Spsta_experiments.Benchmarks.load "s386" in
+  let r = Bounds_ssta.analyze c in
+  let b = Bounds_ssta.chip_band r in
+  let runs = 20_000 in
+  let samples = max_recursion_mc ~runs ~seed:7 c in
+  Array.sort compare samples;
+  let empirical t =
+    (* fraction of samples <= t *)
+    let rec count lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if samples.(mid) <= t then count (mid + 1) hi else count lo mid
+      end
+    in
+    float_of_int (count 0 runs) /. float_of_int runs
+  in
+  Array.iteri
+    (fun i t ->
+      let f = empirical t in
+      (* 3-sigma sampling slack on top of the guaranteed bounds *)
+      let slack = 3.0 *. sqrt (f *. (1.0 -. f) /. float_of_int runs) +. 0.01 in
+      if f < b.Bounds_ssta.lower.(i) -. slack || f > b.Bounds_ssta.upper.(i) +. slack then
+        Alcotest.failf "empirical cdf %.4f outside band [%.4f, %.4f] at t=%.2f" f
+          b.Bounds_ssta.lower.(i) b.Bounds_ssta.upper.(i) t)
+    b.Bounds_ssta.times
+
+let test_quantile_bounds () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let r = Bounds_ssta.analyze c in
+  let b = Bounds_ssta.chip_band r in
+  let optimistic, pessimistic = Bounds_ssta.quantile_bounds b 0.99 in
+  Alcotest.(check bool) "ordering" true (optimistic <= pessimistic);
+  (* the pessimistic 99% bound cannot precede the structural depth *)
+  Alcotest.(check bool) "pessimistic beyond depth" true
+    (pessimistic >= float_of_int (Circuit.depth c) -. 1.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Bounds_ssta.quantile_bounds: p outside (0,1)") (fun () ->
+      ignore (Bounds_ssta.quantile_bounds b 1.0))
+
+let test_cdf_bounds_lookup () =
+  let c = buffer_chain 2 in
+  let r = Bounds_ssta.analyze ~dt:0.05 c in
+  let b = Bounds_ssta.band r (List.hd (Circuit.primary_outputs c)) in
+  let lo, hi = Bounds_ssta.cdf_bounds b 2.0 in
+  close "median of shifted normal (lower)" 0.5 lo ~tol:0.03;
+  close "median of shifted normal (upper)" 0.5 hi ~tol:0.03;
+  let lo2, _ = Bounds_ssta.cdf_bounds b (-100.0) in
+  close "far left" 0.0 lo2
+
+let suite =
+  [
+    Alcotest.test_case "tight on chains" `Quick test_chain_bounds_tight;
+    Alcotest.test_case "lower <= upper" `Quick test_band_ordering;
+    Alcotest.test_case "bounds monotone" `Quick test_bounds_monotone;
+    Alcotest.test_case "MC inside the chip band" `Slow test_mc_within_chip_band;
+    Alcotest.test_case "quantile bounds" `Quick test_quantile_bounds;
+    Alcotest.test_case "cdf lookup" `Quick test_cdf_bounds_lookup;
+  ]

@@ -1,0 +1,98 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Value4 = Spsta_logic.Value4
+module Input_spec = Spsta_sim.Input_spec
+module Chip_delay = Spsta_core.Chip_delay
+module Logic_sim = Spsta_sim.Logic_sim
+module Rng = Spsta_util.Rng
+module Stats = Spsta_util.Stats
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let buffer () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_output b "y";
+  Circuit.Builder.finalize b
+
+let test_single_endpoint () =
+  (* one buffer, input transitions with probability 1/2 at t=0 exactly:
+     chip delay = 1 with probability 1/2, idle otherwise *)
+  let c = buffer () in
+  let spec _ =
+    Input_spec.make
+      ~rise_arrival:(Spsta_dist.Normal.make ~mu:0.0 ~sigma:0.0)
+      ~p_zero:0.5 ~p_one:0.0 ~p_rise:0.5 ~p_fall:0.0 ()
+  in
+  let r = Chip_delay.compute c ~spec in
+  close "idle probability" 0.5 (Chip_delay.p_idle r) ~tol:1e-9;
+  close "chip delay mass" 0.5 (Spsta_dist.Discrete.total (Chip_delay.distribution r)) ~tol:1e-9;
+  close "chip delay mean" 1.0 (Chip_delay.mean r) ~tol:0.05;
+  close "yield before" 0.5 (Chip_delay.yield_at r 0.5) ~tol:1e-6;
+  close "yield after" 1.0 (Chip_delay.yield_at r 1.5) ~tol:1e-6
+
+let test_clock_for_yield () =
+  let c = buffer () in
+  let spec _ = Input_spec.case_i in
+  let r = Chip_delay.compute c ~spec in
+  let t90 = Chip_delay.clock_for_yield r 0.9 in
+  Alcotest.(check bool) "yield at t90" true (Chip_delay.yield_at r t90 >= 0.9);
+  Alcotest.(check bool) "monotone" true (Chip_delay.clock_for_yield r 0.99 >= t90);
+  Alcotest.check_raises "bad target"
+    (Invalid_argument "Chip_delay.clock_for_yield: target outside (0,1]") (fun () ->
+      ignore (Chip_delay.clock_for_yield r 1.5))
+
+let test_criticality_sums_to_one () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let r = Chip_delay.compute c ~spec:(fun _ -> Input_spec.case_i) in
+  let crit = Chip_delay.endpoint_criticality r in
+  Alcotest.(check int) "one entry per endpoint" (List.length (Circuit.endpoints c))
+    (List.length crit);
+  close "criticalities sum to 1" 1.0 (List.fold_left (fun acc (_, p) -> acc +. p) 0.0 crit)
+    ~tol:1e-6;
+  let rec descending = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && descending rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted descending" true (descending crit)
+
+(* reference: direct Monte Carlo chip delays on s27 *)
+let test_chip_delay_vs_mc () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let spec _ = Input_spec.case_i in
+  let r = Chip_delay.compute ~dt:0.02 c ~spec in
+  let rng = Rng.create ~seed:19 in
+  let endpoints = Circuit.endpoints c in
+  let acc = Stats.acc_create () in
+  let idle = ref 0 in
+  let runs = 30_000 in
+  for _ = 1 to runs do
+    let sim = Logic_sim.run_random rng c ~spec in
+    let latest =
+      List.fold_left
+        (fun best e ->
+          if Value4.is_transition sim.Logic_sim.values.(e) then
+            Float.max best sim.Logic_sim.times.(e)
+          else best)
+        neg_infinity endpoints
+    in
+    if latest = neg_infinity then incr idle else Stats.acc_add acc latest
+  done;
+  let mc_idle = float_of_int !idle /. float_of_int runs in
+  (* s27's endpoints are strongly correlated (G17 = NOT G11), so the
+     independence-based chip MAX overestimates; keep tolerances loose
+     enough to track the shape while still catching regressions *)
+  close "idle probability vs MC" mc_idle (Chip_delay.p_idle r) ~tol:0.06;
+  close "chip mean vs MC" (Stats.acc_mean acc) (Chip_delay.mean r) ~tol:0.4;
+  close "chip sigma vs MC" (Stats.acc_stddev acc) (Chip_delay.stddev r) ~tol:0.3
+
+let suite =
+  [
+    Alcotest.test_case "single endpoint" `Quick test_single_endpoint;
+    Alcotest.test_case "clock for yield" `Quick test_clock_for_yield;
+    Alcotest.test_case "criticality" `Quick test_criticality_sums_to_one;
+    Alcotest.test_case "chip delay vs MC on s27" `Slow test_chip_delay_vs_mc;
+  ]

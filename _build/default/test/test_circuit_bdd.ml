@@ -1,0 +1,81 @@
+module Circuit = Spsta_netlist.Circuit
+module Circuit_bdd = Spsta_bdd.Circuit_bdd
+module Bdd = Spsta_bdd.Bdd
+module Gate_kind = Spsta_logic.Gate_kind
+module Logic_sim = Spsta_sim.Logic_sim
+module Value4 = Spsta_logic.Value4
+
+let s27 () = Spsta_experiments.Benchmarks.s27 ()
+
+let test_sources_are_vars () =
+  let c = s27 () in
+  let b = Circuit_bdd.build c in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool) "source var index" true (Circuit_bdd.source_index b s = Some i);
+      Alcotest.(check bool) "source bdd is its variable" true
+        (Bdd.equal (Circuit_bdd.bdd_of_net b s) (Bdd.var (Circuit_bdd.manager b) i)))
+    (Circuit.sources c);
+  let gate = (Circuit.topo_gates c).(0) in
+  Alcotest.(check bool) "gate has no source index" true (Circuit_bdd.source_index b gate = None)
+
+(* every net's BDD must agree with logic simulation on every one of the
+   2^7 = 128 source assignments of s27 *)
+let test_bdd_matches_simulation () =
+  let c = s27 () in
+  let b = Circuit_bdd.build c in
+  let sources = Array.of_list (Circuit.sources c) in
+  let n_sources = Array.length sources in
+  for bits = 0 to (1 lsl n_sources) - 1 do
+    let source_values s =
+      let rec index i = if sources.(i) = s then i else index (i + 1) in
+      let v = bits land (1 lsl index 0) <> 0 in
+      ((if v then Value4.One else Value4.Zero), 0.0)
+    in
+    let sim = Logic_sim.run c ~source_values in
+    Array.iter
+      (fun g ->
+        let expected = Value4.final sim.Logic_sim.values.(g) in
+        let actual =
+          Bdd.eval (Circuit_bdd.bdd_of_net b g) (fun v -> bits land (1 lsl v) <> 0)
+        in
+        if expected <> actual then
+          Alcotest.failf "net %s mismatch at assignment %d" (Circuit.net_name c g) bits)
+      (Circuit.topo_gates c)
+  done
+
+let test_exact_prob_uniform () =
+  (* under p=1/2 sources, the exact probability is the satisfying
+     fraction; cross-check one net by enumeration *)
+  let c = s27 () in
+  let b = Circuit_bdd.build c in
+  let g17 = Circuit.find_exn c "G17" in
+  let f = Circuit_bdd.bdd_of_net b g17 in
+  let n_sources = List.length (Circuit.sources c) in
+  let count = ref 0 in
+  for bits = 0 to (1 lsl n_sources) - 1 do
+    if Bdd.eval f (fun v -> bits land (1 lsl v) <> 0) then incr count
+  done;
+  let expected = float_of_int !count /. float_of_int (1 lsl n_sources) in
+  Alcotest.(check (float 1e-12)) "uniform exact prob"
+    expected
+    (Circuit_bdd.exact_prob_one b ~p_source:(fun _ -> 0.5) g17)
+
+let test_size_limit () =
+  let profile =
+    { Spsta_netlist.Generator.name = "big"; n_inputs = 16; n_outputs = 4; n_dffs = 0;
+      n_gates = 200; target_depth = 10; seed = 7 }
+  in
+  let c = Spsta_netlist.Generator.generate profile in
+  Alcotest.(check bool) "tiny budget exceeded" true
+    ( match Circuit_bdd.build ~max_nodes:4 c with
+    | (_ : Circuit_bdd.t) -> false
+    | exception Circuit_bdd.Size_limit_exceeded -> true )
+
+let suite =
+  [
+    Alcotest.test_case "sources map to variables" `Quick test_sources_are_vars;
+    Alcotest.test_case "BDDs match simulation on s27" `Quick test_bdd_matches_simulation;
+    Alcotest.test_case "exact probability by enumeration" `Quick test_exact_prob_uniform;
+    Alcotest.test_case "size limit propagates" `Quick test_size_limit;
+  ]

@@ -1,0 +1,123 @@
+module Normal = Spsta_dist.Normal
+module Clark = Spsta_dist.Clark
+module Rng = Spsta_util.Rng
+module Stats = Spsta_util.Stats
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+(* MAX of two standard normals has mean 1/sqrt(pi) and variance
+   1 - 1/pi: a classical closed form to pin the implementation. *)
+let test_max_standard_pair () =
+  let m = Clark.max_moments Normal.standard Normal.standard in
+  close "mean of max of two std normals" (1.0 /. sqrt Float.pi) m.Clark.mean ~tol:1e-6;
+  close "variance of max of two std normals" (1.0 -. (1.0 /. Float.pi)) m.Clark.variance ~tol:1e-6
+
+let test_min_duality () =
+  let a = Normal.make ~mu:1.0 ~sigma:2.0 and b = Normal.make ~mu:3.0 ~sigma:0.5 in
+  let mx = Clark.max_moments a b and mn = Clark.min_moments a b in
+  (* E[max] + E[min] = E[a] + E[b] exactly *)
+  close "max+min mean identity" (Normal.mean a +. Normal.mean b) (mx.Clark.mean +. mn.Clark.mean)
+    ~tol:1e-9
+
+let test_degenerate_theta () =
+  (* identical distributions with full covariance: MAX is the input *)
+  let a = Normal.make ~mu:2.0 ~sigma:1.0 in
+  let m = Clark.max_moments ~cov:1.0 a a in
+  close "theta=0 mean" 2.0 m.Clark.mean;
+  close "theta=0 variance" 1.0 m.Clark.variance;
+  let b = Normal.make ~mu:5.0 ~sigma:1.0 in
+  let m2 = Clark.max_moments ~cov:1.0 a b in
+  close "theta=0 dominant mean" 5.0 m2.Clark.mean
+
+let test_dominant_input () =
+  (* when one input is far later, MAX is just that input *)
+  let late = Normal.make ~mu:100.0 ~sigma:1.0 and early = Normal.make ~mu:0.0 ~sigma:1.0 in
+  let m = Clark.max_moments late early in
+  close "dominant mean" 100.0 m.Clark.mean ~tol:1e-6;
+  close "dominant variance" 1.0 m.Clark.variance ~tol:1e-4;
+  let mn = Clark.min_moments late early in
+  close "dominated min mean" 0.0 mn.Clark.mean ~tol:1e-6
+
+let test_tightness () =
+  close "symmetric tightness" 0.5 (Clark.tightness Normal.standard Normal.standard) ~tol:1e-6;
+  Alcotest.(check bool) "later input dominates" true
+    (Clark.tightness (Normal.make ~mu:5.0 ~sigma:1.0) Normal.standard > 0.99)
+
+let test_many_empty () =
+  Alcotest.check_raises "empty max list" (Invalid_argument "Clark.max_normal_many: empty list")
+    (fun () -> ignore (Clark.max_normal_many []))
+
+let test_many_single () =
+  let a = Normal.make ~mu:3.0 ~sigma:2.0 in
+  let m = Clark.max_normal_many [ a ] in
+  close "singleton max identity" 3.0 (Normal.mean m);
+  close "singleton max sigma" 2.0 (Normal.stddev m)
+
+let mc_reference ~seed op a b =
+  let rng = Rng.create ~seed in
+  let acc = Stats.acc_create () in
+  for _ = 1 to 200_000 do
+    Stats.acc_add acc (op (Normal.sample rng a) (Normal.sample rng b))
+  done;
+  acc
+
+let test_max_against_sampling () =
+  let a = Normal.make ~mu:1.0 ~sigma:1.5 and b = Normal.make ~mu:2.0 ~sigma:0.5 in
+  let m = Clark.max_moments a b in
+  let acc = mc_reference ~seed:9 Float.max a b in
+  close "MC mean agreement" (Stats.acc_mean acc) m.Clark.mean ~tol:0.02;
+  close "MC variance agreement" (Stats.acc_variance acc) m.Clark.variance ~tol:0.02
+
+let test_min_against_sampling () =
+  let a = Normal.make ~mu:0.0 ~sigma:2.0 and b = Normal.make ~mu:0.5 ~sigma:1.0 in
+  let m = Clark.min_moments a b in
+  let acc = mc_reference ~seed:10 Float.min a b in
+  close "MC min mean agreement" (Stats.acc_mean acc) m.Clark.mean ~tol:0.02;
+  close "MC min variance agreement" (Stats.acc_variance acc) m.Clark.variance ~tol:0.03
+
+let max_bounds =
+  QCheck.Test.make ~name:"E[max] >= both input means" ~count:300
+    QCheck.(quad (float_range (-5.) 5.) (float_range 0.01 3.) (float_range (-5.) 5.) (float_range 0.01 3.))
+    (fun (m1, s1, m2, s2) ->
+      let a = Normal.make ~mu:m1 ~sigma:s1 and b = Normal.make ~mu:m2 ~sigma:s2 in
+      let m = Clark.max_moments a b in
+      m.Clark.mean >= m1 -. 1e-9 && m.Clark.mean >= m2 -. 1e-9)
+
+let max_commutes =
+  QCheck.Test.make ~name:"Clark max commutes" ~count:300
+    QCheck.(quad (float_range (-5.) 5.) (float_range 0.01 3.) (float_range (-5.) 5.) (float_range 0.01 3.))
+    (fun (m1, s1, m2, s2) ->
+      let a = Normal.make ~mu:m1 ~sigma:s1 and b = Normal.make ~mu:m2 ~sigma:s2 in
+      let x = Clark.max_moments a b and y = Clark.max_moments b a in
+      Float.abs (x.Clark.mean -. y.Clark.mean) < 1e-9
+      && Float.abs (x.Clark.variance -. y.Clark.variance) < 1e-9)
+
+let variance_nonneg =
+  QCheck.Test.make ~name:"Clark variance non-negative" ~count:300
+    QCheck.(
+      pair
+        (quad (float_range (-10.) 10.) (float_range 0. 3.) (float_range (-10.) 10.) (float_range 0. 3.))
+        (float_range (-1.) 1.))
+    (fun ((m1, s1, m2, s2), rho) ->
+      let a = Normal.make ~mu:m1 ~sigma:s1 and b = Normal.make ~mu:m2 ~sigma:s2 in
+      let cov = rho *. s1 *. s2 in
+      let m = Clark.max_moments ~cov a b in
+      m.Clark.variance >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "max of two standard normals" `Quick test_max_standard_pair;
+    Alcotest.test_case "min/max mean identity" `Quick test_min_duality;
+    Alcotest.test_case "degenerate theta" `Quick test_degenerate_theta;
+    Alcotest.test_case "dominant input" `Quick test_dominant_input;
+    Alcotest.test_case "tightness" `Quick test_tightness;
+    Alcotest.test_case "empty fold" `Quick test_many_empty;
+    Alcotest.test_case "singleton fold" `Quick test_many_single;
+    Alcotest.test_case "max vs sampling" `Quick test_max_against_sampling;
+    Alcotest.test_case "min vs sampling" `Quick test_min_against_sampling;
+    QCheck_alcotest.to_alcotest max_bounds;
+    QCheck_alcotest.to_alcotest max_commutes;
+    QCheck_alcotest.to_alcotest variance_nonneg;
+  ]

@@ -1,0 +1,149 @@
+module Normal = Spsta_dist.Normal
+module Discrete = Spsta_dist.Discrete
+module Rng = Spsta_util.Rng
+module Stats = Spsta_util.Stats
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let dt = 0.02
+
+let test_zero () =
+  let z = Discrete.zero ~dt in
+  close "zero total" 0.0 (Discrete.total z);
+  close "zero mean" 0.0 (Discrete.mean z)
+
+let test_of_normal_moments () =
+  let d = Discrete.of_normal ~dt ~mass:1.0 (Normal.make ~mu:3.0 ~sigma:1.2) in
+  close "mass" 1.0 (Discrete.total d) ~tol:1e-9;
+  close "mean" 3.0 (Discrete.mean d) ~tol:1e-3;
+  close "stddev" 1.2 (Discrete.stddev d) ~tol:1e-3
+
+let test_of_normal_scaled_mass () =
+  let d = Discrete.of_normal ~dt ~mass:0.35 Normal.standard in
+  close "scaled mass" 0.35 (Discrete.total d) ~tol:1e-9
+
+let test_of_normal_degenerate () =
+  let d = Discrete.of_normal ~dt ~mass:0.5 (Normal.make ~mu:2.0 ~sigma:0.0) in
+  close "point mass total" 0.5 (Discrete.total d);
+  close "point mass mean" 2.0 (Discrete.mean d) ~tol:dt
+
+let test_of_points () =
+  let d = Discrete.of_points ~dt [ (1.0, 0.2); (2.0, 0.3); (1.0, 0.1) ] in
+  close "points total" 0.6 (Discrete.total d) ~tol:1e-12;
+  close "points mean" ((0.3 *. 1.0) +. (0.3 *. 2.0)) (Discrete.mean d *. 0.6) ~tol:1e-9
+
+let test_shift () =
+  let d = Discrete.of_normal ~dt ~mass:1.0 Normal.standard in
+  let s = Discrete.shift d 5.0 in
+  close "shift mean" (Discrete.mean d +. 5.0) (Discrete.mean s) ~tol:1e-9;
+  close "shift keeps variance" (Discrete.variance d) (Discrete.variance s) ~tol:1e-12
+
+let test_add () =
+  let a = Discrete.of_points ~dt [ (0.0, 0.5) ] in
+  let b = Discrete.of_points ~dt [ (1.0, 0.5) ] in
+  let s = Discrete.add a b in
+  close "add total" 1.0 (Discrete.total s);
+  close "add mean" 0.5 (Discrete.mean s) ~tol:1e-9
+
+let test_grid_mismatch () =
+  let a = Discrete.of_points ~dt:0.1 [ (0.0, 1.0) ] in
+  let b = Discrete.of_points ~dt:0.2 [ (0.0, 1.0) ] in
+  Alcotest.check_raises "dt mismatch" (Invalid_argument "Discrete: grid step mismatch")
+    (fun () -> ignore (Discrete.add a b))
+
+let test_convolve () =
+  let a = Discrete.of_normal ~dt ~mass:1.0 (Normal.make ~mu:1.0 ~sigma:0.6) in
+  let b = Discrete.of_normal ~dt ~mass:1.0 (Normal.make ~mu:2.0 ~sigma:0.8) in
+  let c = Discrete.convolve a b in
+  close "convolution mass" 1.0 (Discrete.total c) ~tol:1e-6;
+  close "convolution mean" 3.0 (Discrete.mean c) ~tol:1e-3;
+  close "convolution stddev" 1.0 (Discrete.stddev c) ~tol:1e-3
+
+let test_max_independent_vs_clark () =
+  let a = Normal.make ~mu:0.0 ~sigma:1.0 and b = Normal.make ~mu:0.5 ~sigma:1.5 in
+  let da = Discrete.of_normal ~dt ~mass:1.0 a and db = Discrete.of_normal ~dt ~mass:1.0 b in
+  let m = Discrete.max_independent da db in
+  let clark = Spsta_dist.Clark.max_moments a b in
+  close "lattice max mass" 1.0 (Discrete.total m) ~tol:1e-9;
+  close "lattice max mean vs Clark" clark.Spsta_dist.Clark.mean (Discrete.mean m) ~tol:0.01;
+  close "lattice max variance vs Clark" clark.Spsta_dist.Clark.variance (Discrete.variance m)
+    ~tol:0.02
+
+let test_min_independent_vs_sampling () =
+  let a = Normal.make ~mu:1.0 ~sigma:1.0 and b = Normal.make ~mu:1.5 ~sigma:0.5 in
+  let da = Discrete.of_normal ~dt ~mass:1.0 a and db = Discrete.of_normal ~dt ~mass:1.0 b in
+  let m = Discrete.min_independent da db in
+  let rng = Rng.create ~seed:33 in
+  let acc = Stats.acc_create () in
+  for _ = 1 to 100_000 do
+    Stats.acc_add acc (Float.min (Normal.sample rng a) (Normal.sample rng b))
+  done;
+  close "lattice min mean vs MC" (Stats.acc_mean acc) (Discrete.mean m) ~tol:0.02;
+  close "lattice min stddev vs MC" (Stats.acc_stddev acc) (Discrete.stddev m) ~tol:0.02
+
+let test_max_idempotent_point () =
+  let p = Discrete.of_points ~dt [ (1.0, 1.0) ] in
+  let m = Discrete.max_independent p p in
+  close "max of identical points mean" 1.0 (Discrete.mean m) ~tol:1e-9;
+  close "max of identical points variance" 0.0 (Discrete.variance m) ~tol:1e-12
+
+let test_max_ordering () =
+  (* max of point masses at 1 and 2 is surely 2 *)
+  let a = Discrete.of_points ~dt [ (1.0, 1.0) ] in
+  let b = Discrete.of_points ~dt [ (2.0, 1.0) ] in
+  let m = Discrete.max_independent a b in
+  close "max point mean" 2.0 (Discrete.mean m) ~tol:1e-9;
+  let mn = Discrete.min_independent a b in
+  close "min point mean" 1.0 (Discrete.mean mn) ~tol:1e-9
+
+let test_cdf_quantile () =
+  let d = Discrete.of_points ~dt [ (0.0, 0.25); (1.0, 0.25); (2.0, 0.5) ] in
+  close "cdf mid" 0.5 (Discrete.cdf d 1.0) ~tol:1e-12;
+  close "cdf end" 1.0 (Discrete.cdf d 5.0) ~tol:1e-12;
+  close "quantile 0.5" 1.0 (Discrete.quantile d 0.5) ~tol:1e-9;
+  close "quantile 1.0" 2.0 (Discrete.quantile d 1.0) ~tol:1e-9
+
+let test_scale_invalid () =
+  let d = Discrete.of_points ~dt [ (0.0, 1.0) ] in
+  Alcotest.check_raises "negative scale" (Invalid_argument "Discrete.scale: negative factor")
+    (fun () -> ignore (Discrete.scale d (-1.0)))
+
+let max_mass_preserved =
+  QCheck.Test.make ~name:"max_independent returns unit mass" ~count:100
+    QCheck.(quad (float_range (-3.) 3.) (float_range 0.1 2.) (float_range (-3.) 3.) (float_range 0.1 2.))
+    (fun (m1, s1, m2, s2) ->
+      let a = Discrete.of_normal ~dt:0.05 ~mass:0.7 (Normal.make ~mu:m1 ~sigma:s1) in
+      let b = Discrete.of_normal ~dt:0.05 ~mass:0.2 (Normal.make ~mu:m2 ~sigma:s2) in
+      Float.abs (Discrete.total (Discrete.max_independent a b) -. 1.0) < 1e-6)
+
+let max_dominates_means =
+  QCheck.Test.make ~name:"lattice E[max] >= input means" ~count:100
+    QCheck.(quad (float_range (-3.) 3.) (float_range 0.1 2.) (float_range (-3.) 3.) (float_range 0.1 2.))
+    (fun (m1, s1, m2, s2) ->
+      let a = Discrete.of_normal ~dt:0.05 ~mass:1.0 (Normal.make ~mu:m1 ~sigma:s1) in
+      let b = Discrete.of_normal ~dt:0.05 ~mass:1.0 (Normal.make ~mu:m2 ~sigma:s2) in
+      let mean = Discrete.mean (Discrete.max_independent a b) in
+      mean >= Discrete.mean a -. 0.01 && mean >= Discrete.mean b -. 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "zero" `Quick test_zero;
+    Alcotest.test_case "of_normal moments" `Quick test_of_normal_moments;
+    Alcotest.test_case "of_normal scaled mass" `Quick test_of_normal_scaled_mass;
+    Alcotest.test_case "of_normal degenerate" `Quick test_of_normal_degenerate;
+    Alcotest.test_case "of_points" `Quick test_of_points;
+    Alcotest.test_case "shift" `Quick test_shift;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "grid mismatch" `Quick test_grid_mismatch;
+    Alcotest.test_case "convolve" `Quick test_convolve;
+    Alcotest.test_case "max vs Clark" `Quick test_max_independent_vs_clark;
+    Alcotest.test_case "min vs sampling" `Quick test_min_independent_vs_sampling;
+    Alcotest.test_case "max of identical points" `Quick test_max_idempotent_point;
+    Alcotest.test_case "max/min ordering" `Quick test_max_ordering;
+    Alcotest.test_case "cdf and quantile" `Quick test_cdf_quantile;
+    Alcotest.test_case "scale validation" `Quick test_scale_invalid;
+    QCheck_alcotest.to_alcotest max_mass_preserved;
+    QCheck_alcotest.to_alcotest max_dominates_means;
+  ]

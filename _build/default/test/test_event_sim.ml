@@ -1,0 +1,166 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Value4 = Spsta_logic.Value4
+module Event_sim = Spsta_sim.Event_sim
+module Logic_sim = Spsta_sim.Logic_sim
+module Input_spec = Spsta_sim.Input_spec
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let gate2 kind =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"y" kind [ "a"; "b" ];
+  Circuit.Builder.add_output b "y";
+  Circuit.Builder.finalize b
+
+let run_gate ?inertial kind (va, ta) (vb, tb) =
+  let c = gate2 kind in
+  let source_values s = if Circuit.net_name c s = "a" then (va, ta) else (vb, tb) in
+  let r = Event_sim.run ?inertial c ~source_values in
+  Event_sim.waveform r (Circuit.find_exn c "y")
+
+let test_clean_transition () =
+  let w = run_gate Gate_kind.And (Value4.Rising, 1.0) (Value4.One, 0.0) in
+  Alcotest.(check bool) "starts low" false w.Event_sim.initial;
+  Alcotest.(check bool) "ends high" true (Event_sim.final w);
+  Alcotest.(check int) "one change" 1 (Event_sim.transition_count w);
+  close "arrival" 2.0 (Event_sim.settle_time w)
+
+let test_glitch_pulse () =
+  (* AND(r@1, f@3): the cycle simulator says steady 0, but the transient
+     pulses 0 -> 1 (at 2) -> 0 (at 4): a real glitch *)
+  let w = run_gate Gate_kind.And (Value4.Rising, 1.0) (Value4.Falling, 3.0) in
+  Alcotest.(check bool) "net value returns to 0" false (Event_sim.final w);
+  Alcotest.(check int) "two transitions (a pulse)" 2 (Event_sim.transition_count w);
+  match w.Event_sim.changes with
+  | [ (t1, true); (t2, false) ] ->
+    close "pulse up" 2.0 t1;
+    close "pulse down" 4.0 t2
+  | _ -> Alcotest.fail "expected a single pulse"
+
+let test_simultaneous_no_glitch () =
+  (* AND(r@1, f@1): both events land together; gate evaluates to the
+     settled 0 and never pulses *)
+  let w = run_gate Gate_kind.And (Value4.Rising, 1.0) (Value4.Falling, 1.0) in
+  Alcotest.(check int) "no transitions" 0 (Event_sim.transition_count w)
+
+let test_inertial_filtering () =
+  (* input spacing 0.5 with unit gate delay: the down-change is scheduled
+     while the up-change is still pending, so a window >= 0.5 swallows
+     the pulse *)
+  let w = run_gate ~inertial:0.75 Gate_kind.And (Value4.Rising, 1.0) (Value4.Falling, 1.5) in
+  Alcotest.(check int) "pulse filtered" 0 (Event_sim.transition_count w);
+  (* a narrower window lets it through *)
+  let w2 = run_gate ~inertial:0.25 Gate_kind.And (Value4.Rising, 1.0) (Value4.Falling, 1.5) in
+  Alcotest.(check int) "pulse survives" 2 (Event_sim.transition_count w2)
+
+let test_glitch_count () =
+  let c = gate2 Gate_kind.And in
+  let source_values s =
+    if Circuit.net_name c s = "a" then (Value4.Rising, 1.0) else (Value4.Falling, 3.0)
+  in
+  let r = Event_sim.run c ~source_values in
+  let y = Circuit.find_exn c "y" in
+  Alcotest.(check int) "glitch count" 2 (Event_sim.glitch_count r y);
+  Alcotest.(check int) "total includes sources" 4 (Event_sim.total_transitions r)
+
+(* agreement with the cycle simulator: same final values everywhere, and
+   same settle time on nets the cycle simulator sees transition *)
+let agreement_with_cycle_sim =
+  QCheck.Test.make ~name:"event sim agrees with cycle sim" ~count:25
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let c =
+        Spsta_netlist.Generator.generate
+          { Spsta_netlist.Generator.name = "ev"; n_inputs = 4; n_outputs = 3; n_dffs = 2;
+            n_gates = 30; target_depth = 4; seed }
+      in
+      let rng = Spsta_util.Rng.create ~seed:(seed + 13) in
+      let assignments = Hashtbl.create 16 in
+      List.iter
+        (fun s -> Hashtbl.replace assignments s (Input_spec.sample rng Input_spec.case_i))
+        (Circuit.sources c);
+      let source_values s = Hashtbl.find assignments s in
+      let cycle = Logic_sim.run c ~source_values in
+      let event = Event_sim.run c ~source_values in
+      (* cone-cleanliness: no glitch anywhere in the transitive fan-in,
+         and no XOR-family gate with several switching inputs (whose
+         cancellations can settle the transient earlier than the cycle
+         simulator's conservative MAX).  On clean cones the transient
+         evaluation context matches the cycle simulator's and the settle
+         times must agree exactly; other nets are only level-checked. *)
+      let cone_clean = Array.make (Circuit.num_nets c) true in
+      Array.iter
+        (fun g ->
+          match Circuit.driver c g with
+          | Circuit.Gate { kind; inputs } ->
+            let switching =
+              Array.fold_left
+                (fun acc i -> if Value4.is_transition cycle.Logic_sim.values.(i) then acc + 1 else acc)
+                0 inputs
+            in
+            let xor_multi =
+              match kind with
+              | Spsta_logic.Gate_kind.Xor | Spsta_logic.Gate_kind.Xnor -> switching > 1
+              | Spsta_logic.Gate_kind.And | Spsta_logic.Gate_kind.Nand
+              | Spsta_logic.Gate_kind.Or | Spsta_logic.Gate_kind.Nor
+              | Spsta_logic.Gate_kind.Not | Spsta_logic.Gate_kind.Buf ->
+                false
+            in
+            cone_clean.(g) <-
+              Event_sim.glitch_count event g = 0
+              && (not xor_multi)
+              && Array.for_all (fun i -> cone_clean.(i)) inputs
+          | Circuit.Input | Circuit.Dff_output _ -> ())
+        (Circuit.topo_gates c);
+      Array.for_all
+        (fun g ->
+          let w = Event_sim.waveform event g in
+          let cycle_value = cycle.Logic_sim.values.(g) in
+          Value4.final cycle_value = Event_sim.final w
+          && Value4.initial cycle_value = w.Event_sim.initial
+          &&
+          if Value4.is_transition cycle_value && cone_clean.(g) then
+            Float.abs (Event_sim.settle_time w -. cycle.Logic_sim.times.(g)) < 1e-9
+          else true)
+        (Circuit.topo_gates c))
+
+(* eq. 6 transition densities estimate the event simulator's expected
+   transition counts (glitches included) on a tree circuit, where the
+   independence assumptions hold *)
+let test_transition_density_matches_event_sim () =
+  let b = Circuit.Builder.create () in
+  List.iter (Circuit.Builder.add_input b) [ "a"; "b"; "c" ];
+  Circuit.Builder.add_gate b ~output:"n1" Gate_kind.And [ "a"; "b" ];
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Or [ "n1"; "c" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let spec _ = Input_spec.case_i in
+  let density = Spsta_power.Transition_density.of_input_specs c ~spec in
+  let rng = Spsta_util.Rng.create ~seed:17 in
+  let runs = 30_000 in
+  let y = Circuit.find_exn c "y" in
+  let observed = ref 0 in
+  for _ = 1 to runs do
+    let r = Event_sim.run c ~source_values:(fun s -> Input_spec.sample rng (spec s)) in
+    observed := !observed + Event_sim.transition_count (Event_sim.waveform r y)
+  done;
+  let mean_observed = float_of_int !observed /. float_of_int runs in
+  close "eq. 6 predicts event-sim activity"
+    (Spsta_power.Transition_density.density density y)
+    mean_observed ~tol:0.02
+
+let suite =
+  [
+    Alcotest.test_case "clean transition" `Quick test_clean_transition;
+    Alcotest.test_case "glitch pulse" `Quick test_glitch_pulse;
+    Alcotest.test_case "simultaneous inputs cancel" `Quick test_simultaneous_no_glitch;
+    Alcotest.test_case "inertial filtering" `Quick test_inertial_filtering;
+    Alcotest.test_case "glitch counting" `Quick test_glitch_count;
+    QCheck_alcotest.to_alcotest agreement_with_cycle_sim;
+    Alcotest.test_case "eq. 6 vs event sim" `Slow test_transition_density_matches_event_sim;
+  ]

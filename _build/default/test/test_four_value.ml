@@ -1,0 +1,127 @@
+module Four_value = Spsta_core.Four_value
+module Gate_kind = Spsta_logic.Gate_kind
+module Value4 = Spsta_logic.Value4
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let case_i = Four_value.make ~p_zero:0.25 ~p_one:0.25 ~p_rise:0.25 ~p_fall:0.25
+let case_ii = Four_value.make ~p_zero:0.75 ~p_one:0.15 ~p_rise:0.02 ~p_fall:0.08
+
+let test_make_validation () =
+  Alcotest.check_raises "sum" (Invalid_argument "Four_value.make: probabilities must sum to 1")
+    (fun () -> ignore (Four_value.make ~p_zero:0.5 ~p_one:0.5 ~p_rise:0.5 ~p_fall:0.0))
+
+let test_derived_stats () =
+  close "case I SP" 0.5 (Four_value.signal_probability case_i);
+  close "case II SP" 0.2 (Four_value.signal_probability case_ii);
+  close "case I rate" 0.5 (Four_value.toggling_rate case_i);
+  close "case II initial one" 0.23 (Four_value.initial_one case_ii);
+  close "case II final one" 0.17 (Four_value.final_one case_ii)
+
+let test_prob_accessor () =
+  close "rise" 0.02 (Four_value.prob case_ii Value4.Rising);
+  close "zero" 0.75 (Four_value.prob case_ii Value4.Zero)
+
+(* the paper's eq. 10 closed form must equal the exact enumeration *)
+let test_and_closed_form_matches_enumeration () =
+  List.iter
+    (fun inputs ->
+      let closed = Four_value.and_gate_closed_form inputs in
+      let enumerated = Four_value.gate_output Gate_kind.And inputs in
+      close "p_zero" closed.Four_value.p_zero enumerated.Four_value.p_zero ~tol:1e-12;
+      close "p_one" closed.Four_value.p_one enumerated.Four_value.p_one ~tol:1e-12;
+      close "p_rise" closed.Four_value.p_rise enumerated.Four_value.p_rise ~tol:1e-12;
+      close "p_fall" closed.Four_value.p_fall enumerated.Four_value.p_fall ~tol:1e-12)
+    [ [ case_i; case_i ]; [ case_ii; case_ii ]; [ case_i; case_ii ]; [ case_i; case_i; case_ii ] ]
+
+let test_and_case_i_values () =
+  (* AND of two case-I inputs: P1 = 1/16, Pr = Pf = 3/16, P0 = 9/16 *)
+  let y = Four_value.gate_output Gate_kind.And [ case_i; case_i ] in
+  close "P1" (1.0 /. 16.0) y.Four_value.p_one;
+  close "Pr" (3.0 /. 16.0) y.Four_value.p_rise;
+  close "Pf" (3.0 /. 16.0) y.Four_value.p_fall;
+  close "P0" (9.0 /. 16.0) y.Four_value.p_zero
+
+let test_inverting_gates_swap () =
+  let y = Four_value.gate_output Gate_kind.And [ case_i; case_ii ] in
+  let ny = Four_value.gate_output Gate_kind.Nand [ case_i; case_ii ] in
+  close "NAND zero = AND one" y.Four_value.p_one ny.Four_value.p_zero;
+  close "NAND rise = AND fall" y.Four_value.p_fall ny.Four_value.p_rise
+
+let test_not_buf () =
+  let n = Four_value.gate_output Gate_kind.Not [ case_ii ] in
+  close "NOT zero" 0.15 n.Four_value.p_zero;
+  close "NOT rise" 0.08 n.Four_value.p_rise;
+  let b = Four_value.gate_output Gate_kind.Buf [ case_ii ] in
+  close "BUF passthrough" 0.75 b.Four_value.p_zero
+
+let test_xor_glitch_filtering () =
+  (* both inputs always rising: XOR output is steady 0 (the r/r glitch) *)
+  let always_rising = Four_value.make ~p_zero:0.0 ~p_one:0.0 ~p_rise:1.0 ~p_fall:0.0 in
+  let y = Four_value.gate_output Gate_kind.Xor [ always_rising; always_rising ] in
+  close "XOR r/r steady zero" 1.0 y.Four_value.p_zero;
+  (* AND of opposite transitions: also steady zero *)
+  let always_falling = Four_value.make ~p_zero:0.0 ~p_one:0.0 ~p_rise:0.0 ~p_fall:1.0 in
+  let g = Four_value.gate_output Gate_kind.And [ always_rising; always_falling ] in
+  close "AND r/f steady zero" 1.0 g.Four_value.p_zero
+
+let probabilities_sum_to_one =
+  let gen_fv =
+    QCheck.Gen.(
+      map
+        (fun (a, b, c) ->
+          let d = 1.0 +. a +. b +. c in
+          Four_value.make ~p_zero:(a /. d) ~p_one:(b /. d) ~p_rise:(c /. d) ~p_fall:(1.0 /. d))
+        (triple (float_range 0.0 3.0) (float_range 0.0 3.0) (float_range 0.0 3.0)))
+  in
+  let gen =
+    QCheck.Gen.(
+      pair
+        (oneofl [ Gate_kind.And; Gate_kind.Nand; Gate_kind.Or; Gate_kind.Nor; Gate_kind.Xor; Gate_kind.Xnor ])
+        (list_size (int_range 2 4) gen_fv))
+  in
+  QCheck.Test.make ~name:"gate_output probabilities sum to 1" ~count:300 (QCheck.make gen)
+    (fun (kind, inputs) ->
+      let y = Four_value.gate_output kind inputs in
+      Float.abs
+        (y.Four_value.p_zero +. y.Four_value.p_one +. y.Four_value.p_rise +. y.Four_value.p_fall
+        -. 1.0)
+      < 1e-9)
+
+(* the marginal start/end one-probabilities must propagate through the
+   ordinary boolean signal-probability rule *)
+let marginals_consistent =
+  let gen_fv =
+    QCheck.Gen.(
+      map
+        (fun (a, b, c) ->
+          let d = 1.0 +. a +. b +. c in
+          Four_value.make ~p_zero:(a /. d) ~p_one:(b /. d) ~p_rise:(c /. d) ~p_fall:(1.0 /. d))
+        (triple (float_range 0.0 3.0) (float_range 0.0 3.0) (float_range 0.0 3.0)))
+  in
+  QCheck.Test.make ~name:"AND marginals: final_one(y) = prod final_one(x)" ~count:300
+    (QCheck.make (QCheck.Gen.pair gen_fv gen_fv))
+    (fun (x1, x2) ->
+      let y = Four_value.gate_output Gate_kind.And [ x1; x2 ] in
+      Float.abs (Four_value.final_one y -. (Four_value.final_one x1 *. Four_value.final_one x2))
+      < 1e-9
+      && Float.abs
+           (Four_value.initial_one y -. (Four_value.initial_one x1 *. Four_value.initial_one x2))
+         < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "derived statistics" `Quick test_derived_stats;
+    Alcotest.test_case "prob accessor" `Quick test_prob_accessor;
+    Alcotest.test_case "eq. 10 closed form = enumeration" `Quick
+      test_and_closed_form_matches_enumeration;
+    Alcotest.test_case "AND case I values" `Quick test_and_case_i_values;
+    Alcotest.test_case "inverting gates swap" `Quick test_inverting_gates_swap;
+    Alcotest.test_case "NOT/BUF" `Quick test_not_buf;
+    Alcotest.test_case "glitch filtering" `Quick test_xor_glitch_filtering;
+    QCheck_alcotest.to_alcotest probabilities_sum_to_one;
+    QCheck_alcotest.to_alcotest marginals_consistent;
+  ]

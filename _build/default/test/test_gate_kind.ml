@@ -1,0 +1,106 @@
+module Gate_kind = Spsta_logic.Gate_kind
+module Value4 = Spsta_logic.Value4
+
+let test_string_roundtrip () =
+  List.iter
+    (fun k ->
+      match Gate_kind.of_string (Gate_kind.to_string k) with
+      | Some k' -> Alcotest.(check bool) "roundtrip" true (Gate_kind.equal k k')
+      | None -> Alcotest.failf "no parse for %s" (Gate_kind.to_string k))
+    Gate_kind.all
+
+let test_of_string_aliases () =
+  Alcotest.(check bool) "BUFF alias" true (Gate_kind.of_string "BUFF" = Some Gate_kind.Buf);
+  Alcotest.(check bool) "INV alias" true (Gate_kind.of_string "inv" = Some Gate_kind.Not);
+  Alcotest.(check bool) "case-insensitive" true (Gate_kind.of_string "nand" = Some Gate_kind.Nand);
+  Alcotest.(check bool) "unknown" true (Gate_kind.of_string "MUX" = None)
+
+let test_eval_bool_and_family () =
+  Alcotest.(check bool) "and tt" true (Gate_kind.eval_bool Gate_kind.And [ true; true ]);
+  Alcotest.(check bool) "and tf" false (Gate_kind.eval_bool Gate_kind.And [ true; false ]);
+  Alcotest.(check bool) "nand tf" true (Gate_kind.eval_bool Gate_kind.Nand [ true; false ]);
+  Alcotest.(check bool) "or ff" false (Gate_kind.eval_bool Gate_kind.Or [ false; false ]);
+  Alcotest.(check bool) "nor ff" true (Gate_kind.eval_bool Gate_kind.Nor [ false; false ]);
+  Alcotest.(check bool) "xor tft" false (Gate_kind.eval_bool Gate_kind.Xor [ true; false; true ]);
+  Alcotest.(check bool) "xnor tft" true (Gate_kind.eval_bool Gate_kind.Xnor [ true; false; true ]);
+  Alcotest.(check bool) "not t" false (Gate_kind.eval_bool Gate_kind.Not [ true ]);
+  Alcotest.(check bool) "buf t" true (Gate_kind.eval_bool Gate_kind.Buf [ true ])
+
+let test_arity_checks () =
+  Alcotest.(check bool) "raises on 2-input NOT" true
+    ( try
+        ignore (Gate_kind.eval_bool Gate_kind.Not [ true; false ]);
+        false
+      with Invalid_argument _ -> true );
+  Alcotest.(check bool) "raises on 1-input AND" true
+    ( try
+        ignore (Gate_kind.eval_bool Gate_kind.And [ true ]);
+        false
+      with Invalid_argument _ -> true )
+
+let test_controlling_values () =
+  Alcotest.(check bool) "AND controls with 0" true
+    (Gate_kind.controlling_value Gate_kind.And = Some false);
+  Alcotest.(check bool) "NOR controls with 1" true
+    (Gate_kind.controlling_value Gate_kind.Nor = Some true);
+  Alcotest.(check bool) "XOR has no controlling value" true
+    (Gate_kind.controlling_value Gate_kind.Xor = None);
+  Alcotest.(check bool) "AND controlled output 0" true
+    (Gate_kind.controlled_value Gate_kind.And = Some false);
+  Alcotest.(check bool) "NAND controlled output 1" true
+    (Gate_kind.controlled_value Gate_kind.Nand = Some true);
+  Alcotest.(check bool) "NOR controlled output 0" true
+    (Gate_kind.controlled_value Gate_kind.Nor = Some false)
+
+let test_inverting () =
+  Alcotest.(check (list bool)) "inversion flags"
+    [ false; true; false; true; false; true; true; false ]
+    (List.map Gate_kind.inverting Gate_kind.all)
+
+let test_eval4_matches_value4 () =
+  (* the generic eval4 must agree with the dedicated pairwise tables *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let check name kind reference =
+            Alcotest.(check bool) name true
+              (Value4.equal (Gate_kind.eval4 kind [ a; b ]) reference)
+          in
+          check "and" Gate_kind.And (Value4.land2 a b);
+          check "or" Gate_kind.Or (Value4.lor2 a b);
+          check "xor" Gate_kind.Xor (Value4.lxor2 a b);
+          check "nand" Gate_kind.Nand (Value4.lnot (Value4.land2 a b)))
+        Value4.all)
+    Value4.all
+
+let test_eval4_wide_gate () =
+  let out = Gate_kind.eval4 Gate_kind.And [ Value4.One; Value4.Rising; Value4.One; Value4.Rising ] in
+  Alcotest.(check bool) "4-input AND rising" true (Value4.equal out Value4.Rising);
+  let glitch = Gate_kind.eval4 Gate_kind.And [ Value4.Rising; Value4.Falling; Value4.One ] in
+  Alcotest.(check bool) "glitch suppressed" true (Value4.equal glitch Value4.Zero)
+
+let eval4_consistent_with_bool =
+  let gen =
+    QCheck.Gen.(
+      pair (oneofl [ Gate_kind.And; Gate_kind.Nand; Gate_kind.Or; Gate_kind.Nor; Gate_kind.Xor; Gate_kind.Xnor ])
+        (list_size (int_range 2 5) (oneofl Value4.all)))
+  in
+  QCheck.Test.make ~name:"eval4 = bool eval of initial/final levels" ~count:500 (QCheck.make gen)
+    (fun (kind, inputs) ->
+      let out = Gate_kind.eval4 kind inputs in
+      Value4.initial out = Gate_kind.eval_bool kind (List.map Value4.initial inputs)
+      && Value4.final out = Gate_kind.eval_bool kind (List.map Value4.final inputs))
+
+let suite =
+  [
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+    Alcotest.test_case "of_string aliases" `Quick test_of_string_aliases;
+    Alcotest.test_case "eval_bool" `Quick test_eval_bool_and_family;
+    Alcotest.test_case "arity validation" `Quick test_arity_checks;
+    Alcotest.test_case "controlling/controlled values" `Quick test_controlling_values;
+    Alcotest.test_case "inverting flags" `Quick test_inverting;
+    Alcotest.test_case "eval4 matches Value4 tables" `Quick test_eval4_matches_value4;
+    Alcotest.test_case "eval4 wide gates and glitches" `Quick test_eval4_wide_gate;
+    QCheck_alcotest.to_alcotest eval4_consistent_with_bool;
+  ]

@@ -1,0 +1,104 @@
+module Circuit = Spsta_netlist.Circuit
+module Generator = Spsta_netlist.Generator
+
+let profile =
+  { Generator.name = "t"; n_inputs = 6; n_outputs = 4; n_dffs = 5; n_gates = 60;
+    target_depth = 7; seed = 1234 }
+
+let test_interface_counts () =
+  let c = Generator.generate profile in
+  Alcotest.(check int) "inputs" 6 (List.length (Circuit.primary_inputs c));
+  Alcotest.(check int) "outputs" 4 (List.length (Circuit.primary_outputs c));
+  Alcotest.(check int) "dffs" 5 (List.length (Circuit.dffs c));
+  Alcotest.(check int) "gates" 60 (Circuit.gate_count c)
+
+let test_depth_reached () =
+  let c = Generator.generate profile in
+  Alcotest.(check bool) "depth at least target" true (Circuit.depth c >= 7)
+
+let test_determinism () =
+  let a = Generator.generate profile and b = Generator.generate profile in
+  Alcotest.(check string) "identical bench text" (Spsta_netlist.Bench_io.to_string a)
+    (Spsta_netlist.Bench_io.to_string b)
+
+let test_seed_changes_structure () =
+  let a = Generator.generate profile in
+  let b = Generator.generate { profile with seed = profile.Generator.seed + 1 } in
+  Alcotest.(check bool) "different seeds give different circuits" true
+    (Spsta_netlist.Bench_io.to_string a <> Spsta_netlist.Bench_io.to_string b)
+
+let test_deep_endpoint () =
+  (* the spine output is a primary output, so the critical path reaches
+     the target depth *)
+  let c = Generator.generate profile in
+  let max_endpoint_level =
+    List.fold_left (fun acc e -> max acc (Circuit.level c e)) 0 (Circuit.endpoints c)
+  in
+  Alcotest.(check bool) "deepest endpoint at target depth" true (max_endpoint_level >= 7)
+
+let test_validation () =
+  let expect_invalid p =
+    match Generator.generate p with
+    | (_ : Circuit.t) -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid { profile with n_inputs = 0; n_dffs = 0 };
+  expect_invalid { profile with n_outputs = 0 };
+  expect_invalid { profile with target_depth = 0 };
+  expect_invalid { profile with n_gates = 3 (* below target depth *) }
+
+let test_iscas_profiles () =
+  Alcotest.(check int) "ten profiles" 10 (List.length Generator.iscas89_profiles);
+  List.iter
+    (fun p ->
+      let c = Generator.generate p in
+      Alcotest.(check int)
+        (p.Generator.name ^ " gate count")
+        p.Generator.n_gates (Circuit.gate_count c);
+      Alcotest.(check bool)
+        (p.Generator.name ^ " depth")
+        true
+        (Circuit.depth c >= p.Generator.target_depth))
+    Generator.iscas89_profiles
+
+let test_find_profile () =
+  Alcotest.(check bool) "s344 exists" true (Generator.find_profile "s344" <> None);
+  Alcotest.(check bool) "unknown absent" true (Generator.find_profile "s9999" = None)
+
+let generated_always_valid =
+  QCheck.Test.make ~name:"generated circuits are always valid" ~count:25
+    QCheck.(
+      quad (int_range 1 8) (int_range 1 5) (int_range 0 6) (int_range 5 80))
+    (fun (n_inputs, n_outputs, n_dffs, n_gates) ->
+      let target_depth = 1 + (n_gates / 10) in
+      let p =
+        { Generator.name = "q"; n_inputs; n_outputs; n_dffs; n_gates; target_depth; seed = 5 }
+      in
+      let c = Generator.generate p in
+      Circuit.gate_count c = n_gates && Circuit.depth c >= target_depth)
+
+let suite =
+  [
+    Alcotest.test_case "interface counts" `Quick test_interface_counts;
+    Alcotest.test_case "depth reached" `Quick test_depth_reached;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_structure;
+    Alcotest.test_case "deep endpoint" `Quick test_deep_endpoint;
+    Alcotest.test_case "profile validation" `Quick test_validation;
+    Alcotest.test_case "ISCAS'89 profiles" `Quick test_iscas_profiles;
+    Alcotest.test_case "find_profile" `Quick test_find_profile;
+    QCheck_alcotest.to_alcotest generated_always_valid;
+  ]
+
+let test_extended_profiles () =
+  Alcotest.(check int) "four extended profiles" 4 (List.length Generator.extended_profiles);
+  (* generate the smallest extended profile and sanity-check it; the
+     larger ones are covered by the scaling bench *)
+  match Generator.find_profile "s5378" with
+  | None -> Alcotest.fail "s5378 profile missing"
+  | Some p ->
+    let c = Generator.generate p in
+    Alcotest.(check int) "s5378 gates" 2779 (Circuit.gate_count c);
+    Alcotest.(check bool) "s5378 depth" true (Circuit.depth c >= 12)
+
+let suite = suite @ [ Alcotest.test_case "extended profiles" `Quick test_extended_profiles ]

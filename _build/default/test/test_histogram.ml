@@ -1,0 +1,72 @@
+module Histogram = Spsta_util.Histogram
+
+let test_create_invalid () =
+  Alcotest.check_raises "zero bins" (Invalid_argument "Histogram.create: bins must be positive")
+    (fun () -> ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0));
+  Alcotest.check_raises "inverted range" (Invalid_argument "Histogram.create: hi must exceed lo")
+    (fun () -> ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:4))
+
+let test_counts_and_density () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.add h) [ 0.5; 1.5; 1.6; 9.9 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "bin 1 density" (2.0 /. 4.0 /. 1.0) (Histogram.density h 1);
+  (* density integrates to one *)
+  let integral = ref 0.0 in
+  for i = 0 to Histogram.bin_count h - 1 do
+    integral := !integral +. (Histogram.density h i *. 1.0)
+  done;
+  Alcotest.(check (float 1e-9)) "unit integral" 1.0 !integral
+
+let test_clamping () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Histogram.add h (-5.0);
+  Histogram.add h 42.0;
+  Alcotest.(check int) "both clamped samples counted" 2 (Histogram.count h);
+  Alcotest.(check bool) "first bin got the low sample" true (Histogram.density h 0 > 0.0);
+  Alcotest.(check bool) "last bin got the high sample" true (Histogram.density h 1 > 0.0)
+
+let test_of_samples () =
+  let samples = Array.init 1000 (fun i -> float_of_int i /. 100.0) in
+  let h = Histogram.of_samples ~bins:20 samples in
+  Alcotest.(check int) "all samples placed" 1000 (Histogram.count h);
+  Alcotest.check_raises "empty input" (Invalid_argument "Histogram.of_samples: empty array")
+    (fun () -> ignore (Histogram.of_samples [||]))
+
+let test_of_samples_constant () =
+  let h = Histogram.of_samples ~bins:5 [| 2.0; 2.0; 2.0 |] in
+  Alcotest.(check int) "constant samples placed" 3 (Histogram.count h)
+
+let test_render () =
+  let h = Histogram.create ~lo:0.0 ~hi:2.0 ~bins:2 in
+  List.iter (Histogram.add h) [ 0.5; 0.6; 1.5 ];
+  let text = Histogram.render ~width:10 h in
+  Alcotest.(check bool) "bars rendered" true (String.length text > 0);
+  Alcotest.(check bool) "contains hash bars" true (String.contains text '#')
+
+let density_integral_qcheck =
+  QCheck.Test.make ~name:"histogram density integrates to 1" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (float_range (-10.0) 10.0))
+    (fun values ->
+      let h = Histogram.of_samples (Array.of_list values) in
+      let integral = ref 0.0 in
+      let width =
+        match Histogram.bin_count h with
+        | 0 -> 0.0
+        | _ -> Histogram.bin_center h 1 -. Histogram.bin_center h 0
+      in
+      for i = 0 to Histogram.bin_count h - 1 do
+        integral := !integral +. (Histogram.density h i *. width)
+      done;
+      Float.abs (!integral -. 1.0) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_invalid;
+    Alcotest.test_case "counts and density" `Quick test_counts_and_density;
+    Alcotest.test_case "out-of-range clamping" `Quick test_clamping;
+    Alcotest.test_case "of_samples" `Quick test_of_samples;
+    Alcotest.test_case "of_samples constant data" `Quick test_of_samples_constant;
+    Alcotest.test_case "render" `Quick test_render;
+    QCheck_alcotest.to_alcotest density_integral_qcheck;
+  ]

@@ -1,0 +1,67 @@
+module Input_spec = Spsta_sim.Input_spec
+module Value4 = Spsta_logic.Value4
+module Rng = Spsta_util.Rng
+
+let close ?(tol = 1e-12) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+(* the paper's derived statistics for the two experiment regimes *)
+let test_case_i_stats () =
+  close "signal probability" 0.5 (Input_spec.signal_probability Input_spec.case_i);
+  close "toggling rate" 0.5 (Input_spec.toggling_rate Input_spec.case_i);
+  close "toggling variance" 0.25 (Input_spec.toggling_variance Input_spec.case_i)
+
+let test_case_ii_stats () =
+  close "signal probability" 0.2 (Input_spec.signal_probability Input_spec.case_ii);
+  close "toggling rate" 0.1 (Input_spec.toggling_rate Input_spec.case_ii);
+  close "toggling variance" 0.09 (Input_spec.toggling_variance Input_spec.case_ii)
+
+let test_make_validation () =
+  Alcotest.check_raises "sum check" (Invalid_argument "Input_spec.make: probabilities must sum to 1")
+    (fun () -> ignore (Input_spec.make ~p_zero:0.5 ~p_one:0.5 ~p_rise:0.5 ~p_fall:0.0 ()));
+  Alcotest.check_raises "negative" (Invalid_argument "Input_spec.make: negative probability")
+    (fun () -> ignore (Input_spec.make ~p_zero:1.2 ~p_one:(-0.2) ~p_rise:0.0 ~p_fall:0.0 ()))
+
+let test_sample_distribution () =
+  let rng = Rng.create ~seed:77 in
+  let counts = Hashtbl.create 4 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v, _ = Input_spec.sample rng Input_spec.case_ii in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let frac v = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts v)) /. float_of_int n in
+  close "zero fraction" 0.75 (frac Value4.Zero) ~tol:0.01;
+  close "one fraction" 0.15 (frac Value4.One) ~tol:0.01;
+  close "rise fraction" 0.02 (frac Value4.Rising) ~tol:0.005;
+  close "fall fraction" 0.08 (frac Value4.Falling) ~tol:0.005
+
+let test_sample_arrival_times () =
+  let rng = Rng.create ~seed:78 in
+  let acc = Spsta_util.Stats.acc_create () in
+  for _ = 1 to 200_000 do
+    let v, t = Input_spec.sample rng Input_spec.case_i in
+    if Value4.is_transition v then Spsta_util.Stats.acc_add acc t
+  done;
+  close "transition arrivals have standard-normal mean" 0.0 (Spsta_util.Stats.acc_mean acc)
+    ~tol:0.02;
+  close "transition arrivals have standard-normal stddev" 1.0 (Spsta_util.Stats.acc_stddev acc)
+    ~tol:0.02
+
+let test_steady_time_zero () =
+  let rng = Rng.create ~seed:79 in
+  let spec = Input_spec.make ~p_zero:1.0 ~p_one:0.0 ~p_rise:0.0 ~p_fall:0.0 () in
+  let v, t = Input_spec.sample rng spec in
+  Alcotest.(check bool) "always zero" true (Value4.equal v Value4.Zero);
+  close "steady time" 0.0 t
+
+let suite =
+  [
+    Alcotest.test_case "case I derived stats" `Quick test_case_i_stats;
+    Alcotest.test_case "case II derived stats" `Quick test_case_ii_stats;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "sample distribution" `Quick test_sample_distribution;
+    Alcotest.test_case "sample arrival times" `Quick test_sample_arrival_times;
+    Alcotest.test_case "steady values at time zero" `Quick test_steady_time_zero;
+  ]

@@ -1,0 +1,136 @@
+module Rc_tree = Spsta_interconnect.Rc_tree
+module Wire_model = Spsta_interconnect.Wire_model
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let test_single_segment () =
+  (* driver R=2 into one segment R=3, C at far end 5 plus root cap 1:
+     elmore(sink) = 2*(1+5) + 3*5 = 27 *)
+  let t = Rc_tree.create ~driver_resistance:2.0 ~root_cap:1.0 () in
+  let sink = Rc_tree.add_child t (Rc_tree.root t) ~resistance:3.0 ~capacitance:5.0 in
+  close "total capacitance" 6.0 (Rc_tree.total_capacitance t);
+  close "elmore at sink" 27.0 (Rc_tree.elmore_delay t sink);
+  close "elmore at root" 12.0 (Rc_tree.elmore_delay t (Rc_tree.root t));
+  close "worst" 27.0 (Rc_tree.worst_elmore t)
+
+let test_chain_closed_form () =
+  (* uniform chain of n stages, no driver R, no sink cap:
+     elmore(end) = r c (n + (n-1) + ... + 1) = r c n (n+1) / 2 *)
+  let n = 5 in
+  let t = Rc_tree.chain ~stages:n ~segment_r:2.0 ~segment_c:3.0 ~sink_cap:0.0 () in
+  close "chain elmore" (2.0 *. 3.0 *. float_of_int (n * (n + 1) / 2)) (Rc_tree.worst_elmore t);
+  Alcotest.(check int) "node count" (n + 1) (Rc_tree.node_count t)
+
+let test_star_symmetry () =
+  let t =
+    Rc_tree.balanced ~driver_resistance:1.0 ~fanout:4 ~segment_r:0.5 ~segment_c:0.2 ~sink_cap:0.3 ()
+  in
+  (* every sink identical: elmore = Rd * Ctotal + r * (c + csink) *)
+  let expected = (1.0 *. (4.0 *. 0.5)) +. (0.5 *. 0.5) in
+  close "star sink delay" expected (Rc_tree.worst_elmore t);
+  close "star total cap" 2.0 (Rc_tree.total_capacitance t)
+
+let test_validation () =
+  let t = Rc_tree.create ~root_cap:0.0 () in
+  Alcotest.check_raises "negative R" (Invalid_argument "Rc_tree.add_child: negative R or C")
+    (fun () -> ignore (Rc_tree.add_child t (Rc_tree.root t) ~resistance:(-1.0) ~capacitance:0.0));
+  Alcotest.check_raises "negative driver R"
+    (Invalid_argument "Rc_tree.create: negative driver resistance") (fun () ->
+      ignore (Rc_tree.create ~driver_resistance:(-1.0) ~root_cap:0.0 ()))
+
+let fanout_circuit k =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"n0" Gate_kind.Buf [ "a" ];
+  for i = 1 to k do
+    Circuit.Builder.add_gate b ~output:(Printf.sprintf "s%d" i) Gate_kind.Not [ "n0" ];
+    Circuit.Builder.add_output b (Printf.sprintf "s%d" i)
+  done;
+  Circuit.Builder.finalize b
+
+let test_wire_model_fanout_scaling () =
+  let c1 = fanout_circuit 1 and c4 = fanout_circuit 4 in
+  let w1 = Wire_model.build c1 and w4 = Wire_model.build c4 in
+  let d1 = Wire_model.net_delay w1 (Circuit.find_exn c1 "n0") in
+  let d4 = Wire_model.net_delay w4 (Circuit.find_exn c4 "n0") in
+  Alcotest.(check bool) "fanout increases net delay" true (d4 > d1);
+  (* loadless outputs have no wire delay *)
+  close "loadless sink" 0.0 (Wire_model.net_delay w4 (Circuit.find_exn c4 "s1"))
+
+let test_stage_delay () =
+  let c = fanout_circuit 2 in
+  let w = Wire_model.build c in
+  let n0 = Circuit.find_exn c "n0" in
+  close "stage = gate + wire"
+    (Wire_model.default_params.Wire_model.gate_delay +. Wire_model.net_delay w n0)
+    (Wire_model.stage_delay w n0)
+
+let test_placement_distance_matters () =
+  let c = Spsta_experiments.Benchmarks.load "s298" in
+  let model = Spsta_variation.Param_model.create ~grid:4 () in
+  let p = Spsta_variation.Param_model.place ~seed:5 model c in
+  let near = Wire_model.build c in
+  let far = Wire_model.build ~placement:(p, 4) c in
+  (* with placement, total wiring cannot be smaller than the unit model *)
+  Alcotest.(check bool) "placement adds wire" true
+    (Wire_model.total_wire_capacitance far >= Wire_model.total_wire_capacitance near)
+
+let test_timing_engines_consume_wire_delays () =
+  (* loaded delays shift all three engines consistently on a chain *)
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"n1" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"n2" Gate_kind.Buf [ "n1" ];
+  Circuit.Builder.add_output b "n2";
+  let c = Circuit.Builder.finalize b in
+  let w = Wire_model.build c in
+  let delay_of = Wire_model.stage_delay w in
+  let out = Circuit.find_exn c "n2" in
+  let expected =
+    delay_of (Circuit.find_exn c "n1") +. delay_of out
+  in
+  (* logic sim *)
+  let sim =
+    Spsta_sim.Logic_sim.run ~delay_of c
+      ~source_values:(fun _ -> (Spsta_logic.Value4.Rising, 0.0))
+  in
+  close "sim loaded arrival" expected sim.Spsta_sim.Logic_sim.times.(out);
+  (* spsta *)
+  let spec _ =
+    Spsta_sim.Input_spec.make
+      ~rise_arrival:(Spsta_dist.Normal.make ~mu:0.0 ~sigma:0.0)
+      ~p_zero:0.0 ~p_one:0.0 ~p_rise:1.0 ~p_fall:0.0 ()
+  in
+  let spsta = Spsta_core.Analyzer.Moments.analyze ~delay_of c ~spec in
+  let mu, _, _ =
+    Spsta_core.Analyzer.Moments.transition_stats
+      (Spsta_core.Analyzer.Moments.signal spsta out) `Rise
+  in
+  close "spsta loaded arrival" expected mu ~tol:1e-9;
+  (* ssta (variational with zero sigma) *)
+  let ssta =
+    Spsta_ssta.Ssta.analyze_variational
+      ~gate_delay:(fun g -> Spsta_dist.Normal.make ~mu:(delay_of g) ~sigma:0.0)
+      ~input_arrival:
+        { Spsta_ssta.Ssta.rise = Spsta_dist.Normal.make ~mu:0.0 ~sigma:0.0;
+          fall = Spsta_dist.Normal.make ~mu:0.0 ~sigma:0.0 }
+      c
+  in
+  close "ssta loaded arrival" expected
+    (Spsta_dist.Normal.mean (Spsta_ssta.Ssta.arrival ssta out).Spsta_ssta.Ssta.rise)
+
+let suite =
+  [
+    Alcotest.test_case "single segment elmore" `Quick test_single_segment;
+    Alcotest.test_case "chain closed form" `Quick test_chain_closed_form;
+    Alcotest.test_case "star symmetry" `Quick test_star_symmetry;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "fanout scaling" `Quick test_wire_model_fanout_scaling;
+    Alcotest.test_case "stage delay" `Quick test_stage_delay;
+    Alcotest.test_case "placement-aware wiring" `Quick test_placement_distance_matters;
+    Alcotest.test_case "engines consume wire delays" `Quick test_timing_engines_consume_wire_delays;
+  ]

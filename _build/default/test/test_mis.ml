@@ -1,0 +1,144 @@
+(* Multiple-input switching delay model. *)
+
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Value4 = Spsta_logic.Value4
+module Timing_rule = Spsta_logic.Timing_rule
+module Mis_model = Spsta_logic.Mis_model
+module Input_spec = Spsta_sim.Input_spec
+module Logic_sim = Spsta_sim.Logic_sim
+module Monte_carlo = Spsta_sim.Monte_carlo
+module A = Spsta_core.Analyzer.Moments
+module Normal = Spsta_dist.Normal
+module Stats = Spsta_util.Stats
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let test_factor () =
+  let m = Mis_model.make ~min_speedup:0.2 ~max_slowdown:0.1 () in
+  close "single input is neutral (min)" 1.0 (Mis_model.factor m Timing_rule.Min ~simultaneous:1);
+  close "single input is neutral (max)" 1.0 (Mis_model.factor m Timing_rule.Max ~simultaneous:1);
+  close "min speeds up" (1.0 /. 1.4) (Mis_model.factor m Timing_rule.Min ~simultaneous:3);
+  close "max slows down" 1.2 (Mis_model.factor m Timing_rule.Max ~simultaneous:3);
+  close "none is neutral" 1.0 (Mis_model.factor Mis_model.none Timing_rule.Max ~simultaneous:5)
+
+let test_make_validation () =
+  Alcotest.check_raises "negative rate" (Invalid_argument "Mis_model.make: negative rate")
+    (fun () -> ignore (Mis_model.make ~min_speedup:(-0.1) ()));
+  Alcotest.check_raises "zero window" (Invalid_argument "Mis_model.make: window must be positive")
+    (fun () -> ignore (Mis_model.make ~window:0.0 ()));
+  Alcotest.check_raises "factor arity"
+    (Invalid_argument "Mis_model.factor: needs at least one switching input") (fun () ->
+      ignore (Mis_model.factor Mis_model.none Timing_rule.Max ~simultaneous:0))
+
+let and_gate () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.And [ "a"; "b" ];
+  Circuit.Builder.add_output b "y";
+  Circuit.Builder.finalize b
+
+let run_and mis (va, ta) (vb, tb) =
+  let c = and_gate () in
+  let source_values s = if Circuit.net_name c s = "a" then (va, ta) else (vb, tb) in
+  let r = Logic_sim.run ~mis c ~source_values in
+  r.Logic_sim.times.(Circuit.find_exn c "y")
+
+let test_sim_simultaneous_rise () =
+  let m = Mis_model.make ~max_slowdown:0.2 ~window:0.5 () in
+  (* both rise at the same instant: MAX-rule slowdown applies *)
+  close "simultaneous rise slowed" (2.0 +. 1.2)
+    (run_and m (Value4.Rising, 2.0) (Value4.Rising, 2.0));
+  (* far apart: single-input delay *)
+  close "separated rise unaffected" (5.0 +. 1.0)
+    (run_and m (Value4.Rising, 2.0) (Value4.Rising, 5.0))
+
+let test_sim_simultaneous_fall () =
+  let m = Mis_model.make ~min_speedup:0.25 ~window:0.5 () in
+  (* both fall together: MIN-rule speedup *)
+  close "simultaneous fall sped up" (2.0 +. (1.0 /. 1.25))
+    (run_and m (Value4.Falling, 2.0) (Value4.Falling, 2.0));
+  close "separated fall unaffected" (2.0 +. 1.0)
+    (run_and m (Value4.Falling, 2.0) (Value4.Falling, 5.0))
+
+let test_window_boundary () =
+  let m = Mis_model.make ~max_slowdown:0.2 ~window:1.0 () in
+  (* 0.8 apart: within window -> both count *)
+  close "inside window" (2.8 +. 1.2) (run_and m (Value4.Rising, 2.0) (Value4.Rising, 2.8));
+  (* 1.5 apart: outside -> single *)
+  close "outside window" (3.5 +. 1.0) (run_and m (Value4.Rising, 2.0) (Value4.Rising, 3.5))
+
+(* SPSTA with an infinite window must match MC exactly on probability-1
+   simultaneous switching *)
+let test_analyzer_term_adjustment () =
+  let m = Mis_model.make ~max_slowdown:0.2 ~min_speedup:0.25 () in
+  let rising t sigma =
+    A.source_signal
+      (Input_spec.make ~rise_arrival:(Normal.make ~mu:t ~sigma) ~p_zero:0.0 ~p_one:0.0
+         ~p_rise:1.0 ~p_fall:0.0 ())
+  in
+  let y = A.gate_output ~mis:m Gate_kind.And [ rising 2.0 0.0; rising 2.0 0.0 ] in
+  let mu, _, p = A.transition_stats y `Rise in
+  close "certain rise" 1.0 p ~tol:1e-12;
+  close "slowed arrival" (2.0 +. 1.2) mu ~tol:1e-9;
+  (* inverting gate: NAND of two fallers rises via MIN-rule speedup, and
+     the delay applied is the (final) rising one *)
+  let falling t =
+    A.source_signal
+      (Input_spec.make ~fall_arrival:(Normal.make ~mu:t ~sigma:0.0) ~p_zero:0.0 ~p_one:0.0
+         ~p_rise:0.0 ~p_fall:1.0 ())
+  in
+  let ny = A.gate_output ~mis:m Gate_kind.Nand [ falling 2.0; falling 2.0 ] in
+  let nmu, _, np = A.transition_stats ny `Rise in
+  close "nand certain rise" 1.0 np ~tol:1e-12;
+  close "nand sped arrival" (2.0 +. (1.0 /. 1.25)) nmu ~tol:1e-9
+
+let test_spsta_vs_mc_with_mis () =
+  (* end-to-end on s27 with an infinite window: the analyzer's per-term
+     correction must track the simulator *)
+  let m = Mis_model.make ~max_slowdown:0.15 ~min_speedup:0.2 () in
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let spec _ = Input_spec.case_i in
+  let spsta = A.analyze ~mis:m c ~spec in
+  let mc = Monte_carlo.simulate ~mis:m ~runs:30_000 ~seed:23 c ~spec in
+  List.iter
+    (fun e ->
+      let mu, _, p = A.transition_stats (A.signal spsta e) `Rise in
+      let s = Monte_carlo.stats mc e in
+      if p > 0.05 then
+        close
+          (Printf.sprintf "%s rise mean with MIS" (Circuit.net_name c e))
+          (Stats.acc_mean s.Monte_carlo.rise_times)
+          mu ~tol:0.3)
+    (Circuit.endpoints c)
+
+let test_mis_shifts_mean () =
+  (* the paper's point: ignoring MIS underestimates the mean *)
+  let c = Spsta_experiments.Benchmarks.load "s386" in
+  let spec _ = Input_spec.case_i in
+  let m = Mis_model.make ~max_slowdown:0.2 ~min_speedup:0.0 () in
+  let base = Monte_carlo.simulate ~runs:4000 ~seed:29 c ~spec in
+  let mis = Monte_carlo.simulate ~mis:m ~runs:4000 ~seed:29 c ~spec in
+  let total r =
+    List.fold_left
+      (fun acc e ->
+        let s = Monte_carlo.stats r e in
+        acc +. Stats.acc_mean s.Monte_carlo.rise_times)
+      0.0 (Circuit.endpoints c)
+  in
+  Alcotest.(check bool) "MAX slowdown raises mean arrivals" true (total mis > total base)
+
+let suite =
+  [
+    Alcotest.test_case "factor" `Quick test_factor;
+    Alcotest.test_case "validation" `Quick test_make_validation;
+    Alcotest.test_case "simulator simultaneous rise" `Quick test_sim_simultaneous_rise;
+    Alcotest.test_case "simulator simultaneous fall" `Quick test_sim_simultaneous_fall;
+    Alcotest.test_case "window boundary" `Quick test_window_boundary;
+    Alcotest.test_case "analyzer term adjustment" `Quick test_analyzer_term_adjustment;
+    Alcotest.test_case "SPSTA vs MC with MIS" `Slow test_spsta_vs_mc_with_mis;
+    Alcotest.test_case "MIS raises mean arrivals" `Quick test_mis_shifts_mean;
+  ]

@@ -1,0 +1,187 @@
+module Normal = Spsta_dist.Normal
+module Mixture = Spsta_dist.Mixture
+module Rng = Spsta_util.Rng
+module Stats = Spsta_util.Stats
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let test_empty () =
+  Alcotest.(check bool) "empty is empty" true (Mixture.is_empty Mixture.empty);
+  close "empty weight" 0.0 (Mixture.total_weight Mixture.empty);
+  close "empty mean" 0.0 (Mixture.mean Mixture.empty);
+  Alcotest.(check bool) "no normalised moments" true
+    (Mixture.normalized_moments Mixture.empty = None)
+
+let test_singleton () =
+  let m = Mixture.singleton ~weight:0.4 (Normal.make ~mu:2.0 ~sigma:1.5) in
+  close "weight" 0.4 (Mixture.total_weight m);
+  close "mean" 2.0 (Mixture.mean m);
+  close "stddev" 1.5 (Mixture.stddev m)
+
+let test_singleton_invalid () =
+  Alcotest.check_raises "negative weight" (Invalid_argument "Mixture.singleton: negative weight")
+    (fun () -> ignore (Mixture.singleton ~weight:(-0.1) Normal.standard))
+
+let test_two_component_moments () =
+  (* equal-weight mixture of N(0,1) and N(4,1): mean 2, var 1 + 4 *)
+  let m =
+    Mixture.add
+      (Mixture.singleton ~weight:0.5 (Normal.make ~mu:0.0 ~sigma:1.0))
+      (Mixture.singleton ~weight:0.5 (Normal.make ~mu:4.0 ~sigma:1.0))
+  in
+  close "bimodal mean" 2.0 (Mixture.mean m);
+  close "bimodal variance" 5.0 (Mixture.variance m)
+
+let test_scale () =
+  let m = Mixture.singleton ~weight:0.5 Normal.standard in
+  let s = Mixture.scale m 0.2 in
+  close "scaled weight" 0.1 (Mixture.total_weight s);
+  close "scale keeps mean" 0.0 (Mixture.mean s);
+  Alcotest.(check bool) "scale to zero empties" true (Mixture.is_empty (Mixture.scale m 0.0))
+
+let test_add_delay () =
+  let m =
+    Mixture.add
+      (Mixture.singleton ~weight:0.3 (Normal.make ~mu:1.0 ~sigma:1.0))
+      (Mixture.singleton ~weight:0.7 (Normal.make ~mu:2.0 ~sigma:0.5))
+  in
+  let d = Mixture.add_delay m 10.0 in
+  close "delay shifts mean" (Mixture.mean m +. 10.0) (Mixture.mean d);
+  close "delay keeps variance" (Mixture.variance m) (Mixture.variance d) ~tol:1e-9
+
+let test_add_normal_delay () =
+  let m = Mixture.singleton ~weight:1.0 (Normal.make ~mu:0.0 ~sigma:3.0) in
+  let d = Mixture.add_normal_delay m (Normal.make ~mu:1.0 ~sigma:4.0) in
+  close "convolved mean" 1.0 (Mixture.mean d);
+  close "convolved stddev" 5.0 (Mixture.stddev d)
+
+let test_compact_preserves_moments () =
+  let components =
+    List.init 100 (fun i ->
+        Mixture.singleton ~weight:0.01 (Normal.make ~mu:(float_of_int i /. 10.0) ~sigma:0.3))
+  in
+  let m = Mixture.sum components in
+  let c = Mixture.compact ~max_components:8 m in
+  Alcotest.(check bool) "compacted size" true (List.length (Mixture.components c) <= 8);
+  close "compact preserves weight" (Mixture.total_weight m) (Mixture.total_weight c) ~tol:1e-12;
+  close "compact preserves mean" (Mixture.mean m) (Mixture.mean c) ~tol:1e-9;
+  close "compact preserves variance" (Mixture.variance m) (Mixture.variance c) ~tol:1e-9
+
+let test_sample_moments () =
+  let rng = Rng.create ~seed:21 in
+  let m =
+    Mixture.add
+      (Mixture.singleton ~weight:1.0 (Normal.make ~mu:0.0 ~sigma:1.0))
+      (Mixture.singleton ~weight:3.0 (Normal.make ~mu:8.0 ~sigma:2.0))
+  in
+  let acc = Stats.acc_create () in
+  for _ = 1 to 100_000 do
+    match Mixture.sample rng m with
+    | Some x -> Stats.acc_add acc x
+    | None -> Alcotest.fail "unexpected empty sample"
+  done;
+  close "sampled mean" (Mixture.mean m) (Stats.acc_mean acc) ~tol:0.05;
+  close "sampled stddev" (Mixture.stddev m) (Stats.acc_stddev acc) ~tol:0.05
+
+let test_sample_empty () =
+  let rng = Rng.create ~seed:22 in
+  Alcotest.(check bool) "empty sample is None" true (Mixture.sample rng Mixture.empty = None)
+
+let weighted_mean_identity =
+  QCheck.Test.make ~name:"mixture mean = weighted mean of components" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 10)
+        (triple (float_range 0.01 1.0) (float_range (-10.) 10.) (float_range 0. 2.)))
+    (fun specs ->
+      let m =
+        Mixture.sum
+          (List.map (fun (w, mu, sigma) -> Mixture.singleton ~weight:w (Normal.make ~mu ~sigma)) specs)
+      in
+      let total = List.fold_left (fun acc (w, _, _) -> acc +. w) 0.0 specs in
+      let expected = List.fold_left (fun acc (w, mu, _) -> acc +. (w *. mu)) 0.0 specs /. total in
+      Float.abs (Mixture.mean m -. expected) < 1e-9)
+
+let as_normal_matches =
+  QCheck.Test.make ~name:"as_normal carries normalised moments" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 6)
+        (triple (float_range 0.01 1.0) (float_range (-5.) 5.) (float_range 0. 2.)))
+    (fun specs ->
+      let m =
+        Mixture.sum
+          (List.map (fun (w, mu, sigma) -> Mixture.singleton ~weight:w (Normal.make ~mu ~sigma)) specs)
+      in
+      match Mixture.as_normal m with
+      | None -> false
+      | Some n ->
+        Float.abs (Normal.mean n -. Mixture.mean m) < 1e-9
+        && Float.abs (Normal.stddev n -. Mixture.stddev m) < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "singleton validation" `Quick test_singleton_invalid;
+    Alcotest.test_case "two-component moments" `Quick test_two_component_moments;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "constant delay" `Quick test_add_delay;
+    Alcotest.test_case "normal delay convolution" `Quick test_add_normal_delay;
+    Alcotest.test_case "compact preserves moments" `Quick test_compact_preserves_moments;
+    Alcotest.test_case "sampling moments" `Quick test_sample_moments;
+    Alcotest.test_case "sampling empty" `Quick test_sample_empty;
+    QCheck_alcotest.to_alcotest weighted_mean_identity;
+    QCheck_alcotest.to_alcotest as_normal_matches;
+  ]
+
+let test_skewness () =
+  (* a single normal is symmetric *)
+  let close ?(tol = 1e-9) name expected actual =
+    if Float.abs (expected -. actual) > tol then
+      Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+  in
+  close "normal skewness" 0.0 (Mixture.skewness (Mixture.singleton ~weight:1.0 Normal.standard));
+  (* a rare far-right component skews right *)
+  let right =
+    Mixture.add
+      (Mixture.singleton ~weight:0.9 (Normal.make ~mu:0.0 ~sigma:1.0))
+      (Mixture.singleton ~weight:0.1 (Normal.make ~mu:6.0 ~sigma:1.0))
+  in
+  Alcotest.(check bool) "right-skewed" true (Mixture.skewness right > 0.5);
+  (* mirroring negates the skewness *)
+  let left =
+    Mixture.add
+      (Mixture.singleton ~weight:0.9 (Normal.make ~mu:0.0 ~sigma:1.0))
+      (Mixture.singleton ~weight:0.1 (Normal.make ~mu:(-6.0) ~sigma:1.0))
+  in
+  close "mirror negates" (-.Mixture.skewness right) (Mixture.skewness left) ~tol:1e-9;
+  (* agreement with the lattice representation *)
+  let d =
+    Spsta_dist.Discrete.add
+      (Spsta_dist.Discrete.of_normal ~dt:0.01 ~mass:0.9 (Normal.make ~mu:0.0 ~sigma:1.0))
+      (Spsta_dist.Discrete.of_normal ~dt:0.01 ~mass:0.1 (Normal.make ~mu:6.0 ~sigma:1.0))
+  in
+  close "lattice agreement" (Mixture.skewness right) (Spsta_dist.Discrete.skewness d) ~tol:0.01
+
+let suite = suite @ [ Alcotest.test_case "skewness" `Quick test_skewness ]
+
+let test_cdf_quantile () =
+  let close ?(tol = 1e-9) name expected actual =
+    if Float.abs (expected -. actual) > tol then
+      Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+  in
+  let m =
+    Mixture.add
+      (Mixture.singleton ~weight:0.5 (Normal.make ~mu:0.0 ~sigma:1.0))
+      (Mixture.singleton ~weight:0.5 (Normal.make ~mu:10.0 ~sigma:1.0))
+  in
+  close "cdf between modes" 0.5 (Mixture.cdf m 5.0) ~tol:1e-6;
+  close "cdf far left" 0.0 (Mixture.cdf m (-10.0)) ~tol:1e-6;
+  close "quantile roundtrip" 0.25 (Mixture.cdf m (Mixture.quantile m 0.25)) ~tol:1e-6;
+  close "median between modes" 5.0 (Mixture.quantile m 0.5) ~tol:0.01;
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Mixture.quantile: empty mixture")
+    (fun () -> ignore (Mixture.quantile Mixture.empty 0.5));
+  close "empty cdf" 0.0 (Mixture.cdf Mixture.empty 0.0)
+
+let suite = suite @ [ Alcotest.test_case "cdf and quantile" `Quick test_cdf_quantile ]

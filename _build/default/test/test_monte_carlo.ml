@@ -1,0 +1,139 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Monte_carlo = Spsta_sim.Monte_carlo
+module Input_spec = Spsta_sim.Input_spec
+module Stats = Spsta_util.Stats
+
+(* a small tree (no reconvergent fanout): independence assumptions hold
+   exactly, so MC must converge to the analytic values *)
+let tree_circuit () =
+  let b = Circuit.Builder.create ~name:"tree" () in
+  List.iter (Circuit.Builder.add_input b) [ "a"; "b"; "c"; "d" ];
+  Circuit.Builder.add_gate b ~output:"n1" Gate_kind.And [ "a"; "b" ];
+  Circuit.Builder.add_gate b ~output:"n2" Gate_kind.Or [ "c"; "d" ];
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Nand [ "n1"; "n2" ];
+  Circuit.Builder.add_output b "y";
+  Circuit.Builder.finalize b
+
+let test_probabilities_converge () =
+  let c = tree_circuit () in
+  let r = Monte_carlo.simulate ~runs:40_000 ~seed:5 c ~spec:(fun _ -> Input_spec.case_i) in
+  let n1 = Monte_carlo.stats r (Circuit.find_exn c "n1") in
+  (* AND of two case-I inputs: P1 = 1/16, Pr = Pf = (1/4)^2... via eq 10:
+     P1 = .25^2 = .0625; Pr = (.25+.25)^2 - .0625 = .1875 *)
+  Alcotest.(check bool) "P1 near 1/16" true (Float.abs (Monte_carlo.p_one n1 -. 0.0625) < 0.01);
+  Alcotest.(check bool) "Pr near 3/16" true (Float.abs (Monte_carlo.p_rise n1 -. 0.1875) < 0.01);
+  Alcotest.(check bool) "Pf near 3/16" true (Float.abs (Monte_carlo.p_fall n1 -. 0.1875) < 0.01);
+  Alcotest.(check bool) "probabilities sum to 1" true
+    (Float.abs
+       (Monte_carlo.p_zero n1 +. Monte_carlo.p_one n1 +. Monte_carlo.p_rise n1
+        +. Monte_carlo.p_fall n1
+       -. 1.0)
+    < 1e-9)
+
+let test_determinism () =
+  let c = tree_circuit () in
+  let a = Monte_carlo.simulate ~runs:500 ~seed:9 c ~spec:(fun _ -> Input_spec.case_i) in
+  let b = Monte_carlo.simulate ~runs:500 ~seed:9 c ~spec:(fun _ -> Input_spec.case_i) in
+  let y = Circuit.find_exn c "y" in
+  Alcotest.(check int) "same rise counts" (Monte_carlo.stats a y).Monte_carlo.count_rise
+    (Monte_carlo.stats b y).Monte_carlo.count_rise;
+  let c2 = Monte_carlo.simulate ~runs:500 ~seed:10 c ~spec:(fun _ -> Input_spec.case_i) in
+  Alcotest.(check bool) "different seed differs somewhere" true
+    ((Monte_carlo.stats a y).Monte_carlo.count_rise <> (Monte_carlo.stats c2 y).Monte_carlo.count_rise
+    || (Monte_carlo.stats a y).Monte_carlo.count_fall <> (Monte_carlo.stats c2 y).Monte_carlo.count_fall)
+
+let test_run_count () =
+  let c = tree_circuit () in
+  let r = Monte_carlo.simulate ~runs:123 ~seed:1 c ~spec:(fun _ -> Input_spec.case_ii) in
+  Alcotest.(check int) "runs recorded" 123 r.Monte_carlo.runs;
+  let s = Monte_carlo.stats r (Circuit.find_exn c "y") in
+  Alcotest.(check int) "counts total runs" 123
+    (s.Monte_carlo.count_zero + s.Monte_carlo.count_one + s.Monte_carlo.count_rise
+   + s.Monte_carlo.count_fall)
+
+let test_arrival_times_of_buffer () =
+  (* a single buffer: output arrival = input arrival + 1, so the observed
+     rise-time mean must be ~1 and stddev ~1 under case I *)
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let r = Monte_carlo.simulate ~runs:40_000 ~seed:11 c ~spec:(fun _ -> Input_spec.case_i) in
+  let s = Monte_carlo.stats r (Circuit.find_exn c "y") in
+  Alcotest.(check bool) "mean ~ 1" true
+    (Float.abs (Stats.acc_mean s.Monte_carlo.rise_times -. 1.0) < 0.03);
+  Alcotest.(check bool) "stddev ~ 1" true
+    (Float.abs (Stats.acc_stddev s.Monte_carlo.rise_times -. 1.0) < 0.03)
+
+let test_signal_probability_accessor () =
+  let c = tree_circuit () in
+  let r = Monte_carlo.simulate ~runs:20_000 ~seed:13 c ~spec:(fun _ -> Input_spec.case_i) in
+  let a = Monte_carlo.stats r (Circuit.find_exn c "a") in
+  Alcotest.(check bool) "source SP near 0.5" true
+    (Float.abs (Monte_carlo.signal_probability a -. 0.5) < 0.01);
+  Alcotest.(check bool) "source toggling rate near 0.5" true
+    (Float.abs (Monte_carlo.toggling_rate a -. 0.5) < 0.01)
+
+let suite =
+  [
+    Alcotest.test_case "probabilities converge" `Slow test_probabilities_converge;
+    Alcotest.test_case "determinism by seed" `Quick test_determinism;
+    Alcotest.test_case "run counting" `Quick test_run_count;
+    Alcotest.test_case "buffer arrival times" `Slow test_arrival_times_of_buffer;
+    Alcotest.test_case "signal probability accessor" `Quick test_signal_probability_accessor;
+  ]
+
+let test_merge () =
+  let c = tree_circuit () in
+  let a = Monte_carlo.simulate ~runs:400 ~seed:1 c ~spec:(fun _ -> Input_spec.case_i) in
+  let b = Monte_carlo.simulate ~runs:600 ~seed:2 c ~spec:(fun _ -> Input_spec.case_i) in
+  let m = Monte_carlo.merge a b in
+  Alcotest.(check int) "runs add" 1000 m.Monte_carlo.runs;
+  let y = Circuit.find_exn c "y" in
+  let sa = Monte_carlo.stats a y and sb = Monte_carlo.stats b y and sm = Monte_carlo.stats m y in
+  Alcotest.(check int) "rise counts add" (sa.Monte_carlo.count_rise + sb.Monte_carlo.count_rise)
+    sm.Monte_carlo.count_rise;
+  (* merged mean equals the weighted mean of the shards *)
+  let wa = float_of_int (Stats.acc_count sa.Monte_carlo.rise_times) in
+  let wb = float_of_int (Stats.acc_count sb.Monte_carlo.rise_times) in
+  let expected =
+    ((wa *. Stats.acc_mean sa.Monte_carlo.rise_times)
+    +. (wb *. Stats.acc_mean sb.Monte_carlo.rise_times))
+    /. (wa +. wb)
+  in
+  Alcotest.(check (float 1e-9)) "merged mean" expected (Stats.acc_mean sm.Monte_carlo.rise_times)
+
+let test_parallel_matches_sequential_statistics () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_i in
+  let p = Monte_carlo.simulate_parallel ~runs:20_000 ~domains:4 ~seed:5 c ~spec in
+  Alcotest.(check int) "all runs executed" 20_000 p.Monte_carlo.runs;
+  let s = Monte_carlo.simulate ~runs:20_000 ~seed:5 c ~spec in
+  let y = Circuit.find_exn c "y" in
+  let sp = Monte_carlo.stats p y and ss = Monte_carlo.stats s y in
+  (* different streams, same statistics within MC noise *)
+  Alcotest.(check bool) "p_rise agrees" true
+    (Float.abs (Monte_carlo.p_rise sp -. Monte_carlo.p_rise ss) < 0.02);
+  Alcotest.(check bool) "rise mean agrees" true
+    (Float.abs
+       (Stats.acc_mean sp.Monte_carlo.rise_times -. Stats.acc_mean ss.Monte_carlo.rise_times)
+    < 0.05)
+
+let test_parallel_deterministic () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_i in
+  let a = Monte_carlo.simulate_parallel ~runs:2000 ~domains:3 ~seed:9 c ~spec in
+  let b = Monte_carlo.simulate_parallel ~runs:2000 ~domains:3 ~seed:9 c ~spec in
+  let y = Circuit.find_exn c "y" in
+  Alcotest.(check int) "same counts" (Monte_carlo.stats a y).Monte_carlo.count_rise
+    (Monte_carlo.stats b y).Monte_carlo.count_rise
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "merge" `Quick test_merge;
+      Alcotest.test_case "parallel statistics" `Slow test_parallel_matches_sequential_statistics;
+      Alcotest.test_case "parallel determinism" `Quick test_parallel_deterministic;
+    ]

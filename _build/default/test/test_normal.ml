@@ -1,0 +1,88 @@
+module Normal = Spsta_dist.Normal
+module Rng = Spsta_util.Rng
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let test_make_invalid () =
+  Alcotest.check_raises "negative sigma" (Invalid_argument "Normal.make: negative sigma")
+    (fun () -> ignore (Normal.make ~mu:0.0 ~sigma:(-1.0)))
+
+let test_standard () =
+  close "standard mean" 0.0 (Normal.mean Normal.standard);
+  close "standard stddev" 1.0 (Normal.stddev Normal.standard);
+  close "standard variance" 1.0 (Normal.variance Normal.standard)
+
+let test_pdf_cdf () =
+  let n = Normal.make ~mu:2.0 ~sigma:3.0 in
+  close "cdf at mean" 0.5 (Normal.cdf n 2.0) ~tol:1e-6;
+  close "cdf at +1 sigma" 0.8413447461 (Normal.cdf n 5.0) ~tol:2e-7;
+  close "pdf at mean" (0.3989422804 /. 3.0) (Normal.pdf n 2.0) ~tol:1e-9
+
+let test_degenerate () =
+  let d = Normal.make ~mu:4.0 ~sigma:0.0 in
+  close "cdf before point" 0.0 (Normal.cdf d 3.999);
+  close "cdf at point" 1.0 (Normal.cdf d 4.0);
+  close "pdf off point" 0.0 (Normal.pdf d 5.0)
+
+let test_sum () =
+  let a = Normal.make ~mu:1.0 ~sigma:3.0 and b = Normal.make ~mu:2.0 ~sigma:4.0 in
+  let s = Normal.sum a b in
+  close "sum mean" 3.0 (Normal.mean s);
+  close "sum stddev" 5.0 (Normal.stddev s)
+
+let test_sum_correlated () =
+  let a = Normal.make ~mu:0.0 ~sigma:1.0 and b = Normal.make ~mu:0.0 ~sigma:1.0 in
+  let s = Normal.sum_correlated a b ~cov:1.0 in
+  close "perfectly correlated sum stddev" 2.0 (Normal.stddev s);
+  let anti = Normal.sum_correlated a b ~cov:(-1.0) in
+  close "anti-correlated sum stddev" 0.0 (Normal.stddev anti);
+  Alcotest.check_raises "impossible covariance"
+    (Invalid_argument "Normal.sum_correlated: negative variance") (fun () ->
+      ignore (Normal.sum_correlated a b ~cov:(-2.0)))
+
+let test_add_constant () =
+  let n = Normal.add_constant (Normal.make ~mu:1.0 ~sigma:2.0) 5.0 in
+  close "shifted mean" 6.0 (Normal.mean n);
+  close "unchanged sigma" 2.0 (Normal.stddev n)
+
+let test_quantile_roundtrip () =
+  let n = Normal.make ~mu:(-3.0) ~sigma:0.7 in
+  List.iter
+    (fun p -> close "quantile roundtrip" p (Normal.cdf n (Normal.quantile n p)) ~tol:1e-6)
+    [ 0.01; 0.25; 0.5; 0.9; 0.999 ]
+
+let test_sampling_moments () =
+  let rng = Rng.create ~seed:5 in
+  let n = Normal.make ~mu:7.0 ~sigma:2.5 in
+  let acc = Spsta_util.Stats.acc_create () in
+  for _ = 1 to 100_000 do
+    Spsta_util.Stats.acc_add acc (Normal.sample rng n)
+  done;
+  Alcotest.(check bool) "sample mean" true (Float.abs (Spsta_util.Stats.acc_mean acc -. 7.0) < 0.05);
+  Alcotest.(check bool) "sample stddev" true
+    (Float.abs (Spsta_util.Stats.acc_stddev acc -. 2.5) < 0.05)
+
+let sum_commutes =
+  QCheck.Test.make ~name:"normal sum commutes" ~count:200
+    QCheck.(quad (float_range (-5.) 5.) (float_range 0. 3.) (float_range (-5.) 5.) (float_range 0. 3.))
+    (fun (m1, s1, m2, s2) ->
+      let a = Normal.make ~mu:m1 ~sigma:s1 and b = Normal.make ~mu:m2 ~sigma:s2 in
+      let x = Normal.sum a b and y = Normal.sum b a in
+      Float.abs (Normal.mean x -. Normal.mean y) < 1e-12
+      && Float.abs (Normal.stddev x -. Normal.stddev y) < 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_invalid;
+    Alcotest.test_case "standard normal" `Quick test_standard;
+    Alcotest.test_case "pdf/cdf" `Quick test_pdf_cdf;
+    Alcotest.test_case "degenerate sigma=0" `Quick test_degenerate;
+    Alcotest.test_case "sum" `Quick test_sum;
+    Alcotest.test_case "correlated sum" `Quick test_sum_correlated;
+    Alcotest.test_case "add constant" `Quick test_add_constant;
+    Alcotest.test_case "quantile roundtrip" `Quick test_quantile_roundtrip;
+    Alcotest.test_case "sampling moments" `Quick test_sampling_moments;
+    QCheck_alcotest.to_alcotest sum_commutes;
+  ]

@@ -1,0 +1,196 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Path_enum = Spsta_paths.Path_enum
+module Path_stats = Spsta_paths.Path_stats
+module Param_model = Spsta_variation.Param_model
+module Canonical = Spsta_variation.Canonical
+module Heap = Spsta_util.Heap
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+(* heap sanity first: the enumerator depends on it *)
+let test_heap_basic () =
+  let h = Heap.of_list ~cmp:Int.compare [ 5; 1; 4; 1; 3 ] in
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (Heap.to_sorted_list h);
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty pop" true (Heap.pop h = None);
+  Heap.push h 2;
+  Heap.push h 1;
+  Alcotest.(check bool) "peek min" true (Heap.peek h = Some 1);
+  Alcotest.(check bool) "pop min" true (Heap.pop h = Some 1);
+  Alcotest.(check bool) "then next" true (Heap.pop h = Some 2)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list (int_range (-1000) 1000))
+    (fun items ->
+      let h = Heap.of_list ~cmp:Int.compare items in
+      Heap.to_sorted_list h = List.sort Int.compare items)
+
+(* diamond: a -> n1 -> n3 (long: a -> n1 -> n2 -> n3) *)
+let diamond () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"n1" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"n2" Gate_kind.Not [ "n1" ];
+  Circuit.Builder.add_gate b ~output:"n3" Gate_kind.And [ "n1"; "n2" ];
+  Circuit.Builder.add_output b "n3";
+  Circuit.Builder.finalize b
+
+let test_enumerate_diamond () =
+  let c = diamond () in
+  let paths = Path_enum.enumerate ~k:10 c in
+  Alcotest.(check int) "two distinct paths" 2 (List.length paths);
+  match paths with
+  | [ long; short ] ->
+    Alcotest.(check int) "longest first" 3 (Path_enum.length long);
+    Alcotest.(check int) "shorter second" 2 (Path_enum.length short);
+    Alcotest.(check int) "shared gates" 2 (Path_enum.shared_gates long short);
+    Alcotest.(check string) "source" "a" (Circuit.net_name c long.Path_enum.source);
+    Alcotest.(check string) "endpoint" "n3"
+      (Circuit.net_name c long.Path_enum.endpoint)
+  | _ -> Alcotest.fail "expected exactly two paths"
+
+let test_enumerate_ordering () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let paths = Path_enum.enumerate ~k:25 c in
+  Alcotest.(check int) "k paths" 25 (List.length paths);
+  let lengths = List.map Path_enum.length paths in
+  let rec descending = function
+    | a :: (b :: _ as rest) -> a >= b && descending rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "descending lengths" true (descending lengths);
+  (* the longest enumerated path must realise the circuit depth *)
+  Alcotest.(check int) "first = depth" (Circuit.depth c) (List.hd lengths)
+
+let test_enumerate_endpoint_filter () =
+  let c = diamond () in
+  let n3 = Circuit.find_exn c "n3" in
+  let paths = Path_enum.enumerate ~endpoint:n3 ~k:10 c in
+  List.iter
+    (fun p -> Alcotest.(check int) "ends at n3" n3 p.Path_enum.endpoint)
+    paths;
+  Alcotest.(check int) "both paths found" 2 (List.length paths)
+
+let test_enumerate_k_zero () =
+  Alcotest.(check int) "k=0" 0 (List.length (Path_enum.enumerate ~k:0 (diamond ())))
+
+let test_path_to_string () =
+  let c = diamond () in
+  match Path_enum.enumerate ~k:1 c with
+  | [ p ] ->
+    Alcotest.(check string) "rendering" "a -> n1 -> n2 -> n3 (length 3)"
+      (Path_enum.to_string c p)
+  | _ -> Alcotest.fail "expected one path"
+
+(* path statistics *)
+let test_path_delay_random_only () =
+  (* only per-gate random sigma: a length-L path has variance
+     input^2 + L sigma^2 *)
+  let model = Param_model.create ~sigma_random:0.2 ~grid:2 () in
+  let c = diamond () in
+  let placement = Param_model.place model c in
+  let paths = Path_enum.enumerate ~k:2 c in
+  let t = Path_stats.analyze ~input_sigma:0.5 model placement c paths in
+  close "long path mean" 3.0 (Path_stats.delay_mean t 0);
+  close "long path sigma" (sqrt ((0.5 ** 2.) +. (3.0 *. (0.2 ** 2.)))) (Path_stats.delay_stddev t 0)
+    ~tol:1e-9;
+  close "short path sigma" (sqrt ((0.5 ** 2.) +. (2.0 *. (0.2 ** 2.)))) (Path_stats.delay_stddev t 1)
+    ~tol:1e-9
+
+let test_path_correlation_shared_segments () =
+  (* diamond paths share the source, n1 and n3: with random-only sigma
+     and shared input arrival, cov = input^2 + 2 sigma^2 *)
+  let model = Param_model.create ~sigma_random:0.2 ~grid:2 () in
+  let c = diamond () in
+  let placement = Param_model.place model c in
+  let paths = Path_enum.enumerate ~k:2 c in
+  let t = Path_stats.analyze ~input_sigma:0.5 model placement c paths in
+  let expected_cov = (0.5 ** 2.) +. (2.0 *. (0.2 ** 2.)) in
+  let cov =
+    Canonical.covariance (Path_stats.delay_form t 0) (Path_stats.delay_form t 1)
+  in
+  close "shared-segment covariance" expected_cov cov ~tol:1e-9;
+  Alcotest.(check bool) "correlation below 1" true (Path_stats.correlation t 0 1 < 1.0);
+  Alcotest.(check bool) "correlation positive" true (Path_stats.correlation t 0 1 > 0.0)
+
+let test_global_variation_correlates_paths () =
+  (* global-only variation: all paths fully correlated per unit length
+     ratio; two equal-length disjoint paths have correlation ~1 *)
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"x" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Buf [ "b" ];
+  Circuit.Builder.add_output b "x";
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let model = Param_model.create ~sigma_global:0.3 ~grid:2 () in
+  let placement = Param_model.place model c in
+  let paths = Path_enum.enumerate ~k:2 c in
+  let t = Path_stats.analyze ~input_sigma:0.0 model placement c paths in
+  close "disjoint paths, global variation" 1.0 (Path_stats.correlation t 0 1) ~tol:1e-9
+
+let test_criticality () =
+  let model = Param_model.create ~sigma_random:0.1 ~grid:2 () in
+  let c = diamond () in
+  let placement = Param_model.place model c in
+  let paths = Path_enum.enumerate ~k:2 c in
+  let t = Path_stats.analyze ~input_sigma:0.1 model placement c paths in
+  let crit = Path_stats.criticality ~samples:5000 ~seed:7 t in
+  close "criticalities sum to 1" 1.0 (Array.fold_left ( +. ) 0.0 crit) ~tol:1e-9;
+  (* the longer path dominates: one extra unit-delay gate vs small sigma *)
+  Alcotest.(check bool) "long path critical" true (crit.(0) > 0.95)
+
+let test_criticality_balanced () =
+  (* two equal disjoint paths: criticality ~ 0.5 each *)
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"x" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Buf [ "b" ];
+  Circuit.Builder.add_output b "x";
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let model = Param_model.create ~sigma_random:0.2 ~grid:2 () in
+  let placement = Param_model.place model c in
+  let t =
+    Path_stats.analyze ~input_sigma:0.5 model placement c (Path_enum.enumerate ~k:2 c)
+  in
+  let crit = Path_stats.criticality ~samples:20_000 ~seed:11 t in
+  close "balanced criticality" 0.5 crit.(0) ~tol:0.02
+
+let test_render () =
+  let c = diamond () in
+  let model = Param_model.create ~sigma_random:0.1 ~grid:2 () in
+  let placement = Param_model.place model c in
+  let t = Path_stats.analyze model placement c (Path_enum.enumerate ~k:2 c) in
+  let crit = Path_stats.criticality ~samples:500 t in
+  let text = Path_stats.render c ~criticality:crit t in
+  Alcotest.(check bool) "mentions the path" true (String.length text > 50)
+
+let suite =
+  [
+    Alcotest.test_case "heap basics" `Quick test_heap_basic;
+    Alcotest.test_case "heap peek/pop" `Quick test_heap_peek_pop;
+    QCheck_alcotest.to_alcotest heap_sorts;
+    Alcotest.test_case "diamond enumeration" `Quick test_enumerate_diamond;
+    Alcotest.test_case "descending order on s344" `Quick test_enumerate_ordering;
+    Alcotest.test_case "endpoint filter" `Quick test_enumerate_endpoint_filter;
+    Alcotest.test_case "k = 0" `Quick test_enumerate_k_zero;
+    Alcotest.test_case "path rendering" `Quick test_path_to_string;
+    Alcotest.test_case "path delay moments" `Quick test_path_delay_random_only;
+    Alcotest.test_case "shared-segment correlation" `Quick test_path_correlation_shared_segments;
+    Alcotest.test_case "global variation correlates disjoint paths" `Quick
+      test_global_variation_correlates_paths;
+    Alcotest.test_case "criticality of dominant path" `Quick test_criticality;
+    Alcotest.test_case "criticality of balanced paths" `Quick test_criticality_balanced;
+    Alcotest.test_case "render" `Quick test_render;
+  ]

@@ -1,0 +1,129 @@
+module Rng = Spsta_util.Rng
+
+let test_determinism () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_copy_independent () =
+  let a = Rng.create ~seed:3 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b);
+  let _ = Rng.bits64 a in
+  (* advancing a must not advance b *)
+  let a' = Rng.copy a in
+  Alcotest.(check bool) "streams diverge after independent draws" true
+    (Rng.bits64 a' <> Rng.bits64 (Rng.copy b))
+
+let test_float_range () =
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if not (x >= 0.0 && x < 1.0) then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_float_mean () =
+  let rng = Rng.create ~seed:13 in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:17 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    if x < 0 || x >= 7 then Alcotest.failf "int out of range: %d" x
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create ~seed:19 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_coverage () =
+  let rng = Rng.create ~seed:23 in
+  let counts = Array.make 5 0 in
+  for _ = 1 to 50_000 do
+    let x = Rng.int rng 5 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 9_000 || c > 11_000 then Alcotest.failf "bucket %d count %d far from uniform" i c)
+    counts
+
+let test_bernoulli () =
+  let rng = Rng.create ~seed:29 in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "bernoulli rate near 0.3" true (Float.abs (rate -. 0.3) < 0.01)
+
+let test_gaussian_moments () =
+  let rng = Rng.create ~seed:31 in
+  let n = 200_000 in
+  let acc = Spsta_util.Stats.acc_create () in
+  for _ = 1 to n do
+    Spsta_util.Stats.acc_add acc (Rng.gaussian rng ~mu:2.0 ~sigma:3.0)
+  done;
+  Alcotest.(check bool) "gaussian mean" true
+    (Float.abs (Spsta_util.Stats.acc_mean acc -. 2.0) < 0.05);
+  Alcotest.(check bool) "gaussian stddev" true
+    (Float.abs (Spsta_util.Stats.acc_stddev acc -. 3.0) < 0.05)
+
+let test_choose_index () =
+  let rng = Rng.create ~seed:37 in
+  let weights = [| 1.0; 3.0; 0.0; 6.0 |] in
+  let counts = Array.make 4 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.choose_index rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight bucket never chosen" 0 counts.(2);
+  let frac i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "weight-1 bucket near 0.1" true (Float.abs (frac 0 -. 0.1) < 0.01);
+  Alcotest.(check bool) "weight-6 bucket near 0.6" true (Float.abs (frac 3 -. 0.6) < 0.01)
+
+let test_choose_index_invalid () =
+  let rng = Rng.create ~seed:41 in
+  Alcotest.check_raises "zero total" (Invalid_argument "Rng.choose_index: zero total weight")
+    (fun () -> ignore (Rng.choose_index rng [| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative weight" (Invalid_argument "Rng.choose_index: negative weight")
+    (fun () -> ignore (Rng.choose_index rng [| 1.0; -1.0 |]))
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:43 in
+  let child1 = Rng.split parent in
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "split children differ" true (Rng.bits64 child1 <> Rng.bits64 child2)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "int uniformity" `Quick test_int_coverage;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "choose_index distribution" `Quick test_choose_index;
+    Alcotest.test_case "choose_index invalid" `Quick test_choose_index_invalid;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+  ]

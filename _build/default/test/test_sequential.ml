@@ -1,0 +1,147 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Input_spec = Spsta_sim.Input_spec
+module Sequential = Spsta_core.Sequential
+module Sequential_sim = Spsta_sim.Sequential_sim
+module Monte_carlo = Spsta_sim.Monte_carlo
+module Four_value = Spsta_core.Four_value
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+(* a toggle register: q = DFF(not q).  The data net ends at one exactly
+   when q launched at zero, so the steady-state q is 1/2 regardless of
+   inputs, and q toggles every cycle. *)
+let toggle_register () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "en" (* unused input keeps the circuit well-formed *);
+  Circuit.Builder.add_gate b ~output:"d" Gate_kind.Not [ "q" ];
+  Circuit.Builder.add_dff b ~q:"q" ~d:"d";
+  Circuit.Builder.add_output b "d";
+  Circuit.Builder.finalize b
+
+let test_toggle_fixed_point () =
+  let c = toggle_register () in
+  let r = Sequential.fixed_point c ~pi_spec:(fun _ -> Input_spec.case_i) in
+  Alcotest.(check bool) "converged" true (Sequential.converged r);
+  let q = Circuit.find_exn c "q" in
+  close "steady q" 0.5 (Sequential.ff_final_one r q) ~tol:1e-6
+
+(* a latch that re-circulates an AND of itself with a rarely-one input:
+   the fixed point is q = 0 *)
+let decaying_register () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "x";
+  Circuit.Builder.add_gate b ~output:"d" Gate_kind.And [ "q"; "x" ];
+  Circuit.Builder.add_dff b ~q:"q" ~d:"d";
+  Circuit.Builder.add_output b "d";
+  Circuit.Builder.finalize b
+
+let test_decaying_fixed_point () =
+  let c = decaying_register () in
+  let r = Sequential.fixed_point c ~pi_spec:(fun _ -> Input_spec.case_ii) in
+  Alcotest.(check bool) "converged" true (Sequential.converged r);
+  let q = Circuit.find_exn c "q" in
+  close "decays to zero" 0.0 (Sequential.ff_final_one r q) ~tol:1e-4
+
+let test_damping_and_bounds () =
+  let c = toggle_register () in
+  let r = Sequential.fixed_point ~damping:0.5 c ~pi_spec:(fun _ -> Input_spec.case_i) in
+  Alcotest.(check bool) "damped still converges" true (Sequential.converged r);
+  Alcotest.(check bool) "iterations positive" true (Sequential.iterations r >= 1);
+  Alcotest.check_raises "bad damping"
+    (Invalid_argument "Sequential.fixed_point: damping outside (0,1]") (fun () ->
+      ignore (Sequential.fixed_point ~damping:0.0 c ~pi_spec:(fun _ -> Input_spec.case_i)))
+
+let test_ff_accessor_guard () =
+  let c = toggle_register () in
+  let r = Sequential.fixed_point c ~pi_spec:(fun _ -> Input_spec.case_i) in
+  Alcotest.check_raises "non-FF net"
+    (Invalid_argument "Sequential.ff_final_one: not a flip-flop output net") (fun () ->
+      ignore (Sequential.ff_final_one r (Circuit.find_exn c "d")))
+
+let test_spec_override () =
+  let c = toggle_register () in
+  let pi_spec _ = Input_spec.case_ii in
+  let r = Sequential.fixed_point c ~pi_spec in
+  let q = Circuit.find_exn c "q" in
+  let spec_q = Sequential.spec r ~pi_spec q in
+  (* steady q = 1/2: launch distribution is the 1/4 split *)
+  close "launch p_rise" 0.25 spec_q.Input_spec.p_rise ~tol:1e-6;
+  close "launch p_one" 0.25 spec_q.Input_spec.p_one ~tol:1e-6;
+  (* PI keeps the base spec *)
+  let en = Circuit.find_exn c "en" in
+  close "pi untouched" 0.75 (Sequential.spec r ~pi_spec en).Input_spec.p_zero
+
+(* sequential MC on the toggle register: q must rise ~half the cycles *)
+let test_sequential_sim_toggle () =
+  let c = toggle_register () in
+  let r = Sequential_sim.simulate ~cycles:4000 ~seed:7 c ~pi_spec:(fun _ -> Input_spec.case_i) in
+  let q = Circuit.find_exn c "q" in
+  let s = Sequential_sim.stats r q in
+  close "q rises half the time" 0.5 (Monte_carlo.p_rise s) ~tol:0.02;
+  close "q falls half the time" 0.5 (Monte_carlo.p_fall s) ~tol:0.02;
+  close "q never steady" 0.0 (Monte_carlo.p_one s) ~tol:1e-12
+
+let test_sequential_sim_determinism () =
+  let c = toggle_register () in
+  let a = Sequential_sim.simulate ~cycles:500 ~seed:9 c ~pi_spec:(fun _ -> Input_spec.case_i) in
+  let b = Sequential_sim.simulate ~cycles:500 ~seed:9 c ~pi_spec:(fun _ -> Input_spec.case_i) in
+  let d = Circuit.find_exn c "d" in
+  Alcotest.(check int) "same counts"
+    (Sequential_sim.stats a d).Monte_carlo.count_rise
+    (Sequential_sim.stats b d).Monte_carlo.count_rise
+
+(* fixed point vs sequential MC on the real s27: the steady-state
+   flip-flop probabilities predicted analytically must match the
+   emergent simulated ones.  s27's FFs are correlated across cycles, so
+   allow a modest tolerance for the independence approximation. *)
+let test_s27_fixed_point_vs_sim () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let pi_spec _ = Input_spec.case_i in
+  let fp = Sequential.fixed_point c ~pi_spec in
+  Alcotest.(check bool) "converged on s27" true (Sequential.converged fp);
+  let sim = Sequential_sim.simulate ~warmup:500 ~cycles:30_000 ~seed:11 c ~pi_spec in
+  List.iter
+    (fun (qnet, _) ->
+      let predicted = Sequential.ff_final_one fp qnet in
+      let observed =
+        let s = Sequential_sim.stats sim qnet in
+        (* P(S_t = 1) = P(launch one) + P(fall): start-of-cycle value *)
+        Monte_carlo.p_one s +. Monte_carlo.p_fall s
+      in
+      close (Printf.sprintf "FF %s steady-state" (Circuit.net_name c qnet)) observed predicted
+        ~tol:0.08)
+    (Circuit.dffs c)
+
+let test_s27_gate_probs_vs_sim () =
+  (* downstream gate probabilities with the converged spec should track
+     the sequential simulation *)
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let pi_spec _ = Input_spec.case_i in
+  let fp = Sequential.fixed_point c ~pi_spec in
+  let sim = Sequential_sim.simulate ~warmup:500 ~cycles:30_000 ~seed:13 c ~pi_spec in
+  let worst = ref 0.0 in
+  Array.iter
+    (fun g ->
+      let predicted = Four_value.signal_probability (Sequential.probs fp g) in
+      let observed = Monte_carlo.signal_probability (Sequential_sim.stats sim g) in
+      worst := Float.max !worst (Float.abs (predicted -. observed)))
+    (Circuit.topo_gates c);
+  Alcotest.(check bool)
+    (Printf.sprintf "worst gate SP gap %.3f within 0.1" !worst)
+    true (!worst < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "toggle register fixed point" `Quick test_toggle_fixed_point;
+    Alcotest.test_case "decaying register fixed point" `Quick test_decaying_fixed_point;
+    Alcotest.test_case "damping" `Quick test_damping_and_bounds;
+    Alcotest.test_case "ff accessor guard" `Quick test_ff_accessor_guard;
+    Alcotest.test_case "spec override" `Quick test_spec_override;
+    Alcotest.test_case "sequential sim: toggle" `Quick test_sequential_sim_toggle;
+    Alcotest.test_case "sequential sim determinism" `Quick test_sequential_sim_determinism;
+    Alcotest.test_case "s27 fixed point vs sequential sim" `Slow test_s27_fixed_point_vs_sim;
+    Alcotest.test_case "s27 gate probabilities vs sequential sim" `Slow test_s27_gate_probs_vs_sim;
+  ]

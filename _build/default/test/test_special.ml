@@ -1,0 +1,73 @@
+module Special = Spsta_util.Special
+
+let close ?(tol = 1e-6) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+(* reference values computed with high-precision tables *)
+let test_erf_values () =
+  close "erf 0" 0.0 (Special.erf 0.0);
+  close "erf 0.5" 0.5204998778 (Special.erf 0.5) ~tol:2e-7;
+  close "erf 1" 0.8427007929 (Special.erf 1.0) ~tol:2e-7;
+  close "erf 2" 0.9953222650 (Special.erf 2.0) ~tol:2e-7;
+  close "erf -1" (-0.8427007929) (Special.erf (-1.0)) ~tol:2e-7
+
+let test_erf_odd () =
+  List.iter
+    (fun x -> close "erf odd" (-.Special.erf x) (Special.erf (-.x)) ~tol:1e-12)
+    [ 0.1; 0.7; 1.3; 2.9 ]
+
+let test_erfc_complement () =
+  List.iter
+    (fun x -> close "erfc = 1 - erf" (1.0 -. Special.erf x) (Special.erfc x) ~tol:1e-12)
+    [ -2.0; -0.5; 0.0; 0.5; 2.0 ]
+
+let test_normal_cdf_values () =
+  close "Phi(0)" 0.5 (Special.normal_cdf 0.0);
+  close "Phi(1)" 0.8413447461 (Special.normal_cdf 1.0) ~tol:2e-7;
+  close "Phi(-1)" 0.1586552539 (Special.normal_cdf (-1.0)) ~tol:2e-7;
+  close "Phi(1.96)" 0.9750021049 (Special.normal_cdf 1.96) ~tol:2e-7;
+  close "Phi(3)" 0.9986501020 (Special.normal_cdf 3.0) ~tol:2e-7
+
+let test_normal_pdf_values () =
+  close "phi(0)" 0.3989422804 (Special.normal_pdf 0.0) ~tol:1e-9;
+  close "phi(1)" 0.2419707245 (Special.normal_pdf 1.0) ~tol:1e-9;
+  close "phi symmetric" (Special.normal_pdf 1.7) (Special.normal_pdf (-1.7)) ~tol:1e-15
+
+let test_quantile_known () =
+  close "q(0.5)" 0.0 (Special.normal_quantile 0.5) ~tol:1e-6;
+  close "q(0.975)" 1.9599639845 (Special.normal_quantile 0.975) ~tol:1e-6;
+  close "q(0.0013499)" (-3.0) (Special.normal_quantile 0.001349898) ~tol:1e-4
+
+let test_quantile_out_of_range () =
+  List.iter
+    (fun p ->
+      Alcotest.check_raises "quantile domain"
+        (Invalid_argument "Special.normal_quantile: p outside (0,1)") (fun () ->
+          ignore (Special.normal_quantile p)))
+    [ 0.0; 1.0; -0.3; 1.5 ]
+
+let quantile_roundtrip =
+  QCheck.Test.make ~name:"normal_quantile inverts normal_cdf" ~count:500
+    QCheck.(float_range 0.001 0.999)
+    (fun p -> Float.abs (Special.normal_cdf (Special.normal_quantile p) -. p) < 1e-6)
+
+let cdf_monotone =
+  QCheck.Test.make ~name:"normal_cdf monotone" ~count:500
+    QCheck.(pair (float_range (-6.0) 6.0) (float_range (-6.0) 6.0))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Special.normal_cdf lo <= Special.normal_cdf hi +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "erf values" `Quick test_erf_values;
+    Alcotest.test_case "erf odd symmetry" `Quick test_erf_odd;
+    Alcotest.test_case "erfc complement" `Quick test_erfc_complement;
+    Alcotest.test_case "normal cdf values" `Quick test_normal_cdf_values;
+    Alcotest.test_case "normal pdf values" `Quick test_normal_pdf_values;
+    Alcotest.test_case "quantile known points" `Quick test_quantile_known;
+    Alcotest.test_case "quantile domain errors" `Quick test_quantile_out_of_range;
+    QCheck_alcotest.to_alcotest quantile_roundtrip;
+    QCheck_alcotest.to_alcotest cdf_monotone;
+  ]

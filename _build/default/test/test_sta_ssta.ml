@@ -1,0 +1,154 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Normal = Spsta_dist.Normal
+module Sta = Spsta_ssta.Sta
+module Ssta = Spsta_ssta.Ssta
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let buffer_chain n =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  let prev = ref "a" in
+  for i = 1 to n do
+    let name = Printf.sprintf "n%d" i in
+    Circuit.Builder.add_gate b ~output:name Gate_kind.Buf [ !prev ];
+    prev := name
+  done;
+  Circuit.Builder.add_output b !prev;
+  Circuit.Builder.finalize b
+
+let test_sta_chain () =
+  let c = buffer_chain 5 in
+  let r = Sta.analyze c in
+  let out = List.hd (Circuit.primary_outputs c) in
+  close "latest = depth" 5.0 (Sta.bounds r out).Sta.latest;
+  close "earliest = depth" 5.0 (Sta.bounds r out).Sta.earliest;
+  close "max latest" 5.0 (Sta.max_latest r)
+
+let test_sta_input_bounds () =
+  let c = buffer_chain 3 in
+  let r = Sta.analyze ~input_bounds:{ Sta.earliest = -3.0; latest = 3.0 } c in
+  let out = List.hd (Circuit.primary_outputs c) in
+  close "latest with input window" 6.0 (Sta.bounds r out).Sta.latest;
+  close "earliest with input window" 0.0 (Sta.bounds r out).Sta.earliest
+
+let test_sta_reconvergent () =
+  (* a -> n1 (1 level) and a -> n2 -> n3 (2 levels), y = AND(n1, n3) *)
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"n1" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"n2" Gate_kind.Not [ "a" ];
+  Circuit.Builder.add_gate b ~output:"n3" Gate_kind.Not [ "n2" ];
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.And [ "n1"; "n3" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let r = Sta.analyze c in
+  let y = Circuit.find_exn c "y" in
+  close "short path" 2.0 (Sta.bounds r y).Sta.earliest;
+  close "long path" 3.0 (Sta.bounds r y).Sta.latest;
+  let e = Sta.critical_endpoint r in
+  Alcotest.(check string) "critical endpoint" "y" (Circuit.net_name c e)
+
+let test_ssta_chain_moments () =
+  (* buffers add deterministic delay: mean grows by 1 per level, sigma
+     stays at the input's 1.0 *)
+  let c = buffer_chain 4 in
+  let r = Ssta.analyze c in
+  let out = List.hd (Circuit.primary_outputs c) in
+  let a = Ssta.arrival r out in
+  close "chain mean" 4.0 (Normal.mean a.Ssta.rise);
+  close "chain sigma" 1.0 (Normal.stddev a.Ssta.rise);
+  close "fall equals rise for buffers" 4.0 (Normal.mean a.Ssta.fall)
+
+let test_ssta_not_swaps () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Not [ "a" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let rise_in = Normal.make ~mu:1.0 ~sigma:0.5 and fall_in = Normal.make ~mu:2.0 ~sigma:0.25 in
+  let r = Ssta.analyze ~input_arrival:{ Ssta.rise = rise_in; fall = fall_in } c in
+  let a = Ssta.arrival r (Circuit.find_exn c "y") in
+  (* output rise comes from input fall *)
+  close "not swaps rise" 3.0 (Normal.mean a.Ssta.rise);
+  close "not swaps fall" 2.0 (Normal.mean a.Ssta.fall);
+  close "not swaps rise sigma" 0.25 (Normal.stddev a.Ssta.rise)
+
+let and_gate_circuit () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.And [ "a"; "b" ];
+  Circuit.Builder.add_output b "y";
+  Circuit.Builder.finalize b
+
+let test_ssta_and_gate_clark () =
+  let c = and_gate_circuit () in
+  let r = Ssta.analyze c in
+  let a = Ssta.arrival r (Circuit.find_exn c "y") in
+  (* rise = Clark MAX of two standard normals + 1 *)
+  close "AND rise mean" (1.0 +. (1.0 /. sqrt Float.pi)) (Normal.mean a.Ssta.rise) ~tol:1e-6;
+  (* fall = Clark MIN + 1 = 1 - 1/sqrt(pi) by symmetry *)
+  close "AND fall mean" (1.0 -. (1.0 /. sqrt Float.pi)) (Normal.mean a.Ssta.fall) ~tol:1e-6;
+  (* the paper's criticism: MIN/MAX shrink the output sigma below 1 *)
+  Alcotest.(check bool) "sigma shrinks" true (Normal.stddev a.Ssta.rise < 1.0)
+
+let test_ssta_input_obliviousness () =
+  (* SSTA ignores input statistics entirely: nothing to vary, but the
+     API admits no spec — assert the analyze signature stays pure by
+     checking two runs agree *)
+  let c = and_gate_circuit () in
+  let a = Ssta.arrival (Ssta.analyze c) (Circuit.find_exn c "y") in
+  let b = Ssta.arrival (Ssta.analyze c) (Circuit.find_exn c "y") in
+  close "deterministic" (Normal.mean a.Ssta.rise) (Normal.mean b.Ssta.rise)
+
+let test_ssta_variational () =
+  let c = buffer_chain 4 in
+  let delay _ = Normal.make ~mu:1.0 ~sigma:0.5 in
+  let r = Ssta.analyze_variational ~gate_delay:delay c in
+  let a = Ssta.arrival r (List.hd (Circuit.primary_outputs c)) in
+  close "variational mean" 4.0 (Normal.mean a.Ssta.rise);
+  (* variance = 1 (input) + 4 * 0.25 (gates) = 2 *)
+  close "variational sigma" (sqrt 2.0) (Normal.stddev a.Ssta.rise) ~tol:1e-9
+
+let test_critical_endpoint () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let r = Ssta.analyze c in
+  let e = Ssta.critical_endpoint r `Rise in
+  (* the critical endpoint's mean dominates every other endpoint *)
+  let mean_of x = Normal.mean (Ssta.arrival r x).Ssta.rise in
+  List.iter
+    (fun other ->
+      Alcotest.(check bool) "dominates" true (mean_of e >= mean_of other -. 1e-9))
+    (Circuit.endpoints c);
+  close "max_arrival matches endpoint" (mean_of e) (Normal.mean (Ssta.max_arrival r `Rise))
+
+let test_xor_uses_both_polarities () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"y" Gate_kind.Xor [ "a"; "b" ];
+  Circuit.Builder.add_output b "y";
+  let c = Circuit.Builder.finalize b in
+  let rise_in = Normal.make ~mu:0.0 ~sigma:0.1 and fall_in = Normal.make ~mu:5.0 ~sigma:0.1 in
+  let r = Ssta.analyze ~input_arrival:{ Ssta.rise = rise_in; fall = fall_in } c in
+  let a = Ssta.arrival r (Circuit.find_exn c "y") in
+  (* the late falling inputs dominate the XOR settle time *)
+  Alcotest.(check bool) "XOR rise sees the late fall" true (Normal.mean a.Ssta.rise > 5.5)
+
+let suite =
+  [
+    Alcotest.test_case "STA buffer chain" `Quick test_sta_chain;
+    Alcotest.test_case "STA input bounds" `Quick test_sta_input_bounds;
+    Alcotest.test_case "STA reconvergent paths" `Quick test_sta_reconvergent;
+    Alcotest.test_case "SSTA chain moments" `Quick test_ssta_chain_moments;
+    Alcotest.test_case "SSTA NOT swaps rise/fall" `Quick test_ssta_not_swaps;
+    Alcotest.test_case "SSTA AND gate Clark" `Quick test_ssta_and_gate_clark;
+    Alcotest.test_case "SSTA determinism" `Quick test_ssta_input_obliviousness;
+    Alcotest.test_case "SSTA variational delays" `Quick test_ssta_variational;
+    Alcotest.test_case "SSTA critical endpoint" `Quick test_critical_endpoint;
+    Alcotest.test_case "SSTA XOR polarities" `Quick test_xor_uses_both_polarities;
+  ]

@@ -1,0 +1,132 @@
+module Stats = Spsta_util.Stats
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let test_acc_basic () =
+  let acc = Stats.acc_create () in
+  List.iter (Stats.acc_add acc) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.acc_count acc);
+  close "mean" 2.5 (Stats.acc_mean acc);
+  close "variance" 1.25 (Stats.acc_variance acc);
+  close "min" 1.0 (Stats.acc_min acc);
+  close "max" 4.0 (Stats.acc_max acc)
+
+let test_acc_empty () =
+  let acc = Stats.acc_create () in
+  close "empty mean" 0.0 (Stats.acc_mean acc);
+  close "empty variance" 0.0 (Stats.acc_variance acc);
+  Alcotest.check_raises "empty min" (Invalid_argument "Stats.acc_min: empty accumulator")
+    (fun () -> ignore (Stats.acc_min acc))
+
+let test_acc_single () =
+  let acc = Stats.acc_create () in
+  Stats.acc_add acc 5.0;
+  close "single mean" 5.0 (Stats.acc_mean acc);
+  close "single variance" 0.0 (Stats.acc_variance acc)
+
+let test_array_stats () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  close "mean" 5.0 (Stats.mean xs);
+  close "variance" 4.0 (Stats.variance xs);
+  close "stddev" 2.0 (Stats.stddev xs)
+
+let test_skewness () =
+  close "symmetric data" 0.0 (Stats.skewness [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check bool) "right-skewed positive" true (Stats.skewness [| 1.0; 1.0; 1.0; 10.0 |] > 0.0);
+  close "constant data" 0.0 (Stats.skewness [| 3.0; 3.0; 3.0 |])
+
+let test_covariance () =
+  let xs = [| 1.0; 2.0; 3.0 |] and ys = [| 2.0; 4.0; 6.0 |] in
+  close "cov of linear" (4.0 /. 3.0) (Stats.covariance xs ys);
+  close "corr of linear" 1.0 (Stats.correlation xs ys) ~tol:1e-12;
+  close "corr anti" (-1.0) (Stats.correlation xs [| 6.0; 4.0; 2.0 |]) ~tol:1e-12;
+  close "corr with constant" 0.0 (Stats.correlation xs [| 5.0; 5.0; 5.0 |])
+
+let test_covariance_mismatch () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Stats.covariance: length mismatch")
+    (fun () -> ignore (Stats.covariance [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_percentile () =
+  let xs = [| 5.0; 1.0; 3.0 |] in
+  close "p0 = min" 1.0 (Stats.percentile xs ~p:0.0);
+  close "p100 = max" 5.0 (Stats.percentile xs ~p:1.0);
+  close "median" 3.0 (Stats.percentile xs ~p:0.5);
+  close "interpolated" 2.0 (Stats.percentile xs ~p:0.25)
+
+let test_relative_error () =
+  close "basic" 0.1 (Stats.relative_error ~reference:10.0 11.0);
+  close "zero reference" 3.0 (Stats.relative_error ~reference:0.0 3.0);
+  close "negative reference" 0.5 (Stats.relative_error ~reference:(-2.0) (-1.0))
+
+let acc_matches_array =
+  QCheck.Test.make ~name:"acc agrees with array formulas" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-100.0) 100.0))
+    (fun values ->
+      let xs = Array.of_list values in
+      let acc = Stats.acc_create () in
+      Array.iter (Stats.acc_add acc) xs;
+      Float.abs (Stats.acc_mean acc -. Stats.mean xs) < 1e-9
+      && Float.abs (Stats.acc_variance acc -. Stats.variance xs) < 1e-6)
+
+let merge_matches_concat =
+  QCheck.Test.make ~name:"acc_merge = concatenated stream" ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 30) (float_range (-50.0) 50.0))
+        (list_of_size (Gen.int_range 0 30) (float_range (-50.0) 50.0)))
+    (fun (left, right) ->
+      let a = Stats.acc_create () and b = Stats.acc_create () and c = Stats.acc_create () in
+      List.iter (Stats.acc_add a) left;
+      List.iter (Stats.acc_add b) right;
+      List.iter (Stats.acc_add c) (left @ right);
+      let m = Stats.acc_merge a b in
+      Stats.acc_count m = Stats.acc_count c
+      && Float.abs (Stats.acc_mean m -. Stats.acc_mean c) < 1e-9
+      && Float.abs (Stats.acc_variance m -. Stats.acc_variance c) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "acc basics" `Quick test_acc_basic;
+    Alcotest.test_case "acc empty" `Quick test_acc_empty;
+    Alcotest.test_case "acc single sample" `Quick test_acc_single;
+    Alcotest.test_case "array stats" `Quick test_array_stats;
+    Alcotest.test_case "skewness" `Quick test_skewness;
+    Alcotest.test_case "covariance/correlation" `Quick test_covariance;
+    Alcotest.test_case "covariance mismatch" `Quick test_covariance_mismatch;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "relative error" `Quick test_relative_error;
+    QCheck_alcotest.to_alcotest acc_matches_array;
+    QCheck_alcotest.to_alcotest merge_matches_concat;
+  ]
+
+let test_ks_statistic () =
+  (* samples drawn exactly at quantiles of U(0,1): tiny KS distance *)
+  let uniform = Array.init 100 (fun i -> (float_of_int i +. 0.5) /. 100.0) in
+  let d = Stats.ks_statistic uniform ~cdf:(fun x -> Float.min 1.0 (Float.max 0.0 x)) in
+  Alcotest.(check bool) "near-perfect fit" true (d < 0.011);
+  (* the same samples against a badly wrong model *)
+  let d_bad = Stats.ks_statistic uniform ~cdf:(fun x -> Float.min 1.0 (Float.max 0.0 (x ** 4.0))) in
+  Alcotest.(check bool) "bad model detected" true (d_bad > 0.3)
+
+let test_ks_gaussian_accepts () =
+  let rng = Spsta_util.Rng.create ~seed:99 in
+  let n = 5000 in
+  let samples = Array.init n (fun _ -> Spsta_util.Rng.gaussian rng ~mu:0.0 ~sigma:1.0) in
+  let d = Stats.ks_statistic samples ~cdf:Spsta_util.Special.normal_cdf in
+  Alcotest.(check bool) "gaussian sample passes KS at 1%" true
+    (d < Stats.ks_critical ~n ~alpha:0.01)
+
+let test_ks_critical () =
+  close "alpha 0.05, n=100" 0.1358 (Stats.ks_critical ~n:100 ~alpha:0.05) ~tol:1e-4;
+  Alcotest.check_raises "unsupported alpha" (Invalid_argument "Stats.ks_critical: unsupported alpha")
+    (fun () -> ignore (Stats.ks_critical ~n:10 ~alpha:0.2))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "ks statistic" `Quick test_ks_statistic;
+      Alcotest.test_case "ks accepts gaussian" `Quick test_ks_gaussian_accepts;
+      Alcotest.test_case "ks critical values" `Quick test_ks_critical;
+    ]

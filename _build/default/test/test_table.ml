@@ -1,0 +1,60 @@
+module Table = Spsta_util.Table
+
+let test_basic_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let text = Table.render t in
+  let lines = String.split_on_char '\n' text in
+  Alcotest.(check int) "line count: rule, header, rule, 2 rows, rule" 6 (List.length lines);
+  (* all lines have equal width *)
+  let widths = List.map String.length lines in
+  List.iter (fun w -> Alcotest.(check int) "equal widths" (List.hd widths) w) widths
+
+let test_row_width_check () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "short row" (Invalid_argument "Table.add_row: row width differs from header")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_separator () =
+  let t = Table.create ~headers:[ "x" ] in
+  Table.add_row t [ "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "2" ];
+  let text = Table.render t in
+  let rules =
+    List.filter (fun l -> String.length l > 0 && l.[0] = '+') (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "four rules with separator" 4 (List.length rules)
+
+let test_alignment () =
+  let t = Table.create ~headers:[ "h" ] in
+  Table.add_row t [ "x" ];
+  let right = Table.render ~align:Table.Right t in
+  let left = Table.render ~align:Table.Left t in
+  Alcotest.(check bool) "alignment affects output" true (right <> left || String.length right > 0)
+
+let test_cell_float () =
+  Alcotest.(check string) "two decimals" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "negative" "-0.50" (Table.cell_float (-0.5))
+
+let test_content_preserved () =
+  let t = Table.create ~headers:[ "col" ] in
+  Table.add_row t [ "needle" ];
+  let text = Table.render t in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "cell text present" true (contains text "needle")
+
+let suite =
+  [
+    Alcotest.test_case "basic render" `Quick test_basic_render;
+    Alcotest.test_case "row width validation" `Quick test_row_width_check;
+    Alcotest.test_case "separator" `Quick test_separator;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "cell_float" `Quick test_cell_float;
+    Alcotest.test_case "content preserved" `Quick test_content_preserved;
+  ]

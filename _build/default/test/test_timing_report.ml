@@ -1,0 +1,99 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Timing_report = Spsta_ssta.Timing_report
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+(* a -> n1 -> n3(endpoint); b -> n2 -> n3; plus short tap n1 -> out2 *)
+let sample_circuit () =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"n1" Gate_kind.Buf [ "a" ];
+  Circuit.Builder.add_gate b ~output:"n2" Gate_kind.Not [ "b" ];
+  Circuit.Builder.add_gate b ~output:"n3" Gate_kind.And [ "n1"; "n2" ];
+  Circuit.Builder.add_gate b ~output:"out2" Gate_kind.Not [ "n1" ];
+  Circuit.Builder.add_output b "n3";
+  Circuit.Builder.add_output b "out2";
+  Circuit.Builder.finalize b
+
+let test_arrivals () =
+  let c = sample_circuit () in
+  let r = Timing_report.analyze ~clock_period:5.0 c in
+  let at name = Timing_report.arrival r (Circuit.find_exn c name) in
+  close "source" 0.0 (at "a");
+  close "level 1" 1.0 (at "n1");
+  close "level 2" 2.0 (at "n3");
+  close "tap" 2.0 (at "out2")
+
+let test_required_and_slack () =
+  let c = sample_circuit () in
+  let r = Timing_report.analyze ~clock_period:5.0 c in
+  let required name = Timing_report.required r (Circuit.find_exn c name) in
+  let slack name = Timing_report.slack r (Circuit.find_exn c name) in
+  close "endpoint required" 5.0 (required "n3");
+  (* n1 feeds n3 (budget 4) and out2 (budget 4): required 4 *)
+  close "internal required" 4.0 (required "n1");
+  close "source required" 3.0 (required "a");
+  close "endpoint slack" 3.0 (slack "n3");
+  close "worst slack" 3.0 (Timing_report.worst_slack r);
+  Alcotest.(check int) "no violations at T=5" 0 (List.length (Timing_report.violations r))
+
+let test_violations () =
+  let c = sample_circuit () in
+  let r = Timing_report.analyze ~clock_period:1.5 c in
+  close "worst slack negative" (-0.5) (Timing_report.worst_slack r);
+  Alcotest.(check int) "both endpoints violate" 2 (List.length (Timing_report.violations r))
+
+let test_worst_path () =
+  let c = sample_circuit () in
+  let r = Timing_report.analyze ~clock_period:1.0 c in
+  let path = List.map (Circuit.net_name c) (Timing_report.worst_path r) in
+  (* both endpoints arrive at 2; the backtrace walks source -> endpoint *)
+  Alcotest.(check int) "path length" 3 (List.length path);
+  Alcotest.(check bool) "starts at a source" true
+    (List.mem (List.hd path) [ "a"; "b" ])
+
+let test_input_arrival_shift () =
+  let c = sample_circuit () in
+  let r = Timing_report.analyze ~input_arrival:2.0 ~clock_period:5.0 c in
+  close "shifted arrival" 4.0 (Timing_report.arrival r (Circuit.find_exn c "n3"));
+  close "shifted worst slack" 1.0 (Timing_report.worst_slack r)
+
+let test_slack_consistency_on_suite () =
+  (* invariants on a real circuit: slack(endpoint) = T - arrival for
+     the critical endpoint; required <= T everywhere on endpoint cones *)
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let t = 12.0 in
+  let r = Timing_report.analyze ~clock_period:t c in
+  let worst =
+    List.fold_left (fun acc e -> Float.max acc (Timing_report.arrival r e)) neg_infinity
+      (Circuit.endpoints c)
+  in
+  close "worst slack identity" (t -. worst) (Timing_report.worst_slack r) ~tol:1e-9;
+  (* along the worst path, slack is constant and equals the worst slack *)
+  let path = Timing_report.worst_path r in
+  List.iter
+    (fun net ->
+      close "uniform slack along worst path" (Timing_report.worst_slack r)
+        (Timing_report.slack r net) ~tol:1e-9)
+    path
+
+let test_render () =
+  let c = sample_circuit () in
+  let r = Timing_report.analyze ~clock_period:1.0 c in
+  let text = Timing_report.render c r in
+  Alcotest.(check bool) "mentions worst slack" true (String.length text > 40)
+
+let suite =
+  [
+    Alcotest.test_case "arrivals" `Quick test_arrivals;
+    Alcotest.test_case "required times and slack" `Quick test_required_and_slack;
+    Alcotest.test_case "violations" `Quick test_violations;
+    Alcotest.test_case "worst path" `Quick test_worst_path;
+    Alcotest.test_case "input arrival shift" `Quick test_input_arrival_shift;
+    Alcotest.test_case "slack consistency on s344" `Quick test_slack_consistency_on_suite;
+    Alcotest.test_case "render" `Quick test_render;
+  ]

@@ -1,0 +1,49 @@
+module Timing_rule = Spsta_logic.Timing_rule
+module Gate_kind = Spsta_logic.Gate_kind
+module Value4 = Spsta_logic.Value4
+
+let rule = Alcotest.testable (Fmt.of_to_string Timing_rule.to_string) Timing_rule.equal
+
+(* the paper's Table 1 annotations: AND r->MAX f->MIN; OR r->MIN f->MAX;
+   inverting gates follow their base transition *)
+let test_and_or_family () =
+  Alcotest.check rule "AND rising" Timing_rule.Max (Timing_rule.for_output Gate_kind.And Value4.Rising);
+  Alcotest.check rule "AND falling" Timing_rule.Min (Timing_rule.for_output Gate_kind.And Value4.Falling);
+  Alcotest.check rule "OR rising" Timing_rule.Min (Timing_rule.for_output Gate_kind.Or Value4.Rising);
+  Alcotest.check rule "OR falling" Timing_rule.Max (Timing_rule.for_output Gate_kind.Or Value4.Falling)
+
+let test_inverting_family () =
+  (* NAND rises when the underlying AND falls: first faller wins (MIN) *)
+  Alcotest.check rule "NAND rising" Timing_rule.Min (Timing_rule.for_output Gate_kind.Nand Value4.Rising);
+  Alcotest.check rule "NAND falling" Timing_rule.Max (Timing_rule.for_output Gate_kind.Nand Value4.Falling);
+  Alcotest.check rule "NOR rising" Timing_rule.Max (Timing_rule.for_output Gate_kind.Nor Value4.Rising);
+  Alcotest.check rule "NOR falling" Timing_rule.Min (Timing_rule.for_output Gate_kind.Nor Value4.Falling)
+
+let test_no_controlling_value () =
+  List.iter
+    (fun kind ->
+      Alcotest.check rule "settles with the last transition" Timing_rule.Max
+        (Timing_rule.for_output kind Value4.Rising);
+      Alcotest.check rule "settles with the last transition" Timing_rule.Max
+        (Timing_rule.for_output kind Value4.Falling))
+    [ Gate_kind.Xor; Gate_kind.Xnor; Gate_kind.Not; Gate_kind.Buf ]
+
+let test_steady_invalid () =
+  Alcotest.check_raises "steady output" (Invalid_argument "Timing_rule.for_output: steady output")
+    (fun () -> ignore (Timing_rule.for_output Gate_kind.And Value4.One))
+
+let test_combine () =
+  Alcotest.(check (float 1e-12)) "max" 3.0 (Timing_rule.combine Timing_rule.Max [ 1.0; 3.0; 2.0 ]);
+  Alcotest.(check (float 1e-12)) "min" 1.0 (Timing_rule.combine Timing_rule.Min [ 1.0; 3.0; 2.0 ]);
+  Alcotest.(check (float 1e-12)) "singleton" 5.0 (Timing_rule.combine Timing_rule.Max [ 5.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Timing_rule.combine: no transitioning inputs")
+    (fun () -> ignore (Timing_rule.combine Timing_rule.Max []))
+
+let suite =
+  [
+    Alcotest.test_case "AND/OR annotations" `Quick test_and_or_family;
+    Alcotest.test_case "NAND/NOR annotations" `Quick test_inverting_family;
+    Alcotest.test_case "no controlling value" `Quick test_no_controlling_value;
+    Alcotest.test_case "steady output rejected" `Quick test_steady_invalid;
+    Alcotest.test_case "combine" `Quick test_combine;
+  ]

@@ -1,0 +1,82 @@
+module Circuit = Spsta_netlist.Circuit
+module Gate_kind = Spsta_logic.Gate_kind
+module Input_spec = Spsta_sim.Input_spec
+module Two_value = Spsta_core.Two_value
+module Exact_prob = Spsta_core.Exact_prob
+module Signal_prob = Spsta_core.Signal_prob
+module Mixture = Spsta_dist.Mixture
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+let buffer_chain n =
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  let prev = ref "a" in
+  for i = 1 to n do
+    let name = Printf.sprintf "n%d" i in
+    Circuit.Builder.add_gate b ~output:name Gate_kind.Buf [ !prev ];
+    prev := name
+  done;
+  Circuit.Builder.add_output b !prev;
+  Circuit.Builder.finalize b
+
+let test_two_value_chain () =
+  (* buffers propagate the t.o.p. unchanged except for the delay *)
+  let c = buffer_chain 3 in
+  let r = Two_value.compute c ~spec:(fun _ -> Input_spec.case_i) in
+  let out = List.hd (Circuit.primary_outputs c) in
+  close "rate preserved" 0.5 (Two_value.toggling_rate r out);
+  close "mean = chain delay" 3.0 (Two_value.mean_arrival r out);
+  close "sigma preserved" 1.0 (Two_value.stddev_arrival r out);
+  let top = Two_value.top r out in
+  close "record rate agrees" 0.5 top.Two_value.rate;
+  close "mixture weight agrees" 0.5 (Mixture.total_weight top.Two_value.top)
+
+let test_two_value_never_switching () =
+  let c = buffer_chain 1 in
+  let steady = Input_spec.make ~p_zero:0.6 ~p_one:0.4 ~p_rise:0.0 ~p_fall:0.0 () in
+  let r = Two_value.compute c ~spec:(fun _ -> steady) in
+  let out = List.hd (Circuit.primary_outputs c) in
+  close "no activity" 0.0 (Two_value.toggling_rate r out);
+  close "empty mean" 0.0 (Two_value.mean_arrival r out)
+
+let test_exact_prob_api () =
+  let c = Spsta_experiments.Benchmarks.c17 () in
+  let spec _ = Input_spec.case_ii in
+  let exact = Exact_prob.compute c ~spec in
+  let g22 = Circuit.find_exn c "G22" in
+  let p_start = Exact_prob.prob_initial_one exact g22 in
+  let p_end = Exact_prob.prob_final_one exact g22 in
+  close "time-average" ((p_start +. p_end) /. 2.0) (Exact_prob.signal_probability exact g22);
+  Alcotest.(check bool) "probabilities in range" true
+    (p_start >= 0.0 && p_start <= 1.0 && p_end >= 0.0 && p_end <= 1.0);
+  (* c17 has reconvergent fanout (G11 and G16 feed two gates each):
+     eq. 5 should show a measurable gap on at least one net *)
+  let approx =
+    Signal_prob.compute c ~p_source:(fun s -> Input_spec.signal_probability (spec s))
+  in
+  let worst =
+    Array.fold_left
+      (fun acc g -> Float.max acc (Exact_prob.independence_gap exact ~approx g))
+      0.0 (Circuit.topo_gates c)
+  in
+  Alcotest.(check bool) "reconvergence gap observable" true (worst > 1e-4)
+
+let test_exact_prob_sources () =
+  let c = Spsta_experiments.Benchmarks.c17 () in
+  let spec _ = Input_spec.case_ii in
+  let exact = Exact_prob.compute c ~spec in
+  let s = List.hd (Circuit.sources c) in
+  (* case II: start-one = p1 + pf = 0.23; end-one = p1 + pr = 0.17 *)
+  close "source start prob" 0.23 (Exact_prob.prob_initial_one exact s);
+  close "source end prob" 0.17 (Exact_prob.prob_final_one exact s)
+
+let suite =
+  [
+    Alcotest.test_case "two-value buffer chain" `Quick test_two_value_chain;
+    Alcotest.test_case "two-value steady inputs" `Quick test_two_value_never_switching;
+    Alcotest.test_case "exact-prob accessors" `Quick test_exact_prob_api;
+    Alcotest.test_case "exact-prob sources" `Quick test_exact_prob_sources;
+  ]

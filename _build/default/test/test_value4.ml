@@ -1,0 +1,111 @@
+module Value4 = Spsta_logic.Value4
+open Value4
+
+(* the paper's Table 1, transcribed literally: (a, b, a AND b, a OR b) *)
+let table1 =
+  [
+    (Zero, Zero, Zero, Zero);
+    (Zero, One, Zero, One);
+    (Zero, Rising, Zero, Rising);
+    (Zero, Falling, Zero, Falling);
+    (One, Zero, Zero, One);
+    (One, One, One, One);
+    (One, Rising, Rising, One);
+    (One, Falling, Falling, One);
+    (Rising, Zero, Zero, Rising);
+    (Rising, One, Rising, One);
+    (Rising, Rising, Rising, Rising);
+    (Rising, Falling, Zero, One);
+    (Falling, Zero, Zero, Falling);
+    (Falling, One, Falling, One);
+    (Falling, Rising, Zero, One);
+    (Falling, Falling, Falling, Falling);
+  ]
+
+let value = Alcotest.testable Value4.pp Value4.equal
+
+let test_table1_and () =
+  List.iter
+    (fun (a, b, expected_and, _) ->
+      Alcotest.check value
+        (Printf.sprintf "%s AND %s" (to_string a) (to_string b))
+        expected_and (land2 a b))
+    table1
+
+let test_table1_or () =
+  List.iter
+    (fun (a, b, _, expected_or) ->
+      Alcotest.check value
+        (Printf.sprintf "%s OR %s" (to_string a) (to_string b))
+        expected_or (lor2 a b))
+    table1
+
+let test_not () =
+  Alcotest.check value "not 0" One (lnot Zero);
+  Alcotest.check value "not 1" Zero (lnot One);
+  Alcotest.check value "not r" Falling (lnot Rising);
+  Alcotest.check value "not f" Rising (lnot Falling)
+
+let test_xor () =
+  Alcotest.check value "r xor 0" Rising (lxor2 Rising Zero);
+  Alcotest.check value "r xor 1" Falling (lxor2 Rising One);
+  (* two same-direction transitions cancel through XOR (glitch) *)
+  Alcotest.check value "r xor r" Zero (lxor2 Rising Rising);
+  Alcotest.check value "r xor f" One (lxor2 Rising Falling)
+
+let test_initial_final_roundtrip () =
+  List.iter
+    (fun v ->
+      Alcotest.check value "roundtrip" v (of_initial_final (initial v) (final v)))
+    all
+
+let test_initial_final_levels () =
+  Alcotest.(check bool) "rising starts low" false (initial Rising);
+  Alcotest.(check bool) "rising ends high" true (final Rising);
+  Alcotest.(check bool) "falling starts high" true (initial Falling);
+  Alcotest.(check bool) "falling ends low" false (final Falling)
+
+let test_is_transition () =
+  Alcotest.(check (list bool)) "transitions" [ false; false; true; true ]
+    (List.map is_transition all)
+
+let test_to_of_char () =
+  List.iter
+    (fun v ->
+      match of_char (to_string v).[0] with
+      | Some v' -> Alcotest.check value "char roundtrip" v v'
+      | None -> Alcotest.fail "char roundtrip failed")
+    all;
+  Alcotest.(check bool) "unknown char" true (of_char 'x' = None)
+
+let test_compare_total_order () =
+  let sorted = List.sort compare [ Falling; One; Rising; Zero ] in
+  Alcotest.(check (list string)) "stable order" [ "0"; "1"; "r"; "f" ]
+    (List.map to_string sorted)
+
+let and_commutes =
+  let gen = QCheck.Gen.oneofl all in
+  QCheck.Test.make ~name:"value4 AND/OR commute" ~count:100
+    (QCheck.make (QCheck.Gen.pair gen gen))
+    (fun (a, b) -> equal (land2 a b) (land2 b a) && equal (lor2 a b) (lor2 b a))
+
+let de_morgan =
+  let gen = QCheck.Gen.oneofl all in
+  QCheck.Test.make ~name:"value4 De Morgan" ~count:100
+    (QCheck.make (QCheck.Gen.pair gen gen))
+    (fun (a, b) -> equal (lnot (land2 a b)) (lor2 (lnot a) (lnot b)))
+
+let suite =
+  [
+    Alcotest.test_case "paper Table 1: AND" `Quick test_table1_and;
+    Alcotest.test_case "paper Table 1: OR" `Quick test_table1_or;
+    Alcotest.test_case "NOT" `Quick test_not;
+    Alcotest.test_case "XOR no-glitch semantics" `Quick test_xor;
+    Alcotest.test_case "initial/final roundtrip" `Quick test_initial_final_roundtrip;
+    Alcotest.test_case "initial/final levels" `Quick test_initial_final_levels;
+    Alcotest.test_case "is_transition" `Quick test_is_transition;
+    Alcotest.test_case "char conversions" `Quick test_to_of_char;
+    Alcotest.test_case "compare is a total order" `Quick test_compare_total_order;
+    QCheck_alcotest.to_alcotest and_commutes;
+    QCheck_alcotest.to_alcotest de_morgan;
+  ]

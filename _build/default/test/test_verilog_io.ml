@@ -1,0 +1,113 @@
+module Circuit = Spsta_netlist.Circuit
+module Verilog_io = Spsta_netlist.Verilog_io
+module Bench_io = Spsta_netlist.Bench_io
+module Gate_kind = Spsta_logic.Gate_kind
+module Value4 = Spsta_logic.Value4
+
+let sample_verilog =
+  "// a tiny sequential design\n\
+   module tiny (a, b, y);\n\
+  \  input a, b;\n\
+  \  output y;\n\
+  \  wire n1, n2, q;\n\
+  \  /* the combinational core */\n\
+  \  nand N1 (n1, a, b);\n\
+  \  not (n2, n1);\n\
+  \  dff FF (q, n2);\n\
+  \  or OR_0 (y, n2, q);\n\
+   endmodule\n"
+
+let test_parse_sample () =
+  let c = Verilog_io.parse_string sample_verilog in
+  Alcotest.(check string) "module name" "tiny" (Circuit.name c);
+  Alcotest.(check int) "inputs" 2 (List.length (Circuit.primary_inputs c));
+  Alcotest.(check int) "outputs" 1 (List.length (Circuit.primary_outputs c));
+  Alcotest.(check int) "dffs" 1 (List.length (Circuit.dffs c));
+  Alcotest.(check int) "gates" 3 (Circuit.gate_count c);
+  Alcotest.(check int) "nand" 1 (Circuit.count_gates_of_kind c Gate_kind.Nand)
+
+let test_roundtrip_s27 () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let c' = Verilog_io.parse_string (Verilog_io.to_string c) in
+  Alcotest.(check int) "nets" (Circuit.num_nets c) (Circuit.num_nets c');
+  Alcotest.(check int) "gates" (Circuit.gate_count c) (Circuit.gate_count c');
+  Alcotest.(check int) "depth" (Circuit.depth c) (Circuit.depth c');
+  Alcotest.(check int) "dffs" (List.length (Circuit.dffs c)) (List.length (Circuit.dffs c'))
+
+(* cross-format: the Verilog roundtrip computes the same functions as
+   the original .bench netlist on every assignment of c17 *)
+let test_cross_format_equivalence () =
+  let original = Spsta_experiments.Benchmarks.c17 () in
+  let roundtrip = Verilog_io.parse_string (Verilog_io.to_string original) in
+  let sources = Array.of_list (Circuit.sources original) in
+  for bits = 0 to (1 lsl Array.length sources) - 1 do
+    let outputs circuit =
+      let srcs = Array.of_list (Circuit.sources circuit) in
+      let source_values s =
+        let rec index i = if srcs.(i) = s then i else index (i + 1) in
+        ((if bits land (1 lsl index 0) <> 0 then Value4.One else Value4.Zero), 0.0)
+      in
+      let r = Spsta_sim.Logic_sim.run circuit ~source_values in
+      List.map
+        (fun o -> Value4.final r.Spsta_sim.Logic_sim.values.(o))
+        (Circuit.primary_outputs circuit)
+    in
+    if outputs original <> outputs roundtrip then Alcotest.failf "mismatch at %d" bits
+  done
+
+let test_generated_roundtrip () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let c' = Verilog_io.parse_string (Verilog_io.to_string c) in
+  Alcotest.(check int) "nets preserved" (Circuit.num_nets c) (Circuit.num_nets c');
+  Alcotest.(check int) "depth preserved" (Circuit.depth c) (Circuit.depth c')
+
+let expect_error ~line text =
+  match Verilog_io.parse_string text with
+  | (_ : Circuit.t) -> Alcotest.fail "expected Parse_error"
+  | exception Verilog_io.Parse_error { line = l; _ } -> Alcotest.(check int) "error line" line l
+
+let test_parse_errors () =
+  expect_error ~line:1 "garbage\n";
+  expect_error ~line:2 "module m (a);\n  frobnicate (a);\nendmodule\n";
+  expect_error ~line:3 "module m (a);\n  input a\nendmodule\n";
+  expect_error ~line:3 "module m (a, y);\n  input a;\n  dff (y, a, a);\nendmodule\n";
+  expect_error ~line:1 "module m @;\n"
+
+let test_unterminated_comment () =
+  expect_error ~line:2 "module m (a);\n/* no end\n"
+
+let test_instance_names_optional () =
+  let with_names = "module m (a, y);\n input a;\n output y;\n not INV_1 (y, a);\nendmodule\n" in
+  let without = "module m (a, y);\n input a;\n output y;\n not (y, a);\nendmodule\n" in
+  let c1 = Verilog_io.parse_string with_names in
+  let c2 = Verilog_io.parse_string without in
+  Alcotest.(check int) "same gates" (Circuit.gate_count c1) (Circuit.gate_count c2)
+
+let test_write_parse_file () =
+  let path = Filename.temp_file "spsta_verilog" ".v" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Verilog_io.write_file (Spsta_experiments.Benchmarks.c17 ()) path;
+      let c = Verilog_io.parse_file path in
+      Alcotest.(check int) "gates" 6 (Circuit.gate_count c))
+
+let test_bench_to_verilog_to_bench () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let via_verilog = Verilog_io.parse_string (Verilog_io.to_string c) in
+  let back = Bench_io.parse_string ~name:"s27" (Bench_io.to_string via_verilog) in
+  Alcotest.(check int) "full format cycle preserves structure" (Circuit.num_nets c)
+    (Circuit.num_nets back)
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "roundtrip s27" `Quick test_roundtrip_s27;
+    Alcotest.test_case "cross-format equivalence" `Quick test_cross_format_equivalence;
+    Alcotest.test_case "generated roundtrip" `Quick test_generated_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "unterminated comment" `Quick test_unterminated_comment;
+    Alcotest.test_case "optional instance names" `Quick test_instance_names_optional;
+    Alcotest.test_case "write/parse file" `Quick test_write_parse_file;
+    Alcotest.test_case "bench -> verilog -> bench" `Quick test_bench_to_verilog_to_bench;
+  ]
