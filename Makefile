@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench
+.PHONY: all build test bench examples clean doc quickbench serve-smoke
 
 all: build
 
@@ -26,6 +26,20 @@ examples:
 	dune exec examples/process_variation.exe
 	dune exec examples/sequential_analysis.exe
 	dune exec examples/gate_sizing.exe
+
+# pipe a 3-request JSONL file through the analysis server and check that
+# every request is answered ok (see doc/server.md for the protocol)
+serve-smoke:
+	@dune exec bin/spsta_cli.exe -- serve < examples/serve_requests.jsonl \
+	  > /tmp/spsta_serve_smoke.jsonl 2>/dev/null
+	@ok=$$(grep -c '"status":"ok"' /tmp/spsta_serve_smoke.jsonl); \
+	if [ "$$ok" -eq 3 ]; then \
+	  echo "serve-smoke: 3/3 responses ok"; \
+	else \
+	  echo "serve-smoke: FAILED ($$ok/3 ok)"; \
+	  cat /tmp/spsta_serve_smoke.jsonl; \
+	  exit 1; \
+	fi
 
 clean:
 	dune clean

@@ -26,15 +26,28 @@ module Four_value = Spsta_core.Four_value
 module Experiments = Spsta_experiments
 
 let load_circuit name_or_path =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1)
+      fmt
+  in
   if Sys.file_exists name_or_path then
-    if Filename.check_suffix name_or_path ".v" then
-      Spsta_netlist.Verilog_io.parse_file name_or_path
-    else Bench_io.parse_file name_or_path
+    try
+      if Filename.check_suffix name_or_path ".v" then
+        Spsta_netlist.Verilog_io.parse_file name_or_path
+      else Bench_io.parse_file name_or_path
+    with
+    | Bench_io.Parse_error { line; message } ->
+      fail "%s:%d: %s" name_or_path line message
+    | Spsta_netlist.Verilog_io.Parse_error { line; message } ->
+      fail "%s:%d: %s" name_or_path line message
+    | Circuit.Invalid_circuit message -> fail "%s: invalid circuit: %s" name_or_path message
+    | Sys_error message -> fail "%s" message
   else
     try Experiments.Benchmarks.load name_or_path
-    with Not_found ->
-      Printf.eprintf "error: %s is neither a file nor a suite circuit\n" name_or_path;
-      exit 1
+    with Not_found -> fail "%s is neither a file nor a suite circuit" name_or_path
 
 let case_of_string = function
   | "I" | "i" | "1" -> Experiments.Workloads.Case_i
@@ -519,12 +532,77 @@ let list_cmd =
   let info = Cmd.info "list" ~doc:"List suite circuits and experiments" in
   Cmd.v info Term.(const run $ const ())
 
+(* ---------- service mode ---------- *)
+
+module Server = Spsta_server.Server
+module Protocol = Spsta_server.Protocol
+
+let server_config workers queue cache deadline_ms =
+  let base = Server.default_config in
+  {
+    base with
+    Server.workers = (if workers > 0 then workers else base.Server.workers);
+    queue_capacity = (if queue > 0 then queue else base.Server.queue_capacity);
+    result_cache = (if cache > 0 then cache else base.Server.result_cache);
+    default_deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None);
+  }
+
+let workers_arg =
+  let doc = "Worker domains (0 = one per available core)." in
+  Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Bounded job-queue capacity (submissions block when full)." in
+  Arg.(value & opt int 0 & info [ "queue" ] ~docv:"N" ~doc)
+
+let cache_arg =
+  let doc = "Result memo-table capacity (entries)." in
+  Arg.(value & opt int 0 & info [ "cache" ] ~docv:"N" ~doc)
+
+let deadline_arg =
+  let doc = "Default per-request deadline in milliseconds (0 = none)." in
+  Arg.(value & opt float 0.0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let serve_cmd =
+  let run workers queue cache deadline_ms =
+    let config = server_config workers queue cache deadline_ms in
+    let t = Server.serve ~config stdin stdout in
+    prerr_string (Spsta_server.Metrics.render (Server.metrics t))
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Serve JSONL analysis requests from stdin, streaming responses to stdout"
+  in
+  Cmd.v info Term.(const run $ workers_arg $ queue_arg $ cache_arg $ deadline_arg)
+
+let batch_cmd =
+  let run file workers queue cache deadline_ms =
+    if not (Sys.file_exists file) then begin
+      Printf.eprintf "error: no request file %s\n" file;
+      exit 1
+    end;
+    let config = server_config workers queue cache deadline_ms in
+    let t, responses = Server.run_batch_file ~config file in
+    List.iter (fun r -> print_endline (Protocol.response_to_line r)) responses;
+    prerr_string (Spsta_server.Metrics.render (Server.metrics t));
+    if List.exists (fun r -> not (Protocol.is_ok r)) responses then exit 2
+  in
+  let file_arg =
+    let doc = "JSONL request file (one request object per line)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let info =
+    Cmd.info "batch"
+      ~doc:"Execute a JSONL request file concurrently; print responses in request order"
+  in
+  Cmd.v info Term.(const run $ file_arg $ workers_arg $ queue_arg $ cache_arg $ deadline_arg)
+
 let main =
   let doc = "Signal Probability Based Statistical Timing Analysis (DATE 2008)" in
   let info = Cmd.info "spsta" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ analyze_cmd; ssta_cmd; mc_cmd; power_cmd; exact_prob_cmd; paths_cmd; sequential_cmd;
       chip_delay_cmd; variation_cmd; report_cmd; waveform_cmd; export_cmd; gen_cmd;
-      experiment_cmd; list_cmd ]
+      experiment_cmd; list_cmd; serve_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,167 @@
+(* Caching layer for the analysis service.
+
+   Two levels, both LRU with hit/miss/eviction counters and both safe to
+   share across worker domains:
+
+   - a circuit cache: parsed {!Spsta_netlist.Circuit.t} values keyed by the
+     circuit argument (suite name or file path), each stored with a content
+     digest so memoised results survive cache eviction and reload;
+   - a result memo table: encoded JSON payloads keyed by
+     (circuit digest, engine, input case, delay/engine params).
+
+   Repeated what-if queries over the same netlist — the dominant SPSTA
+   workload shape — then pay the parse cost once and the analysis cost once
+   per distinct parameter set. *)
+
+module Lru = struct
+  type 'a entry = { value : 'a; mutable tick : int }
+
+  type 'a t = {
+    capacity : int;
+    table : (string, 'a entry) Hashtbl.t;
+    mutex : Mutex.t;
+    mutable clock : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ~capacity =
+    if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+    { capacity; table = Hashtbl.create (2 * capacity); mutex = Mutex.create ();
+      clock = 0; hits = 0; misses = 0; evictions = 0 }
+
+  let locked t f =
+    Mutex.lock t.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some e ->
+          t.clock <- t.clock + 1;
+          e.tick <- t.clock;
+          t.hits <- t.hits + 1;
+          Some e.value
+        | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+  (* Evict the least-recently-used entry.  A linear scan over at most
+     [capacity] entries; capacities here are tens to hundreds, far below
+     the cost of a single timing analysis. *)
+  let evict_lru t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key e ->
+        match !victim with
+        | Some (_, best) when best <= e.tick -> ()
+        | _ -> victim := Some (key, e.tick))
+      t.table;
+    match !victim with
+    | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+
+  let add t key value =
+    locked t (fun () ->
+        t.clock <- t.clock + 1;
+        Hashtbl.remove t.table key;
+        while Hashtbl.length t.table >= t.capacity do
+          evict_lru t
+        done;
+        Hashtbl.replace t.table key { value; tick = t.clock })
+
+  let length t = locked t (fun () -> Hashtbl.length t.table)
+  let hits t = t.hits
+  let misses t = t.misses
+  let evictions t = t.evictions
+
+  let counters_json t =
+    locked t (fun () ->
+        Json.Obj
+          [ ("size", Json.int (Hashtbl.length t.table)); ("capacity", Json.int t.capacity);
+            ("hits", Json.int t.hits); ("misses", Json.int t.misses);
+            ("evictions", Json.int t.evictions) ])
+end
+
+module Circuit = Spsta_netlist.Circuit
+module Bench_io = Spsta_netlist.Bench_io
+
+type loaded = { circuit : Circuit.t; digest : string }
+
+type t = {
+  circuits : loaded Lru.t;
+  results : Json.t Lru.t;
+  loader : string -> Circuit.t;
+}
+
+exception Load_error of { code : Protocol.error_code; message : string }
+
+let default_loader name_or_path =
+  if Sys.file_exists name_or_path then
+    if Filename.check_suffix name_or_path ".v" then
+      Spsta_netlist.Verilog_io.parse_file name_or_path
+    else Bench_io.parse_file name_or_path
+  else Spsta_experiments.Benchmarks.load name_or_path
+
+let create ?(loader = default_loader) ?(circuit_capacity = 32) ?(result_capacity = 512) () =
+  { circuits = Lru.create ~capacity:circuit_capacity;
+    results = Lru.create ~capacity:result_capacity;
+    loader }
+
+let load_circuit t name =
+  match Lru.find t.circuits name with
+  | Some loaded -> loaded
+  | None ->
+    let circuit =
+      try t.loader name with
+      | Not_found ->
+        raise
+          (Load_error
+             { code = Protocol.Circuit_not_found;
+               message = Printf.sprintf "%s is neither a file nor a suite circuit" name })
+      | Bench_io.Parse_error { line; message } ->
+        raise
+          (Load_error
+             { code = Protocol.Parse_failure;
+               message = Printf.sprintf "%s:%d: %s" name line message })
+      | Spsta_netlist.Verilog_io.Parse_error { line; message } ->
+        raise
+          (Load_error
+             { code = Protocol.Parse_failure;
+               message = Printf.sprintf "%s:%d: %s" name line message })
+      | Sys_error message -> raise (Load_error { code = Protocol.Parse_failure; message })
+    in
+    (* digest the canonical .bench text so the same netlist reached via
+       different names (file copy vs suite name) shares memoised results *)
+    let digest = Digest.to_hex (Digest.string (Bench_io.to_string circuit)) in
+    let loaded = { circuit; digest } in
+    Lru.add t.circuits name loaded;
+    loaded
+
+(* Memo keys spell out every parameter that influences the payload. *)
+let memo_key ~digest (kind : Protocol.kind) =
+  match kind with
+  | Protocol.Analyze p ->
+    Printf.sprintf "analyze|%s|case=%s|top=%d" digest (Protocol.case_name p.case) p.top
+  | Protocol.Ssta p -> Printf.sprintf "ssta|%s|top=%d" digest p.top
+  | Protocol.Mc p ->
+    Printf.sprintf "mc|%s|case=%s|runs=%d|seed=%d|top=%d" digest (Protocol.case_name p.case)
+      p.runs p.seed p.top
+  | Protocol.Paths p ->
+    Printf.sprintf "paths|%s|k=%d|sg=%.9g|ss=%.9g|sr=%.9g" digest p.k p.sigma_global
+      p.sigma_spatial p.sigma_random
+  | Protocol.Stats | Protocol.Shutdown -> invalid_arg "Cache.memo_key: not a cacheable kind"
+
+let find_result t key = Lru.find t.results key
+let store_result t key payload = Lru.add t.results key payload
+
+let stats_json t =
+  Json.Obj
+    [ ("circuits", Lru.counters_json t.circuits); ("results", Lru.counters_json t.results) ]
+
+let result_hits t = Lru.hits t.results
+let result_misses t = Lru.misses t.results
+let circuit_hits t = Lru.hits t.circuits

@@ -1,0 +1,182 @@
+(* Executes decoded protocol requests against the analysis libraries.
+
+   Every analysis kind goes through the result memo table: the payload is
+   computed at most once per (circuit digest, engine, params) key; repeats
+   are served from cache.  Payloads are plain {!Json.t} values so cache
+   hits cost one encode, not one analysis.
+
+   All analyses here are deterministic given the request (Monte Carlo runs
+   sequentially inside one worker with the request's seed), so responses do
+   not depend on worker-pool size or scheduling. *)
+
+module Circuit = Spsta_netlist.Circuit
+module Analyzer = Spsta_core.Analyzer
+module Four_value = Spsta_core.Four_value
+module Monte_carlo = Spsta_sim.Monte_carlo
+module Stats = Spsta_util.Stats
+module Workloads = Spsta_experiments.Workloads
+
+let spec_of_case = function
+  | Protocol.Case_i -> Workloads.spec_fn Workloads.Case_i
+  | Protocol.Case_ii -> Workloads.spec_fn Workloads.Case_ii
+
+(* [top = 0] means every endpoint; otherwise the [top] endpoints with the
+   largest mean arrival (ties broken by net id, so the order is stable). *)
+let select_endpoints circuit ~top ~mean_of =
+  let all = Circuit.endpoints circuit in
+  if top <= 0 then all
+  else
+    let scored = List.map (fun e -> (e, mean_of e)) all in
+    let sorted =
+      List.sort (fun (e1, m1) (e2, m2) ->
+          match compare m2 m1 with 0 -> compare e1 e2 | c -> c)
+        scored
+    in
+    List.filteri (fun i _ -> i < top) (List.map fst sorted)
+
+let circuit_header circuit =
+  [ ("circuit", Json.string (Circuit.name circuit));
+    ("nets", Json.int (Circuit.num_nets circuit));
+    ("depth", Json.int (Circuit.depth circuit)) ]
+
+let analyze_payload circuit ~case ~top =
+  let spec = spec_of_case case in
+  let result = Analyzer.Moments.analyze circuit ~spec in
+  let endpoint_json e =
+    let s = Analyzer.Moments.signal result e in
+    let rmu, rsig, rp = Analyzer.Moments.transition_stats s `Rise in
+    let fmu, fsig, fp = Analyzer.Moments.transition_stats s `Fall in
+    Json.Obj
+      [ ("net", Json.string (Circuit.net_name circuit e));
+        ("p_rise", Json.float rp); ("mu_rise", Json.float rmu); ("sigma_rise", Json.float rsig);
+        ("p_fall", Json.float fp); ("mu_fall", Json.float fmu); ("sigma_fall", Json.float fsig);
+        ("sp", Json.float (Four_value.signal_probability s.Analyzer.Moments.probs)) ]
+  in
+  let mean_of e =
+    let s = Analyzer.Moments.signal result e in
+    let rmu, _, _ = Analyzer.Moments.transition_stats s `Rise in
+    let fmu, _, _ = Analyzer.Moments.transition_stats s `Fall in
+    Float.max rmu fmu
+  in
+  let endpoints = select_endpoints circuit ~top ~mean_of in
+  Json.Obj
+    (circuit_header circuit
+    @ [ ("case", Json.string (Protocol.case_name case));
+        ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
+
+let ssta_payload circuit ~top =
+  let result = Spsta_ssta.Ssta.analyze circuit in
+  let open Spsta_dist.Normal in
+  let endpoint_json e =
+    let a = Spsta_ssta.Ssta.arrival result e in
+    Json.Obj
+      [ ("net", Json.string (Circuit.net_name circuit e));
+        ("mu_rise", Json.float (mean a.Spsta_ssta.Ssta.rise));
+        ("sigma_rise", Json.float (stddev a.Spsta_ssta.Ssta.rise));
+        ("mu_fall", Json.float (mean a.Spsta_ssta.Ssta.fall));
+        ("sigma_fall", Json.float (stddev a.Spsta_ssta.Ssta.fall)) ]
+  in
+  let mean_of e =
+    let a = Spsta_ssta.Ssta.arrival result e in
+    Float.max (mean a.Spsta_ssta.Ssta.rise) (mean a.Spsta_ssta.Ssta.fall)
+  in
+  let endpoints = select_endpoints circuit ~top ~mean_of in
+  Json.Obj (circuit_header circuit @ [ ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
+
+let mc_payload circuit ~case ~runs ~seed ~top =
+  let spec = spec_of_case case in
+  let result = Monte_carlo.simulate ~runs ~seed circuit ~spec in
+  let endpoint_json e =
+    let s = Monte_carlo.stats result e in
+    Json.Obj
+      [ ("net", Json.string (Circuit.net_name circuit e));
+        ("p_rise", Json.float (Monte_carlo.p_rise s));
+        ("mu_rise", Json.float (Stats.acc_mean s.Monte_carlo.rise_times));
+        ("sigma_rise", Json.float (Stats.acc_stddev s.Monte_carlo.rise_times));
+        ("p_fall", Json.float (Monte_carlo.p_fall s));
+        ("mu_fall", Json.float (Stats.acc_mean s.Monte_carlo.fall_times));
+        ("sigma_fall", Json.float (Stats.acc_stddev s.Monte_carlo.fall_times));
+        ("sp", Json.float (Monte_carlo.signal_probability s)) ]
+  in
+  let mean_of e =
+    let s = Monte_carlo.stats result e in
+    Float.max (Stats.acc_mean s.Monte_carlo.rise_times) (Stats.acc_mean s.Monte_carlo.fall_times)
+  in
+  let endpoints = select_endpoints circuit ~top ~mean_of in
+  Json.Obj
+    (circuit_header circuit
+    @ [ ("case", Json.string (Protocol.case_name case));
+        ("runs", Json.int runs); ("seed", Json.int seed);
+        ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
+
+let paths_payload circuit ~k ~sigma_global ~sigma_spatial ~sigma_random =
+  let model =
+    Spsta_variation.Param_model.create ~sigma_global ~sigma_spatial ~sigma_random ~grid:4 ()
+  in
+  let placement = Spsta_variation.Param_model.place model circuit in
+  let paths = Spsta_paths.Path_enum.enumerate ~k circuit in
+  let stats = Spsta_paths.Path_stats.analyze model placement circuit paths in
+  let crit = Spsta_paths.Path_stats.criticality stats in
+  let path_json i p =
+    Json.Obj
+      [ ("endpoint", Json.string (Circuit.net_name circuit p.Spsta_paths.Path_enum.endpoint));
+        ("source", Json.string (Circuit.net_name circuit p.Spsta_paths.Path_enum.source));
+        ("length", Json.int (Spsta_paths.Path_enum.length p));
+        ("mu", Json.float (Spsta_paths.Path_stats.delay_mean stats i));
+        ("sigma", Json.float (Spsta_paths.Path_stats.delay_stddev stats i));
+        ("criticality", Json.float crit.(i)) ]
+  in
+  Json.Obj
+    (circuit_header circuit
+    @ [ ("k", Json.int k); ("paths", Json.List (List.mapi path_json paths)) ])
+
+let compute_payload (cache : Cache.t) (kind : Protocol.kind) =
+  let circuit_of name = (Cache.load_circuit cache name).Cache.circuit in
+  match kind with
+  | Protocol.Analyze p -> analyze_payload (circuit_of p.circuit) ~case:p.case ~top:p.top
+  | Protocol.Ssta p -> ssta_payload (circuit_of p.circuit) ~top:p.top
+  | Protocol.Mc p ->
+    mc_payload (circuit_of p.circuit) ~case:p.case ~runs:p.runs ~seed:p.seed ~top:p.top
+  | Protocol.Paths p ->
+    paths_payload (circuit_of p.circuit) ~k:p.k ~sigma_global:p.sigma_global
+      ~sigma_spatial:p.sigma_spatial ~sigma_random:p.sigma_random
+  | Protocol.Stats | Protocol.Shutdown -> invalid_arg "Engine.compute_payload: control request"
+
+(* Execute an analysis request, memoising through the cache.  Control
+   requests ([stats], [shutdown]) never reach the engine. *)
+let execute (cache : Cache.t) (request : Protocol.request) : Protocol.response =
+  let start = Unix.gettimeofday () in
+  let finish result =
+    Protocol.Ok
+      { id = request.Protocol.id;
+        kind = Protocol.kind_name request.Protocol.kind;
+        elapsed_ms = (Unix.gettimeofday () -. start) *. 1000.0;
+        result }
+  in
+  try
+    let loaded =
+      match request.Protocol.kind with
+      | Protocol.Analyze { circuit; _ } | Protocol.Ssta { circuit; _ }
+      | Protocol.Mc { circuit; _ } | Protocol.Paths { circuit; _ } ->
+        Cache.load_circuit cache circuit
+      | Protocol.Stats | Protocol.Shutdown ->
+        invalid_arg "Engine.execute: control request"
+    in
+    let key = Cache.memo_key ~digest:loaded.Cache.digest request.Protocol.kind in
+    let payload =
+      match Cache.find_result cache key with
+      | Some payload -> payload
+      | None ->
+        let payload = compute_payload cache request.Protocol.kind in
+        Cache.store_result cache key payload;
+        payload
+    in
+    finish payload
+  with
+  | Cache.Load_error { code; message } ->
+    Protocol.Error { id = Some request.Protocol.id; code; message }
+  | Circuit.Invalid_circuit message ->
+    Protocol.Error { id = Some request.Protocol.id; code = Protocol.Parse_failure; message }
+  | e ->
+    Protocol.Error
+      { id = Some request.Protocol.id; code = Protocol.Internal; message = Printexc.to_string e }

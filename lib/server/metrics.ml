@@ -1,0 +1,136 @@
+(* Request counters and latency histograms, per request kind.
+
+   Latencies are tracked two ways: a streaming accumulator
+   ({!Spsta_util.Stats.acc}) for mean/stddev/min/max, and a fixed-range
+   log-ish histogram for the latency profile reported by the [stats]
+   request.  All mutation is mutex-guarded; workers record from their own
+   domains. *)
+
+module Stats = Spsta_util.Stats
+module Histogram = Spsta_util.Histogram
+
+type outcome = [ `Ok | `Error | `Timeout ]
+
+type per_kind = {
+  mutable ok : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  latency : Stats.acc;
+  (* 0..500 ms in 25 bins; out-of-range latencies clamp to the edge bins,
+     which keeps the histogram total equal to the request count *)
+  histogram : Histogram.t;
+}
+
+type t = {
+  mutex : Mutex.t;
+  kinds : (string, per_kind) Hashtbl.t;
+  started : float;
+}
+
+let hist_lo = 0.0
+let hist_hi = 500.0
+let hist_bins = 25
+
+let create () =
+  { mutex = Mutex.create (); kinds = Hashtbl.create 8; started = Unix.gettimeofday () }
+
+let per_kind t kind =
+  match Hashtbl.find_opt t.kinds kind with
+  | Some p -> p
+  | None ->
+    let p =
+      { ok = 0; errors = 0; timeouts = 0; latency = Stats.acc_create ();
+        histogram = Histogram.create ~lo:hist_lo ~hi:hist_hi ~bins:hist_bins }
+    in
+    Hashtbl.add t.kinds kind p;
+    p
+
+let record t ~kind ~(outcome : outcome) ~elapsed_ms =
+  Mutex.lock t.mutex;
+  let p = per_kind t kind in
+  ( match outcome with
+  | `Ok -> p.ok <- p.ok + 1
+  | `Error -> p.errors <- p.errors + 1
+  | `Timeout -> p.timeouts <- p.timeouts + 1 );
+  Stats.acc_add p.latency elapsed_ms;
+  Histogram.add p.histogram elapsed_ms;
+  Mutex.unlock t.mutex
+
+let total t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold (fun _ p acc -> acc + p.ok + p.errors + p.timeouts) t.kinds 0
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let kind_json p =
+  let n = Stats.acc_count p.latency in
+  let latency =
+    if n = 0 then Json.Null
+    else
+      Json.Obj
+        [ ("mean_ms", Json.float (Stats.acc_mean p.latency));
+          ("stddev_ms", Json.float (Stats.acc_stddev p.latency));
+          ("min_ms", Json.float (Stats.acc_min p.latency));
+          ("max_ms", Json.float (Stats.acc_max p.latency)) ]
+  in
+  let buckets =
+    Json.List
+      (List.filter_map
+         (fun i ->
+           let count =
+             int_of_float
+               (Float.round
+                  (Histogram.density p.histogram i
+                  *. float_of_int (Histogram.count p.histogram)
+                  *. ((hist_hi -. hist_lo) /. float_of_int hist_bins)))
+           in
+           if count = 0 then None
+           else
+             Some
+               (Json.Obj
+                  [ ("le_ms", Json.float (Histogram.bin_center p.histogram i));
+                    ("count", Json.int count) ]))
+         (List.init hist_bins Fun.id))
+  in
+  Json.Obj
+    [ ("ok", Json.int p.ok); ("errors", Json.int p.errors); ("timeouts", Json.int p.timeouts);
+      ("latency", latency); ("histogram", buckets) ]
+
+let to_json t =
+  Mutex.lock t.mutex;
+  let kinds =
+    Hashtbl.fold (fun kind p acc -> (kind, kind_json p) :: acc) t.kinds []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let json =
+    Json.Obj
+      [ ("uptime_s", Json.float (Unix.gettimeofday () -. t.started));
+        ("requests", Json.Obj kinds) ]
+  in
+  Mutex.unlock t.mutex;
+  json
+
+let render t =
+  Mutex.lock t.mutex;
+  let buf = Buffer.create 256 in
+  let kinds =
+    Hashtbl.fold (fun kind p acc -> (kind, p) :: acc) t.kinds []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Buffer.add_string buf "request metrics:\n";
+  if kinds = [] then Buffer.add_string buf "  (no requests served)\n";
+  List.iter
+    (fun (kind, p) ->
+      let n = Stats.acc_count p.latency in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s ok %-5d err %-4d timeout %-4d" kind p.ok p.errors p.timeouts);
+      if n > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf " latency mean %.2f ms, max %.2f ms" (Stats.acc_mean p.latency)
+             (Stats.acc_max p.latency));
+      Buffer.add_char buf '\n')
+    kinds;
+  Mutex.unlock t.mutex;
+  Buffer.contents buf

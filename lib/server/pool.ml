@@ -1,0 +1,162 @@
+(* A fixed pool of OCaml 5 domains draining a bounded job queue.
+
+   Design points:
+
+   - the queue is bounded; [submit] blocks the producer when it is full,
+     giving natural back-pressure instead of unbounded memory growth;
+   - every job carries an optional absolute deadline.  Deadlines are
+     cooperative: a job whose deadline has already passed when a worker
+     dequeues it is failed immediately without running, and a job that
+     finishes past its deadline reports [Timed_out] rather than its result.
+     Either way the waiter always gets an outcome — nothing hangs;
+   - [shutdown] is a graceful drain: no new jobs are accepted, workers
+     finish everything already queued, then the domains are joined.
+
+   The pool is generic in the job result type; the server instantiates it
+   with {!Protocol.response}. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Timed_out of { budget_ms : float; elapsed_ms : float }
+  | Failed of exn
+
+type 'a cell = {
+  cell_mutex : Mutex.t;
+  cell_cond : Condition.t;
+  mutable state : 'a outcome option;
+}
+
+type 'a job = {
+  run : unit -> 'a;
+  deadline : float option; (* absolute, seconds on the gettimeofday clock *)
+  submitted : float;
+  cell : 'a cell;
+  on_complete : ('a outcome -> unit) option;
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : 'a job Queue.t;
+  capacity : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t array;
+  mutable executed : int;
+  mutable timed_out : int;
+}
+
+type 'a ticket = 'a cell
+
+let now () = Unix.gettimeofday ()
+
+let complete job outcome =
+  (* the callback runs before the waiter is woken, so effects it performs
+     (metrics, response writes) are visible to whoever awaited the job;
+     a raising callback must not leave the waiter hanging *)
+  ( match job.on_complete with
+  | None -> ()
+  | Some f -> ( try f outcome with _ -> () ) );
+  Mutex.lock job.cell.cell_mutex;
+  job.cell.state <- Some outcome;
+  Condition.broadcast job.cell.cell_cond;
+  Mutex.unlock job.cell.cell_mutex
+
+let worker_loop t () =
+  let rec next () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.not_empty t.mutex
+    done;
+    if Queue.is_empty t.queue then begin
+      (* stopping and fully drained *)
+      Mutex.unlock t.mutex;
+      ()
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.executed <- t.executed + 1;
+      Condition.signal t.not_full;
+      Mutex.unlock t.mutex;
+      let start = now () in
+      let budget_ms d = (d -. job.submitted) *. 1000.0 in
+      let elapsed_ms () = (now () -. job.submitted) *. 1000.0 in
+      ( match job.deadline with
+      | Some d when start > d ->
+        (* expired while queued: don't burn a worker on a dead request *)
+        Mutex.lock t.mutex;
+        t.timed_out <- t.timed_out + 1;
+        Mutex.unlock t.mutex;
+        complete job (Timed_out { budget_ms = budget_ms d; elapsed_ms = elapsed_ms () })
+      | deadline -> (
+        let result = try Done (job.run ()) with e -> Failed e in
+        match (deadline, result) with
+        | Some d, Done _ when now () > d ->
+          Mutex.lock t.mutex;
+          t.timed_out <- t.timed_out + 1;
+          Mutex.unlock t.mutex;
+          complete job (Timed_out { budget_ms = budget_ms d; elapsed_ms = elapsed_ms () })
+        | _ -> complete job result ) );
+      next ()
+    end
+  in
+  next ()
+
+let create ?(queue_capacity = 64) ~workers () =
+  if workers <= 0 then invalid_arg "Pool.create: workers must be positive";
+  if queue_capacity <= 0 then invalid_arg "Pool.create: queue capacity must be positive";
+  let t =
+    { mutex = Mutex.create (); not_empty = Condition.create (); not_full = Condition.create ();
+      queue = Queue.create (); capacity = queue_capacity; stopping = false; workers = [||];
+      executed = 0; timed_out = 0 }
+  in
+  t.workers <- Array.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let num_workers t = Array.length t.workers
+
+let submit ?deadline_ms ?on_complete t run =
+  let submitted = now () in
+  let deadline = Option.map (fun ms -> submitted +. (ms /. 1000.0)) deadline_ms in
+  let cell = { cell_mutex = Mutex.create (); cell_cond = Condition.create (); state = None } in
+  let job = { run; deadline; submitted; cell; on_complete } in
+  Mutex.lock t.mutex;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  while Queue.length t.queue >= t.capacity && not t.stopping do
+    Condition.wait t.not_full t.mutex
+  done;
+  if t.stopping then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.not_empty;
+  Mutex.unlock t.mutex;
+  cell
+
+let await (cell : 'a ticket) =
+  Mutex.lock cell.cell_mutex;
+  while Option.is_none cell.state do
+    Condition.wait cell.cell_cond cell.cell_mutex
+  done;
+  let outcome = Option.get cell.state in
+  Mutex.unlock cell.cell_mutex;
+  outcome
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stopping then begin
+    t.stopping <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+  else Mutex.unlock t.mutex
+
+let executed t = t.executed
+let timed_out t = t.timed_out

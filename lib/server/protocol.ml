@@ -1,0 +1,281 @@
+(* JSON-lines request/response codec for the timing-analysis service.
+
+   One request per line, one response per line.  Requests mirror the CLI
+   subcommand flags:
+
+     {"id":"r1","kind":"analyze","circuit":"s344","case":"II"}
+     {"id":"r2","kind":"mc","circuit":"s344","runs":2000,"seed":7}
+     {"id":"r3","kind":"ssta","circuit":"s1196"}
+     {"id":"r4","kind":"paths","circuit":"s386","k":8,"sigma_global":0.05}
+     {"id":"r5","kind":"stats"}
+     {"id":"r6","kind":"shutdown"}
+
+   Any analysis request may carry "deadline_ms": the server answers with a
+   structured "timeout" error if the result cannot be produced within that
+   budget.  Responses are either
+
+     {"id":"r1","status":"ok","kind":"analyze","elapsed_ms":1.93,"result":{...}}
+     {"id":"r1","status":"error","code":"timeout","message":"..."}
+
+   The codec is deliberately dependency-free (module {!Json}) so clients in
+   any language can speak it with a stock JSON library. *)
+
+type case = Case_i | Case_ii
+
+let case_name = function Case_i -> "I" | Case_ii -> "II"
+
+let case_of_string = function
+  | "I" | "i" | "1" -> Some Case_i
+  | "II" | "ii" | "2" -> Some Case_ii
+  | _ -> None
+
+type analyze_params = { circuit : string; case : case; top : int }
+
+type mc_params = { circuit : string; case : case; runs : int; seed : int; top : int }
+
+type ssta_params = { circuit : string; top : int }
+
+type paths_params = {
+  circuit : string;
+  k : int;
+  sigma_global : float;
+  sigma_spatial : float;
+  sigma_random : float;
+}
+
+type kind =
+  | Analyze of analyze_params
+  | Ssta of ssta_params
+  | Mc of mc_params
+  | Paths of paths_params
+  | Stats
+  | Shutdown
+
+let kind_name = function
+  | Analyze _ -> "analyze"
+  | Ssta _ -> "ssta"
+  | Mc _ -> "mc"
+  | Paths _ -> "paths"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+type request = { id : string; deadline_ms : float option; kind : kind }
+
+type error_code =
+  | Bad_json
+  | Unknown_kind
+  | Missing_field
+  | Bad_field
+  | Circuit_not_found
+  | Parse_failure
+  | Timeout
+  | Overloaded
+  | Internal
+
+let error_code_name = function
+  | Bad_json -> "bad_json"
+  | Unknown_kind -> "unknown_kind"
+  | Missing_field -> "missing_field"
+  | Bad_field -> "bad_field"
+  | Circuit_not_found -> "circuit_not_found"
+  | Parse_failure -> "parse_error"
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
+  | Internal -> "internal"
+
+let error_code_of_name = function
+  | "bad_json" -> Some Bad_json
+  | "unknown_kind" -> Some Unknown_kind
+  | "missing_field" -> Some Missing_field
+  | "bad_field" -> Some Bad_field
+  | "circuit_not_found" -> Some Circuit_not_found
+  | "parse_error" -> Some Parse_failure
+  | "timeout" -> Some Timeout
+  | "overloaded" -> Some Overloaded
+  | "internal" -> Some Internal
+  | _ -> None
+
+type response =
+  | Ok of { id : string; kind : string; elapsed_ms : float; result : Json.t }
+  | Error of { id : string option; code : error_code; message : string }
+
+type decode_error = { id : string option; code : error_code; message : string }
+
+let error_response (e : decode_error) = Error { id = e.id; code = e.code; message = e.message }
+
+(* ---------- encoding ---------- *)
+
+let request_to_json (r : request) : Json.t =
+  let base = [ ("id", Json.string r.id); ("kind", Json.string (kind_name r.kind)) ] in
+  let deadline =
+    match r.deadline_ms with None -> [] | Some d -> [ ("deadline_ms", Json.float d) ]
+  in
+  let params =
+    match r.kind with
+    | Analyze p ->
+      [ ("circuit", Json.string p.circuit); ("case", Json.string (case_name p.case));
+        ("top", Json.int p.top) ]
+    | Ssta p -> [ ("circuit", Json.string p.circuit); ("top", Json.int p.top) ]
+    | Mc p ->
+      [ ("circuit", Json.string p.circuit); ("case", Json.string (case_name p.case));
+        ("runs", Json.int p.runs); ("seed", Json.int p.seed); ("top", Json.int p.top) ]
+    | Paths p ->
+      [ ("circuit", Json.string p.circuit); ("k", Json.int p.k);
+        ("sigma_global", Json.float p.sigma_global);
+        ("sigma_spatial", Json.float p.sigma_spatial);
+        ("sigma_random", Json.float p.sigma_random) ]
+    | Stats | Shutdown -> []
+  in
+  Json.Obj (base @ params @ deadline)
+
+let request_to_line r = Json.to_string (request_to_json r)
+
+let response_to_json = function
+  | Ok { id; kind; elapsed_ms; result } ->
+    Json.Obj
+      [ ("id", Json.string id); ("status", Json.string "ok"); ("kind", Json.string kind);
+        ("elapsed_ms", Json.float elapsed_ms); ("result", result) ]
+  | Error { id; code; message } ->
+    Json.Obj
+      [ ("id", (match id with None -> Json.Null | Some i -> Json.string i));
+        ("status", Json.string "error");
+        ("code", Json.string (error_code_name code));
+        ("message", Json.string message) ]
+
+let response_to_line r = Json.to_string (response_to_json r)
+
+(* ---------- decoding ---------- *)
+
+let decode_fail ?id code fmt =
+  Printf.ksprintf (fun message -> Stdlib.Error { id; code; message }) fmt
+
+let field_string ?id obj name =
+  match Json.member name obj with
+  | None -> decode_fail ?id Missing_field "missing required field %S" name
+  | Some v -> (
+    match Json.to_string_opt v with
+    | Some s -> Stdlib.Ok s
+    | None -> decode_fail ?id Bad_field "field %S must be a string" name )
+
+let opt_with ?id obj name convert what ~default =
+  match Json.member name obj with
+  | None -> Stdlib.Ok default
+  | Some v -> (
+    match convert v with
+    | Some x -> Stdlib.Ok x
+    | None -> decode_fail ?id Bad_field "field %S must be %s" name what )
+
+let ( let* ) = Result.bind
+
+let decode_case ?id obj =
+  match Json.member "case" obj with
+  | None -> Stdlib.Ok Case_i
+  | Some v -> (
+    match Json.to_string_opt v with
+    | None -> decode_fail ?id Bad_field "field \"case\" must be a string"
+    | Some s -> (
+      match case_of_string s with
+      | Some c -> Stdlib.Ok c
+      | None -> decode_fail ?id Bad_field "unknown input case %S (use I or II)" s ) )
+
+let decode_request_json (json : Json.t) : (request, decode_error) Stdlib.result =
+  match json with
+  | Json.Obj _ ->
+    let* id =
+      match Json.member "id" json with
+      | None -> decode_fail Missing_field "missing required field \"id\""
+      | Some v -> (
+        match Json.to_string_opt v with
+        | Some s -> Stdlib.Ok s
+        | None -> decode_fail Bad_field "field \"id\" must be a string" )
+    in
+    let* kind_s = field_string ~id json "kind" in
+    let* kind =
+      match kind_s with
+      | "analyze" ->
+        let* circuit = field_string ~id json "circuit" in
+        let* case = decode_case ~id json in
+        let* top = opt_with ~id json "top" Json.to_int_opt "an integer" ~default:0 in
+        Stdlib.Ok (Analyze { circuit; case; top })
+      | "ssta" ->
+        let* circuit = field_string ~id json "circuit" in
+        let* top = opt_with ~id json "top" Json.to_int_opt "an integer" ~default:0 in
+        Stdlib.Ok (Ssta { circuit; top })
+      | "mc" ->
+        let* circuit = field_string ~id json "circuit" in
+        let* case = decode_case ~id json in
+        let* runs = opt_with ~id json "runs" Json.to_int_opt "an integer" ~default:10_000 in
+        let* seed = opt_with ~id json "seed" Json.to_int_opt "an integer" ~default:42 in
+        let* top = opt_with ~id json "top" Json.to_int_opt "an integer" ~default:0 in
+        if runs <= 0 then decode_fail ~id Bad_field "field \"runs\" must be positive"
+        else Stdlib.Ok (Mc { circuit; case; runs; seed; top })
+      | "paths" ->
+        let* circuit = field_string ~id json "circuit" in
+        let* k = opt_with ~id json "k" Json.to_int_opt "an integer" ~default:8 in
+        let* sigma_global =
+          opt_with ~id json "sigma_global" Json.to_float_opt "a number" ~default:0.05
+        in
+        let* sigma_spatial =
+          opt_with ~id json "sigma_spatial" Json.to_float_opt "a number" ~default:0.05
+        in
+        let* sigma_random =
+          opt_with ~id json "sigma_random" Json.to_float_opt "a number" ~default:0.05
+        in
+        if k <= 0 then decode_fail ~id Bad_field "field \"k\" must be positive"
+        else Stdlib.Ok (Paths { circuit; k; sigma_global; sigma_spatial; sigma_random })
+      | "stats" -> Stdlib.Ok Stats
+      | "shutdown" -> Stdlib.Ok Shutdown
+      | other -> decode_fail ~id Unknown_kind "unknown request kind %S" other
+    in
+    let* deadline_ms =
+      match Json.member "deadline_ms" json with
+      | None -> Stdlib.Ok None
+      | Some v -> (
+        match Json.to_float_opt v with
+        | Some d when d > 0.0 -> Stdlib.Ok (Some d)
+        | Some _ -> decode_fail ~id Bad_field "field \"deadline_ms\" must be positive"
+        | None -> decode_fail ~id Bad_field "field \"deadline_ms\" must be a number" )
+    in
+    Stdlib.Ok { id; deadline_ms; kind }
+  | _ -> decode_fail Bad_json "request must be a JSON object"
+
+let request_of_line line : (request, decode_error) Stdlib.result =
+  match Json.of_string line with
+  | exception Json.Parse_error { pos; message } ->
+    Stdlib.Error
+      { id = None; code = Bad_json;
+        message = Printf.sprintf "invalid JSON at offset %d: %s" pos message }
+  | json -> decode_request_json json
+
+(* Response decoding exists for clients and for round-trip testing; the
+   server itself only encodes responses. *)
+let response_of_line line : (response, decode_error) Stdlib.result =
+  match Json.of_string line with
+  | exception Json.Parse_error { pos; message } ->
+    Stdlib.Error
+      { id = None; code = Bad_json;
+        message = Printf.sprintf "invalid JSON at offset %d: %s" pos message }
+  | json -> (
+    let* status = field_string json "status" in
+    match status with
+    | "ok" ->
+      let* id = field_string json "id" in
+      let* kind = field_string ~id json "kind" in
+      let* elapsed_ms = opt_with ~id json "elapsed_ms" Json.to_float_opt "a number" ~default:0.0 in
+      let result = Option.value (Json.member "result" json) ~default:Json.Null in
+      Stdlib.Ok (Ok { id; kind; elapsed_ms; result })
+    | "error" ->
+      let id = Option.bind (Json.member "id" json) Json.to_string_opt in
+      let* code_s = field_string ?id json "code" in
+      let* code =
+        match error_code_of_name code_s with
+        | Some c -> Stdlib.Ok c
+        | None -> decode_fail ?id Bad_field "unknown error code %S" code_s
+      in
+      let* message = field_string ?id json "message" in
+      Stdlib.Ok (Error { id; code; message })
+    | other -> decode_fail Bad_field "unknown status %S" other )
+
+let is_ok = function Ok _ -> true | Error _ -> false
+
+let response_id = function Ok { id; _ } -> Some id | Error { id; _ } -> id

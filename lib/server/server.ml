@@ -1,0 +1,194 @@
+(* The batch timing-analysis service.
+
+   Two entry points over the same machinery:
+
+   - [serve ic oc]: long-lived JSON-lines loop.  Requests are read from
+     [ic] one per line and dispatched to the worker pool; responses are
+     streamed to [oc] as they complete (completion order, tagged with the
+     request id).  EOF or a [shutdown] request drains the pool gracefully.
+   - [run_batch lines]: execute a request file concurrently and return the
+     responses in request order.
+
+   Control requests ([stats], [shutdown]) are answered by the server loop
+   itself; analysis requests go through {!Engine.execute} on a worker
+   domain, memoised via {!Cache}. *)
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  circuit_cache : int;
+  result_cache : int;
+  default_deadline_ms : float option;
+}
+
+let default_config =
+  { workers = max 1 (Domain.recommended_domain_count () - 1);
+    queue_capacity = 64;
+    circuit_cache = 32;
+    result_cache = 512;
+    default_deadline_ms = None }
+
+type t = {
+  config : config;
+  cache : Cache.t;
+  metrics : Metrics.t;
+  pool : Protocol.response Pool.t;
+}
+
+let create ?(config = default_config) () =
+  { config;
+    cache = Cache.create ~circuit_capacity:config.circuit_cache
+        ~result_capacity:config.result_cache ();
+    metrics = Metrics.create ();
+    pool = Pool.create ~queue_capacity:config.queue_capacity ~workers:config.workers () }
+
+let cache t = t.cache
+let metrics t = t.metrics
+
+let pool_json t =
+  Json.Obj
+    [ ("workers", Json.int (Pool.num_workers t.pool));
+      ("executed", Json.int (Pool.executed t.pool));
+      ("timed_out", Json.int (Pool.timed_out t.pool)) ]
+
+let stats_response t ~id =
+  let result =
+    Json.Obj
+      [ ("cache", Cache.stats_json t.cache); ("pool", pool_json t);
+        ("metrics", Metrics.to_json t.metrics) ]
+  in
+  Metrics.record t.metrics ~kind:"stats" ~outcome:`Ok ~elapsed_ms:0.0;
+  Protocol.Ok { id; kind = "stats"; elapsed_ms = 0.0; result }
+
+let shutdown_response ~id =
+  Protocol.Ok
+    { id; kind = "shutdown"; elapsed_ms = 0.0;
+      result = Json.Obj [ ("drained", Json.Bool true) ] }
+
+let response_of_outcome ~id = function
+  | Pool.Done response -> response
+  | Pool.Timed_out { budget_ms; elapsed_ms } ->
+    Protocol.Error
+      { id = Some id; code = Protocol.Timeout;
+        message =
+          Printf.sprintf "deadline of %.3g ms exceeded (%.3g ms elapsed)" budget_ms elapsed_ms }
+  | Pool.Failed e ->
+    Protocol.Error
+      { id = Some id; code = Protocol.Internal; message = Printexc.to_string e }
+
+let metrics_class = function
+  | Pool.Timed_out _ -> `Timeout
+  | Pool.Failed _ -> `Error
+  | Pool.Done (Protocol.Ok _) -> `Ok
+  | Pool.Done (Protocol.Error _) -> `Error
+
+(* Submit an analysis request to the pool.  [on_response], when given, runs
+   on the completing worker domain after metrics are recorded. *)
+let submit ?on_response t (request : Protocol.request) =
+  let deadline_ms =
+    match request.Protocol.deadline_ms with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline_ms
+  in
+  let kind = Protocol.kind_name request.Protocol.kind in
+  let submitted = Unix.gettimeofday () in
+  let on_complete outcome =
+    let elapsed_ms = (Unix.gettimeofday () -. submitted) *. 1000.0 in
+    Metrics.record t.metrics ~kind ~outcome:(metrics_class outcome) ~elapsed_ms;
+    match on_response with
+    | None -> ()
+    | Some f -> f (response_of_outcome ~id:request.Protocol.id outcome)
+  in
+  Pool.submit ?deadline_ms ~on_complete t.pool (fun () -> Engine.execute t.cache request)
+
+let record_invalid t = Metrics.record t.metrics ~kind:"invalid" ~outcome:`Error ~elapsed_ms:0.0
+
+(* ---------- streaming server ---------- *)
+
+let serve ?config ic oc =
+  let t = create ?config () in
+  let out_mutex = Mutex.create () in
+  let write response =
+    Mutex.lock out_mutex;
+    output_string oc (Protocol.response_to_line response);
+    output_char oc '\n';
+    flush oc;
+    Mutex.unlock out_mutex
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> Pool.shutdown t.pool
+    | "" -> loop ()
+    | line -> (
+      match Protocol.request_of_line line with
+      | Error e ->
+        record_invalid t;
+        write (Protocol.error_response e);
+        loop ()
+      | Ok request -> (
+        match request.Protocol.kind with
+        | Protocol.Stats ->
+          write (stats_response t ~id:request.Protocol.id);
+          loop ()
+        | Protocol.Shutdown ->
+          (* stop reading, finish everything already accepted, then ack *)
+          Pool.shutdown t.pool;
+          Metrics.record t.metrics ~kind:"shutdown" ~outcome:`Ok ~elapsed_ms:0.0;
+          write (shutdown_response ~id:request.Protocol.id)
+        | _ ->
+          ignore (submit ~on_response:write t request);
+          loop () ) )
+  in
+  loop ();
+  Pool.shutdown t.pool;
+  t
+
+(* ---------- batch execution ---------- *)
+
+(* Responses come back in request order.  Control requests are evaluated
+   when their turn in the output order is reached — i.e. after every
+   earlier request has completed — so a trailing [stats] request observes
+   the cache traffic of the whole batch. *)
+let run_batch ?config lines =
+  let t = create ?config () in
+  let pending =
+    List.map
+      (fun line ->
+        match Protocol.request_of_line line with
+        | Error e ->
+          `Inline
+            (fun () ->
+              record_invalid t;
+              Protocol.error_response e)
+        | Ok request -> (
+          match request.Protocol.kind with
+          | Protocol.Stats -> `Inline (fun () -> stats_response t ~id:request.Protocol.id)
+          | Protocol.Shutdown ->
+            `Inline
+              (fun () ->
+                Metrics.record t.metrics ~kind:"shutdown" ~outcome:`Ok ~elapsed_ms:0.0;
+                shutdown_response ~id:request.Protocol.id)
+          | _ -> `Ticket (request, submit t request) ))
+      lines
+  in
+  let responses =
+    List.map
+      (function
+        | `Inline f -> f ()
+        | `Ticket ((request : Protocol.request), ticket) ->
+          response_of_outcome ~id:request.Protocol.id (Pool.await ticket))
+      pending
+  in
+  Pool.shutdown t.pool;
+  (t, responses)
+
+let run_batch_file ?config path =
+  let ic = open_in path in
+  let lines = ref [] in
+  ( try
+      while true do
+        let line = input_line ic in
+        if String.trim line <> "" then lines := line :: !lines
+      done
+    with End_of_file -> close_in ic );
+  run_batch ?config (List.rev !lines)

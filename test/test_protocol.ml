@@ -1,0 +1,179 @@
+(* JSONL protocol codec: encode/decode round trips for every request and
+   response variant, and decoder rejection of malformed lines with the
+   right error code. *)
+
+module Json = Spsta_server.Json
+module Protocol = Spsta_server.Protocol
+
+let code = Alcotest.testable (Fmt.of_to_string Protocol.error_code_name) ( = )
+
+let decode_error line =
+  match Protocol.request_of_line line with
+  | Ok _ -> Alcotest.failf "decoder accepted %s" line
+  | Error e -> e
+
+(* ---------- Json ---------- *)
+
+let test_json_round_trip () =
+  let samples =
+    [ "null"; "true"; "false"; "42"; "-1.5"; "\"hi\""; "[]"; "[1,2,3]"; "{}";
+      "{\"a\":1,\"b\":[true,null],\"c\":{\"d\":\"e\"}}" ]
+  in
+  List.iter
+    (fun s -> Alcotest.(check string) s s (Json.to_string (Json.of_string s)))
+    samples
+
+let test_json_escapes () =
+  let v = Json.Str "a\"b\\c\nd\te" in
+  let s = Json.to_string v in
+  Alcotest.(check string) "escaped" "\"a\\\"b\\\\c\\nd\\te\"" s;
+  ( match Json.of_string s with
+  | Json.Str decoded -> Alcotest.(check string) "round trip" "a\"b\\c\nd\te" decoded
+  | _ -> Alcotest.fail "not a string" );
+  match Json.of_string "\"\\u0041\\u00e9\"" with
+  | Json.Str decoded -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9" decoded
+  | _ -> Alcotest.fail "not a string"
+
+let test_json_rejects () =
+  let bad = [ ""; "{"; "[1,"; "{\"a\"}"; "tru"; "1 2"; "{\"a\":1}x"; "'single'" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string_opt s with
+      | None -> ()
+      | Some _ -> Alcotest.failf "parser accepted %S" s)
+    bad
+
+let test_json_numbers () =
+  Alcotest.(check (float 0.0)) "int" 42.0 (Option.get (Json.to_float_opt (Json.of_string "42")));
+  Alcotest.(check (float 1e-12)) "exp" 1.5e3
+    (Option.get (Json.to_float_opt (Json.of_string "1.5e3")));
+  Alcotest.(check string) "integral floats print as ints" "7" (Json.to_string (Json.int 7));
+  Alcotest.(check string) "non-finite encodes as null" "null"
+    (Json.to_string (Json.float Float.nan))
+
+(* ---------- request round trips ---------- *)
+
+let all_requests : Protocol.request list =
+  [ { id = "a1"; deadline_ms = None;
+      kind = Analyze { circuit = "s344"; case = Protocol.Case_i; top = 0 } };
+    { id = "a2"; deadline_ms = Some 12.5;
+      kind = Analyze { circuit = "bench/x.bench"; case = Protocol.Case_ii; top = 3 } };
+    { id = "s1"; deadline_ms = None; kind = Ssta { circuit = "s1196"; top = 5 } };
+    { id = "m1"; deadline_ms = Some 100.0;
+      kind = Mc { circuit = "s386"; case = Protocol.Case_ii; runs = 2000; seed = 7; top = 0 } };
+    { id = "p1"; deadline_ms = None;
+      kind =
+        Paths
+          { circuit = "c17"; k = 8; sigma_global = 0.05; sigma_spatial = 0.1;
+            sigma_random = 0.02 } };
+    { id = "st"; deadline_ms = None; kind = Stats };
+    { id = "sd"; deadline_ms = None; kind = Shutdown } ]
+
+let test_request_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Protocol.request_to_line r in
+      match Protocol.request_of_line line with
+      | Error e -> Alcotest.failf "decode of %s failed: %s" line e.Protocol.message
+      | Ok r' ->
+        (* re-encoding is canonical, so equality of lines is equality of
+           requests *)
+        Alcotest.(check string)
+          (Protocol.kind_name r.Protocol.kind)
+          line (Protocol.request_to_line r'))
+    all_requests
+
+let test_request_defaults () =
+  match Protocol.request_of_line "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\"}" with
+  | Error e -> Alcotest.fail e.Protocol.message
+  | Ok { kind = Mc p; deadline_ms; _ } ->
+    Alcotest.(check int) "default runs" 10_000 p.Protocol.runs;
+    Alcotest.(check int) "default seed" 42 p.Protocol.seed;
+    Alcotest.(check int) "default top" 0 p.Protocol.top;
+    Alcotest.(check bool) "no deadline" true (deadline_ms = None);
+    Alcotest.(check string) "case defaults to I" "I" (Protocol.case_name p.Protocol.case)
+  | Ok _ -> Alcotest.fail "wrong kind"
+
+(* ---------- response round trips ---------- *)
+
+let all_responses : Protocol.response list =
+  [ Ok
+      { id = "r1"; kind = "analyze"; elapsed_ms = 1.25;
+        result = Json.Obj [ ("endpoints", Json.List [ Json.int 3 ]) ] };
+    Ok { id = "r2"; kind = "stats"; elapsed_ms = 0.0; result = Json.Null };
+    Error { id = Some "r3"; code = Protocol.Timeout; message = "deadline exceeded" };
+    Error { id = None; code = Protocol.Bad_json; message = "invalid JSON at offset 0" };
+    Error { id = Some "r4"; code = Protocol.Circuit_not_found; message = "no such circuit" } ]
+
+let test_response_round_trip () =
+  List.iter
+    (fun r ->
+      let line = Protocol.response_to_line r in
+      match Protocol.response_of_line line with
+      | Error e -> Alcotest.failf "decode of %s failed: %s" line e.Protocol.message
+      | Ok r' -> Alcotest.(check string) line line (Protocol.response_to_line r'))
+    all_responses
+
+let test_error_code_names () =
+  List.iter
+    (fun c ->
+      Alcotest.check code "name round trip" c
+        (Option.get (Protocol.error_code_of_name (Protocol.error_code_name c))))
+    [ Protocol.Bad_json; Protocol.Unknown_kind; Protocol.Missing_field; Protocol.Bad_field;
+      Protocol.Circuit_not_found; Protocol.Parse_failure; Protocol.Timeout;
+      Protocol.Overloaded; Protocol.Internal ]
+
+(* ---------- malformed requests ---------- *)
+
+let test_reject_bad_json () =
+  let e = decode_error "this is { not json" in
+  Alcotest.check code "bad json" Protocol.Bad_json e.Protocol.code;
+  let e = decode_error "[1,2,3]" in
+  Alcotest.check code "non-object" Protocol.Bad_json e.Protocol.code
+
+let test_reject_unknown_kind () =
+  let e = decode_error "{\"id\":\"x\",\"kind\":\"frobnicate\"}" in
+  Alcotest.check code "unknown kind" Protocol.Unknown_kind e.Protocol.code;
+  Alcotest.(check (option string)) "id preserved" (Some "x") e.Protocol.id
+
+let test_reject_missing_field () =
+  let e = decode_error "{\"kind\":\"analyze\",\"circuit\":\"s27\"}" in
+  Alcotest.check code "missing id" Protocol.Missing_field e.Protocol.code;
+  let e = decode_error "{\"id\":\"x\"}" in
+  Alcotest.check code "missing kind" Protocol.Missing_field e.Protocol.code;
+  let e = decode_error "{\"id\":\"x\",\"kind\":\"analyze\"}" in
+  Alcotest.check code "missing circuit" Protocol.Missing_field e.Protocol.code;
+  Alcotest.(check (option string)) "id preserved" (Some "x") e.Protocol.id
+
+let test_reject_bad_field () =
+  let cases =
+    [ "{\"id\":7,\"kind\":\"stats\"}";
+      "{\"id\":\"x\",\"kind\":\"analyze\",\"circuit\":17}";
+      "{\"id\":\"x\",\"kind\":\"analyze\",\"circuit\":\"s27\",\"case\":\"XVII\"}";
+      "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"runs\":-4}";
+      "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"runs\":\"many\"}";
+      "{\"id\":\"x\",\"kind\":\"paths\",\"circuit\":\"s27\",\"k\":0}";
+      "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":-1}";
+      "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":\"soon\"}" ]
+  in
+  List.iter
+    (fun line ->
+      let e = decode_error line in
+      Alcotest.check code line Protocol.Bad_field e.Protocol.code)
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "json round trip" `Quick test_json_round_trip;
+    Alcotest.test_case "json escapes" `Quick test_json_escapes;
+    Alcotest.test_case "json rejects" `Quick test_json_rejects;
+    Alcotest.test_case "json numbers" `Quick test_json_numbers;
+    Alcotest.test_case "request round trip" `Quick test_request_round_trip;
+    Alcotest.test_case "request defaults" `Quick test_request_defaults;
+    Alcotest.test_case "response round trip" `Quick test_response_round_trip;
+    Alcotest.test_case "error code names" `Quick test_error_code_names;
+    Alcotest.test_case "reject bad json" `Quick test_reject_bad_json;
+    Alcotest.test_case "reject unknown kind" `Quick test_reject_unknown_kind;
+    Alcotest.test_case "reject missing field" `Quick test_reject_missing_field;
+    Alcotest.test_case "reject bad field" `Quick test_reject_bad_field;
+  ]

@@ -1,0 +1,238 @@
+(* Server subsystem: LRU cache semantics, worker-pool behaviour (results,
+   deadlines, drain), and end-to-end batches — duplicate requests hit the
+   memo table with identical responses, and responses are deterministic and
+   independent of the worker-pool size. *)
+
+module Json = Spsta_server.Json
+module Protocol = Spsta_server.Protocol
+module Cache = Spsta_server.Cache
+module Pool = Spsta_server.Pool
+module Server = Spsta_server.Server
+
+(* ---------- LRU ---------- *)
+
+let test_lru_eviction () =
+  let lru = Cache.Lru.create ~capacity:2 in
+  Cache.Lru.add lru "a" 1;
+  Cache.Lru.add lru "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Cache.Lru.find lru "a");
+  (* b is now least recently used; adding c evicts it *)
+  Cache.Lru.add lru "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.Lru.find lru "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.Lru.find lru "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Cache.Lru.find lru "c");
+  Alcotest.(check int) "evictions" 1 (Cache.Lru.evictions lru);
+  Alcotest.(check int) "hits" 3 (Cache.Lru.hits lru);
+  Alcotest.(check int) "misses" 1 (Cache.Lru.misses lru);
+  Alcotest.(check int) "size" 2 (Cache.Lru.length lru)
+
+let test_lru_replace () =
+  let lru = Cache.Lru.create ~capacity:2 in
+  Cache.Lru.add lru "a" 1;
+  Cache.Lru.add lru "a" 10;
+  Alcotest.(check (option int)) "replaced" (Some 10) (Cache.Lru.find lru "a");
+  Alcotest.(check int) "no eviction on replace" 0 (Cache.Lru.evictions lru)
+
+let test_cache_load_errors () =
+  let cache = Cache.create () in
+  ( match Cache.load_circuit cache "no_such_circuit_xyz" with
+  | exception Cache.Load_error { code; _ } ->
+    Alcotest.(check string) "not found code" "circuit_not_found"
+      (Protocol.error_code_name code)
+  | _ -> Alcotest.fail "expected Load_error" );
+  let path = Filename.temp_file "spsta_bad" ".bench" in
+  let oc = open_out path in
+  output_string oc "INPUT(G1)\nG2 = FROB(G1)\n";
+  close_out oc;
+  ( match Cache.load_circuit cache path with
+  | exception Cache.Load_error { code; _ } ->
+    Alcotest.(check string) "parse error code" "parse_error" (Protocol.error_code_name code)
+  | _ -> Alcotest.fail "expected Load_error" );
+  Sys.remove path
+
+let test_cache_digest_stable () =
+  let cache = Cache.create () in
+  let a = Cache.load_circuit cache "s27" in
+  let b = Cache.load_circuit cache "s27" in
+  Alcotest.(check string) "same digest" a.Cache.digest b.Cache.digest;
+  Alcotest.(check bool) "second load is a hit" true (Cache.circuit_hits cache > 0)
+
+(* ---------- pool ---------- *)
+
+let test_pool_results () =
+  let pool = Pool.create ~workers:4 ~queue_capacity:8 () in
+  let tickets = List.init 32 (fun i -> Pool.submit pool (fun () -> i * i)) in
+  List.iteri
+    (fun i ticket ->
+      match Pool.await ticket with
+      | Pool.Done v -> Alcotest.(check int) (Printf.sprintf "job %d" i) (i * i) v
+      | _ -> Alcotest.fail "job did not complete")
+    tickets;
+  Pool.shutdown pool;
+  Alcotest.(check int) "all executed" 32 (Pool.executed pool)
+
+let test_pool_exception () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:4 () in
+  let ticket = Pool.submit pool (fun () -> failwith "boom") in
+  ( match Pool.await ticket with
+  | Pool.Failed (Failure m) -> Alcotest.(check string) "exn carried" "boom" m
+  | _ -> Alcotest.fail "expected Failed" );
+  Pool.shutdown pool
+
+let test_pool_deadline () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:4 () in
+  (* occupy the single worker so the deadlined job expires while queued *)
+  let blocker = Pool.submit pool (fun () -> Unix.sleepf 0.05; 0) in
+  let doomed = Pool.submit ~deadline_ms:1.0 pool (fun () -> 1) in
+  ( match Pool.await doomed with
+  | Pool.Timed_out { budget_ms; elapsed_ms } ->
+    Alcotest.(check (float 1e-2)) "budget" 1.0 budget_ms;
+    Alcotest.(check bool) "elapsed past budget" true (elapsed_ms >= 1.0)
+  | _ -> Alcotest.fail "expected Timed_out" );
+  ( match Pool.await blocker with
+  | Pool.Done 0 -> ()
+  | _ -> Alcotest.fail "blocker should finish normally" );
+  Alcotest.(check int) "timeout counted" 1 (Pool.timed_out pool);
+  Pool.shutdown pool
+
+let test_pool_drain () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:16 () in
+  let counter = Atomic.make 0 in
+  let tickets =
+    List.init 10 (fun _ -> Pool.submit pool (fun () -> Atomic.incr counter; ()))
+  in
+  (* shutdown must finish every accepted job before returning *)
+  Pool.shutdown pool;
+  Alcotest.(check int) "drained" 10 (Atomic.get counter);
+  List.iter
+    (fun t -> match Pool.await t with Pool.Done () -> () | _ -> Alcotest.fail "lost job")
+    tickets
+
+(* ---------- end-to-end batches ---------- *)
+
+let config ~workers =
+  { Server.default_config with Server.workers; queue_capacity = 8 }
+
+let line ?(extra = "") ~id ~kind ~circuit () =
+  Printf.sprintf "{\"id\":%S,\"kind\":%S,\"circuit\":%S%s}" id kind circuit extra
+
+let fingerprint response =
+  (* everything except elapsed_ms, which legitimately varies run to run *)
+  match Protocol.response_of_line (Protocol.response_to_line response) with
+  | Ok (Protocol.Ok { id; kind; result; _ }) ->
+    Printf.sprintf "%s|%s|ok|%s" id kind (Json.to_string result)
+  | Ok (Protocol.Error { id; code; message }) ->
+    Printf.sprintf "%s|%s|%s"
+      (Option.value id ~default:"-")
+      (Protocol.error_code_name code) message
+  | Error e -> Alcotest.failf "unparseable response: %s" e.Protocol.message
+
+(* a fingerprint without its leading request id, for comparing duplicates *)
+let payload_of fp =
+  match String.index_opt fp '|' with
+  | Some i -> String.sub fp (i + 1) (String.length fp - i - 1)
+  | None -> fp
+
+let test_batch_memo_hits () =
+  let lines =
+    [ line ~id:"a1" ~kind:"analyze" ~circuit:"s27" ();
+      line ~id:"a2" ~kind:"analyze" ~circuit:"s27" ();
+      line ~id:"a3" ~kind:"analyze" ~circuit:"s27" ();
+      line ~id:"m1" ~kind:"mc" ~circuit:"s27" ~extra:",\"runs\":300,\"seed\":5" ();
+      line ~id:"m2" ~kind:"mc" ~circuit:"s27" ~extra:",\"runs\":300,\"seed\":5" () ]
+  in
+  (* one worker serialises the duplicates, so later ones must hit the memo *)
+  let t, responses = Server.run_batch ~config:(config ~workers:1) lines in
+  Alcotest.(check int) "five responses" 5 (List.length responses);
+  List.iter
+    (fun r -> Alcotest.(check bool) "all ok" true (Protocol.is_ok r))
+    responses;
+  Alcotest.(check bool) "memo hits recorded" true (Cache.result_hits (Server.cache t) > 0);
+  let fp = List.map (fun r -> payload_of (fingerprint r)) responses in
+  Alcotest.(check string) "duplicate analyze identical" (List.nth fp 0) (List.nth fp 1);
+  Alcotest.(check string) "duplicate analyze identical" (List.nth fp 0) (List.nth fp 2);
+  Alcotest.(check string) "duplicate mc identical" (List.nth fp 3) (List.nth fp 4)
+
+let test_batch_deterministic_across_pool_sizes () =
+  let lines =
+    [ line ~id:"r1" ~kind:"analyze" ~circuit:"s27" ~extra:",\"case\":\"II\"" ();
+      line ~id:"r2" ~kind:"mc" ~circuit:"s27" ~extra:",\"runs\":500,\"seed\":11" ();
+      line ~id:"r3" ~kind:"ssta" ~circuit:"c17" ();
+      line ~id:"r4" ~kind:"paths" ~circuit:"c17" ~extra:",\"k\":4" ();
+      line ~id:"r5" ~kind:"mc" ~circuit:"c17" ~extra:",\"runs\":500,\"seed\":11" () ]
+  in
+  let run workers =
+    let _, responses = Server.run_batch ~config:(config ~workers) lines in
+    List.map fingerprint responses
+  in
+  let serial = run 1 in
+  let parallel = run 4 in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "same response regardless of pool size" a b)
+    serial parallel
+
+let test_batch_error_isolation () =
+  let lines =
+    [ line ~id:"ok1" ~kind:"analyze" ~circuit:"s27" ();
+      "{\"id\":\"bad1\",\"kind\":\"frobnicate\"}";
+      "no json here";
+      line ~id:"bad2" ~kind:"analyze" ~circuit:"no_such_circuit_xyz" ();
+      line ~id:"slow" ~kind:"mc" ~circuit:"s27" ~extra:",\"runs\":5000,\"deadline_ms\":0.001"
+        ();
+      line ~id:"ok2" ~kind:"mc" ~circuit:"s27" ~extra:",\"runs\":200" ();
+      "{\"id\":\"st\",\"kind\":\"stats\"}" ]
+  in
+  let _, responses = Server.run_batch ~config:(config ~workers:2) lines in
+  let codes =
+    List.map
+      (fun r ->
+        match r with
+        | Protocol.Ok { kind; _ } -> "ok:" ^ kind
+        | Protocol.Error { code; _ } -> Protocol.error_code_name code)
+      responses
+  in
+  Alcotest.(check (list string)) "per-request outcomes"
+    [ "ok:analyze"; "unknown_kind"; "bad_json"; "circuit_not_found"; "timeout"; "ok:mc";
+      "ok:stats" ]
+    codes
+
+let test_batch_stats_sees_traffic () =
+  let lines =
+    [ line ~id:"a1" ~kind:"analyze" ~circuit:"s27" ();
+      line ~id:"a2" ~kind:"analyze" ~circuit:"s27" ();
+      "{\"id\":\"st\",\"kind\":\"stats\"}" ]
+  in
+  let _, responses = Server.run_batch ~config:(config ~workers:2) lines in
+  match List.rev responses with
+  | Protocol.Ok { kind = "stats"; result; _ } :: _ ->
+    let hits =
+      Option.bind (Json.member "cache" result) (Json.member "results")
+      |> Fun.flip Option.bind (Json.member "hits")
+      |> Fun.flip Option.bind Json.to_int_opt
+    in
+    Alcotest.(check bool) "stats reports memo hits" true (Option.get hits > 0);
+    let analyze_ok =
+      Option.bind (Json.member "metrics" result) (Json.member "requests")
+      |> Fun.flip Option.bind (Json.member "analyze")
+      |> Fun.flip Option.bind (Json.member "ok")
+      |> Fun.flip Option.bind Json.to_int_opt
+    in
+    Alcotest.(check (option int)) "metrics counted analyzes" (Some 2) analyze_ok
+  | _ -> Alcotest.fail "last response is not stats"
+
+let suite =
+  [
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "lru replace" `Quick test_lru_replace;
+    Alcotest.test_case "cache load errors" `Quick test_cache_load_errors;
+    Alcotest.test_case "cache digest stable" `Quick test_cache_digest_stable;
+    Alcotest.test_case "pool results" `Quick test_pool_results;
+    Alcotest.test_case "pool exception" `Quick test_pool_exception;
+    Alcotest.test_case "pool deadline" `Quick test_pool_deadline;
+    Alcotest.test_case "pool drain" `Quick test_pool_drain;
+    Alcotest.test_case "batch memo hits" `Quick test_batch_memo_hits;
+    Alcotest.test_case "batch deterministic across pool sizes" `Quick
+      test_batch_deterministic_across_pool_sizes;
+    Alcotest.test_case "batch error isolation" `Quick test_batch_error_isolation;
+    Alcotest.test_case "batch stats sees traffic" `Quick test_batch_stats_sees_traffic;
+  ]
