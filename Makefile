@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench serve-smoke
+.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json
 
 all: build
 
@@ -17,6 +17,10 @@ bench:
 # reduced-budget pass for quick iteration
 quickbench:
 	SPSTA_BENCH_RUNS=500 dune exec bench/main.exe
+
+# machine-readable timings -> BENCH_spsta.json (see doc/perf.md)
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_spsta.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -76,18 +76,33 @@ let top_arg =
   let doc = "Show only the N most critical endpoints (0 = all nets)." in
   Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the propagation (0 = one per available core).  SPSTA and SSTA \
+     results are bit-identical at every domain count; Monte Carlo switches to the \
+     deterministic sharded generator, whose stream depends on the domain count."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let resolve_domains = function
+  | 0 -> Spsta_util.Parallel.default_domains ()
+  | d when d >= 1 -> d
+  | d ->
+    Printf.eprintf "error: --domains must be non-negative (got %d)\n" d;
+    exit 1
+
 let print_header circuit =
   Format.printf "%a@." Circuit.pp_summary circuit
 
 let endpoint_ids circuit = Circuit.endpoints circuit
 
 let analyze_cmd =
-  let run name case_str =
+  let run name case_str domains =
     let circuit = load_circuit name in
     let case = case_of_string case_str in
     let spec = Experiments.Workloads.spec_fn case in
     print_header circuit;
-    let result = Analyzer.Moments.analyze circuit ~spec in
+    let result = Analyzer.Moments.analyze ~domains:(resolve_domains domains) circuit ~spec in
     let table =
       Spsta_util.Table.create
         ~headers:[ "endpoint"; "P(r)"; "mu(r)"; "sigma(r)"; "P(f)"; "mu(f)"; "sigma(f)"; "SP" ]
@@ -112,13 +127,13 @@ let analyze_cmd =
     print_endline (Spsta_util.Table.render table)
   in
   let info = Cmd.info "analyze" ~doc:"SPSTA endpoint timing statistics" in
-  Cmd.v info Term.(const run $ circuit_arg $ case_arg)
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ domains_arg)
 
 let ssta_cmd =
-  let run name =
+  let run name domains =
     let circuit = load_circuit name in
     print_header circuit;
-    let result = Spsta_ssta.Ssta.analyze circuit in
+    let result = Spsta_ssta.Ssta.analyze ~domains:(resolve_domains domains) circuit in
     let table =
       Spsta_util.Table.create ~headers:[ "endpoint"; "mu(r)"; "sigma(r)"; "mu(f)"; "sigma(f)" ]
     in
@@ -138,15 +153,19 @@ let ssta_cmd =
     print_endline (Spsta_util.Table.render table)
   in
   let info = Cmd.info "ssta" ~doc:"Min/max-separated SSTA baseline" in
-  Cmd.v info Term.(const run $ circuit_arg)
+  Cmd.v info Term.(const run $ circuit_arg $ domains_arg)
 
 let mc_cmd =
-  let run name case_str runs seed =
+  let run name case_str runs seed domains =
     let circuit = load_circuit name in
     let case = case_of_string case_str in
     let spec = Experiments.Workloads.spec_fn case in
     print_header circuit;
-    let result = Monte_carlo.simulate ~runs ~seed circuit ~spec in
+    let domains = resolve_domains domains in
+    let result =
+      if domains = 1 then Monte_carlo.simulate ~runs ~seed circuit ~spec
+      else Monte_carlo.simulate_parallel ~runs ~domains ~seed circuit ~spec
+    in
     let table =
       Spsta_util.Table.create
         ~headers:[ "endpoint"; "P(r)"; "mu(r)"; "sigma(r)"; "P(f)"; "mu(f)"; "sigma(f)"; "SP" ]
@@ -169,7 +188,7 @@ let mc_cmd =
     print_endline (Spsta_util.Table.render table)
   in
   let info = Cmd.info "mc" ~doc:"Monte Carlo reference simulation" in
-  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ runs_arg $ seed_arg)
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ runs_arg $ seed_arg $ domains_arg)
 
 let power_cmd =
   let run name case_str top =
@@ -402,7 +421,7 @@ let waveform_cmd =
           (Circuit.endpoints circuit)
     in
     print_header circuit;
-    let module B = (val Spsta_core.Top.discrete_backend ~dt:0.1) in
+    let module B = (val Spsta_core.Top.discrete_backend ~dt:0.1 ()) in
     let module A = Spsta_core.Analyzer.Make (B) in
     let r = A.analyze circuit ~spec in
     let s = A.signal r net in
@@ -537,7 +556,7 @@ let list_cmd =
 module Server = Spsta_server.Server
 module Protocol = Spsta_server.Protocol
 
-let server_config workers queue cache deadline_ms =
+let server_config workers queue cache deadline_ms analysis_domains =
   let base = Server.default_config in
   {
     base with
@@ -545,6 +564,8 @@ let server_config workers queue cache deadline_ms =
     queue_capacity = (if queue > 0 then queue else base.Server.queue_capacity);
     result_cache = (if cache > 0 then cache else base.Server.result_cache);
     default_deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None);
+    analysis_domains =
+      (if analysis_domains > 0 then analysis_domains else base.Server.analysis_domains);
   }
 
 let workers_arg =
@@ -563,9 +584,17 @@ let deadline_arg =
   let doc = "Default per-request deadline in milliseconds (0 = none)." in
   Arg.(value & opt float 0.0 & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
+let analysis_domains_arg =
+  let doc =
+    "Domains per SPSTA/SSTA propagation within one request (default 1; responses are \
+     bit-identical at every value).  Raise only for few large requests — [--workers] \
+     already parallelises across requests."
+  in
+  Arg.(value & opt int 0 & info [ "analysis-domains" ] ~docv:"N" ~doc)
+
 let serve_cmd =
-  let run workers queue cache deadline_ms =
-    let config = server_config workers queue cache deadline_ms in
+  let run workers queue cache deadline_ms analysis_domains =
+    let config = server_config workers queue cache deadline_ms analysis_domains in
     let t = Server.serve ~config stdin stdout in
     prerr_string (Spsta_server.Metrics.render (Server.metrics t))
   in
@@ -573,15 +602,16 @@ let serve_cmd =
     Cmd.info "serve"
       ~doc:"Serve JSONL analysis requests from stdin, streaming responses to stdout"
   in
-  Cmd.v info Term.(const run $ workers_arg $ queue_arg $ cache_arg $ deadline_arg)
+  Cmd.v info
+    Term.(const run $ workers_arg $ queue_arg $ cache_arg $ deadline_arg $ analysis_domains_arg)
 
 let batch_cmd =
-  let run file workers queue cache deadline_ms =
+  let run file workers queue cache deadline_ms analysis_domains =
     if not (Sys.file_exists file) then begin
       Printf.eprintf "error: no request file %s\n" file;
       exit 1
     end;
-    let config = server_config workers queue cache deadline_ms in
+    let config = server_config workers queue cache deadline_ms analysis_domains in
     let t, responses = Server.run_batch_file ~config file in
     List.iter (fun r -> print_endline (Protocol.response_to_line r)) responses;
     prerr_string (Spsta_server.Metrics.render (Server.metrics t));
@@ -595,7 +625,10 @@ let batch_cmd =
     Cmd.info "batch"
       ~doc:"Execute a JSONL request file concurrently; print responses in request order"
   in
-  Cmd.v info Term.(const run $ file_arg $ workers_arg $ queue_arg $ cache_arg $ deadline_arg)
+  Cmd.v info
+    Term.(
+      const run $ file_arg $ workers_arg $ queue_arg $ cache_arg $ deadline_arg
+      $ analysis_domains_arg)
 
 let main =
   let doc = "Signal Probability Based Statistical Timing Analysis (DATE 2008)" in

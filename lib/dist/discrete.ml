@@ -2,42 +2,75 @@ type t = {
   dt : float;
   k0 : int; (* origin bin index: bin i holds mass at time (k0 + i) * dt *)
   mass : float array;
+  dropped : float; (* upper bound on mass removed by epsilon-truncation *)
 }
 
 let dt t = t.dt
 let total t = Array.fold_left ( +. ) 0.0 t.mass
+let dropped_mass t = t.dropped
 
 let check_dt d = if d <= 0.0 then invalid_arg "Discrete: dt must be positive"
 
 let zero ~dt =
   check_dt dt;
-  { dt; k0 = 0; mass = [||] }
+  { dt; k0 = 0; mass = [||]; dropped = 0.0 }
 
 let time t i = float_of_int (t.k0 + i) *. t.dt
 let bin_of_time ~dt x = int_of_float (Float.round (x /. dt))
 
-let of_normal ~dt ~mass (n : Normal.t) =
+(* Unit-mass discretisation of a non-degenerate normal over +-6 sigma:
+   each bin gets the cdf increment over its cell (exact mass, no
+   quadrature error accumulation), renormalised to 1. *)
+let discretise_normal ~dt (n : Normal.t) =
+  let lo = Normal.mean n -. (6.0 *. Normal.stddev n) in
+  let hi = Normal.mean n +. (6.0 *. Normal.stddev n) in
+  let k_lo = bin_of_time ~dt lo and k_hi = bin_of_time ~dt hi in
+  let bins = k_hi - k_lo + 1 in
+  let edge k = (float_of_int k -. 0.5) *. dt in
+  let arr =
+    Array.init bins (fun i ->
+        let k = k_lo + i in
+        Normal.cdf n (edge (k + 1)) -. Normal.cdf n (edge k))
+  in
+  let covered = Array.fold_left ( +. ) 0.0 arr in
+  let factor = if covered > 0.0 then 1.0 /. covered else 0.0 in
+  (k_lo, Array.map (fun m -> m *. factor) arr)
+
+(* The analyzer discretises the same gate-delay kernel once per gate and
+   the same input-arrival normal once per source; memoise the unit-mass
+   shape per (dt, mu, sigma).  Lookups copy on scale, so cached arrays
+   are never shared mutably.  The mutex keeps the table safe under
+   domain-parallel analysis. *)
+let normal_cache : (float * float * float, int * float array) Hashtbl.t = Hashtbl.create 256
+let normal_cache_mutex = Mutex.create ()
+let normal_cache_limit = 4096
+
+let cached_discretise_normal ~dt n =
+  let key = (dt, Normal.mean n, Normal.stddev n) in
+  Mutex.lock normal_cache_mutex;
+  let hit = Hashtbl.find_opt normal_cache key in
+  Mutex.unlock normal_cache_mutex;
+  match hit with
+  | Some shape -> shape
+  | None ->
+    let shape = discretise_normal ~dt n in
+    Mutex.lock normal_cache_mutex;
+    if Hashtbl.length normal_cache >= normal_cache_limit then Hashtbl.reset normal_cache;
+    Hashtbl.replace normal_cache key shape;
+    Mutex.unlock normal_cache_mutex;
+    shape
+
+let of_normal ?(cache = true) ~dt ~mass (n : Normal.t) =
   check_dt dt;
   if mass < 0.0 then invalid_arg "Discrete.of_normal: negative mass";
   if mass = 0.0 then zero ~dt
   else if Normal.stddev n = 0.0 then
-    { dt; k0 = bin_of_time ~dt (Normal.mean n); mass = [| mass |] }
+    { dt; k0 = bin_of_time ~dt (Normal.mean n); mass = [| mass |]; dropped = 0.0 }
   else begin
-    let lo = Normal.mean n -. (6.0 *. Normal.stddev n) in
-    let hi = Normal.mean n +. (6.0 *. Normal.stddev n) in
-    let k_lo = bin_of_time ~dt lo and k_hi = bin_of_time ~dt hi in
-    let bins = k_hi - k_lo + 1 in
-    (* allocate each bin the cdf increment over its cell: exact mass, no
-       quadrature error accumulation *)
-    let edge k = (float_of_int k -. 0.5) *. dt in
-    let arr =
-      Array.init bins (fun i ->
-          let k = k_lo + i in
-          Normal.cdf n (edge (k + 1)) -. Normal.cdf n (edge k))
+    let k0, shape =
+      if cache then cached_discretise_normal ~dt n else discretise_normal ~dt n
     in
-    let covered = Array.fold_left ( +. ) 0.0 arr in
-    let factor = if covered > 0.0 then mass /. covered else 0.0 in
-    { dt; k0 = k_lo; mass = Array.map (fun m -> m *. factor) arr }
+    { dt; k0; mass = Array.map (fun m -> m *. mass) shape; dropped = 0.0 }
   end
 
 let of_points ~dt points =
@@ -51,36 +84,61 @@ let of_points ~dt points =
     let k_hi = List.fold_left (fun acc (k, _) -> max acc k) min_int ks in
     let arr = Array.make (k_hi - k_lo + 1) 0.0 in
     List.iter (fun (k, m) -> arr.(k - k_lo) <- arr.(k - k_lo) +. m) ks;
-    { dt; k0 = k_lo; mass = arr }
+    { dt; k0 = k_lo; mass = arr; dropped = 0.0 }
 
 let scale t f =
   if f < 0.0 then invalid_arg "Discrete.scale: negative factor";
-  { t with mass = Array.map (fun m -> m *. f) t.mass }
+  { t with mass = Array.map (fun m -> m *. f) t.mass; dropped = t.dropped *. f }
 
 let require_same_dt a b =
   if Float.abs (a.dt -. b.dt) > 1e-12 then invalid_arg "Discrete: grid step mismatch"
 
 let add a b =
   require_same_dt a b;
-  if Array.length a.mass = 0 then b
-  else if Array.length b.mass = 0 then a
+  if Array.length a.mass = 0 then { b with dropped = a.dropped +. b.dropped }
+  else if Array.length b.mass = 0 then { a with dropped = a.dropped +. b.dropped }
   else begin
     let k_lo = min a.k0 b.k0 in
     let k_hi = max (a.k0 + Array.length a.mass) (b.k0 + Array.length b.mass) in
     let arr = Array.make (k_hi - k_lo) 0.0 in
     Array.iteri (fun i m -> arr.(a.k0 - k_lo + i) <- arr.(a.k0 - k_lo + i) +. m) a.mass;
     Array.iteri (fun i m -> arr.(b.k0 - k_lo + i) <- arr.(b.k0 - k_lo + i) +. m) b.mass;
-    { dt = a.dt; k0 = k_lo; mass = arr }
+    { dt = a.dt; k0 = k_lo; mass = arr; dropped = a.dropped +. b.dropped }
   end
 
 let sum ~dt ts = List.fold_left add (zero ~dt) ts
 
 let shift t d = { t with k0 = t.k0 + bin_of_time ~dt:t.dt d }
 
+let truncate ~eps t =
+  if eps <= 0.0 || Array.length t.mass = 0 then t
+  else begin
+    let n = Array.length t.mass in
+    let lo = ref 0 and hi = ref (n - 1) in
+    let lcut = ref 0.0 and rcut = ref 0.0 in
+    (* grow each cut while its cumulative mass stays within eps; always
+       keep at least one bin so the support never vanishes *)
+    while !lo < !hi && !lcut +. t.mass.(!lo) <= eps do
+      lcut := !lcut +. t.mass.(!lo);
+      incr lo
+    done;
+    while !hi > !lo && !rcut +. t.mass.(!hi) <= eps do
+      rcut := !rcut +. t.mass.(!hi);
+      decr hi
+    done;
+    if !lo = 0 && !hi = n - 1 then t
+    else
+      { t with
+        k0 = t.k0 + !lo;
+        mass = Array.sub t.mass !lo (!hi - !lo + 1);
+        dropped = t.dropped +. !lcut +. !rcut }
+  end
+
 let convolve a b =
   require_same_dt a b;
   let na = Array.length a.mass and nb = Array.length b.mass in
-  if na = 0 || nb = 0 then zero ~dt:a.dt
+  if na = 0 || nb = 0 then
+    { (zero ~dt:a.dt) with dropped = a.dropped +. b.dropped }
   else begin
     let arr = Array.make (na + nb - 1) 0.0 in
     for i = 0 to na - 1 do
@@ -89,7 +147,11 @@ let convolve a b =
           arr.(i + j) <- arr.(i + j) +. (a.mass.(i) *. b.mass.(j))
         done
     done;
-    { dt = a.dt; k0 = a.k0 + b.k0; mass = arr }
+    (* truncated mass of one operand reaches the output scaled by the
+       other's retained total — keep the conservative bound *)
+    let ta = total a and tb = total b in
+    { dt = a.dt; k0 = a.k0 + b.k0; mass = arr;
+      dropped = (a.dropped *. tb) +. (b.dropped *. ta) +. (a.dropped *. b.dropped) }
   end
 
 let normalized t =
@@ -102,6 +164,8 @@ let normalized t =
    lattice random variables. *)
 let max_independent a b =
   require_same_dt a b;
+  let carry = a.dropped /. Float.max (total a) Float.min_float
+              +. (b.dropped /. Float.max (total b) Float.min_float) in
   let a = normalized a and b = normalized b in
   let k_lo = min a.k0 b.k0 in
   let k_hi = max (a.k0 + Array.length a.mass) (b.k0 + Array.length b.mass) in
@@ -116,7 +180,7 @@ let max_independent a b =
     fa := !fa +. pa.(k);
     fb := !fb +. pb.(k)
   done;
-  { dt = a.dt; k0 = k_lo; mass = out }
+  { dt = a.dt; k0 = k_lo; mass = out; dropped = carry }
 
 let reflect t =
   let n = Array.length t.mass in
@@ -127,6 +191,85 @@ let reflect t =
   end
 
 let min_independent a b = reflect (max_independent (reflect a) (reflect b))
+
+(* In-place accumulation for WEIGHTED SUM chains: a growable buffer with
+   slack on both sides, so the common case of overlapping supports adds
+   into existing storage instead of allocating a fresh array per term. *)
+module Accum = struct
+  type dist = t
+
+  type t = {
+    acc_dt : float;
+    mutable buf : float array;
+    mutable k_buf : int; (* bin index of buf.(0) *)
+    mutable lo : int; (* first used slot; empty when lo = hi *)
+    mutable hi : int; (* one past the last used slot *)
+    mutable acc_dropped : float;
+  }
+
+  let create ~dt =
+    check_dt dt;
+    { acc_dt = dt; buf = [||]; k_buf = 0; lo = 0; hi = 0; acc_dropped = 0.0 }
+
+  let is_empty a = a.lo = a.hi
+
+  (* make slots [need_lo, need_hi) (relative to k_buf) addressable,
+     reallocating with headroom on both sides when they are not *)
+  let reserve a need_lo need_hi =
+    if need_lo < 0 || need_hi > Array.length a.buf then begin
+      let used_lo = min a.lo need_lo and used_hi = max a.hi need_hi in
+      let span = used_hi - used_lo in
+      let pad = max 32 span in
+      let buf = Array.make (span + (2 * pad)) 0.0 in
+      (* old slot i moves to slot i + shift in the new buffer *)
+      let shift = pad - used_lo in
+      Array.blit a.buf a.lo buf (a.lo + shift) (a.hi - a.lo);
+      a.buf <- buf;
+      a.k_buf <- a.k_buf - shift;
+      a.lo <- a.lo + shift;
+      a.hi <- a.hi + shift
+    end
+
+  let add a (d : dist) =
+    if Float.abs (a.acc_dt -. d.dt) > 1e-12 then invalid_arg "Discrete: grid step mismatch";
+    a.acc_dropped <- a.acc_dropped +. d.dropped;
+    let nd = Array.length d.mass in
+    if nd > 0 then begin
+      if is_empty a then begin
+        let pad = max 32 nd in
+        if Array.length a.buf < nd + (2 * pad) then a.buf <- Array.make (nd + (2 * pad)) 0.0
+        else Array.fill a.buf 0 (Array.length a.buf) 0.0;
+        a.k_buf <- d.k0 - pad;
+        a.lo <- pad;
+        a.hi <- pad + nd;
+        Array.blit d.mass 0 a.buf pad nd
+      end
+      else begin
+        let need_lo = d.k0 - a.k_buf in
+        let need_hi = need_lo + nd in
+        reserve a need_lo need_hi;
+        let need_lo = d.k0 - a.k_buf in
+        for i = 0 to nd - 1 do
+          a.buf.(need_lo + i) <- a.buf.(need_lo + i) +. d.mass.(i)
+        done;
+        a.lo <- min a.lo need_lo;
+        a.hi <- max a.hi (need_lo + nd)
+      end
+    end
+
+  let total a =
+    let acc = ref 0.0 in
+    for i = a.lo to a.hi - 1 do
+      acc := !acc +. a.buf.(i)
+    done;
+    !acc
+
+  let to_dist a =
+    { dt = a.acc_dt;
+      k0 = a.k_buf + a.lo;
+      mass = Array.sub a.buf a.lo (a.hi - a.lo);
+      dropped = a.acc_dropped }
+end
 
 let raw_moments t =
   let w = total t in
@@ -170,21 +313,39 @@ let skewness t =
       central3 /. (var ** 1.5)
     end
 
+(* The last bin index whose time is <= x, compared in bin space: the
+   tolerance is relative to dt, so it is immune to both large absolute
+   times and tiny grid steps (an absolute 1e-12 slack is meaningless for
+   t ~ 1e6 and far too coarse for dt ~ 1e-12). *)
+let last_bin_at_or_before t x =
+  let kx = Float.floor ((x /. t.dt) +. 1e-6) in
+  if kx < float_of_int t.k0 then -1
+  else begin
+    let n = Array.length t.mass in
+    if kx >= float_of_int (t.k0 + n - 1) then n - 1
+    else int_of_float kx - t.k0
+  end
+
 let cdf t x =
+  let last = last_bin_at_or_before t x in
   let acc = ref 0.0 in
-  Array.iteri (fun i m -> if time t i <= x +. 1e-12 then acc := !acc +. m) t.mass;
+  for i = 0 to last do
+    acc := !acc +. t.mass.(i)
+  done;
   !acc
 
 let quantile t p =
   if not (p > 0.0 && p <= 1.0) then invalid_arg "Discrete.quantile: p outside (0,1]";
   let w = total t in
   if w <= 0.0 then invalid_arg "Discrete.quantile: empty distribution";
-  let target = p *. w in
+  (* tolerance relative to the total mass: prefix sums of w-scale terms
+     carry w-scale rounding, never an absolute 1e-15 *)
+  let target = (p *. w) -. (1e-9 *. w) in
   let rec scan i acc =
     if i >= Array.length t.mass then time t (Array.length t.mass - 1)
     else
       let acc = acc +. t.mass.(i) in
-      if acc >= target -. 1e-15 then time t i else scan (i + 1) acc
+      if acc >= target then time t i else scan (i + 1) acc
   in
   scan 0 0.0
 

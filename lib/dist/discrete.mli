@@ -13,12 +13,23 @@ val dt : t -> float
 val total : t -> float
 (** Total mass: the transition occurrence probability. *)
 
+val dropped_mass : t -> float
+(** Upper bound on the mass removed from this value by
+    {!truncate} calls anywhere in its construction history.  Propagated
+    through {!scale}/{!add}/{!shift} exactly, through {!convolve} and
+    {!max_independent}/{!min_independent} as a conservative bound.
+    0 for values built without truncation. *)
+
 val zero : dt:float -> t
 (** The empty (never-transitions) distribution. *)
 
-val of_normal : dt:float -> mass:float -> Normal.t -> t
+val of_normal : ?cache:bool -> dt:float -> mass:float -> Normal.t -> t
 (** Discretise a normal over ±6σ, scaled so the total equals [mass].
-    Raises [Invalid_argument] on negative mass or non-positive [dt]. *)
+    With [cache] (the default) the unit-mass shape is memoised per
+    [(dt, mean, stddev)] in a domain-safe table, which makes repeated
+    gate-delay kernels (the hot case in grid-backend analysis) a lookup
+    plus one scaling pass.  Raises [Invalid_argument] on negative mass
+    or non-positive [dt]. *)
 
 val of_points : dt:float -> (float * float) list -> t
 (** Point masses at given (time, mass) pairs; times are rounded to the
@@ -35,6 +46,14 @@ val sum : dt:float -> t list -> t
 
 val shift : t -> float -> t
 (** Add a deterministic delay (rounded to the grid). *)
+
+val truncate : eps:float -> t -> t
+(** Drop the longest prefix and suffix of bins whose cumulative mass
+    stays within [eps] per side, keeping at least one bin.  The removed
+    mass is accounted for in {!dropped_mass} — the error any downstream
+    moment or quantile can incur is bounded by the (per-side) [eps]
+    times the number of truncations, which {!dropped_mass} tracks
+    exactly.  [eps <= 0] is the identity. *)
 
 val convolve : t -> t -> t
 (** Sum of independent random variables (normalised or not: masses
@@ -58,11 +77,33 @@ val skewness : t -> float
     0 when empty or degenerate. *)
 
 val cdf : t -> float -> float
-(** Unnormalised: mass at or before the given time. *)
+(** Unnormalised: mass at or before the given time.  "At" is decided in
+    bin space with a tolerance relative to [dt] (not an absolute time
+    tolerance), so the answer is exact for times on the grid regardless
+    of how large the times or how small the grid step. *)
 
 val quantile : t -> float -> float
-(** Time at which the *normalised* cdf first reaches p in (0,1].
-    Raises [Invalid_argument] when empty. *)
+(** Time at which the *normalised* cdf first reaches p in (0,1], with a
+    tolerance relative to the total mass.  When the accumulated mass
+    never reaches the target — possible only through floating-point
+    rounding of the prefix sums, since p <= 1 — the last support bin is
+    returned; callers that need the distinction should compare
+    [cdf t (quantile t p)] against [p *. total t].  Raises
+    [Invalid_argument] when empty or [p] is outside (0,1]. *)
+
+(** In-place accumulation of a WEIGHTED SUM chain: semantically
+    equivalent to folding {!add}, but reuses one growable buffer instead
+    of allocating a fresh array per term.  The result is bit-identical
+    to the [add] fold (same masses added in the same order). *)
+module Accum : sig
+  type dist := t
+  type t
+
+  val create : dt:float -> t
+  val add : t -> dist -> unit
+  val total : t -> float
+  val to_dist : t -> dist
+end
 
 val series : t -> (float * float) list
 (** (bin time, mass) pairs over the support, for plotting/printing. *)

@@ -11,7 +11,7 @@ let csv_of_series ~header series =
   Buffer.contents buf
 
 let top_series ?(dt = 0.05) circuit ~spec ~net =
-  let module B = (val Spsta_core.Top.discrete_backend ~dt : Spsta_core.Top.BACKEND
+  let module B = (val Spsta_core.Top.discrete_backend ~dt () : Spsta_core.Top.BACKEND
                     with type top = Discrete.t)
   in
   let module A = Analyzer.Make (B) in

@@ -28,7 +28,7 @@ let stats_of top =
   }
 
 let run ?(dt = 0.02) ?(sigma1 = 1.0) ?(sigma2 = 0.5) () =
-  let module B = (val Top.discrete_backend ~dt : Top.BACKEND with type top = Discrete.t) in
+  let module B = (val Top.discrete_backend ~dt () : Top.BACKEND with type top = Discrete.t) in
   let module A = Analyzer.Make (B) in
   (* 0.9 signal probability: steady one 80%, rising 10%, falling 10% *)
   let spec sigma =

@@ -21,6 +21,7 @@ type t = {
   topo : id array; (* gate nets only, in evaluation order *)
   levels : int array;
   depth : int;
+  by_level : id array array; (* gate nets grouped by level, topo order within *)
 }
 
 module Builder = struct
@@ -144,6 +145,20 @@ module Builder = struct
         | Input | Dff_output _ -> assert false)
       topo;
     let depth = Array.fold_left max 0 levels in
+    (* gates grouped by level: within a level no gate feeds another, so
+       the whole group can be evaluated concurrently; keeping topo order
+       inside each group preserves the sequential evaluation order *)
+    let by_level =
+      let buckets = Array.make (depth + 1) [] in
+      Array.iter (fun g -> buckets.(levels.(g)) <- g :: buckets.(levels.(g))) topo;
+      let groups =
+        Array.to_list buckets
+        |> List.filter_map (function
+             | [] -> None
+             | gates -> Some (Array.of_list (List.rev gates)))
+      in
+      Array.of_list groups
+    in
     let fanout_lists = Array.make n [] in
     Array.iteri
       (fun out d ->
@@ -183,6 +198,7 @@ module Builder = struct
       topo;
       levels;
       depth;
+      by_level;
     }
 end
 
@@ -215,6 +231,7 @@ let endpoints t =
 
 let fanout t i = t.fanouts.(i)
 let topo_gates t = t.topo
+let gates_by_level t = t.by_level
 let level t i = t.levels.(i)
 let depth t = t.depth
 

@@ -64,6 +64,13 @@ val fanout : t -> id -> id array
 val topo_gates : t -> id array
 (** All [Gate] nets in a valid combinational evaluation order. *)
 
+val gates_by_level : t -> id array array
+(** {!topo_gates} grouped by {!level}, ascending, preserving topological
+    order within each group.  Gates in one group depend only on earlier
+    groups (and on sources), never on each other, so a group is a unit of
+    safe concurrent evaluation.  Empty levels are omitted; concatenating
+    the groups is a valid evaluation order covering every gate once. *)
+
 val level : t -> id -> int
 (** Unit-delay logic level: 0 for sources, 1 + max(input levels) for
     gates. *)

@@ -21,15 +21,19 @@ module Lru = struct
     table : (string, 'a entry) Hashtbl.t;
     mutex : Mutex.t;
     mutable clock : int;
-    mutable hits : int;
-    mutable misses : int;
-    mutable evictions : int;
+    (* counters are atomic, not merely mutex-guarded: the accessors below
+       are called from [stats] requests on other domains without taking
+       [mutex], which would otherwise be a data race on a plain mutable
+       field *)
+    hits : int Atomic.t;
+    misses : int Atomic.t;
+    evictions : int Atomic.t;
   }
 
   let create ~capacity =
     if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
     { capacity; table = Hashtbl.create (2 * capacity); mutex = Mutex.create ();
-      clock = 0; hits = 0; misses = 0; evictions = 0 }
+      clock = 0; hits = Atomic.make 0; misses = Atomic.make 0; evictions = Atomic.make 0 }
 
   let locked t f =
     Mutex.lock t.mutex;
@@ -41,10 +45,10 @@ module Lru = struct
         | Some e ->
           t.clock <- t.clock + 1;
           e.tick <- t.clock;
-          t.hits <- t.hits + 1;
+          Atomic.incr t.hits;
           Some e.value
         | None ->
-          t.misses <- t.misses + 1;
+          Atomic.incr t.misses;
           None)
 
   (* Evict the least-recently-used entry.  A linear scan over at most
@@ -61,7 +65,7 @@ module Lru = struct
     match !victim with
     | Some (key, _) ->
       Hashtbl.remove t.table key;
-      t.evictions <- t.evictions + 1
+      Atomic.incr t.evictions
     | None -> ()
 
   let add t key value =
@@ -74,16 +78,16 @@ module Lru = struct
         Hashtbl.replace t.table key { value; tick = t.clock })
 
   let length t = locked t (fun () -> Hashtbl.length t.table)
-  let hits t = t.hits
-  let misses t = t.misses
-  let evictions t = t.evictions
+  let hits t = Atomic.get t.hits
+  let misses t = Atomic.get t.misses
+  let evictions t = Atomic.get t.evictions
 
   let counters_json t =
     locked t (fun () ->
         Json.Obj
           [ ("size", Json.int (Hashtbl.length t.table)); ("capacity", Json.int t.capacity);
-            ("hits", Json.int t.hits); ("misses", Json.int t.misses);
-            ("evictions", Json.int t.evictions) ])
+            ("hits", Json.int (Atomic.get t.hits)); ("misses", Json.int (Atomic.get t.misses));
+            ("evictions", Json.int (Atomic.get t.evictions)) ])
 end
 
 module Circuit = Spsta_netlist.Circuit

@@ -39,9 +39,9 @@ let circuit_header circuit =
     ("nets", Json.int (Circuit.num_nets circuit));
     ("depth", Json.int (Circuit.depth circuit)) ]
 
-let analyze_payload circuit ~case ~top =
+let analyze_payload circuit ~case ~top ~domains =
   let spec = spec_of_case case in
-  let result = Analyzer.Moments.analyze circuit ~spec in
+  let result = Analyzer.Moments.analyze ~domains circuit ~spec in
   let endpoint_json e =
     let s = Analyzer.Moments.signal result e in
     let rmu, rsig, rp = Analyzer.Moments.transition_stats s `Rise in
@@ -64,8 +64,8 @@ let analyze_payload circuit ~case ~top =
     @ [ ("case", Json.string (Protocol.case_name case));
         ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
 
-let ssta_payload circuit ~top =
-  let result = Spsta_ssta.Ssta.analyze circuit in
+let ssta_payload circuit ~top ~domains =
+  let result = Spsta_ssta.Ssta.analyze ~domains circuit in
   let open Spsta_dist.Normal in
   let endpoint_json e =
     let a = Spsta_ssta.Ssta.arrival result e in
@@ -130,11 +130,11 @@ let paths_payload circuit ~k ~sigma_global ~sigma_spatial ~sigma_random =
     (circuit_header circuit
     @ [ ("k", Json.int k); ("paths", Json.List (List.mapi path_json paths)) ])
 
-let compute_payload (cache : Cache.t) (kind : Protocol.kind) =
+let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
   let circuit_of name = (Cache.load_circuit cache name).Cache.circuit in
   match kind with
-  | Protocol.Analyze p -> analyze_payload (circuit_of p.circuit) ~case:p.case ~top:p.top
-  | Protocol.Ssta p -> ssta_payload (circuit_of p.circuit) ~top:p.top
+  | Protocol.Analyze p -> analyze_payload (circuit_of p.circuit) ~case:p.case ~top:p.top ~domains
+  | Protocol.Ssta p -> ssta_payload (circuit_of p.circuit) ~top:p.top ~domains
   | Protocol.Mc p ->
     mc_payload (circuit_of p.circuit) ~case:p.case ~runs:p.runs ~seed:p.seed ~top:p.top
   | Protocol.Paths p ->
@@ -143,8 +143,16 @@ let compute_payload (cache : Cache.t) (kind : Protocol.kind) =
   | Protocol.Stats | Protocol.Shutdown -> invalid_arg "Engine.compute_payload: control request"
 
 (* Execute an analysis request, memoising through the cache.  Control
-   requests ([stats], [shutdown]) never reach the engine. *)
-let execute (cache : Cache.t) (request : Protocol.request) : Protocol.response =
+   requests ([stats], [shutdown]) never reach the engine.
+
+   [domains] (default 1) parallelises the levelized SPSTA/SSTA
+   propagation within one request.  Because the parallel traversal is
+   bit-identical to the sequential one, memo keys need no domains
+   component: cached payloads are valid at every domain count.  Monte
+   Carlo stays sequential regardless — its parallel variant's stream
+   splitting depends on the shard count, which would make responses (and
+   the memo table) depend on a tuning knob. *)
+let execute ?(domains = 1) (cache : Cache.t) (request : Protocol.request) : Protocol.response =
   let start = Unix.gettimeofday () in
   let finish result =
     Protocol.Ok
@@ -167,7 +175,7 @@ let execute (cache : Cache.t) (request : Protocol.request) : Protocol.response =
       match Cache.find_result cache key with
       | Some payload -> payload
       | None ->
-        let payload = compute_payload cache request.Protocol.kind in
+        let payload = compute_payload ~domains cache request.Protocol.kind in
         Cache.store_result cache key payload;
         payload
     in

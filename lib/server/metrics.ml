@@ -16,8 +16,8 @@ type per_kind = {
   mutable errors : int;
   mutable timeouts : int;
   latency : Stats.acc;
-  (* 0..500 ms in 25 bins; out-of-range latencies clamp to the edge bins,
-     which keeps the histogram total equal to the request count *)
+  (* 0..500 ms in 25 bins; latencies beyond the range appear as the
+     histogram's overflow count rather than distorting the last bin *)
   histogram : Histogram.t;
 }
 
@@ -79,13 +79,7 @@ let kind_json p =
     Json.List
       (List.filter_map
          (fun i ->
-           let count =
-             int_of_float
-               (Float.round
-                  (Histogram.density p.histogram i
-                  *. float_of_int (Histogram.count p.histogram)
-                  *. ((hist_hi -. hist_lo) /. float_of_int hist_bins)))
-           in
+           let count = Histogram.bin_samples p.histogram i in
            if count = 0 then None
            else
              Some
@@ -96,7 +90,8 @@ let kind_json p =
   in
   Json.Obj
     [ ("ok", Json.int p.ok); ("errors", Json.int p.errors); ("timeouts", Json.int p.timeouts);
-      ("latency", latency); ("histogram", buckets) ]
+      ("latency", latency); ("histogram", buckets);
+      ("histogram_overflow", Json.int (Histogram.overflow p.histogram)) ]
 
 let to_json t =
   Mutex.lock t.mutex;

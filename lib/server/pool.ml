@@ -42,25 +42,43 @@ type 'a t = {
   capacity : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
-  mutable executed : int;
-  mutable timed_out : int;
+  (* statistics counters are read by [stats] requests on other domains
+     while workers mutate them, so they must be atomic: a plain mutable
+     int read outside [t.mutex] is a data race (and under- or
+     over-reports under contention even on one core, since OCaml gives
+     no atomicity for read-modify-write) *)
+  executed : int Atomic.t;
+  timed_out : int Atomic.t;
+  callback_errors : int Atomic.t;
 }
 
 type 'a ticket = 'a cell
 
 let now () = Unix.gettimeofday ()
 
-let complete job outcome =
+let deliver cell outcome =
+  Mutex.lock cell.cell_mutex;
+  cell.state <- Some outcome;
+  Condition.broadcast cell.cell_cond;
+  Mutex.unlock cell.cell_mutex
+
+let complete t job outcome =
   (* the callback runs before the waiter is woken, so effects it performs
      (metrics, response writes) are visible to whoever awaited the job;
-     a raising callback must not leave the waiter hanging *)
+     a raising callback must not leave the waiter hanging.  Non-fatal
+     callback exceptions are counted and swallowed; fatal ones
+     (Out_of_memory, Stack_overflow) are re-raised — after the waiter is
+     unblocked — because continuing on a heap-exhausted worker would
+     only fail later and further from the cause. *)
   ( match job.on_complete with
   | None -> ()
-  | Some f -> ( try f outcome with _ -> () ) );
-  Mutex.lock job.cell.cell_mutex;
-  job.cell.state <- Some outcome;
-  Condition.broadcast job.cell.cell_cond;
-  Mutex.unlock job.cell.cell_mutex
+  | Some f -> (
+    try f outcome with
+    | (Out_of_memory | Stack_overflow) as fatal ->
+      deliver job.cell outcome;
+      raise fatal
+    | _ -> Atomic.incr t.callback_errors ) );
+  deliver job.cell outcome
 
 let worker_loop t () =
   let rec next () =
@@ -75,7 +93,7 @@ let worker_loop t () =
     end
     else begin
       let job = Queue.pop t.queue in
-      t.executed <- t.executed + 1;
+      Atomic.incr t.executed;
       Condition.signal t.not_full;
       Mutex.unlock t.mutex;
       let start = now () in
@@ -84,19 +102,15 @@ let worker_loop t () =
       ( match job.deadline with
       | Some d when start > d ->
         (* expired while queued: don't burn a worker on a dead request *)
-        Mutex.lock t.mutex;
-        t.timed_out <- t.timed_out + 1;
-        Mutex.unlock t.mutex;
-        complete job (Timed_out { budget_ms = budget_ms d; elapsed_ms = elapsed_ms () })
+        Atomic.incr t.timed_out;
+        complete t job (Timed_out { budget_ms = budget_ms d; elapsed_ms = elapsed_ms () })
       | deadline -> (
         let result = try Done (job.run ()) with e -> Failed e in
         match (deadline, result) with
         | Some d, Done _ when now () > d ->
-          Mutex.lock t.mutex;
-          t.timed_out <- t.timed_out + 1;
-          Mutex.unlock t.mutex;
-          complete job (Timed_out { budget_ms = budget_ms d; elapsed_ms = elapsed_ms () })
-        | _ -> complete job result ) );
+          Atomic.incr t.timed_out;
+          complete t job (Timed_out { budget_ms = budget_ms d; elapsed_ms = elapsed_ms () })
+        | _ -> complete t job result ) );
       next ()
     end
   in
@@ -108,7 +122,7 @@ let create ?(queue_capacity = 64) ~workers () =
   let t =
     { mutex = Mutex.create (); not_empty = Condition.create (); not_full = Condition.create ();
       queue = Queue.create (); capacity = queue_capacity; stopping = false; workers = [||];
-      executed = 0; timed_out = 0 }
+      executed = Atomic.make 0; timed_out = Atomic.make 0; callback_errors = Atomic.make 0 }
   in
   t.workers <- Array.init workers (fun _ -> Domain.spawn (worker_loop t));
   t
@@ -158,5 +172,6 @@ let shutdown t =
   end
   else Mutex.unlock t.mutex
 
-let executed t = t.executed
-let timed_out t = t.timed_out
+let executed t = Atomic.get t.executed
+let timed_out t = Atomic.get t.timed_out
+let callback_errors t = Atomic.get t.callback_errors

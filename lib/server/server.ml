@@ -19,6 +19,12 @@ type config = {
   circuit_cache : int;
   result_cache : int;
   default_deadline_ms : float option;
+  analysis_domains : int;
+      (* domains per SPSTA/SSTA propagation inside one request; results
+         are bit-identical at every value, so it composes freely with
+         the memo table.  Worth raising above 1 only when requests are
+         few and circuits large — otherwise [workers] already saturates
+         the cores. *)
 }
 
 let default_config =
@@ -26,7 +32,8 @@ let default_config =
     queue_capacity = 64;
     circuit_cache = 32;
     result_cache = 512;
-    default_deadline_ms = None }
+    default_deadline_ms = None;
+    analysis_domains = 1 }
 
 type t = {
   config : config;
@@ -49,7 +56,8 @@ let pool_json t =
   Json.Obj
     [ ("workers", Json.int (Pool.num_workers t.pool));
       ("executed", Json.int (Pool.executed t.pool));
-      ("timed_out", Json.int (Pool.timed_out t.pool)) ]
+      ("timed_out", Json.int (Pool.timed_out t.pool));
+      ("callback_errors", Json.int (Pool.callback_errors t.pool)) ]
 
 let stats_response t ~id =
   let result =
@@ -99,7 +107,8 @@ let submit ?on_response t (request : Protocol.request) =
     | None -> ()
     | Some f -> f (response_of_outcome ~id:request.Protocol.id outcome)
   in
-  Pool.submit ?deadline_ms ~on_complete t.pool (fun () -> Engine.execute t.cache request)
+  Pool.submit ?deadline_ms ~on_complete t.pool (fun () ->
+      Engine.execute ~domains:t.config.analysis_domains t.cache request)
 
 let record_invalid t = Metrics.record t.metrics ~kind:"invalid" ~outcome:`Error ~elapsed_ms:0.0
 

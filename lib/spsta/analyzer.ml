@@ -45,7 +45,9 @@ module Make (B : Top.BACKEND) = struct
     let norm_rise = Array.map (fun s -> normalised s.rise) inputs in
     let norm_fall = Array.map (fun s -> normalised s.fall) inputs in
     let p_zero = ref 0.0 and p_one = ref 0.0 in
-    let rise_acc = ref B.empty and fall_acc = ref B.empty in
+    (* in-place WEIGHTED SUM accumulation: one buffer per direction
+       reused across the up-to-4^k enumerated terms *)
+    let rise_acc = B.Acc.create () and fall_acc = B.Acc.create () in
     let rise_mass = ref 0.0 and fall_mass = ref 0.0 in
     let values = Array.make k Value4.Zero in
     let rec go i weight =
@@ -81,10 +83,10 @@ module Make (B : Top.BACKEND) = struct
           let contribution = B.scale combined weight in
           ( match out with
           | Value4.Rising ->
-            rise_acc := B.add !rise_acc contribution;
+            B.Acc.add rise_acc contribution;
             rise_mass := !rise_mass +. weight
           | Value4.Falling ->
-            fall_acc := B.add !fall_acc contribution;
+            B.Acc.add fall_acc contribution;
             fall_mass := !fall_mass +. weight
           | Value4.Zero | Value4.One -> assert false )
           end
@@ -107,7 +109,7 @@ module Make (B : Top.BACKEND) = struct
       Four_value.make ~p_zero:(!p_zero /. total) ~p_one:(!p_one /. total)
         ~p_rise:(!rise_mass /. total) ~p_fall:(!fall_mass /. total)
     in
-    { probs; rise = B.compact !rise_acc; fall = B.compact !fall_acc }
+    { probs; rise = B.compact (B.Acc.to_top rise_acc); fall = B.compact (B.Acc.to_top fall_acc) }
 
   let shift_signal s (d_rise, d_fall) sigma =
     if sigma > 0.0 then
@@ -170,7 +172,26 @@ module Make (B : Top.BACKEND) = struct
 
   type result = { circuit : Circuit.t; per_net : signal array }
 
-  let analyze ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit ~spec =
+  (* One gate of the propagation, reading operands from [per_net] and
+     writing its own slot.  Gates within one level never read each
+     other, so a whole level can run this step concurrently; the step
+     itself is a pure function of its operands, which makes the parallel
+     schedule bit-identical to the sequential one. *)
+  let gate_step ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit
+      per_net g =
+    match Circuit.driver circuit g with
+    | Circuit.Gate { kind; inputs } ->
+      let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
+      let gate_delay = match delay_of with Some f -> Some (f g) | None -> gate_delay in
+      let gate_delay_rf = Option.map (fun f -> f g) delay_rf in
+      per_net.(g) <-
+        gate_output ?gate_delay ?gate_delay_rf ?delay_sigma ?mis ?max_enumerated_fanin kind
+          operands
+    | Circuit.Input | Circuit.Dff_output _ -> assert false
+
+  let analyze ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin ?domains
+      circuit ~spec =
+    let domains = match domains with Some d -> Spsta_util.Parallel.check_domains d | None -> 1 in
     let n = Circuit.num_nets circuit in
     let dummy =
       { probs = Four_value.make ~p_zero:1.0 ~p_one:0.0 ~p_rise:0.0 ~p_fall:0.0;
@@ -178,20 +199,24 @@ module Make (B : Top.BACKEND) = struct
     in
     let per_net = Array.make n dummy in
     List.iter (fun s -> per_net.(s) <- source_signal (spec s)) (Circuit.sources circuit);
-    Array.iter
-      (fun g ->
-        match Circuit.driver circuit g with
-        | Circuit.Gate { kind; inputs } ->
-          let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
-          let gate_delay =
-            match delay_of with Some f -> Some (f g) | None -> gate_delay
-          in
-          let gate_delay_rf = Option.map (fun f -> f g) delay_rf in
-          per_net.(g) <-
-            gate_output ?gate_delay ?gate_delay_rf ?delay_sigma ?mis ?max_enumerated_fanin kind
-              operands
-        | Circuit.Input | Circuit.Dff_output _ -> assert false)
-      (Circuit.topo_gates circuit);
+    let step =
+      gate_step ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit
+        per_net
+    in
+    if domains = 1 then Array.iter step (Circuit.topo_gates circuit)
+    else
+      Array.iter
+        (fun gates ->
+          let width = Array.length gates in
+          (* narrow levels aren't worth a domain spawn; the cutoff only
+             affects scheduling, never values *)
+          if width < max 16 (2 * domains) then Array.iter step gates
+          else
+            Spsta_util.Parallel.iter_ranges ~domains width (fun lo hi ->
+                for i = lo to hi - 1 do
+                  step gates.(i)
+                done))
+        (Circuit.gates_by_level circuit);
     { circuit; per_net }
 
   let circuit r = r.circuit
@@ -212,17 +237,15 @@ module Make (B : Top.BACKEND) = struct
     let per_net = Array.copy r.per_net in
     (* refresh dirty sources (their statistics may be what changed) *)
     List.iter (fun s -> if dirty.(s) then per_net.(s) <- source_signal (spec s)) (Circuit.sources circuit);
+    let step =
+      gate_step ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit
+        per_net
+    in
     Array.iter
       (fun g ->
         if dirty.(g) then
           match Circuit.driver circuit g with
-          | Circuit.Gate { kind; inputs } ->
-            let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
-            let gate_delay = match delay_of with Some f -> Some (f g) | None -> gate_delay in
-            let gate_delay_rf = Option.map (fun f -> f g) delay_rf in
-            per_net.(g) <-
-              gate_output ?gate_delay ?gate_delay_rf ?delay_sigma ?mis ?max_enumerated_fanin kind
-                operands
+          | Circuit.Gate _ -> step g
           | Circuit.Input | Circuit.Dff_output _ -> ())
       (Circuit.topo_gates circuit);
     { circuit; per_net }

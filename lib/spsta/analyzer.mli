@@ -43,13 +43,21 @@ module Make (B : Top.BACKEND) : sig
     ?delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
     ?mis:Spsta_logic.Mis_model.t ->
     ?max_enumerated_fanin:int ->
+    ?domains:int ->
     Spsta_netlist.Circuit.t ->
     spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
     result
   (** [delay_of] overrides the deterministic delay per gate (e.g. a
       wire-load model); [delay_rf] gives direction-dependent (rise,
       fall) delays (e.g. {!Spsta_netlist.Cell_library.gate_delays}) and
-      takes precedence; [delay_sigma] applies on top of either. *)
+      takes precedence; [delay_sigma] applies on top of either.
+
+      [domains] (default 1: fully sequential) evaluates each logic
+      level's gates concurrently across that many OCaml domains.  Gates
+      within a level never feed each other and each gate step is a pure
+      function of its operands, so the result is bit-identical to the
+      sequential traversal at every domain count.  Raises
+      [Invalid_argument] if [domains < 1]. *)
 
   val circuit : result -> Spsta_netlist.Circuit.t
   val signal : result -> Spsta_netlist.Circuit.id -> signal

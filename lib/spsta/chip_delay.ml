@@ -8,7 +8,7 @@ type t = {
 }
 
 let compute ?(dt = 0.05) ?gate_delay ?delay_of circuit ~spec =
-  let module B = (val Top.discrete_backend ~dt : Top.BACKEND with type top = Discrete.t) in
+  let module B = (val Top.discrete_backend ~dt () : Top.BACKEND with type top = Discrete.t) in
   let module A = Analyzer.Make (B) in
   let result = A.analyze ?gate_delay ?delay_of circuit ~spec in
   let endpoints = Circuit.endpoints circuit in

@@ -18,6 +18,14 @@ module type BACKEND = sig
   val mean : top -> float
   val stddev : top -> float
   val compact : top -> top
+
+  module Acc : sig
+    type t
+
+    val create : unit -> t
+    val add : t -> top -> unit
+    val to_top : t -> top
+  end
 end
 
 module Moment_backend : BACKEND with type top = Mixture.t = struct
@@ -50,14 +58,25 @@ module Moment_backend : BACKEND with type top = Mixture.t = struct
   let mean = Mixture.mean
   let stddev = Mixture.stddev
   let compact top = Mixture.compact ~max_components:16 top
+
+  (* mixtures are persistent component lists; the accumulator is just a
+     fold cell (Mixture.add is already O(|new components|)) *)
+  module Acc = struct
+    type t = Mixture.t ref
+
+    let create () = ref Mixture.empty
+    let add acc top = acc := Mixture.add !acc top
+    let to_top acc = !acc
+  end
 end
 
-let discrete_backend ~dt : (module BACKEND with type top = Discrete.t) =
+let discrete_backend ?(truncate_eps = 1e-9) ?(cache_normals = true) ~dt () :
+    (module BACKEND with type top = Discrete.t) =
   (module struct
     type top = Discrete.t
 
     let empty = Discrete.zero ~dt
-    let of_normal ~weight dist = Discrete.of_normal ~dt ~mass:weight dist
+    let of_normal ~weight dist = Discrete.of_normal ~cache:cache_normals ~dt ~mass:weight dist
     let total = Discrete.total
     let scale = Discrete.scale
     let add = Discrete.add
@@ -65,7 +84,7 @@ let discrete_backend ~dt : (module BACKEND with type top = Discrete.t) =
 
     let convolve_normal top delay =
       if Discrete.total top <= 0.0 then top
-      else Discrete.convolve top (Discrete.of_normal ~dt ~mass:1.0 delay)
+      else Discrete.convolve top (Discrete.of_normal ~cache:cache_normals ~dt ~mass:1.0 delay)
 
     let combine rule tops =
       match tops with
@@ -85,5 +104,18 @@ let discrete_backend ~dt : (module BACKEND with type top = Discrete.t) =
 
     let mean = Discrete.mean
     let stddev = Discrete.stddev
-    let compact top = top
+
+    (* epsilon-truncation is where deep-circuit supports stop growing:
+       each gate output sheds its negligible tails, and the dropped mass
+       stays accounted for in Discrete.dropped_mass *)
+    let compact top =
+      if truncate_eps > 0.0 then Discrete.truncate ~eps:truncate_eps top else top
+
+    module Acc = struct
+      type t = Discrete.Accum.t
+
+      let create () = Discrete.Accum.create ~dt
+      let add = Discrete.Accum.add
+      let to_top = Discrete.Accum.to_dist
+    end
   end)

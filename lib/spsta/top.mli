@@ -43,9 +43,35 @@ module type BACKEND = sig
   val stddev : top -> float
   val compact : top -> top
   (** Bound representation growth (no-op where not needed). *)
+
+  (** In-place accumulation of a WEIGHTED SUM chain, bit-identical to
+      folding {!add} over the same operands in the same order.  The
+      engine keeps one accumulator per output direction while
+      enumerating input combinations, so backends can reuse a buffer
+      across the (up to 4^fanin) terms instead of allocating per
+      term. *)
+  module Acc : sig
+    type t
+
+    val create : unit -> t
+    val add : t -> top -> unit
+    val to_top : t -> top
+  end
 end
 
 module Moment_backend : BACKEND with type top = Spsta_dist.Mixture.t
 
-val discrete_backend : dt:float -> (module BACKEND with type top = Spsta_dist.Discrete.t)
-(** All values produced by one analysis share the grid step [dt]. *)
+val discrete_backend :
+  ?truncate_eps:float ->
+  ?cache_normals:bool ->
+  dt:float ->
+  unit ->
+  (module BACKEND with type top = Spsta_dist.Discrete.t)
+(** All values produced by one analysis share the grid step [dt].
+
+    [truncate_eps] (default [1e-9]) epsilon-truncates each gate output's
+    tails via {!Spsta_dist.Discrete.truncate}, keeping supports from
+    growing with negligible-mass bins on deep circuits; the removed mass
+    is tracked in {!Spsta_dist.Discrete.dropped_mass}.  [0.0] disables
+    truncation.  [cache_normals] (default [true]) memoises repeated
+    normal discretisations (gate-delay kernels, input arrivals). *)

@@ -30,40 +30,55 @@ let base_arrivals kind (inputs : arrival list) =
     let settle = Clark.max_normal_many both in
     (settle, settle)
 
-let run ~delay_rf_of ?(input_arrival = default_input) circuit =
+let run ~delay_rf_of ?(input_arrival = default_input) ?domains circuit =
+  let domains =
+    match domains with Some d -> Spsta_util.Parallel.check_domains d | None -> 1
+  in
   let n = Circuit.num_nets circuit in
   let per_net = Array.make n input_arrival in
-  let step g kind inputs =
-    let input_arrivals = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
-    let base_rise, base_fall = base_arrivals kind input_arrivals in
-    let rise0, fall0 =
-      if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
-    in
-    let d_rise, d_fall = delay_rf_of g in
-    { rise = Normal.sum rise0 d_rise; fall = Normal.sum fall0 d_fall }
+  (* pure function of the gate's operand slots: gates within one level
+     never feed each other, so a level can run concurrently and the
+     parallel schedule is bit-identical to the sequential one *)
+  let step g =
+    match Circuit.driver circuit g with
+    | Circuit.Gate { kind; inputs } ->
+      let input_arrivals = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
+      let base_rise, base_fall = base_arrivals kind input_arrivals in
+      let rise0, fall0 =
+        if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
+      in
+      let d_rise, d_fall = delay_rf_of g in
+      per_net.(g) <- { rise = Normal.sum rise0 d_rise; fall = Normal.sum fall0 d_fall }
+    | Circuit.Input | Circuit.Dff_output _ -> assert false
   in
-  Array.iter
-    (fun g ->
-      match Circuit.driver circuit g with
-      | Circuit.Gate { kind; inputs } -> per_net.(g) <- step g kind inputs
-      | Circuit.Input | Circuit.Dff_output _ -> assert false)
-    (Circuit.topo_gates circuit);
+  if domains = 1 then Array.iter step (Circuit.topo_gates circuit)
+  else
+    Array.iter
+      (fun gates ->
+        let width = Array.length gates in
+        if width < max 16 (2 * domains) then Array.iter step gates
+        else
+          Spsta_util.Parallel.iter_ranges ~domains width (fun lo hi ->
+              for i = lo to hi - 1 do
+                step gates.(i)
+              done))
+      (Circuit.gates_by_level circuit);
   { circuit; per_net }
 
-let analyze ?(gate_delay = 1.0) ?input_arrival circuit =
+let analyze ?(gate_delay = 1.0) ?input_arrival ?domains circuit =
   let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
-  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival circuit
+  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival ?domains circuit
 
-let analyze_variational ~gate_delay ?input_arrival circuit =
-  run ~delay_rf_of:(fun g -> let d = gate_delay g in (d, d)) ?input_arrival circuit
+let analyze_variational ~gate_delay ?input_arrival ?domains circuit =
+  run ~delay_rf_of:(fun g -> let d = gate_delay g in (d, d)) ?input_arrival ?domains circuit
 
-let analyze_rf ~delay_rf ?input_arrival circuit =
+let analyze_rf ~delay_rf ?input_arrival ?domains circuit =
   let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
   run
     ~delay_rf_of:(fun g ->
       let rise, fall = delay_rf g in
       (to_normal rise, to_normal fall))
-    ?input_arrival circuit
+    ?input_arrival ?domains circuit
 
 let arrival r id = r.per_net.(id)
 

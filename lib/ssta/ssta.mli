@@ -16,15 +16,22 @@ type result
 val analyze :
   ?gate_delay:float ->
   ?input_arrival:arrival ->
+  ?domains:int ->
   Spsta_netlist.Circuit.t ->
   result
 (** [input_arrival] defaults to standard normal for both directions (the
     paper's source statistics). [gate_delay] is deterministic and
-    defaults to 1.0. *)
+    defaults to 1.0.
+
+    [domains] (default 1) evaluates each logic level's gates across that
+    many OCaml domains; results are bit-identical to the sequential
+    traversal at every domain count.  Raises [Invalid_argument] if
+    [domains < 1]. *)
 
 val analyze_variational :
   gate_delay:(Spsta_netlist.Circuit.id -> Spsta_dist.Normal.t) ->
   ?input_arrival:arrival ->
+  ?domains:int ->
   Spsta_netlist.Circuit.t ->
   result
 (** Same propagation with an independent normal delay per gate — used by
@@ -33,6 +40,7 @@ val analyze_variational :
 val analyze_rf :
   delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
   ?input_arrival:arrival ->
+  ?domains:int ->
   Spsta_netlist.Circuit.t ->
   result
 (** Deterministic but direction-dependent (rise, fall) delays per gate —

@@ -3,23 +3,36 @@ type t = {
   hi : float;
   width : float;
   counts : int array;
-  mutable total : int;
+  mutable total : int; (* in-range samples only *)
+  mutable underflow : int;
+  mutable overflow : int;
 }
 
 let create ~lo ~hi ~bins =
   if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
   if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
-  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0 }
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; total = 0;
+    underflow = 0; overflow = 0 }
 
 let add t x =
   let bins = Array.length t.counts in
   let raw = int_of_float (Float.floor ((x -. t.lo) /. t.width)) in
-  let i = if raw < 0 then 0 else if raw >= bins then bins - 1 else raw in
-  t.counts.(i) <- t.counts.(i) + 1;
-  t.total <- t.total + 1
+  (* out-of-range samples used to be clamped into the end bins, which
+     silently distorted the tail bins (and every density derived from
+     them); count them separately instead *)
+  if raw < 0 then t.underflow <- t.underflow + 1
+  else if raw >= bins then t.overflow <- t.overflow + 1
+  else begin
+    t.counts.(raw) <- t.counts.(raw) + 1;
+    t.total <- t.total + 1
+  end
 
 let count t = t.total
+let underflow t = t.underflow
+let overflow t = t.overflow
+let seen t = t.total + t.underflow + t.overflow
 let bin_count t = Array.length t.counts
+let bin_samples t i = t.counts.(i)
 let bin_center t i = t.lo +. ((float_of_int i +. 0.5) *. t.width)
 
 let density t i =

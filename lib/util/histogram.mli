@@ -8,16 +8,31 @@ val create : lo:float -> hi:float -> bins:int -> t
     Raises [Invalid_argument] if [bins <= 0] or [hi <= lo]. *)
 
 val add : t -> float -> unit
-(** Samples outside [lo, hi) are clamped into the end bins. *)
+(** Samples outside [lo, hi) are counted in {!underflow}/{!overflow}
+    rather than binned — they never distort the end bins. *)
 
 val count : t -> int
-(** Total samples added. *)
+(** Samples that landed inside [lo, hi). *)
+
+val underflow : t -> int
+(** Samples below [lo]. *)
+
+val overflow : t -> int
+(** Samples at or above [hi]. *)
+
+val seen : t -> int
+(** Every sample ever passed to {!add}:
+    [count + underflow + overflow]. *)
 
 val bin_count : t -> int
+val bin_samples : t -> int -> int
+(** Raw sample count of bin [i]. *)
+
 val bin_center : t -> int -> float
 val density : t -> int -> float
-(** Normalised height of bin [i] so the histogram integrates to 1;
-    0 when the histogram is empty. *)
+(** Height of bin [i] normalised over the in-range samples, so the
+    histogram integrates to 1 over [lo, hi) regardless of how many
+    samples fell outside; 0 when no sample is in range. *)
 
 val densities : t -> (float * float) array
 (** All (center, density) pairs, in bin order. *)

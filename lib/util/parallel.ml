@@ -1,0 +1,50 @@
+(* Fork/join helpers over OCaml 5 domains.
+
+   The unit of work here is a contiguous index range: the caller supplies
+   [f lo hi] that processes indices [lo, hi).  Ranges are deterministic
+   functions of (n, domains), so any computation whose per-index work is
+   independent of evaluation order produces identical results at every
+   domain count — the property the levelized analyzers rely on. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let check_domains = function
+  | d when d >= 1 -> d
+  | _ -> invalid_arg "Parallel: domains must be positive"
+
+let ranges ~chunks n =
+  let chunks = min chunks n in
+  let base = n / chunks and extra = n mod chunks in
+  Array.init chunks (fun i ->
+      let lo = (i * base) + min i extra in
+      let hi = lo + base + if i < extra then 1 else 0 in
+      (lo, hi))
+
+let iter_ranges ~domains n f =
+  let domains = check_domains domains in
+  if n > 0 then begin
+    if domains = 1 || n = 1 then f 0 n
+    else begin
+      let bounds = ranges ~chunks:domains n in
+      let spawned =
+        Array.init
+          (Array.length bounds - 1)
+          (fun i ->
+            let lo, hi = bounds.(i + 1) in
+            Domain.spawn (fun () -> f lo hi))
+      in
+      (* run the first chunk on the calling domain; join everything even
+         if it raises, so no worker outlives the call *)
+      let own = try Ok (f (fst bounds.(0)) (snd bounds.(0))) with e -> Error e in
+      let joined =
+        Array.fold_left
+          (fun acc h -> match (acc, try Ok (Domain.join h) with e -> Error e) with
+            | Error _, _ -> acc
+            | Ok (), r -> r)
+          (Ok ()) spawned
+      in
+      match (own, joined) with
+      | Error e, _ | Ok (), Error e -> raise e
+      | Ok (), Ok () -> ()
+    end
+  end

@@ -1,0 +1,25 @@
+(** Deterministic fork/join over OCaml 5 domains.
+
+    Work is partitioned into contiguous index ranges that depend only on
+    the problem size and the domain count, so computations whose
+    per-index work is order-independent give bit-identical results at
+    every domain count. *)
+
+val default_domains : unit -> int
+(** [recommended_domain_count () - 1], at least 1: leave one core for
+    the caller's own thread of control. *)
+
+val check_domains : int -> int
+(** Identity on positive domain counts; raises [Invalid_argument]
+    otherwise.  For validating user-supplied [?domains] knobs. *)
+
+val ranges : chunks:int -> int -> (int * int) array
+(** [ranges ~chunks n] splits [0, n) into [min chunks n] contiguous
+    near-equal [(lo, hi)] ranges covering every index exactly once. *)
+
+val iter_ranges : domains:int -> int -> (int -> int -> unit) -> unit
+(** [iter_ranges ~domains n f] runs [f lo hi] over the {!ranges}
+    partition of [0, n), each range on its own domain ([domains = 1]
+    runs [f 0 n] in the calling domain — no spawns).  Joins every
+    spawned domain before returning, re-raising the first exception
+    encountered.  Raises [Invalid_argument] if [domains < 1]. *)

@@ -119,7 +119,7 @@ let test_tree_vs_monte_carlo () =
 
 let test_backend_agreement () =
   (* moment and discretised backends agree on s27 endpoint moments *)
-  let module B = (val Spsta_core.Top.discrete_backend ~dt:0.02) in
+  let module B = (val Spsta_core.Top.discrete_backend ~dt:0.02 ()) in
   let module D = Analyzer.Make (B) in
   let c = Spsta_experiments.Benchmarks.s27 () in
   let spec _ = Input_spec.case_i in
@@ -162,6 +162,58 @@ let test_mass_equals_probability () =
         ~tol:1e-6)
     (Circuit.topo_gates c)
 
+(* the ?domains levelized schedule must be bit-identical to the
+   sequential traversal — every probability, mean, sigma, and (for the
+   grid backend) every bin — on real circuits, for both backends *)
+let test_parallel_bit_identical () =
+  let spec _ = Input_spec.case_ii in
+  List.iter
+    (fun name ->
+      let c = Spsta_experiments.Benchmarks.load name in
+      let seq = A.analyze c ~spec in
+      List.iter
+        (fun domains ->
+          let par = A.analyze ~domains c ~spec in
+          for g = 0 to Circuit.num_nets c - 1 do
+            let a = A.signal seq g and b = A.signal par g in
+            List.iter
+              (fun dir ->
+                let ma, sa, pa = A.transition_stats a dir in
+                let mb, sb, pb = A.transition_stats b dir in
+                close "probability identical" pa pb ~tol:0.0;
+                close "mean identical" ma mb ~tol:0.0;
+                close "sigma identical" sa sb ~tol:0.0)
+              [ `Rise; `Fall ]
+          done)
+        [ 2; 3 ])
+    [ "s27"; "s386" ]
+
+let test_parallel_bit_identical_grid () =
+  let module B = (val Spsta_core.Top.discrete_backend ~dt:0.05 ()) in
+  let module D = Analyzer.Make (B) in
+  let spec _ = Input_spec.case_i in
+  List.iter
+    (fun name ->
+      let c = Spsta_experiments.Benchmarks.load name in
+      let seq = D.analyze c ~spec in
+      let par = D.analyze ~domains:3 c ~spec in
+      for g = 0 to Circuit.num_nets c - 1 do
+        let a = D.signal seq g and b = D.signal par g in
+        Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+          "rise grid bit-identical" (Spsta_dist.Discrete.series a.D.rise)
+          (Spsta_dist.Discrete.series b.D.rise);
+        Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+          "fall grid bit-identical" (Spsta_dist.Discrete.series a.D.fall)
+          (Spsta_dist.Discrete.series b.D.fall)
+      done)
+    [ "s27"; "s386" ]
+
+let test_domains_validation () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_i in
+  Alcotest.check_raises "zero domains" (Invalid_argument "Parallel: domains must be positive")
+    (fun () -> ignore (A.analyze ~domains:0 c ~spec))
+
 let test_empty_inputs_rejected () =
   Alcotest.check_raises "no inputs" (Invalid_argument "Analyzer.gate_output: no inputs")
     (fun () -> ignore (A.gate_output Gate_kind.And []))
@@ -180,5 +232,8 @@ let suite =
     Alcotest.test_case "moment vs grid backends" `Quick test_backend_agreement;
     Alcotest.test_case "critical endpoint dominance" `Quick test_critical_endpoint_dominates;
     Alcotest.test_case "top mass = transition probability" `Quick test_mass_equals_probability;
+    Alcotest.test_case "parallel bit-identical (moments)" `Quick test_parallel_bit_identical;
+    Alcotest.test_case "parallel bit-identical (grid)" `Quick test_parallel_bit_identical_grid;
+    Alcotest.test_case "domains validation" `Quick test_domains_validation;
     Alcotest.test_case "empty inputs rejected" `Quick test_empty_inputs_rejected;
   ]

@@ -50,6 +50,45 @@ let test_topo_order () =
       | Circuit.Input | Circuit.Dff_output _ -> Alcotest.fail "topo_gates must be gates")
     (Circuit.topo_gates c)
 
+let test_gates_by_level () =
+  let check_circuit c =
+    let groups = Circuit.gates_by_level c in
+    (* every gate exactly once *)
+    let flat = Array.concat (Array.to_list groups) in
+    Alcotest.(check int) "covers every gate" (Array.length (Circuit.topo_gates c))
+      (Array.length flat);
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun g ->
+        Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen g);
+        Hashtbl.replace seen g ())
+      flat;
+    (* uniform level within a group, strictly ascending across groups,
+       and no gate's input is driven in its own or a later group *)
+    let last_level = ref (-1) in
+    Array.iter
+      (fun gates ->
+        Alcotest.(check bool) "no empty groups" true (Array.length gates > 0);
+        let lvl = Circuit.level c gates.(0) in
+        Alcotest.(check bool) "levels ascend" true (lvl > !last_level);
+        last_level := lvl;
+        Array.iter
+          (fun g ->
+            Alcotest.(check int) "uniform level in group" lvl (Circuit.level c g);
+            match Circuit.driver c g with
+            | Circuit.Gate { inputs; _ } ->
+              Array.iter
+                (fun i ->
+                  Alcotest.(check bool) "operands from earlier levels" true
+                    (Circuit.level c i < lvl))
+                inputs
+            | Circuit.Input | Circuit.Dff_output _ -> Alcotest.fail "groups hold gates only")
+          gates)
+      groups
+  in
+  check_circuit (build_small ());
+  check_circuit (Spsta_experiments.Benchmarks.load "s386")
+
 let test_fanout () =
   let c = build_small () in
   let n2 = Circuit.find_exn c "n2" in
@@ -132,6 +171,7 @@ let suite =
     Alcotest.test_case "basic structure" `Quick test_basic_structure;
     Alcotest.test_case "levels and depth" `Quick test_levels_and_depth;
     Alcotest.test_case "topological order" `Quick test_topo_order;
+    Alcotest.test_case "gates by level" `Quick test_gates_by_level;
     Alcotest.test_case "fanout" `Quick test_fanout;
     Alcotest.test_case "endpoint dedup" `Quick test_endpoints_dedup;
     Alcotest.test_case "find" `Quick test_find;

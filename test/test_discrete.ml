@@ -105,6 +105,69 @@ let test_cdf_quantile () =
   close "quantile 0.5" 1.0 (Discrete.quantile d 0.5) ~tol:1e-9;
   close "quantile 1.0" 2.0 (Discrete.quantile d 1.0) ~tol:1e-9
 
+(* regression: the cdf used an absolute 1e-12 time tolerance for "at or
+   before", which broke for grid times large relative to dt — a bin at
+   t = 4096.0 with dt = 1/1024 sits within one ulp of its neighbours'
+   threshold.  The comparison is now made in bin space, relative to dt. *)
+let test_cdf_far_from_origin () =
+  let dt = 1.0 /. 1024.0 in
+  let t0 = 4096.0 in
+  let d = Discrete.of_points ~dt [ (t0, 0.5); (t0 +. dt, 0.5) ] in
+  close "cdf exactly at first bin" 0.5 (Discrete.cdf d t0) ~tol:1e-12;
+  close "cdf just below first bin" 0.0 (Discrete.cdf d (t0 -. dt)) ~tol:1e-12;
+  close "cdf at second bin" 1.0 (Discrete.cdf d (t0 +. dt)) ~tol:1e-12
+
+let test_quantile_full_mass () =
+  (* p = 1.0 must reach the last support bin even when the prefix sums
+     round below the total; sub-unit-mass distributions normalise *)
+  let d = Discrete.of_points ~dt [ (0.0, 0.1); (1.0, 0.1); (2.0, 0.1) ] in
+  close "quantile 1.0 on sub-unit mass" 2.0 (Discrete.quantile d 1.0) ~tol:1e-9;
+  let fine = Discrete.of_normal ~dt:0.005 ~mass:1.0 Normal.standard in
+  let q1 = Discrete.quantile fine 1.0 in
+  close "quantile 1.0 is reached by the cdf" (Discrete.total fine) (Discrete.cdf fine q1)
+    ~tol:1e-9;
+  Alcotest.check_raises "p above 1" (Invalid_argument "Discrete.quantile: p outside (0,1]")
+    (fun () -> ignore (Discrete.quantile d 1.5))
+
+let test_truncate () =
+  let d = Discrete.of_normal ~dt ~mass:1.0 Normal.standard in
+  let t = Discrete.truncate ~eps:1e-4 d in
+  Alcotest.(check bool) "support shrinks" true
+    (List.length (Discrete.series t) < List.length (Discrete.series d));
+  let removed = Discrete.total d -. Discrete.total t in
+  Alcotest.(check bool) "per-side bound" true (removed <= 2e-4);
+  close "dropped mass tracks removal" removed (Discrete.dropped_mass t) ~tol:1e-15;
+  close "moments survive truncation" (Discrete.mean d) (Discrete.mean t) ~tol:1e-3;
+  (* dropped mass rides through downstream arithmetic *)
+  let s = Discrete.add (Discrete.shift t 1.0) (Discrete.scale t 0.5) in
+  Alcotest.(check bool) "dropped mass propagates" true
+    (Discrete.dropped_mass s >= Discrete.dropped_mass t);
+  close "eps 0 is the identity" 0.0 (Discrete.dropped_mass (Discrete.truncate ~eps:0.0 d))
+    ~tol:0.0
+
+let test_of_normal_cache_identical () =
+  let n = Normal.make ~mu:1.73 ~sigma:0.41 in
+  let cached = Discrete.of_normal ~cache:true ~dt ~mass:0.6 n in
+  let direct = Discrete.of_normal ~cache:false ~dt ~mass:0.6 n in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "cached discretisation bit-identical" (Discrete.series direct) (Discrete.series cached)
+
+let test_accum_matches_add_fold () =
+  let parts =
+    [ Discrete.of_normal ~dt ~mass:0.3 (Normal.make ~mu:0.0 ~sigma:0.5);
+      Discrete.of_points ~dt [ (2.0, 0.2) ];
+      Discrete.of_normal ~dt ~mass:0.1 (Normal.make ~mu:(-3.0) ~sigma:0.2);
+      Discrete.zero ~dt;
+      Discrete.of_normal ~dt ~mass:0.4 (Normal.make ~mu:5.0 ~sigma:1.0) ]
+  in
+  let folded = List.fold_left Discrete.add (Discrete.zero ~dt) parts in
+  let acc = Discrete.Accum.create ~dt in
+  List.iter (Discrete.Accum.add acc) parts;
+  close "accum running total" (Discrete.total folded) (Discrete.Accum.total acc) ~tol:0.0;
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "accumulator bit-identical to add fold" (Discrete.series folded)
+    (Discrete.series (Discrete.Accum.to_dist acc))
+
 let test_scale_invalid () =
   let d = Discrete.of_points ~dt [ (0.0, 1.0) ] in
   Alcotest.check_raises "negative scale" (Invalid_argument "Discrete.scale: negative factor")
@@ -143,6 +206,11 @@ let suite =
     Alcotest.test_case "max of identical points" `Quick test_max_idempotent_point;
     Alcotest.test_case "max/min ordering" `Quick test_max_ordering;
     Alcotest.test_case "cdf and quantile" `Quick test_cdf_quantile;
+    Alcotest.test_case "cdf far from origin" `Quick test_cdf_far_from_origin;
+    Alcotest.test_case "quantile at full mass" `Quick test_quantile_full_mass;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "of_normal cache" `Quick test_of_normal_cache_identical;
+    Alcotest.test_case "accum matches add fold" `Quick test_accum_matches_add_fold;
     Alcotest.test_case "scale validation" `Quick test_scale_invalid;
     QCheck_alcotest.to_alcotest max_mass_preserved;
     QCheck_alcotest.to_alcotest max_dominates_means;

@@ -18,13 +18,27 @@ let test_counts_and_density () =
   done;
   Alcotest.(check (float 1e-9)) "unit integral" 1.0 !integral
 
-let test_clamping () =
+(* regression: out-of-range samples used to be clamped into the end
+   bins, silently distorting the tails; they are now counted apart *)
+let test_out_of_range () =
   let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
   Histogram.add h (-5.0);
   Histogram.add h 42.0;
-  Alcotest.(check int) "both clamped samples counted" 2 (Histogram.count h);
-  Alcotest.(check bool) "first bin got the low sample" true (Histogram.density h 0 > 0.0);
-  Alcotest.(check bool) "last bin got the high sample" true (Histogram.density h 1 > 0.0)
+  Histogram.add h 0.25;
+  Alcotest.(check int) "only the in-range sample counted" 1 (Histogram.count h);
+  Alcotest.(check int) "low sample in underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "high sample in overflow" 1 (Histogram.overflow h);
+  Alcotest.(check int) "seen = in-range + out-of-range" 3 (Histogram.seen h);
+  Alcotest.(check int) "end bins untouched by out-of-range" 0 (Histogram.bin_samples h 1);
+  (* density excludes out-of-range mass: in-range bins integrate to 1 *)
+  let integral = ref 0.0 in
+  for i = 0 to Histogram.bin_count h - 1 do
+    integral := !integral +. (Histogram.density h i *. 0.5)
+  done;
+  Alcotest.(check (float 1e-9)) "unit integral over in-range mass" 1.0 !integral;
+  (* hi itself belongs to the overflow side of the half-open range *)
+  Histogram.add h 1.0;
+  Alcotest.(check int) "hi counts as overflow" 2 (Histogram.overflow h)
 
 let test_of_samples () =
   let samples = Array.init 1000 (fun i -> float_of_int i /. 100.0) in
@@ -64,7 +78,7 @@ let suite =
   [
     Alcotest.test_case "create validation" `Quick test_create_invalid;
     Alcotest.test_case "counts and density" `Quick test_counts_and_density;
-    Alcotest.test_case "out-of-range clamping" `Quick test_clamping;
+    Alcotest.test_case "out-of-range accounting" `Quick test_out_of_range;
     Alcotest.test_case "of_samples" `Quick test_of_samples;
     Alcotest.test_case "of_samples constant data" `Quick test_of_samples_constant;
     Alcotest.test_case "render" `Quick test_render;

@@ -94,7 +94,7 @@ let backends_agree =
     QCheck.(int_range 0 100_000)
     (fun seed ->
       let c = random_circuit seed in
-      let module B = (val Spsta_core.Top.discrete_backend ~dt:0.05) in
+      let module B = (val Spsta_core.Top.discrete_backend ~dt:0.05 ()) in
       let module D = Spsta_core.Analyzer.Make (B) in
       let spec _ = Input_spec.case_i in
       let rm = A.analyze c ~spec and rd = D.analyze c ~spec in

@@ -127,8 +127,29 @@ let test_parallel_deterministic () =
   let a = Monte_carlo.simulate_parallel ~runs:2000 ~domains:3 ~seed:9 c ~spec in
   let b = Monte_carlo.simulate_parallel ~runs:2000 ~domains:3 ~seed:9 c ~spec in
   let y = Circuit.find_exn c "y" in
-  Alcotest.(check int) "same counts" (Monte_carlo.stats a y).Monte_carlo.count_rise
-    (Monte_carlo.stats b y).Monte_carlo.count_rise
+  let sa = Monte_carlo.stats a y and sb = Monte_carlo.stats b y in
+  (* fixed (seed, domains) must reproduce the exact stream: counts and
+     accumulated moments bit-identical, not merely statistically close *)
+  Alcotest.(check int) "same rise counts" sa.Monte_carlo.count_rise sb.Monte_carlo.count_rise;
+  Alcotest.(check int) "same fall counts" sa.Monte_carlo.count_fall sb.Monte_carlo.count_fall;
+  Alcotest.(check (float 0.0)) "same rise mean" (Stats.acc_mean sa.Monte_carlo.rise_times)
+    (Stats.acc_mean sb.Monte_carlo.rise_times);
+  Alcotest.(check (float 0.0)) "same fall mean" (Stats.acc_mean sa.Monte_carlo.fall_times)
+    (Stats.acc_mean sb.Monte_carlo.fall_times)
+
+(* one shard means one generator seeded from the master stream: the
+   parallel path with [domains:1] must agree with an explicit [merge] of
+   itself split into nothing — i.e. the shard decomposition is exact *)
+let test_parallel_shards_cover_runs () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_i in
+  let p = Monte_carlo.simulate_parallel ~runs:1999 ~domains:4 ~seed:3 c ~spec in
+  Alcotest.(check int) "odd run count fully covered" 1999 p.Monte_carlo.runs;
+  let y = Circuit.find_exn c "y" in
+  let s = Monte_carlo.stats p y in
+  Alcotest.(check bool) "no shard lost transitions" true
+    (s.Monte_carlo.count_rise + s.Monte_carlo.count_fall <= 1999
+    && s.Monte_carlo.count_rise > 0)
 
 let suite =
   suite
@@ -136,4 +157,5 @@ let suite =
       Alcotest.test_case "merge" `Quick test_merge;
       Alcotest.test_case "parallel statistics" `Slow test_parallel_matches_sequential_statistics;
       Alcotest.test_case "parallel determinism" `Quick test_parallel_deterministic;
+      Alcotest.test_case "parallel shard coverage" `Quick test_parallel_shards_cover_runs;
     ]

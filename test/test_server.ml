@@ -108,6 +108,85 @@ let test_pool_drain () =
     (fun t -> match Pool.await t with Pool.Done () -> () | _ -> Alcotest.fail "lost job")
     tickets
 
+(* regression: on_complete exceptions were all silently swallowed.
+   Non-fatal ones are now counted; the waiter still gets its outcome. *)
+let test_pool_callback_errors () =
+  let pool = Pool.create ~workers:2 ~queue_capacity:8 () in
+  let tickets =
+    List.init 6 (fun i ->
+        Pool.submit ~on_complete:(fun _ -> if i mod 2 = 0 then failwith "callback boom") pool
+          (fun () -> i))
+  in
+  List.iteri
+    (fun i t ->
+      match Pool.await t with
+      | Pool.Done v -> Alcotest.(check int) "result delivered despite callback" i v
+      | _ -> Alcotest.fail "job did not complete")
+    tickets;
+  Pool.shutdown pool;
+  Alcotest.(check int) "raising callbacks counted" 3 (Pool.callback_errors pool)
+
+(* regression: executed/timed_out were plain mutable ints read without
+   synchronisation from other domains.  Hammer the counters from reader
+   domains while the pool is under load; with Atomic counters the final
+   tallies are exact and every interim read is a valid monotone value. *)
+let test_pool_stats_hammer () =
+  let pool = Pool.create ~workers:4 ~queue_capacity:16 () in
+  let stop = Atomic.make false in
+  let monotone = Atomic.make true in
+  let readers =
+    Array.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let last = ref 0 in
+            while not (Atomic.get stop) do
+              let e = Pool.executed pool in
+              if e < !last then Atomic.set monotone false;
+              last := e;
+              ignore (Pool.timed_out pool);
+              ignore (Pool.callback_errors pool)
+            done))
+  in
+  let tickets = List.init 200 (fun i -> Pool.submit pool (fun () -> i)) in
+  List.iter (fun t -> ignore (Pool.await t)) tickets;
+  Pool.shutdown pool;
+  Atomic.set stop true;
+  Array.iter Domain.join readers;
+  Alcotest.(check bool) "executed counter monotone under races" true (Atomic.get monotone);
+  Alcotest.(check int) "no increment lost" 200 (Pool.executed pool)
+
+(* same race on the LRU hit/miss/eviction counters: read them from a
+   second domain while the table is being exercised *)
+let test_lru_stats_hammer () =
+  let lru = Cache.Lru.create ~capacity:8 in
+  let stop = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          ignore (Cache.Lru.hits lru);
+          ignore (Cache.Lru.misses lru);
+          ignore (Cache.Lru.evictions lru)
+        done)
+  in
+  let writers =
+    Array.init 2 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to 499 do
+              (* working set fits the capacity, so after the first round
+                 every find hits — misses and hits are both exercised
+                 whatever the domain interleaving *)
+              let key = Printf.sprintf "k%d" (i mod 4) in
+              ( match Cache.Lru.find lru key with
+              | Some _ -> ()
+              | None -> Cache.Lru.add lru key (w + i) )
+            done))
+  in
+  Array.iter Domain.join writers;
+  Atomic.set stop true;
+  Domain.join reader;
+  let hits = Cache.Lru.hits lru and misses = Cache.Lru.misses lru in
+  Alcotest.(check int) "every find tallied exactly once" 1000 (hits + misses);
+  Alcotest.(check bool) "both outcomes exercised" true (hits > 0 && misses > 0)
+
 (* ---------- end-to-end batches ---------- *)
 
 let config ~workers =
@@ -230,6 +309,9 @@ let suite =
     Alcotest.test_case "pool exception" `Quick test_pool_exception;
     Alcotest.test_case "pool deadline" `Quick test_pool_deadline;
     Alcotest.test_case "pool drain" `Quick test_pool_drain;
+    Alcotest.test_case "pool callback errors" `Quick test_pool_callback_errors;
+    Alcotest.test_case "pool stats hammer" `Quick test_pool_stats_hammer;
+    Alcotest.test_case "lru stats hammer" `Quick test_lru_stats_hammer;
     Alcotest.test_case "batch memo hits" `Quick test_batch_memo_hits;
     Alcotest.test_case "batch deterministic across pool sizes" `Quick
       test_batch_deterministic_across_pool_sizes;

@@ -139,6 +139,30 @@ let test_xor_uses_both_polarities () =
   (* the late falling inputs dominate the XOR settle time *)
   Alcotest.(check bool) "XOR rise sees the late fall" true (Normal.mean a.Ssta.rise > 5.5)
 
+let test_parallel_bit_identical () =
+  (* the levelized ?domains schedule must reproduce the sequential
+     arrivals exactly, at every net and domain count *)
+  List.iter
+    (fun name ->
+      let c = Spsta_experiments.Benchmarks.load name in
+      let seq = Ssta.analyze c in
+      List.iter
+        (fun domains ->
+          let par = Ssta.analyze ~domains c in
+          for g = 0 to Circuit.num_nets c - 1 do
+            let a = Ssta.arrival seq g and b = Ssta.arrival par g in
+            close "rise mean identical" (Normal.mean a.Ssta.rise) (Normal.mean b.Ssta.rise)
+              ~tol:0.0;
+            close "rise sigma identical" (Normal.stddev a.Ssta.rise) (Normal.stddev b.Ssta.rise)
+              ~tol:0.0;
+            close "fall mean identical" (Normal.mean a.Ssta.fall) (Normal.mean b.Ssta.fall)
+              ~tol:0.0;
+            close "fall sigma identical" (Normal.stddev a.Ssta.fall) (Normal.stddev b.Ssta.fall)
+              ~tol:0.0
+          done)
+        [ 2; 4 ])
+    [ "s27"; "s386" ]
+
 let suite =
   [
     Alcotest.test_case "STA buffer chain" `Quick test_sta_chain;
@@ -151,4 +175,5 @@ let suite =
     Alcotest.test_case "SSTA variational delays" `Quick test_ssta_variational;
     Alcotest.test_case "SSTA critical endpoint" `Quick test_critical_endpoint;
     Alcotest.test_case "SSTA XOR polarities" `Quick test_xor_uses_both_polarities;
+    Alcotest.test_case "SSTA parallel bit-identical" `Quick test_parallel_bit_identical;
   ]
