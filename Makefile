@@ -10,6 +10,10 @@ build:
 test:
 	dune runtest
 
+# API reference from the .mli doc comments (requires odoc)
+doc:
+	dune build @doc
+
 # full reproduction run: every paper table/figure at the 10K MC budget
 bench:
 	dune exec bench/main.exe | tee bench_output.txt

@@ -78,9 +78,10 @@ let top_arg =
 
 let domains_arg =
   let doc =
-    "Worker domains for the propagation (0 = one per available core).  SPSTA and SSTA \
-     results are bit-identical at every domain count; Monte Carlo switches to the \
-     deterministic sharded generator, whose stream depends on the domain count."
+    "Worker domains for the propagation (0 = one per available core).  Every analysis on \
+     the levelized engine (SPSTA, SSTA, STA, bounds, canonical, interval) is bit-identical \
+     at every domain count; Monte Carlo switches to the deterministic sharded generator, \
+     whose stream depends on the domain count."
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
@@ -335,14 +336,17 @@ let chip_delay_cmd =
   Cmd.v info Term.(const run $ circuit_arg $ case_arg $ top_arg)
 
 let variation_cmd =
-  let run name sigma_global sigma_spatial sigma_random grid =
+  let run name sigma_global sigma_spatial sigma_random grid domains =
     let circuit = load_circuit name in
     print_header circuit;
     let model =
       Spsta_variation.Param_model.create ~sigma_global ~sigma_spatial ~sigma_random ~grid ()
     in
     let placement = Spsta_variation.Param_model.place model circuit in
-    let r = Spsta_variation.Canonical_ssta.analyze model placement circuit in
+    let r =
+      Spsta_variation.Canonical_ssta.analyze ~domains:(resolve_domains domains) model placement
+        circuit
+    in
     let chip = Spsta_variation.Canonical_ssta.chip_delay r in
     Printf.printf "canonical-form SSTA chip delay: mean %.3f, sigma %.3f\n"
       chip.Spsta_variation.Canonical.mean
@@ -379,7 +383,7 @@ let variation_cmd =
       $ sigma "sigma-global" 0.1 "Die-to-die delay sigma."
       $ sigma "sigma-spatial" 0.1 "Within-die spatially correlated sigma."
       $ sigma "sigma-random" 0.1 "Per-gate independent sigma."
-      $ grid_arg)
+      $ grid_arg $ domains_arg)
 
 let report_cmd =
   let run name clock =

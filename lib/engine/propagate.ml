@@ -1,0 +1,94 @@
+module Circuit = Spsta_netlist.Circuit
+module Parallel = Spsta_util.Parallel
+
+type 'state result = { circuit : Circuit.t; per_net : 'state array }
+
+type level_stat = { level : int; gates : int; elapsed_s : float }
+
+module type DOMAIN = sig
+  type state
+
+  val source : Circuit.id -> state
+  val eval : Circuit.t -> Circuit.id -> Circuit.driver -> state array -> state
+end
+
+module Make (D : DOMAIN) = struct
+  (* One gate of the propagation, reading operands from [per_net] and
+     writing its own slot.  Gates within one level never read each
+     other, so a whole level can run this step concurrently; [D.eval]
+     is pure, which makes the parallel schedule bit-identical to the
+     sequential one. *)
+  let step circuit per_net g =
+    match Circuit.driver circuit g with
+    | Circuit.Gate { inputs; _ } as driver ->
+      per_net.(g) <- D.eval circuit g driver (Array.map (fun i -> per_net.(i)) inputs)
+    | Circuit.Input | Circuit.Dff_output _ -> assert false
+
+  let sweep_levels ~domains ~instrument circuit per_net =
+    Array.iter
+      (fun gates ->
+        let width = Array.length gates in
+        let start =
+          match instrument with None -> 0.0 | Some _ -> Unix.gettimeofday ()
+        in
+        (* narrow levels aren't worth a domain spawn; the cutoff only
+           affects scheduling, never values *)
+        if domains = 1 || width < max 16 (2 * domains) then
+          Array.iter (step circuit per_net) gates
+        else
+          Parallel.iter_ranges ~domains width (fun lo hi ->
+              for i = lo to hi - 1 do
+                step circuit per_net gates.(i)
+              done);
+        match instrument with
+        | None -> ()
+        | Some f ->
+          f
+            { level = Circuit.level circuit gates.(0);
+              gates = width;
+              elapsed_s = Unix.gettimeofday () -. start })
+      (Circuit.gates_by_level circuit)
+
+  let run ?domains ?instrument circuit =
+    let domains =
+      match domains with Some d -> Parallel.check_domains d | None -> 1
+    in
+    let n = Circuit.num_nets circuit in
+    match Circuit.sources circuit with
+    | [] ->
+      (* acyclicity forces every non-empty circuit to have a minimal
+         net, and minimal nets are sources *)
+      if n > 0 then invalid_arg "Propagate.run: circuit has nets but no sources";
+      { circuit; per_net = [||] }
+    | s0 :: _ as sources ->
+      (* the fill value is arbitrary: every net is either a source
+         (seeded below) or a gate (written before it is ever read) *)
+      let per_net = Array.make n (D.source s0) in
+      List.iter (fun s -> per_net.(s) <- D.source s) sources;
+      if domains = 1 && Option.is_none instrument then
+        Array.iter (step circuit per_net) (Circuit.topo_gates circuit)
+      else sweep_levels ~domains ~instrument circuit per_net;
+      { circuit; per_net }
+
+  let update r ~changed =
+    let circuit = r.circuit in
+    let n = Circuit.num_nets circuit in
+    (* mark the union of fanout cones of the changed nets *)
+    let dirty = Array.make n false in
+    let rec mark id =
+      if not dirty.(id) then begin
+        dirty.(id) <- true;
+        Array.iter mark (Circuit.fanout circuit id)
+      end
+    in
+    List.iter mark changed;
+    let per_net = Array.copy r.per_net in
+    (* refresh dirty sources (their seed may be what changed) *)
+    List.iter
+      (fun s -> if dirty.(s) then per_net.(s) <- D.source s)
+      (Circuit.sources circuit);
+    Array.iter
+      (fun g -> if dirty.(g) then step circuit per_net g)
+      (Circuit.topo_gates circuit);
+    { circuit; per_net }
+end

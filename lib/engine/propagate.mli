@@ -1,0 +1,88 @@
+(** The one levelized propagation engine behind every analyzer.
+
+    Each timing analysis in the reproduction — SPSTA moment/grid
+    propagation, min/max SSTA, corner STA, bounds-SSTA, canonical-form
+    SSTA and interval/affine STA — is the same traversal: seed the
+    sources, then fold each gate's operand states into its output state
+    in topological order.  This module implements that traversal exactly
+    once, functorized over the *propagation domain* (the per-net state
+    and the per-gate transfer function), and gives every instantiation
+
+    - the sequential topological sweep,
+    - the levelized domain-parallel sweep ({!Spsta_netlist.Circuit.gates_by_level}
+      + {!Spsta_util.Parallel.iter_ranges}), bit-identical to the
+      sequential one at every domain count,
+    - dirty-cone incremental {!Make.update} via fanout marking, and
+    - per-level timing / gate-count instrumentation hooks. *)
+
+type 'state result = {
+  circuit : Spsta_netlist.Circuit.t;
+  per_net : 'state array;  (** indexed by net id; every net holds its final state *)
+}
+(** Defined outside {!Make} so that results produced by different
+    applications of the functor at the same state type are
+    interchangeable (analyzers rebuild their domain per call, closing
+    over per-call parameters, and feed an earlier [analyze] result to a
+    later [update]). *)
+
+type level_stat = {
+  level : int;  (** logic level just evaluated *)
+  gates : int;  (** number of gates at that level *)
+  elapsed_s : float;  (** wall-clock seconds spent on the level *)
+}
+
+module type DOMAIN = sig
+  type state
+
+  val source : Spsta_netlist.Circuit.id -> state
+  (** State seeded at a source net (primary input or flip-flop output).
+      Must be pure: the engine may call it more than once per source. *)
+
+  val eval :
+    Spsta_netlist.Circuit.t ->
+    Spsta_netlist.Circuit.id ->
+    Spsta_netlist.Circuit.driver ->
+    state array ->
+    state
+  (** [eval circuit id driver operands] computes the state of gate [id]
+      from the final states of its operands ([operands.(i)] is the state
+      of the driver's [inputs.(i)]).  Must be a pure function of its
+      arguments: the engine evaluates a whole logic level concurrently,
+      and purity is what makes the parallel schedule bit-identical to
+      the sequential one. *)
+end
+
+module Make (D : DOMAIN) : sig
+  val run :
+    ?domains:int ->
+    ?instrument:(level_stat -> unit) ->
+    Spsta_netlist.Circuit.t ->
+    D.state result
+  (** Full propagation: seed every source with {!DOMAIN.source}, then
+      evaluate every gate with {!DOMAIN.eval} in dependency order.
+
+      [domains] (default 1) evaluates each logic level's gates across
+      that many OCaml domains; levels narrower than
+      [max 16 (2 * domains)] gates run sequentially (the cutoff affects
+      scheduling only, never values).  Results are bit-identical to the
+      sequential traversal at every domain count.  Raises
+      [Invalid_argument] if [domains < 1].
+
+      [instrument] is called once per logic level, in ascending level
+      order, with the level's gate count and wall-clock time.  Supplying
+      it forces the levelized traversal even at [domains = 1] (results
+      are unchanged — any topological order yields the same states). *)
+
+  val update :
+    D.state result ->
+    changed:Spsta_netlist.Circuit.id list ->
+    D.state result
+  (** Incremental re-propagation after the sources in [changed] (or the
+      domain parameters affecting them) changed: marks the union of the
+      fanout cones of [changed], re-seeds the dirty sources and
+      re-evaluates the dirty gates in topological order.  States outside
+      the cones are physically shared with the input result, which is
+      not mutated.  Equivalent to a full {!run} with the updated domain
+      whenever the domain's [source]/[eval] differ from the original
+      run's only at the changed nets. *)
+end

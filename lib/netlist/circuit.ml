@@ -209,7 +209,10 @@ let net_name t i = t.names.(i)
 let find t name = Hashtbl.find_opt t.ids name
 
 let find_exn t name =
-  match find t name with Some i -> i | None -> raise Not_found
+  match find t name with
+  | Some i -> i
+  | None ->
+    invalid_arg (Printf.sprintf "Circuit.find_exn: no net %S in circuit %S" name t.name)
 
 let driver t i = t.drivers.(i)
 let primary_inputs t = t.primary_inputs

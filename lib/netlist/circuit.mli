@@ -41,7 +41,9 @@ val num_nets : t -> int
 val net_name : t -> id -> string
 val find : t -> string -> id option
 val find_exn : t -> string -> id
-(** Raises [Not_found]. *)
+(** Raises [Invalid_argument] with a message naming both the missing
+    net and the circuit, e.g.
+    ["Circuit.find_exn: no net \"nope\" in circuit \"s27\""]. *)
 
 val driver : t -> id -> driver
 

@@ -39,6 +39,18 @@ let circuit_header circuit =
     ("nets", Json.int (Circuit.num_nets circuit));
     ("depth", Json.int (Circuit.depth circuit)) ]
 
+(* Shared per-endpoint payload assembly: every per-endpoint analysis
+   scores the endpoints with [mean_of], keeps the [top] best
+   ({!select_endpoints}), and renders the circuit header, its own
+   [extra] request-specific fields, and one [endpoint_json] object per
+   selected endpoint. *)
+let endpoints_payload circuit ~top ~extra ~mean_of ~endpoint_json =
+  let endpoints = select_endpoints circuit ~top ~mean_of in
+  Json.Obj
+    (circuit_header circuit
+    @ extra
+    @ [ ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
+
 let analyze_payload circuit ~case ~top ~domains =
   let spec = spec_of_case case in
   let result = Analyzer.Moments.analyze ~domains circuit ~spec in
@@ -58,11 +70,9 @@ let analyze_payload circuit ~case ~top ~domains =
     let fmu, _, _ = Analyzer.Moments.transition_stats s `Fall in
     Float.max rmu fmu
   in
-  let endpoints = select_endpoints circuit ~top ~mean_of in
-  Json.Obj
-    (circuit_header circuit
-    @ [ ("case", Json.string (Protocol.case_name case));
-        ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
+  endpoints_payload circuit ~top
+    ~extra:[ ("case", Json.string (Protocol.case_name case)) ]
+    ~mean_of ~endpoint_json
 
 let ssta_payload circuit ~top ~domains =
   let result = Spsta_ssta.Ssta.analyze ~domains circuit in
@@ -80,8 +90,7 @@ let ssta_payload circuit ~top ~domains =
     let a = Spsta_ssta.Ssta.arrival result e in
     Float.max (mean a.Spsta_ssta.Ssta.rise) (mean a.Spsta_ssta.Ssta.fall)
   in
-  let endpoints = select_endpoints circuit ~top ~mean_of in
-  Json.Obj (circuit_header circuit @ [ ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
+  endpoints_payload circuit ~top ~extra:[] ~mean_of ~endpoint_json
 
 let mc_payload circuit ~case ~runs ~seed ~top =
   let spec = spec_of_case case in
@@ -102,12 +111,11 @@ let mc_payload circuit ~case ~runs ~seed ~top =
     let s = Monte_carlo.stats result e in
     Float.max (Stats.acc_mean s.Monte_carlo.rise_times) (Stats.acc_mean s.Monte_carlo.fall_times)
   in
-  let endpoints = select_endpoints circuit ~top ~mean_of in
-  Json.Obj
-    (circuit_header circuit
-    @ [ ("case", Json.string (Protocol.case_name case));
-        ("runs", Json.int runs); ("seed", Json.int seed);
-        ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
+  endpoints_payload circuit ~top
+    ~extra:
+      [ ("case", Json.string (Protocol.case_name case));
+        ("runs", Json.int runs); ("seed", Json.int seed) ]
+    ~mean_of ~endpoint_json
 
 let paths_payload circuit ~k ~sigma_global ~sigma_spatial ~sigma_random =
   let model =
@@ -145,13 +153,16 @@ let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
 (* Execute an analysis request, memoising through the cache.  Control
    requests ([stats], [shutdown]) never reach the engine.
 
-   [domains] (default 1) parallelises the levelized SPSTA/SSTA
-   propagation within one request.  Because the parallel traversal is
-   bit-identical to the sequential one, memo keys need no domains
-   component: cached payloads are valid at every domain count.  Monte
-   Carlo stays sequential regardless — its parallel variant's stream
-   splitting depends on the shard count, which would make responses (and
-   the memo table) depend on a tuning knob. *)
+   [domains] (default 1) parallelises the levelized propagation
+   ({!Spsta_engine.Propagate}) within one request, for every request
+   kind backed by a propagation analyzer (analyze, ssta).  Because the
+   engine's parallel traversal is bit-identical to the sequential one,
+   memo keys need no domains component: cached payloads are valid at
+   every domain count.  Monte Carlo stays sequential regardless — its
+   parallel variant's stream splitting depends on the shard count, which
+   would make responses (and the memo table) depend on a tuning knob —
+   and the paths kind enumerates paths rather than propagating per-net
+   state. *)
 let execute ?(domains = 1) (cache : Cache.t) (request : Protocol.request) : Protocol.response =
   let start = Unix.gettimeofday () in
   let finish result =

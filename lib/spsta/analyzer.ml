@@ -1,4 +1,5 @@
 module Circuit = Spsta_netlist.Circuit
+module Propagate = Spsta_engine.Propagate
 module Value4 = Spsta_logic.Value4
 module Gate_kind = Spsta_logic.Gate_kind
 module Timing_rule = Spsta_logic.Timing_rule
@@ -170,85 +171,46 @@ module Make (B : Top.BACKEND) = struct
     let combined = if Gate_kind.inverting kind then invert_signal combined else combined in
     shift_signal combined delays delay_sigma
 
-  type result = { circuit : Circuit.t; per_net : signal array }
+  type result = signal Propagate.result
 
-  (* One gate of the propagation, reading operands from [per_net] and
-     writing its own slot.  Gates within one level never read each
-     other, so a whole level can run this step concurrently; the step
-     itself is a pure function of its operands, which makes the parallel
-     schedule bit-identical to the sequential one. *)
-  let gate_step ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit
-      per_net g =
-    match Circuit.driver circuit g with
-    | Circuit.Gate { kind; inputs } ->
-      let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
-      let gate_delay = match delay_of with Some f -> Some (f g) | None -> gate_delay in
-      let gate_delay_rf = Option.map (fun f -> f g) delay_rf in
-      per_net.(g) <-
+  (* The engine's per-gate transfer function, closed over the per-call
+     parameters: a pure function of the gate's operand signals, which is
+     what makes the engine's parallel schedule bit-identical to the
+     sequential sweep. *)
+  let gate_eval ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin () =
+    fun _circuit g driver operands ->
+      match driver with
+      | Circuit.Gate { kind; _ } ->
+        let gate_delay = match delay_of with Some f -> Some (f g) | None -> gate_delay in
+        let gate_delay_rf = Option.map (fun f -> f g) delay_rf in
         gate_output ?gate_delay ?gate_delay_rf ?delay_sigma ?mis ?max_enumerated_fanin kind
-          operands
-    | Circuit.Input | Circuit.Dff_output _ -> assert false
+          (Array.to_list operands)
+      | Circuit.Input | Circuit.Dff_output _ -> assert false
 
   let analyze ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin ?domains
-      circuit ~spec =
-    let domains = match domains with Some d -> Spsta_util.Parallel.check_domains d | None -> 1 in
-    let n = Circuit.num_nets circuit in
-    let dummy =
-      { probs = Four_value.make ~p_zero:1.0 ~p_one:0.0 ~p_rise:0.0 ~p_fall:0.0;
-        rise = B.empty; fall = B.empty }
-    in
-    let per_net = Array.make n dummy in
-    List.iter (fun s -> per_net.(s) <- source_signal (spec s)) (Circuit.sources circuit);
-    let step =
-      gate_step ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit
-        per_net
-    in
-    if domains = 1 then Array.iter step (Circuit.topo_gates circuit)
-    else
-      Array.iter
-        (fun gates ->
-          let width = Array.length gates in
-          (* narrow levels aren't worth a domain spawn; the cutoff only
-             affects scheduling, never values *)
-          if width < max 16 (2 * domains) then Array.iter step gates
-          else
-            Spsta_util.Parallel.iter_ranges ~domains width (fun lo hi ->
-                for i = lo to hi - 1 do
-                  step gates.(i)
-                done))
-        (Circuit.gates_by_level circuit);
-    { circuit; per_net }
+      ?instrument circuit ~spec =
+    let eval = gate_eval ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin () in
+    let module E = Propagate.Make (struct
+      type state = signal
 
-  let circuit r = r.circuit
-  let signal r id = r.per_net.(id)
+      let source s = source_signal (spec s)
+      let eval = eval
+    end) in
+    E.run ?domains ?instrument circuit
 
-  let update ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin r ~changed ~spec =
-    let circuit = r.circuit in
-    let n = Circuit.num_nets circuit in
-    (* mark the union of fanout cones of the changed nets *)
-    let dirty = Array.make n false in
-    let rec mark id =
-      if not dirty.(id) then begin
-        dirty.(id) <- true;
-        Array.iter mark (Circuit.fanout circuit id)
-      end
-    in
-    List.iter mark changed;
-    let per_net = Array.copy r.per_net in
-    (* refresh dirty sources (their statistics may be what changed) *)
-    List.iter (fun s -> if dirty.(s) then per_net.(s) <- source_signal (spec s)) (Circuit.sources circuit);
-    let step =
-      gate_step ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin circuit
-        per_net
-    in
-    Array.iter
-      (fun g ->
-        if dirty.(g) then
-          match Circuit.driver circuit g with
-          | Circuit.Gate _ -> step g
-          | Circuit.Input | Circuit.Dff_output _ -> ())
-      (Circuit.topo_gates circuit);
-    { circuit; per_net }
+  let circuit (r : result) = r.Propagate.circuit
+  let signal (r : result) id = r.Propagate.per_net.(id)
+
+  let update ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin r ~changed
+      ~spec =
+    let eval = gate_eval ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin () in
+    let module E = Propagate.Make (struct
+      type state = signal
+
+      let source s = source_signal (spec s)
+      let eval = eval
+    end) in
+    E.update r ~changed
 
   let direction_top s = function `Rise -> s.rise | `Fall -> s.fall
 
@@ -256,7 +218,7 @@ module Make (B : Top.BACKEND) = struct
     let top = direction_top s direction in
     (B.mean top, B.stddev top, B.total top)
 
-  let critical_endpoint r direction =
+  let critical_endpoint (r : result) direction =
     match Circuit.endpoints r.circuit with
     | [] -> invalid_arg "Analyzer.critical_endpoint: circuit has no endpoints"
     | (first :: _ as endpoints) ->

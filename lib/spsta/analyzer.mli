@@ -44,6 +44,7 @@ module Make (B : Top.BACKEND) : sig
     ?mis:Spsta_logic.Mis_model.t ->
     ?max_enumerated_fanin:int ->
     ?domains:int ->
+    ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
     Spsta_netlist.Circuit.t ->
     spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
     result
@@ -53,11 +54,14 @@ module Make (B : Top.BACKEND) : sig
       takes precedence; [delay_sigma] applies on top of either.
 
       [domains] (default 1: fully sequential) evaluates each logic
-      level's gates concurrently across that many OCaml domains.  Gates
-      within a level never feed each other and each gate step is a pure
-      function of its operands, so the result is bit-identical to the
-      sequential traversal at every domain count.  Raises
-      [Invalid_argument] if [domains < 1]. *)
+      level's gates concurrently across that many OCaml domains via
+      {!Spsta_engine.Propagate}.  Gates within a level never feed each
+      other and each gate step is a pure function of its operands, so
+      the result is bit-identical to the sequential traversal at every
+      domain count.  Raises [Invalid_argument] if [domains < 1].
+
+      [instrument] receives per-level gate counts and wall-clock timings
+      (see {!Spsta_engine.Propagate.level_stat}). *)
 
   val circuit : result -> Spsta_netlist.Circuit.t
   val signal : result -> Spsta_netlist.Circuit.id -> signal

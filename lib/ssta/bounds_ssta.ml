@@ -1,13 +1,15 @@
 module Circuit = Spsta_netlist.Circuit
+module Propagate = Spsta_engine.Propagate
 module Normal = Spsta_dist.Normal
 
 type band = { times : float array; lower : float array; upper : float array }
 
-type result = { circuit : Circuit.t; grid : float array; per_net : (float array * float array) array }
+type result = { grid : float array; bands : (float array * float array) Propagate.result }
 
 let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
 
-let analyze ?(gate_delay = 1.0) ?(dt = 0.1) ?horizon ?(input_arrival = Normal.standard) circuit =
+let analyze ?(gate_delay = 1.0) ?(dt = 0.1) ?horizon ?(input_arrival = Normal.standard)
+    ?domains ?instrument circuit =
   let depth = float_of_int (Circuit.depth circuit) in
   let horizon =
     match horizon with
@@ -20,41 +22,43 @@ let analyze ?(gate_delay = 1.0) ?(dt = 0.1) ?horizon ?(input_arrival = Normal.st
   let grid = Array.init (steps + 1) (fun i -> lo +. (float_of_int i *. dt)) in
   let n_grid = Array.length grid in
   let shift_bins = max 0 (int_of_float (Float.round (gate_delay /. dt))) in
-  let n = Circuit.num_nets circuit in
   let source_cdf = Array.map (fun t -> Normal.cdf input_arrival t) grid in
-  let per_net = Array.make n (source_cdf, source_cdf) in
   (* shift a tabulated cdf right by the gate delay: F'(t) = F(t - d) *)
   let shift cdf =
     Array.init n_grid (fun i -> if i < shift_bins then 0.0 else cdf.(i - shift_bins))
   in
-  Array.iter
-    (fun g ->
-      match Circuit.driver circuit g with
-      | Circuit.Gate { inputs; _ } ->
+  let module E = Propagate.Make (struct
+    type state = float array * float array
+
+    let source _ = (source_cdf, source_cdf)
+
+    (* Frechet combination of the operand cdf bands, then the delay
+       shift: a pure function of the operand slots, so the engine's
+       parallel schedule is bit-identical to the sequential sweep *)
+    let eval _circuit _g driver operands =
+      match driver with
+      | Circuit.Gate _ ->
+        let k = Array.length operands in
         let lower =
           Array.init n_grid (fun i ->
-              let s =
-                Array.fold_left (fun acc input -> acc +. (fst per_net.(input)).(i)) 0.0 inputs
-              in
-              clamp01 (s -. float_of_int (Array.length inputs - 1)))
+              let s = Array.fold_left (fun acc band -> acc +. (fst band).(i)) 0.0 operands in
+              clamp01 (s -. float_of_int (k - 1)))
         in
         let upper =
           Array.init n_grid (fun i ->
-              Array.fold_left
-                (fun acc input -> Float.min acc (snd per_net.(input)).(i))
-                1.0 inputs)
+              Array.fold_left (fun acc band -> Float.min acc (snd band).(i)) 1.0 operands)
         in
-        per_net.(g) <- (shift lower, shift upper)
-      | Circuit.Input | Circuit.Dff_output _ -> assert false)
-    (Circuit.topo_gates circuit);
-  { circuit; grid; per_net }
+        (shift lower, shift upper)
+      | Circuit.Input | Circuit.Dff_output _ -> assert false
+  end) in
+  { grid; bands = E.run ?domains ?instrument circuit }
 
 let band r id =
-  let lower, upper = r.per_net.(id) in
+  let lower, upper = r.bands.Propagate.per_net.(id) in
   { times = r.grid; lower; upper }
 
 let chip_band r =
-  match Circuit.endpoints r.circuit with
+  match Circuit.endpoints r.bands.Propagate.circuit with
   | [] -> invalid_arg "Bounds_ssta.chip_band: circuit has no endpoints"
   | endpoints ->
     let n_grid = Array.length r.grid in
@@ -62,13 +66,17 @@ let chip_band r =
     let lower =
       Array.init n_grid (fun i ->
           let s =
-            List.fold_left (fun acc e -> acc +. (fst r.per_net.(e)).(i)) 0.0 endpoints
+            List.fold_left
+              (fun acc e -> acc +. (fst r.bands.Propagate.per_net.(e)).(i))
+              0.0 endpoints
           in
           clamp01 (s -. float_of_int (k - 1)))
     in
     let upper =
       Array.init n_grid (fun i ->
-          List.fold_left (fun acc e -> Float.min acc (snd r.per_net.(e)).(i)) 1.0 endpoints)
+          List.fold_left
+            (fun acc e -> Float.min acc (snd r.bands.Propagate.per_net.(e)).(i))
+            1.0 endpoints)
     in
     { times = r.grid; lower; upper }
 

@@ -28,10 +28,18 @@ val analyze :
   ?dt:float ->
   ?horizon:float ->
   ?input_arrival:Spsta_dist.Normal.t ->
+  ?domains:int ->
+  ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
   result
 (** [dt] (default 0.1) and [horizon] (default: depth + 6 sigma slack)
-    define the grid; [input_arrival] defaults to the standard normal. *)
+    define the grid; [input_arrival] defaults to the standard normal.
+
+    Traversal comes from {!Spsta_engine.Propagate}: [domains]
+    (default 1) evaluates each logic level's gates across that many
+    OCaml domains with results bit-identical to the sequential
+    traversal; [instrument] receives per-level gate counts and
+    wall-clock timings.  Raises [Invalid_argument] if [domains < 1]. *)
 
 val band : result -> Spsta_netlist.Circuit.id -> band
 

@@ -1,11 +1,12 @@
 module Circuit = Spsta_netlist.Circuit
+module Propagate = Spsta_engine.Propagate
 module Gate_kind = Spsta_logic.Gate_kind
 module Normal = Spsta_dist.Normal
 module Clark = Spsta_dist.Clark
 
 type arrival = { rise : Normal.t; fall : Normal.t }
 
-type result = { circuit : Circuit.t; per_net : arrival array }
+type result = arrival Propagate.result
 
 let default_input = { rise = Normal.standard; fall = Normal.standard }
 
@@ -30,62 +31,73 @@ let base_arrivals kind (inputs : arrival list) =
     let settle = Clark.max_normal_many both in
     (settle, settle)
 
-let run ~delay_rf_of ?(input_arrival = default_input) ?domains circuit =
-  let domains =
-    match domains with Some d -> Spsta_util.Parallel.check_domains d | None -> 1
-  in
-  let n = Circuit.num_nets circuit in
-  let per_net = Array.make n input_arrival in
-  (* pure function of the gate's operand slots: gates within one level
-     never feed each other, so a level can run concurrently and the
-     parallel schedule is bit-identical to the sequential one *)
-  let step g =
-    match Circuit.driver circuit g with
-    | Circuit.Gate { kind; inputs } ->
-      let input_arrivals = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
-      let base_rise, base_fall = base_arrivals kind input_arrivals in
-      let rise0, fall0 =
-        if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
-      in
-      let d_rise, d_fall = delay_rf_of g in
-      per_net.(g) <- { rise = Normal.sum rise0 d_rise; fall = Normal.sum fall0 d_fall }
-    | Circuit.Input | Circuit.Dff_output _ -> assert false
-  in
-  if domains = 1 then Array.iter step (Circuit.topo_gates circuit)
-  else
-    Array.iter
-      (fun gates ->
-        let width = Array.length gates in
-        if width < max 16 (2 * domains) then Array.iter step gates
-        else
-          Spsta_util.Parallel.iter_ranges ~domains width (fun lo hi ->
-              for i = lo to hi - 1 do
-                step gates.(i)
-              done))
-      (Circuit.gates_by_level circuit);
-  { circuit; per_net }
+(* The engine's per-gate transfer function: a pure function of the
+   gate's operand arrivals, which is what makes the levelized parallel
+   schedule bit-identical to the sequential sweep. *)
+let gate_eval ~delay_rf_of _circuit g driver operands =
+  match driver with
+  | Circuit.Gate { kind; _ } ->
+    let input_arrivals = Array.to_list operands in
+    let base_rise, base_fall = base_arrivals kind input_arrivals in
+    let rise0, fall0 =
+      if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
+    in
+    let d_rise, d_fall = delay_rf_of g in
+    { rise = Normal.sum rise0 d_rise; fall = Normal.sum fall0 d_fall }
+  | Circuit.Input | Circuit.Dff_output _ -> assert false
 
-let analyze ?(gate_delay = 1.0) ?input_arrival ?domains circuit =
+let source_of ~input_arrival ~input_arrival_of =
+  match input_arrival_of with Some f -> f | None -> fun _ -> input_arrival
+
+let run ~delay_rf_of ?(input_arrival = default_input) ?input_arrival_of ?domains ?instrument
+    circuit =
+  let source = source_of ~input_arrival ~input_arrival_of in
+  let module E = Propagate.Make (struct
+    type state = arrival
+
+    let source = source
+    let eval = gate_eval ~delay_rf_of
+  end) in
+  E.run ?domains ?instrument circuit
+
+let analyze ?(gate_delay = 1.0) ?input_arrival ?input_arrival_of ?domains ?instrument circuit =
   let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
-  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival ?domains circuit
+  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival ?input_arrival_of ?domains
+    ?instrument circuit
 
-let analyze_variational ~gate_delay ?input_arrival ?domains circuit =
-  run ~delay_rf_of:(fun g -> let d = gate_delay g in (d, d)) ?input_arrival ?domains circuit
+let analyze_variational ~gate_delay ?input_arrival ?input_arrival_of ?domains ?instrument
+    circuit =
+  run
+    ~delay_rf_of:(fun g ->
+      let d = gate_delay g in
+      (d, d))
+    ?input_arrival ?input_arrival_of ?domains ?instrument circuit
 
-let analyze_rf ~delay_rf ?input_arrival ?domains circuit =
+let analyze_rf ~delay_rf ?input_arrival ?input_arrival_of ?domains ?instrument circuit =
   let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
   run
     ~delay_rf_of:(fun g ->
       let rise, fall = delay_rf g in
       (to_normal rise, to_normal fall))
-    ?input_arrival ?domains circuit
+    ?input_arrival ?input_arrival_of ?domains ?instrument circuit
 
-let arrival r id = r.per_net.(id)
+let update ?(gate_delay = 1.0) ?(input_arrival = default_input) ?input_arrival_of r ~changed =
+  let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
+  let source = source_of ~input_arrival ~input_arrival_of in
+  let module E = Propagate.Make (struct
+    type state = arrival
+
+    let source = source
+    let eval = gate_eval ~delay_rf_of:(fun _ -> (delay, delay))
+  end) in
+  E.update r ~changed
+
+let arrival (r : result) id = r.Propagate.per_net.(id)
 
 let mean_of direction a =
   match direction with `Rise -> Normal.mean a.rise | `Fall -> Normal.mean a.fall
 
-let critical_endpoint r direction =
+let critical_endpoint (r : result) direction =
   match Circuit.endpoints r.circuit with
   | [] -> invalid_arg "Ssta.critical_endpoint: circuit has no endpoints"
   | first :: rest ->
@@ -95,5 +107,5 @@ let critical_endpoint r direction =
       first rest
 
 let max_arrival r direction =
-  let e = critical_endpoint r direction in
-  match direction with `Rise -> r.per_net.(e).rise | `Fall -> r.per_net.(e).fall
+  let a = arrival r (critical_endpoint r direction) in
+  match direction with `Rise -> a.rise | `Fall -> a.fall

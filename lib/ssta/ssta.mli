@@ -7,7 +7,10 @@
     and transition direction; inverting gates swap rise and fall.  Like
     static timing analysis, SSTA assumes a transition always occurs, so
     it is oblivious to input statistics — the property the paper
-    criticises. *)
+    criticises.
+
+    Traversal (sequential, levelized-parallel and incremental) comes
+    from {!Spsta_engine.Propagate}. *)
 
 type arrival = { rise : Spsta_dist.Normal.t; fall : Spsta_dist.Normal.t }
 
@@ -16,22 +19,29 @@ type result
 val analyze :
   ?gate_delay:float ->
   ?input_arrival:arrival ->
+  ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
   ?domains:int ->
+  ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
   result
 (** [input_arrival] defaults to standard normal for both directions (the
-    paper's source statistics). [gate_delay] is deterministic and
-    defaults to 1.0.
+    paper's source statistics); [input_arrival_of] overrides it per
+    source net.  [gate_delay] is deterministic and defaults to 1.0.
 
     [domains] (default 1) evaluates each logic level's gates across that
     many OCaml domains; results are bit-identical to the sequential
     traversal at every domain count.  Raises [Invalid_argument] if
-    [domains < 1]. *)
+    [domains < 1].
+
+    [instrument] receives per-level gate counts and wall-clock timings
+    (see {!Spsta_engine.Propagate.level_stat}). *)
 
 val analyze_variational :
   gate_delay:(Spsta_netlist.Circuit.id -> Spsta_dist.Normal.t) ->
   ?input_arrival:arrival ->
+  ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
   ?domains:int ->
+  ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
   result
 (** Same propagation with an independent normal delay per gate — used by
@@ -40,16 +50,33 @@ val analyze_variational :
 val analyze_rf :
   delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
   ?input_arrival:arrival ->
+  ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
   ?domains:int ->
+  ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
   result
 (** Deterministic but direction-dependent (rise, fall) delays per gate —
     for cell-library timing ({!Spsta_netlist.Cell_library}). *)
 
+val update :
+  ?gate_delay:float ->
+  ?input_arrival:arrival ->
+  ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  result ->
+  changed:Spsta_netlist.Circuit.id list ->
+  result
+(** Incremental re-analysis: recompute only the fanout cones of the
+    [changed] nets (e.g. sources whose arrival statistics changed),
+    under the same [gate_delay] as the original {!analyze} and the *new*
+    source arrivals.  Matches a full {!analyze} with the new arrivals
+    provided nothing outside the cones changed; arrivals outside the
+    cones are physically shared.  The input [result] is not mutated. *)
+
 val arrival : result -> Spsta_netlist.Circuit.id -> arrival
 
 val critical_endpoint : result -> [ `Rise | `Fall ] -> Spsta_netlist.Circuit.id
-(** Endpoint with the largest mean arrival for the given direction. *)
+(** Endpoint with the largest mean arrival for the given direction.
+    Raises [Invalid_argument] if the circuit has no endpoints. *)
 
 val max_arrival : result -> [ `Rise | `Fall ] -> Spsta_dist.Normal.t
 (** Arrival distribution at the {!critical_endpoint}. *)

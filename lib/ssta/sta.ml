@@ -1,30 +1,51 @@
 module Circuit = Spsta_netlist.Circuit
+module Propagate = Spsta_engine.Propagate
 
 type bounds = { earliest : float; latest : float }
 
-type result = { circuit : Circuit.t; per_net : bounds array }
+type result = bounds Propagate.result
 
-let analyze ?(gate_delay = 1.0) ?(input_bounds = { earliest = 0.0; latest = 0.0 }) circuit =
-  let n = Circuit.num_nets circuit in
-  let per_net = Array.make n input_bounds in
-  Array.iter
-    (fun g ->
-      match Circuit.driver circuit g with
-      | Circuit.Gate { inputs; _ } ->
-        let earliest =
-          Array.fold_left (fun acc i -> Float.min acc per_net.(i).earliest) infinity inputs
-        in
-        let latest =
-          Array.fold_left (fun acc i -> Float.max acc per_net.(i).latest) neg_infinity inputs
-        in
-        per_net.(g) <- { earliest = earliest +. gate_delay; latest = latest +. gate_delay }
-      | Circuit.Input | Circuit.Dff_output _ -> assert false)
-    (Circuit.topo_gates circuit);
-  { circuit; per_net }
+let default_input = { earliest = 0.0; latest = 0.0 }
 
-let bounds r id = r.per_net.(id)
+let gate_eval ~gate_delay _circuit _g driver operands =
+  match driver with
+  | Circuit.Gate _ ->
+    let earliest =
+      Array.fold_left (fun acc (b : bounds) -> Float.min acc b.earliest) infinity operands
+    in
+    let latest =
+      Array.fold_left (fun acc (b : bounds) -> Float.max acc b.latest) neg_infinity operands
+    in
+    { earliest = earliest +. gate_delay; latest = latest +. gate_delay }
+  | Circuit.Input | Circuit.Dff_output _ -> assert false
 
-let critical_endpoint r =
+let source_of ~input_bounds ~input_bounds_of =
+  match input_bounds_of with Some f -> f | None -> fun _ -> input_bounds
+
+let analyze ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of ?domains
+    ?instrument circuit =
+  let source = source_of ~input_bounds ~input_bounds_of in
+  let module E = Propagate.Make (struct
+    type state = bounds
+
+    let source = source
+    let eval = gate_eval ~gate_delay
+  end) in
+  E.run ?domains ?instrument circuit
+
+let update ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of r ~changed =
+  let source = source_of ~input_bounds ~input_bounds_of in
+  let module E = Propagate.Make (struct
+    type state = bounds
+
+    let source = source
+    let eval = gate_eval ~gate_delay
+  end) in
+  E.update r ~changed
+
+let bounds (r : result) id = r.Propagate.per_net.(id)
+
+let critical_endpoint (r : result) =
   match Circuit.endpoints r.circuit with
   | [] -> invalid_arg "Sta.critical_endpoint: circuit has no endpoints"
   | first :: rest ->
@@ -32,6 +53,4 @@ let critical_endpoint r =
       (fun best e -> if r.per_net.(e).latest > r.per_net.(best).latest then e else best)
       first rest
 
-let max_latest r =
-  List.fold_left (fun acc e -> Float.max acc r.per_net.(e).latest) neg_infinity
-    (Circuit.endpoints r.circuit)
+let max_latest r = (bounds r (critical_endpoint r)).latest

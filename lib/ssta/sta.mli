@@ -1,6 +1,9 @@
 (** Classical corner static timing analysis: per-net [min, max] arrival
     bounds under unit gate delays, input-vector oblivious.  This is the
-    "two dotted lines" of the paper's Fig. 1. *)
+    "two dotted lines" of the paper's Fig. 1.
+
+    Traversal (sequential, levelized-parallel and incremental) comes
+    from {!Spsta_engine.Propagate}. *)
 
 type bounds = { earliest : float; latest : float }
 
@@ -9,16 +12,43 @@ type result
 val analyze :
   ?gate_delay:float ->
   ?input_bounds:bounds ->
+  ?input_bounds_of:(Spsta_netlist.Circuit.id -> bounds) ->
+  ?domains:int ->
+  ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
   result
 (** [input_bounds] defaults to {earliest = 0.; latest = 0.}; the paper's
     N(0,1) inputs are commonly bounded at +-3 sigma, i.e.
-    [{earliest = -3.; latest = 3.}]. *)
+    [{earliest = -3.; latest = 3.}].  [input_bounds_of] overrides the
+    window per source net.
+
+    [domains] (default 1) evaluates each logic level's gates across that
+    many OCaml domains; results are bit-identical to the sequential
+    traversal at every domain count.  Raises [Invalid_argument] if
+    [domains < 1].  [instrument] receives per-level gate counts and
+    wall-clock timings. *)
+
+val update :
+  ?gate_delay:float ->
+  ?input_bounds:bounds ->
+  ?input_bounds_of:(Spsta_netlist.Circuit.id -> bounds) ->
+  result ->
+  changed:Spsta_netlist.Circuit.id list ->
+  result
+(** Incremental re-analysis: recompute only the fanout cones of the
+    [changed] nets under the new source windows; matches a full
+    {!analyze} provided nothing outside the cones changed.  Bounds
+    outside the cones are physically shared; the input [result] is not
+    mutated. *)
 
 val bounds : result -> Spsta_netlist.Circuit.id -> bounds
 
 val critical_endpoint : result -> Spsta_netlist.Circuit.id
-(** Endpoint with the largest [latest] arrival. *)
+(** Endpoint with the largest [latest] arrival.  Raises
+    [Invalid_argument] if the circuit has no endpoints. *)
 
 val max_latest : result -> float
-(** Largest [latest] over all endpoints — the STA clock-period bound. *)
+(** Largest [latest] over all endpoints — the STA clock-period bound.
+    Raises [Invalid_argument] if the circuit has no endpoints (it used
+    to silently return [neg_infinity]; consistent with
+    {!critical_endpoint} since the engine rebase). *)

@@ -5,7 +5,7 @@ type t = { center : float; terms : (int * float) list }
 
 type context = { mutable next : int }
 
-let create_context () = { next = 0 }
+let create_context ?(first = 0) () = { next = first }
 
 let fresh ctx =
   let s = ctx.next in

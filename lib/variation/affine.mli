@@ -13,7 +13,13 @@ type t
 type context
 (** Supply of fresh noise symbols. *)
 
-val create_context : unit -> context
+val create_context : ?first:int -> unit -> context
+(** [first] (default 0) is the id of the first symbol the context hands
+    out.  Callers that evaluate concurrently can carve the symbol space
+    into disjoint deterministic ranges (one private context per unit of
+    work) instead of racing on one shared counter — {!Interval_sta} does
+    this per net, which is what makes its parallel traversal
+    bit-identical to the sequential one. *)
 
 val constant : float -> t
 val make : context -> center:float -> radius:float -> t

@@ -1,9 +1,10 @@
 module Circuit = Spsta_netlist.Circuit
+module Propagate = Spsta_engine.Propagate
 module Gate_kind = Spsta_logic.Gate_kind
 
 type arrival = { rise : Canonical.t; fall : Canonical.t }
 
-type result = { circuit : Circuit.t; per_net : arrival array }
+type result = arrival Propagate.result
 
 let base_arrivals kind inputs =
   match kind with
@@ -22,43 +23,49 @@ let base_arrivals kind inputs =
     let settle = Canonical.max_many both in
     (settle, settle)
 
-let analyze ?(input_sigma = 1.0) model placement circuit =
-  let n = Circuit.num_nets circuit in
+let analyze ?(input_sigma = 1.0) ?domains ?instrument model placement circuit =
   let nparams = Param_model.num_params model in
-  let source =
-    Canonical.make ~mean:0.0 ~sens:(Array.make nparams 0.0) ~rand:input_sigma
+  let source_arrival =
+    let s = Canonical.make ~mean:0.0 ~sens:(Array.make nparams 0.0) ~rand:input_sigma in
+    { rise = s; fall = s }
   in
-  let per_net = Array.make n { rise = source; fall = source } in
-  Array.iter
-    (fun g ->
-      match Circuit.driver circuit g with
-      | Circuit.Gate { kind; inputs } ->
-        let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
-        let base_rise, base_fall = base_arrivals kind operands in
+  let module E = Propagate.Make (struct
+    type state = arrival
+
+    let source _ = source_arrival
+
+    (* pure in its operands ([gate_delay_canonical] allocates a fresh
+       sensitivity vector per call and only reads the model), so the
+       engine's parallel schedule is bit-identical to the sequential
+       sweep *)
+    let eval _circuit g driver operands =
+      match driver with
+      | Circuit.Gate { kind; _ } ->
+        let base_rise, base_fall = base_arrivals kind (Array.to_list operands) in
         let rise0, fall0 =
           if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
         in
         let delay = Param_model.gate_delay_canonical model placement g in
-        per_net.(g) <- { rise = Canonical.add rise0 delay; fall = Canonical.add fall0 delay }
-      | Circuit.Input | Circuit.Dff_output _ -> assert false)
-    (Circuit.topo_gates circuit);
-  { circuit; per_net }
+        { rise = Canonical.add rise0 delay; fall = Canonical.add fall0 delay }
+      | Circuit.Input | Circuit.Dff_output _ -> assert false
+  end) in
+  E.run ?domains ?instrument circuit
 
-let arrival r id = r.per_net.(id)
+let arrival (r : result) id = r.Propagate.per_net.(id)
 
 let of_direction a = function `Rise -> a.rise | `Fall -> a.fall
 
-let critical_endpoint r direction =
+let critical_endpoint (r : result) direction =
   match Circuit.endpoints r.circuit with
   | [] -> invalid_arg "Canonical_ssta.critical_endpoint: circuit has no endpoints"
   | first :: rest ->
     let mean e = (of_direction r.per_net.(e) direction).Canonical.mean in
     List.fold_left (fun best e -> if mean e > mean best then e else best) first rest
 
-let endpoint_correlation r direction a b =
+let endpoint_correlation (r : result) direction a b =
   Canonical.correlation (of_direction r.per_net.(a) direction) (of_direction r.per_net.(b) direction)
 
-let chip_delay r =
+let chip_delay (r : result) =
   let forms =
     List.concat_map
       (fun e -> [ r.per_net.(e).rise; r.per_net.(e).fall ])

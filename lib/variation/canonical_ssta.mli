@@ -11,13 +11,21 @@ type result
 
 val analyze :
   ?input_sigma:float ->
+  ?domains:int ->
+  ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Param_model.t ->
   Param_model.placement ->
   Spsta_netlist.Circuit.t ->
   result
 (** Source arrivals are N(0, input_sigma) in the independent term
     (default 1.0, the paper's inputs); gate delays come from the model's
-    canonical forms. *)
+    canonical forms.
+
+    Traversal comes from {!Spsta_engine.Propagate}: [domains]
+    (default 1) evaluates each logic level's gates across that many
+    OCaml domains with results bit-identical to the sequential
+    traversal; [instrument] receives per-level gate counts and
+    wall-clock timings.  Raises [Invalid_argument] if [domains < 1]. *)
 
 val arrival : result -> Spsta_netlist.Circuit.id -> arrival
 

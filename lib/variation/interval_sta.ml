@@ -1,51 +1,77 @@
 module Circuit = Spsta_netlist.Circuit
+module Propagate = Spsta_engine.Propagate
 
-type result = {
-  circuit : Circuit.t;
-  per_net : Affine.t array;
-  naive : (float * float) array; (* plain interval propagation, for comparison *)
-}
+(* Each net carries its affine enclosure plus the plain-interval
+   ("naive") enclosure propagated alongside for comparison. *)
+type state = { affine : Affine.t; naive : float * float }
 
-let analyze ?(gate_delay = 1.0) ?(delay_radius = 0.0) ?(input_radius = 3.0) circuit =
+type result = state Propagate.result
+
+(* Deterministic noise-symbol allocation: net [id] owns the id range
+   [base.(id), base.(id) + capacity id), where the capacity covers every
+   symbol its evaluation can mint (one for a source's arrival window;
+   one for a gate's delay plus up to fanin - 1 Chebyshev symbols from
+   the join_max fold).  Each evaluation draws from a private context
+   seeded at its own base, so symbol ids depend only on the net — never
+   on the traversal schedule — which keeps the parallel sweep race-free
+   and bit-identical to the sequential one. *)
+let symbol_bases circuit =
+  let n = Circuit.num_nets circuit in
+  let base = Array.make n 0 in
+  let next = ref 0 in
+  for id = 0 to n - 1 do
+    base.(id) <- !next;
+    let capacity =
+      match Circuit.driver circuit id with
+      | Circuit.Input | Circuit.Dff_output _ -> 1
+      | Circuit.Gate { inputs; _ } -> Array.length inputs
+    in
+    next := !next + capacity
+  done;
+  base
+
+let analyze ?(gate_delay = 1.0) ?(delay_radius = 0.0) ?(input_radius = 3.0) ?domains
+    ?instrument circuit =
   if delay_radius < 0.0 || input_radius < 0.0 then
     invalid_arg "Interval_sta.analyze: negative radius";
-  let ctx = Affine.create_context () in
-  let n = Circuit.num_nets circuit in
-  let per_net = Array.make n (Affine.constant 0.0) in
-  let naive = Array.make n (0.0, 0.0) in
-  List.iter
-    (fun s ->
-      per_net.(s) <- Affine.make ctx ~center:0.0 ~radius:input_radius;
-      naive.(s) <- (-.input_radius, input_radius))
-    (Circuit.sources circuit);
-  Array.iter
-    (fun g ->
-      match Circuit.driver circuit g with
-      | Circuit.Gate { inputs; _ } ->
-        let operands = Array.to_list (Array.map (fun i -> per_net.(i)) inputs) in
+  let base = symbol_bases circuit in
+  let module E = Propagate.Make (struct
+    type nonrec state = state
+
+    let source s =
+      let ctx = Affine.create_context ~first:base.(s) () in
+      { affine = Affine.make ctx ~center:0.0 ~radius:input_radius;
+        naive = (-.input_radius, input_radius) }
+
+    let eval _circuit g driver operands =
+      match driver with
+      | Circuit.Gate _ ->
+        let ctx = Affine.create_context ~first:base.(g) () in
+        let affines = List.map (fun s -> s.affine) (Array.to_list operands) in
         let delay = Affine.make ctx ~center:gate_delay ~radius:delay_radius in
-        per_net.(g) <- Affine.add (Affine.join_max_many ctx operands) delay;
+        let affine = Affine.add (Affine.join_max_many ctx affines) delay in
         let lo =
-          Array.fold_left (fun acc i -> Float.max acc (fst naive.(i))) neg_infinity inputs
+          Array.fold_left (fun acc s -> Float.max acc (fst s.naive)) neg_infinity operands
         in
         let hi =
-          Array.fold_left (fun acc i -> Float.max acc (snd naive.(i))) neg_infinity inputs
+          Array.fold_left (fun acc s -> Float.max acc (snd s.naive)) neg_infinity operands
         in
-        naive.(g) <- (lo +. gate_delay -. delay_radius, hi +. gate_delay +. delay_radius)
-      | Circuit.Input | Circuit.Dff_output _ -> assert false)
-    (Circuit.topo_gates circuit);
-  { circuit; per_net; naive }
+        { affine;
+          naive = (lo +. gate_delay -. delay_radius, hi +. gate_delay +. delay_radius) }
+      | Circuit.Input | Circuit.Dff_output _ -> assert false
+  end) in
+  E.run ?domains ?instrument circuit
 
-let arrival r id = r.per_net.(id)
+let arrival (r : result) id = r.Propagate.per_net.(id).affine
 
 (* intersect the affine enclosure with the naive one: both are
    guaranteed, so their intersection is too and is never wider *)
-let arrival_interval r id =
-  let alo, ahi = Affine.interval r.per_net.(id) in
-  let nlo, nhi = r.naive.(id) in
+let arrival_interval (r : result) id =
+  let alo, ahi = Affine.interval r.per_net.(id).affine in
+  let nlo, nhi = r.per_net.(id).naive in
   (Float.max alo nlo, Float.min ahi nhi)
 
-let endpoints_exn r =
+let endpoints_exn (r : result) =
   match Circuit.endpoints r.circuit with
   | [] -> invalid_arg "Interval_sta: circuit has no endpoints"
   | endpoints -> endpoints
@@ -59,10 +85,9 @@ let chip_interval r =
       (Float.max lo elo, Float.max hi ehi))
     (neg_infinity, neg_infinity) endpoints
 
-let naive_chip_interval r =
+let naive_chip_interval (r : result) =
   List.fold_left
     (fun (lo, hi) e ->
-      let elo, ehi = r.naive.(e) in
+      let elo, ehi = r.per_net.(e).naive in
       (Float.max lo elo, Float.max hi ehi))
-    (neg_infinity, neg_infinity)
-    (endpoints_exn r)
+    (neg_infinity, neg_infinity) (endpoints_exn r)

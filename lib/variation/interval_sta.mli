@@ -17,11 +17,20 @@ val analyze :
   ?gate_delay:float ->
   ?delay_radius:float ->
   ?input_radius:float ->
+  ?domains:int ->
+  ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
   result
 (** Source arrivals are 0 +- [input_radius] (default 3.0, the +-3 sigma
     window of the paper's N(0,1) inputs); every gate's delay is
-    [gate_delay] +- [delay_radius] (defaults 1.0 +- 0). *)
+    [gate_delay] +- [delay_radius] (defaults 1.0 +- 0).
+
+    Traversal comes from {!Spsta_engine.Propagate}.  Each net draws its
+    noise symbols from a private deterministic id range, so [domains]
+    (default 1) parallelism is race-free and bit-identical to the
+    sequential traversal at every domain count; [instrument] receives
+    per-level gate counts and wall-clock timings.  Raises
+    [Invalid_argument] if [domains < 1]. *)
 
 val arrival : result -> Spsta_netlist.Circuit.id -> Affine.t
 

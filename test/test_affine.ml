@@ -144,9 +144,40 @@ let test_reconvergence_tightness () =
   close "reconvergent lo" (-1.0) lo ~tol:1e-9;
   close "reconvergent hi" 5.0 hi ~tol:1e-9
 
+let test_interval_parallel_bit_identical () =
+  (* every net owns a private deterministic symbol range, so the
+     ?domains schedule must reproduce the sequential affine forms
+     exactly — same centers, same radii, same enclosures *)
+  let c = Spsta_experiments.Benchmarks.load "s386" in
+  let seq = Interval_sta.analyze ~delay_radius:0.2 ~input_radius:3.0 c in
+  List.iter
+    (fun domains ->
+      let par = Interval_sta.analyze ~delay_radius:0.2 ~input_radius:3.0 ~domains c in
+      for i = 0 to Circuit.num_nets c - 1 do
+        let name = Printf.sprintf "%s@%d" (Circuit.net_name c i) domains in
+        let a = Interval_sta.arrival seq i and b = Interval_sta.arrival par i in
+        close (name ^ " center") (Affine.center a) (Affine.center b) ~tol:0.0;
+        close (name ^ " radius") (Affine.radius a) (Affine.radius b) ~tol:0.0;
+        let alo, ahi = Interval_sta.arrival_interval seq i in
+        let blo, bhi = Interval_sta.arrival_interval par i in
+        close (name ^ " lo") alo blo ~tol:0.0;
+        close (name ^ " hi") ahi bhi ~tol:0.0
+      done;
+      let alo, ahi = Interval_sta.chip_interval seq in
+      let blo, bhi = Interval_sta.chip_interval par in
+      close "chip lo" alo blo ~tol:0.0;
+      close "chip hi" ahi bhi ~tol:0.0;
+      let nlo, nhi = Interval_sta.naive_chip_interval seq in
+      let mlo, mhi = Interval_sta.naive_chip_interval par in
+      close "naive chip lo" nlo mlo ~tol:0.0;
+      close "naive chip hi" nhi mhi ~tol:0.0)
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "interval STA parallel bit-identical" `Quick
+      test_interval_parallel_bit_identical;
     Alcotest.test_case "correlation cancels" `Quick test_correlation_cancels;
     Alcotest.test_case "scale/neg" `Quick test_scale_neg;
     Alcotest.test_case "disjoint max" `Quick test_join_max_disjoint;

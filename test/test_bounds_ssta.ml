@@ -137,9 +137,34 @@ let test_cdf_bounds_lookup () =
   let lo2, _ = Bounds_ssta.cdf_bounds b (-100.0) in
   close "far left" 0.0 lo2
 
+let test_parallel_bit_identical () =
+  (* the levelized ?domains schedule must reproduce the sequential cdf
+     bands exactly, bin for bin *)
+  let c = Spsta_experiments.Benchmarks.load "s386" in
+  let seq = Bounds_ssta.analyze c in
+  List.iter
+    (fun domains ->
+      let par = Bounds_ssta.analyze ~domains c in
+      let check_band name a b =
+        Array.iteri
+          (fun i t ->
+            close (Printf.sprintf "%s time bin %d" name i) t b.Bounds_ssta.times.(i) ~tol:0.0;
+            close (Printf.sprintf "%s lower bin %d" name i) a.Bounds_ssta.lower.(i)
+              b.Bounds_ssta.lower.(i) ~tol:0.0;
+            close (Printf.sprintf "%s upper bin %d" name i) a.Bounds_ssta.upper.(i)
+              b.Bounds_ssta.upper.(i) ~tol:0.0)
+          a.Bounds_ssta.times
+      in
+      List.iter
+        (fun e -> check_band (Circuit.net_name c e) (Bounds_ssta.band seq e) (Bounds_ssta.band par e))
+        (Circuit.endpoints c);
+      check_band "chip" (Bounds_ssta.chip_band seq) (Bounds_ssta.chip_band par))
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "tight on chains" `Quick test_chain_bounds_tight;
+    Alcotest.test_case "parallel bit-identical" `Quick test_parallel_bit_identical;
     Alcotest.test_case "lower <= upper" `Quick test_band_ordering;
     Alcotest.test_case "bounds monotone" `Quick test_bounds_monotone;
     Alcotest.test_case "MC inside the chip band" `Slow test_mc_within_chip_band;

@@ -238,9 +238,40 @@ let test_chip_delay_dominates () =
         && chip.Canonical.mean >= a.Canonical_ssta.fall.Canonical.mean -. 1e-9))
     (Circuit.endpoints c)
 
+let test_canonical_parallel_bit_identical () =
+  (* canonical forms carry a full sensitivity vector; the ?domains
+     schedule must reproduce every coefficient exactly *)
+  let model =
+    Param_model.create ~sigma_global:0.2 ~sigma_spatial:0.15 ~sigma_random:0.1 ~grid:3 ()
+  in
+  let c = Spsta_experiments.Benchmarks.load "s298" in
+  let p = Param_model.place ~seed:9 model c in
+  let seq = Canonical_ssta.analyze model p c in
+  let check_form name a b =
+    close (name ^ " mean") a.Canonical.mean b.Canonical.mean ~tol:0.0;
+    close (name ^ " rand") a.Canonical.rand b.Canonical.rand ~tol:0.0;
+    Alcotest.(check int) (name ^ " nparams") (Canonical.nparams a) (Canonical.nparams b);
+    Array.iteri
+      (fun i s -> close (Printf.sprintf "%s sens %d" name i) s b.Canonical.sens.(i) ~tol:0.0)
+      a.Canonical.sens
+  in
+  List.iter
+    (fun domains ->
+      let par = Canonical_ssta.analyze ~domains model p c in
+      for i = 0 to Circuit.num_nets c - 1 do
+        let a = Canonical_ssta.arrival seq i and b = Canonical_ssta.arrival par i in
+        let name = Printf.sprintf "%s@%d" (Circuit.net_name c i) domains in
+        check_form (name ^ " rise") a.Canonical_ssta.rise b.Canonical_ssta.rise;
+        check_form (name ^ " fall") a.Canonical_ssta.fall b.Canonical_ssta.fall
+      done;
+      check_form "chip delay" (Canonical_ssta.chip_delay seq) (Canonical_ssta.chip_delay par))
+    [ 1; 2; 4 ]
+
 let suite =
   [
     Alcotest.test_case "moments" `Quick test_moments;
+    Alcotest.test_case "canonical SSTA parallel bit-identical" `Quick
+      test_canonical_parallel_bit_identical;
     Alcotest.test_case "covariance" `Quick test_covariance;
     Alcotest.test_case "add is exact" `Quick test_add_exact;
     Alcotest.test_case "scale/negate" `Quick test_scale_negate;

@@ -105,7 +105,10 @@ let test_endpoints_dedup () =
 let test_find () =
   let c = build_small () in
   Alcotest.(check bool) "missing net" true (Circuit.find c "nope" = None);
-  Alcotest.check_raises "find_exn missing" Not_found (fun () -> ignore (Circuit.find_exn c "nope"))
+  (* the error must name both the missing net and the circuit *)
+  Alcotest.check_raises "find_exn missing"
+    (Invalid_argument "Circuit.find_exn: no net \"nope\" in circuit \"small\"") (fun () ->
+      ignore (Circuit.find_exn c "nope"))
 
 let expect_invalid f =
   match f () with

@@ -250,6 +250,29 @@ let test_batch_deterministic_across_pool_sizes () =
     (fun a b -> Alcotest.(check string) "same response regardless of pool size" a b)
     serial parallel
 
+let test_batch_identical_across_domains () =
+  (* memo keys deliberately carry no domains component: the engine's
+     parallel traversal is bit-identical, so the same request must yield
+     byte-identical payloads at every analysis_domains setting *)
+  let lines =
+    [ line ~id:"d1" ~kind:"analyze" ~circuit:"s27" ();
+      line ~id:"d2" ~kind:"analyze" ~circuit:"s386" ~extra:",\"case\":\"II\",\"top\":4" ();
+      line ~id:"d3" ~kind:"ssta" ~circuit:"s344" ();
+      line ~id:"d4" ~kind:"ssta" ~circuit:"c17" ~extra:",\"top\":2" () ]
+  in
+  let run domains =
+    let config = { (config ~workers:2) with Server.analysis_domains = domains } in
+    let _, responses = Server.run_batch ~config lines in
+    List.map fingerprint responses
+  in
+  let serial = run 1 in
+  List.iter
+    (fun domains ->
+      List.iter2
+        (fun a b -> Alcotest.(check string) "same payload at every domain count" a b)
+        serial (run domains))
+    [ 2; 4 ]
+
 let test_batch_error_isolation () =
   let lines =
     [ line ~id:"ok1" ~kind:"analyze" ~circuit:"s27" ();
@@ -315,6 +338,8 @@ let suite =
     Alcotest.test_case "batch memo hits" `Quick test_batch_memo_hits;
     Alcotest.test_case "batch deterministic across pool sizes" `Quick
       test_batch_deterministic_across_pool_sizes;
+    Alcotest.test_case "batch identical across domains" `Quick
+      test_batch_identical_across_domains;
     Alcotest.test_case "batch error isolation" `Quick test_batch_error_isolation;
     Alcotest.test_case "batch stats sees traffic" `Quick test_batch_stats_sees_traffic;
   ]

@@ -139,6 +139,41 @@ let test_xor_uses_both_polarities () =
   (* the late falling inputs dominate the XOR settle time *)
   Alcotest.(check bool) "XOR rise sees the late fall" true (Normal.mean a.Ssta.rise > 5.5)
 
+let test_sta_no_endpoints_raises () =
+  (* a gate with no primary output and no flip-flop: there is nothing to
+     report, and the STA summaries must say so rather than silently
+     returning neg_infinity *)
+  let b = Circuit.Builder.create () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"n1" Gate_kind.Buf [ "a" ];
+  let c = Circuit.Builder.finalize b in
+  Alcotest.(check (list int)) "no endpoints" [] (Circuit.endpoints c);
+  let r = Sta.analyze c in
+  let expected = Invalid_argument "Sta.critical_endpoint: circuit has no endpoints" in
+  Alcotest.check_raises "critical_endpoint raises" expected (fun () ->
+      ignore (Sta.critical_endpoint r));
+  Alcotest.check_raises "max_latest raises too" expected (fun () -> ignore (Sta.max_latest r))
+
+let test_sta_parallel_bit_identical () =
+  (* corner STA on the shared engine: the levelized ?domains schedule
+     must reproduce the sequential bounds exactly *)
+  List.iter
+    (fun name ->
+      let c = Spsta_experiments.Benchmarks.load name in
+      let seq = Sta.analyze ~input_bounds:{ Sta.earliest = -3.0; latest = 3.0 } c in
+      List.iter
+        (fun domains ->
+          let par =
+            Sta.analyze ~input_bounds:{ Sta.earliest = -3.0; latest = 3.0 } ~domains c
+          in
+          for g = 0 to Circuit.num_nets c - 1 do
+            let a = Sta.bounds seq g and b = Sta.bounds par g in
+            close "earliest identical" a.Sta.earliest b.Sta.earliest ~tol:0.0;
+            close "latest identical" a.Sta.latest b.Sta.latest ~tol:0.0
+          done)
+        [ 2; 4 ])
+    [ "s27"; "s386" ]
+
 let test_parallel_bit_identical () =
   (* the levelized ?domains schedule must reproduce the sequential
      arrivals exactly, at every net and domain count *)
@@ -168,6 +203,8 @@ let suite =
     Alcotest.test_case "STA buffer chain" `Quick test_sta_chain;
     Alcotest.test_case "STA input bounds" `Quick test_sta_input_bounds;
     Alcotest.test_case "STA reconvergent paths" `Quick test_sta_reconvergent;
+    Alcotest.test_case "STA no endpoints raises" `Quick test_sta_no_endpoints_raises;
+    Alcotest.test_case "STA parallel bit-identical" `Quick test_sta_parallel_bit_identical;
     Alcotest.test_case "SSTA chain moments" `Quick test_ssta_chain_moments;
     Alcotest.test_case "SSTA NOT swaps rise/fall" `Quick test_ssta_not_swaps;
     Alcotest.test_case "SSTA AND gate Clark" `Quick test_ssta_and_gate_clark;
