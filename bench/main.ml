@@ -393,14 +393,56 @@ let json_bench_circuit ~mc_runs ~domains name =
   in
   let t_ssta, _ = wall_best (fun () -> Ssta.analyze circuit) in
   let t_ssta_par, _ = wall_best (fun () -> Ssta.analyze ~domains circuit) in
-  let t_mc, _ = wall (fun () -> Monte_carlo.simulate ~runs:mc_runs ~seed circuit ~spec) in
+  let t_mc, mc_scalar =
+    wall (fun () -> Monte_carlo.simulate ~runs:mc_runs ~engine:`Scalar ~seed circuit ~spec)
+  in
   let t_mc_par, _ =
-    wall (fun () -> Monte_carlo.simulate_parallel ~runs:mc_runs ~domains ~seed circuit ~spec)
+    wall (fun () ->
+        Monte_carlo.simulate_parallel ~runs:mc_runs ~engine:`Scalar ~domains ~seed circuit ~spec)
+  in
+  let t_mc_packed, mc_packed =
+    wall (fun () -> Monte_carlo.simulate ~runs:mc_runs ~engine:`Packed ~seed circuit ~spec)
+  in
+  let t_mc_packed_par, _ =
+    wall (fun () ->
+        Monte_carlo.simulate ~runs:mc_runs ~engine:`Packed ~domains ~seed circuit ~spec)
+  in
+  (* cross-engine fidelity: the packed engine must reproduce the scalar
+     reference exactly — equal per-net counts and bit-equal Welford
+     accumulators *)
+  let mc_counts_equal, mc_stats_equal =
+    let counts = ref true and stats = ref true in
+    let acc_eq (p : Spsta_util.Stats.acc) (q : Spsta_util.Stats.acc) =
+      p.Spsta_util.Stats.n = q.Spsta_util.Stats.n
+      && p.Spsta_util.Stats.mu = q.Spsta_util.Stats.mu
+      && p.Spsta_util.Stats.m2 = q.Spsta_util.Stats.m2
+      && p.Spsta_util.Stats.lo = q.Spsta_util.Stats.lo
+      && p.Spsta_util.Stats.hi = q.Spsta_util.Stats.hi
+    in
+    Array.iteri
+      (fun i (x : Monte_carlo.net_stats) ->
+        let y = mc_packed.Monte_carlo.per_net.(i) in
+        if
+          not
+            (x.Monte_carlo.count_zero = y.Monte_carlo.count_zero
+            && x.Monte_carlo.count_one = y.Monte_carlo.count_one
+            && x.Monte_carlo.count_rise = y.Monte_carlo.count_rise
+            && x.Monte_carlo.count_fall = y.Monte_carlo.count_fall)
+        then counts := false;
+        if
+          not
+            (acc_eq x.Monte_carlo.rise_times y.Monte_carlo.rise_times
+            && acc_eq x.Monte_carlo.fall_times y.Monte_carlo.fall_times)
+        then stats := false)
+      mc_scalar.Monte_carlo.per_net;
+    (!counts, !stats)
   in
   let ratio num den = if den > 0.0 then num /. den else 0.0 in
   let (b_mu, b_sig, b_p) = baseline_stats and (o_mu, o_sig, o_p) = opt_stats in
-  Printf.eprintf "  %-8s grid %.3fs (baseline %.3fs, x%.2f) moment %.3fs mc %.3fs\n%!" name
-    t_grid t_grid_baseline (ratio t_grid_baseline t_grid) t_moment t_mc;
+  Printf.eprintf
+    "  %-8s grid %.3fs (baseline %.3fs, x%.2f) moment %.3fs mc %.3fs (packed %.3fs, x%.2f)\n%!"
+    name t_grid t_grid_baseline (ratio t_grid_baseline t_grid) t_moment t_mc t_mc_packed
+    (ratio t_mc t_mc_packed);
   Json.Obj
     [ ("name", Json.string name);
       ("gates", Json.int (Circuit.gate_count circuit));
@@ -415,14 +457,24 @@ let json_bench_circuit ~mc_runs ~domains name =
            ("ssta", Json.float t_ssta);
            ("ssta_parallel", Json.float t_ssta_par);
            ("mc", Json.float t_mc);
-           ("mc_parallel", Json.float t_mc_par) ]);
+           ("mc_parallel", Json.float t_mc_par);
+           ("mc_packed", Json.float t_mc_packed);
+           ("mc_packed_parallel", Json.float t_mc_packed_par) ]);
       ("speedups",
        Json.Obj
          [ ("grid_kernels", Json.float (ratio t_grid_baseline t_grid));
            ("grid_domains", Json.float (ratio t_grid t_grid_par));
            ("moment_domains", Json.float (ratio t_moment t_moment_par));
            ("ssta_domains", Json.float (ratio t_ssta t_ssta_par));
-           ("mc_domains", Json.float (ratio t_mc t_mc_par)) ]);
+           ("mc_domains", Json.float (ratio t_mc t_mc_par));
+           ("mc_packed_speedup", Json.float (ratio t_mc t_mc_packed));
+           ("mc_packed_domains", Json.float (ratio t_mc_packed t_mc_packed_par)) ]);
+      (* engine-fidelity check: the packed bit-parallel engine must equal
+         the scalar oracle exactly at the same (runs, seed) *)
+      ("mc_fidelity",
+       Json.Obj
+         [ ("counts_equal", Json.bool mc_counts_equal);
+           ("stats_equal", Json.bool mc_stats_equal) ]);
       (* optimisation-fidelity check: the truncated grid's critical
          endpoint must match the exact baseline to well within eps *)
       ("grid_fidelity",
@@ -446,7 +498,7 @@ let json_mode path =
     (String.concat ", " circuits) mc_runs domains;
   let doc =
     Json.Obj
-      [ ("schema", Json.string "spsta-bench/1");
+      [ ("schema", Json.string "spsta-bench/2");
         ("mc_runs", Json.int mc_runs);
         ("seed", Json.int seed);
         ("domains", Json.int domains);

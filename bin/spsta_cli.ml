@@ -80,10 +80,25 @@ let domains_arg =
   let doc =
     "Worker domains for the propagation (0 = one per available core).  Every analysis on \
      the levelized engine (SPSTA, SSTA, STA, bounds, canonical, interval) is bit-identical \
-     at every domain count; Monte Carlo switches to the deterministic sharded generator, \
-     whose stream depends on the domain count."
+     at every domain count, and so is Monte Carlo: each trial draws from its own seeded \
+     substream, so the domain count is purely a throughput knob."
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let mc_engine_arg =
+  let doc =
+    "Monte Carlo engine: packed (bit-parallel, 64 trials per machine word) or scalar (one \
+     logic simulation per trial — the oracle).  Both return bit-identical statistics."
+  in
+  let engine = Arg.enum [ ("packed", `Packed); ("scalar", `Scalar) ] in
+  Arg.(value & opt engine `Packed & info [ "mc-engine" ] ~docv:"ENGINE" ~doc)
+
+let mc_domains_arg =
+  let doc =
+    "Worker domains for the Monte Carlo trial chunks (0 = one per available core).  \
+     Results are bit-identical at every domain count."
+  in
+  Arg.(value & opt int 1 & info [ "mc-domains"; "domains" ] ~docv:"N" ~doc)
 
 let resolve_domains = function
   | 0 -> Spsta_util.Parallel.default_domains ()
@@ -157,16 +172,13 @@ let ssta_cmd =
   Cmd.v info Term.(const run $ circuit_arg $ domains_arg)
 
 let mc_cmd =
-  let run name case_str runs seed domains =
+  let run name case_str runs seed domains engine =
     let circuit = load_circuit name in
     let case = case_of_string case_str in
     let spec = Experiments.Workloads.spec_fn case in
     print_header circuit;
     let domains = resolve_domains domains in
-    let result =
-      if domains = 1 then Monte_carlo.simulate ~runs ~seed circuit ~spec
-      else Monte_carlo.simulate_parallel ~runs ~domains ~seed circuit ~spec
-    in
+    let result = Monte_carlo.simulate ~runs ~seed ~engine ~domains circuit ~spec in
     let table =
       Spsta_util.Table.create
         ~headers:[ "endpoint"; "P(r)"; "mu(r)"; "sigma(r)"; "P(f)"; "mu(f)"; "sigma(f)"; "SP" ]
@@ -189,7 +201,9 @@ let mc_cmd =
     print_endline (Spsta_util.Table.render table)
   in
   let info = Cmd.info "mc" ~doc:"Monte Carlo reference simulation" in
-  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ runs_arg $ seed_arg $ domains_arg)
+  Cmd.v info
+    Term.(const run $ circuit_arg $ case_arg $ runs_arg $ seed_arg $ mc_domains_arg
+          $ mc_engine_arg)
 
 let power_cmd =
   let run name case_str top =
@@ -528,8 +542,9 @@ let gen_cmd =
   Cmd.v info Term.(const run $ circuit_arg $ out_arg $ format_arg)
 
 let experiment_cmd =
-  let run id runs seed =
-    match Experiments.Runner.run ~runs ~seed id with
+  let run id runs seed mc_engine mc_domains =
+    let mc_domains = resolve_domains mc_domains in
+    match Experiments.Runner.run ~runs ~seed ~mc_engine ~mc_domains id with
     | output -> print_string output
     | exception Not_found ->
       Printf.eprintf "error: unknown experiment %s (one of: %s)\n" id
@@ -541,7 +556,7 @@ let experiment_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
   let info = Cmd.info "experiment" ~doc:"Regenerate a paper table or figure" in
-  Cmd.v info Term.(const run $ id_arg $ runs_arg $ seed_arg)
+  Cmd.v info Term.(const run $ id_arg $ runs_arg $ seed_arg $ mc_engine_arg $ mc_domains_arg)
 
 let list_cmd =
   let run () =

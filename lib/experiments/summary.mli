@@ -21,8 +21,16 @@ val of_rows : Table2.row list -> errors
 (** Rows whose Monte Carlo transition probability is below 0.5% are
     skipped (their MC moments are noise). *)
 
-val run : ?runs:int -> ?seed:int -> unit -> t
+val run :
+  ?runs:int ->
+  ?seed:int ->
+  ?mc_engine:Spsta_sim.Monte_carlo.engine ->
+  ?mc_domains:int ->
+  unit ->
+  t
 (** Runs Table 2 for both cases plus a per-net signal-probability
-    comparison on the full suite. *)
+    comparison on the full suite.  [mc_engine]/[mc_domains] select the
+    Monte Carlo engine (default packed) and domain count (default 1);
+    the result is identical for every combination. *)
 
 val render : t -> string

@@ -17,15 +17,27 @@ type row = {
 val run_circuit :
   ?runs:int ->
   ?seed:int ->
+  ?mc_engine:Spsta_sim.Monte_carlo.engine ->
+  ?mc_domains:int ->
   Spsta_netlist.Circuit.t ->
   case:Workloads.case ->
   row list
 (** Two rows (rise then fall).  The critical endpoint is selected per
     direction as the endpoint with the largest Monte Carlo mean arrival
     (the reference's view of criticality); all three methods are read at
-    that same net.  [runs] defaults to 10_000, [seed] to 42. *)
+    that same net.  [runs] defaults to 10_000, [seed] to 42.
+    [mc_engine]/[mc_domains] select the Monte Carlo engine and domain
+    count (defaults: bit-parallel packed engine, one domain); the rows
+    are identical for every combination. *)
 
-val run_suite : ?runs:int -> ?seed:int -> case:Workloads.case -> unit -> row list
+val run_suite :
+  ?runs:int ->
+  ?seed:int ->
+  ?mc_engine:Spsta_sim.Monte_carlo.engine ->
+  ?mc_domains:int ->
+  case:Workloads.case ->
+  unit ->
+  row list
 (** All nine evaluated circuits, rise rows first (paper layout). *)
 
 val render : case:Workloads.case -> row list -> string

@@ -10,6 +10,25 @@ type row = {
   mc_runs : int;
 }
 
-val run_circuit : ?runs:int -> ?seed:int -> Spsta_netlist.Circuit.t -> case:Workloads.case -> row
-val run_suite : ?runs:int -> ?seed:int -> case:Workloads.case -> unit -> row list
+val run_circuit :
+  ?runs:int ->
+  ?seed:int ->
+  ?mc_engine:Spsta_sim.Monte_carlo.engine ->
+  ?mc_domains:int ->
+  Spsta_netlist.Circuit.t ->
+  case:Workloads.case ->
+  row
+
+val run_suite :
+  ?runs:int ->
+  ?seed:int ->
+  ?mc_engine:Spsta_sim.Monte_carlo.engine ->
+  ?mc_domains:int ->
+  case:Workloads.case ->
+  unit ->
+  row list
+(** [mc_engine] (default the packed engine) and [mc_domains] (default 1)
+    select how the Monte Carlo column is produced; the measured seconds
+    change, the statistics do not. *)
+
 val render : row list -> string

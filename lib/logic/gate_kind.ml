@@ -50,6 +50,13 @@ let controlled_value t =
     (* a controlling input c yields base-gate output c for AND/OR families *)
     Some (if inverting t then not c else c)
 
+type plane_op = Op_and | Op_or | Op_xor
+
+let plane_op = function
+  | And | Nand | Not | Buf -> Op_and
+  | Or | Nor -> Op_or
+  | Xor | Xnor -> Op_xor
+
 let check_arity t inputs =
   let n = List.length inputs in
   if n < min_arity t then

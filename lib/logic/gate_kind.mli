@@ -26,6 +26,18 @@ val controlling_value : t -> bool option
 val controlled_value : t -> bool option
 (** Output value produced by a controlling input. *)
 
+type plane_op = Op_and | Op_or | Op_xor
+(** The associative bitwise fold underlying each gate family. *)
+
+val plane_op : t -> plane_op
+(** Plane-wise evaluation hook for bit-parallel engines: every gate is a
+    fold of one associative boolean op over its inputs, complemented when
+    {!inverting}.  Applied independently to a packed initial-level plane
+    and final-level plane this reproduces {!eval4} lane by lane, because
+    the no-glitch semantics evaluate the two levels independently (see
+    {!Value4.lift2}).  NOT/BUF use [Op_and], where a single-input fold is
+    the identity. *)
+
 val eval_bool : t -> bool list -> bool
 (** Boolean evaluation.  Raises [Invalid_argument] on an arity violation
     (e.g. NOT with two inputs). *)

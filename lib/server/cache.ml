@@ -152,6 +152,9 @@ let memo_key ~digest (kind : Protocol.kind) =
     Printf.sprintf "analyze|%s|case=%s|top=%d" digest (Protocol.case_name p.case) p.top
   | Protocol.Ssta p -> Printf.sprintf "ssta|%s|top=%d" digest p.top
   | Protocol.Mc p ->
+    (* deliberately engine-free: the packed and scalar engines return
+       bit-identical results for equal (runs, seed), so a payload cached
+       under one engine is valid for the other *)
     Printf.sprintf "mc|%s|case=%s|runs=%d|seed=%d|top=%d" digest (Protocol.case_name p.case)
       p.runs p.seed p.top
   | Protocol.Paths p ->

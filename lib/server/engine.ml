@@ -92,9 +92,10 @@ let ssta_payload circuit ~top ~domains =
   in
   endpoints_payload circuit ~top ~extra:[] ~mean_of ~endpoint_json
 
-let mc_payload circuit ~case ~runs ~seed ~top =
+let mc_payload circuit ~case ~runs ~seed ~top ~engine =
   let spec = spec_of_case case in
-  let result = Monte_carlo.simulate ~runs ~seed circuit ~spec in
+  let engine = match engine with Protocol.Scalar -> `Scalar | Protocol.Packed -> `Packed in
+  let result = Monte_carlo.simulate ~runs ~seed ~engine circuit ~spec in
   let endpoint_json e =
     let s = Monte_carlo.stats result e in
     Json.Obj
@@ -145,6 +146,7 @@ let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
   | Protocol.Ssta p -> ssta_payload (circuit_of p.circuit) ~top:p.top ~domains
   | Protocol.Mc p ->
     mc_payload (circuit_of p.circuit) ~case:p.case ~runs:p.runs ~seed:p.seed ~top:p.top
+      ~engine:p.engine
   | Protocol.Paths p ->
     paths_payload (circuit_of p.circuit) ~k:p.k ~sigma_global:p.sigma_global
       ~sigma_spatial:p.sigma_spatial ~sigma_random:p.sigma_random
@@ -158,11 +160,12 @@ let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
    kind backed by a propagation analyzer (analyze, ssta).  Because the
    engine's parallel traversal is bit-identical to the sequential one,
    memo keys need no domains component: cached payloads are valid at
-   every domain count.  Monte Carlo stays sequential regardless — its
-   parallel variant's stream splitting depends on the shard count, which
-   would make responses (and the memo table) depend on a tuning knob —
-   and the paths kind enumerates paths rather than propagating per-net
-   state. *)
+   every domain count.  Monte Carlo likewise runs single-domain inside
+   one worker, but its engine is selectable per request (packed
+   bit-parallel vs scalar oracle); trial [i] always draws from
+   [Rng.stream ~seed i], so both engines — at any domain count — return
+   bit-identical results and the memo key stays engine-free.  The paths
+   kind enumerates paths rather than propagating per-net state. *)
 let execute ?(domains = 1) (cache : Cache.t) (request : Protocol.request) : Protocol.response =
   let start = Unix.gettimeofday () in
   let finish result =

@@ -1,0 +1,83 @@
+module Value4 = Spsta_logic.Value4
+module Gate_kind = Spsta_logic.Gate_kind
+
+type t = { init : int64; fin : int64 }
+
+let lanes = 64
+
+let broadcast v =
+  let full b = if b then -1L else 0L in
+  { init = full (Value4.initial v); fin = full (Value4.final v) }
+
+let zero = broadcast Value4.Zero
+
+let pack vs =
+  let n = Array.length vs in
+  if n > lanes then invalid_arg "Packed_value4.pack: more than 64 lanes";
+  let init = ref 0L and fin = ref 0L in
+  for l = 0 to n - 1 do
+    let v = vs.(l) in
+    if Value4.initial v then init := Int64.logor !init (Int64.shift_left 1L l);
+    if Value4.final v then fin := Int64.logor !fin (Int64.shift_left 1L l)
+  done;
+  { init = !init; fin = !fin }
+
+let get t lane =
+  if lane < 0 || lane >= lanes then invalid_arg "Packed_value4.get: lane out of range";
+  let bit p = Int64.logand (Int64.shift_right_logical p lane) 1L = 1L in
+  Value4.of_initial_final (bit t.init) (bit t.fin)
+
+let unpack t = Array.init lanes (get t)
+
+let lnot t = { init = Int64.lognot t.init; fin = Int64.lognot t.fin }
+let land2 a b = { init = Int64.logand a.init b.init; fin = Int64.logand a.fin b.fin }
+let lor2 a b = { init = Int64.logor a.init b.init; fin = Int64.logor a.fin b.fin }
+let lxor2 a b = { init = Int64.logxor a.init b.init; fin = Int64.logxor a.fin b.fin }
+
+(* arity rules identical to Gate_kind.check_arity, over an array *)
+let check_arity kind n =
+  if n < Gate_kind.min_arity kind then
+    invalid_arg
+      (Printf.sprintf "Packed_value4.eval: %s needs >= %d inputs, got %d"
+         (Gate_kind.to_string kind) (Gate_kind.min_arity kind) n);
+  match Gate_kind.max_arity kind with
+  | Some m when n > m ->
+    invalid_arg
+      (Printf.sprintf "Packed_value4.eval: %s needs <= %d inputs, got %d"
+         (Gate_kind.to_string kind) m n)
+  | Some _ | None -> ()
+
+let eval kind inputs =
+  let n = Array.length inputs in
+  check_arity kind n;
+  let op =
+    match Gate_kind.plane_op kind with
+    | Gate_kind.Op_and -> land2
+    | Gate_kind.Op_or -> lor2
+    | Gate_kind.Op_xor -> lxor2
+  in
+  let acc = ref inputs.(0) in
+  for i = 1 to n - 1 do
+    acc := op !acc inputs.(i)
+  done;
+  if Gate_kind.inverting kind then lnot !acc else !acc
+
+let transition_mask t = Int64.logxor t.init t.fin
+let rise_mask t = Int64.logand (Int64.lognot t.init) t.fin
+let fall_mask t = Int64.logand t.init (Int64.lognot t.fin)
+let one_mask t = Int64.logand t.init t.fin
+let zero_mask t = Int64.lognot (Int64.logor t.init t.fin)
+
+let popcount x =
+  let open Int64 in
+  let x = sub x (logand (shift_right_logical x 1) 0x5555555555555555L) in
+  let x = add (logand x 0x3333333333333333L) (logand (shift_right_logical x 2) 0x3333333333333333L) in
+  let x = logand (add x (shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul x 0x0101010101010101L) 56)
+
+let equal a b = Int64.equal a.init b.init && Int64.equal a.fin b.fin
+
+let pp fmt t =
+  for l = 0 to lanes - 1 do
+    Format.pp_print_string fmt (Value4.to_string (get t l))
+  done

@@ -1,0 +1,61 @@
+(** 64-lane bit-sliced four-value vectors: one {!Spsta_logic.Value4.t}
+    per lane, stored as two 64-bit planes.
+
+    Bit [l] of [init] is the lane-[l] start-of-cycle level and bit [l] of
+    [fin] its end-of-cycle level, so the encoding is Zero = (0,0),
+    One = (1,1), Rising = (0,1), Falling = (1,0).  Because the no-glitch
+    semantics evaluate the two levels independently
+    ({!Spsta_logic.Value4.lift2}), any gate evaluates over all 64 lanes
+    with one bitwise fold per plane ({!Spsta_logic.Gate_kind.plane_op})
+    plus a complement for inverting kinds — 64 Monte Carlo trials per
+    gate evaluation. *)
+
+type t = { init : int64; fin : int64 }
+
+val lanes : int
+(** 64. *)
+
+val broadcast : Spsta_logic.Value4.t -> t
+(** All 64 lanes set to the given symbol. *)
+
+val zero : t
+(** [broadcast Zero]. *)
+
+val pack : Spsta_logic.Value4.t array -> t
+(** [pack vs] puts [vs.(l)] in lane [l]; missing lanes (length < 64) are
+    Zero.  Raises [Invalid_argument] beyond 64 elements. *)
+
+val get : t -> int -> Spsta_logic.Value4.t
+(** [get t l] is lane [l] (0..63); raises [Invalid_argument] outside. *)
+
+val unpack : t -> Spsta_logic.Value4.t array
+(** All 64 lanes, [get t 0 .. get t 63]. *)
+
+val lnot : t -> t
+val land2 : t -> t -> t
+val lor2 : t -> t -> t
+val lxor2 : t -> t -> t
+(** Lane-wise four-value connectives, equal to
+    {!Spsta_logic.Value4.lnot} etc. per lane. *)
+
+val eval : Spsta_logic.Gate_kind.t -> t array -> t
+(** Lane-wise {!Spsta_logic.Gate_kind.eval4}: a fold of the kind's
+    {!Spsta_logic.Gate_kind.plane_op} over the inputs, complemented for
+    inverting kinds.  Raises [Invalid_argument] on arity violations,
+    mirroring [eval4]. *)
+
+val transition_mask : t -> int64
+(** Bit [l] set iff lane [l] is Rising or Falling. *)
+
+val rise_mask : t -> int64
+val fall_mask : t -> int64
+val one_mask : t -> int64
+val zero_mask : t -> int64
+
+val popcount : int64 -> int
+(** Number of set bits (branch-free SWAR); turns masks into counts. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** 64 symbol characters, lane 0 first. *)

@@ -42,6 +42,38 @@ let bits64 t =
 
 let split t = of_seed64 (bits64 t)
 
+let stream ~seed index =
+  if index < 0 then invalid_arg "Rng.stream: negative index";
+  (* the [index]-th output of a splitmix64 sequence started at [seed]:
+     random access (no stepping) because splitmix64's state advances by a
+     fixed additive constant per draw *)
+  let st = ref (Int64.add (Int64.of_int seed) (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int index))) in
+  of_seed64 (splitmix64 st)
+
+(* xoshiro256++ jump polynomial: advancing by 2^128 steps *)
+let jump_poly =
+  [| 0x180ec6d33cfd0abaL; 0xd5a61266f0c9392cL; 0xa9582618e03fc9aaL; 0x39abdc4529b1661cL |]
+
+let jump t =
+  let j0 = ref 0L and j1 = ref 0L and j2 = ref 0L and j3 = ref 0L in
+  Array.iter
+    (fun word ->
+      for b = 0 to 63 do
+        if Int64.logand (Int64.shift_right_logical word b) 1L = 1L then begin
+          j0 := Int64.logxor !j0 t.s0;
+          j1 := Int64.logxor !j1 t.s1;
+          j2 := Int64.logxor !j2 t.s2;
+          j3 := Int64.logxor !j3 t.s3
+        end;
+        ignore (bits64 t)
+      done)
+    jump_poly;
+  t.s0 <- !j0;
+  t.s1 <- !j1;
+  t.s2 <- !j2;
+  t.s3 <- !j3;
+  t.spare <- None
+
 let float t =
   (* 53 high bits -> uniform double in [0,1) *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

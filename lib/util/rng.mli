@@ -18,6 +18,23 @@ val split : t -> t
 (** [split t] draws from [t] to seed a fresh, statistically independent
     generator.  Useful to give each Monte Carlo run its own stream. *)
 
+val stream : seed:int -> int -> t
+(** [stream ~seed index] is the [index]-th (>= 0) member of a family of
+    statistically independent generators derived from [seed]: the
+    xoshiro256++ state is expanded from the [index]-th output of a
+    splitmix64 sequence started at [seed], in O(1) regardless of
+    [index].  Equal [(seed, index)] pairs give equal streams, and no
+    stream of the family coincides with [create ~seed] itself, so a
+    master generator and per-trial substreams can share one seed.  This
+    is what makes Monte Carlo results independent of how trials are
+    scheduled: trial [i] always consumes [stream ~seed i]. *)
+
+val jump : t -> unit
+(** Advance the generator by 2^128 steps of its sequence (the
+    xoshiro256++ jump polynomial), in 256 fixed steps.  Splitting a
+    stream by repeated [copy]+[jump] yields generators whose next 2^128
+    outputs provably never overlap; any Box-Muller spare is dropped. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

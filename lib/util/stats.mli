@@ -2,8 +2,20 @@
     over float arrays.  Used by the Monte Carlo reference simulator and by
     the experiment harness when comparing analyses. *)
 
-type acc
-(** Streaming accumulator for count / mean / variance / extrema. *)
+type acc = {
+  mutable n : int;
+  mutable mu : float;  (** running mean *)
+  mutable m2 : float;  (** sum of squared deviations from the running mean *)
+  mutable lo : float;
+  mutable hi : float;
+}
+(** Streaming accumulator for count / mean / variance / extrema.
+
+    The representation is exposed so that hot accumulation loops (the
+    packed Monte Carlo engine) can inline the Welford update instead of
+    paying a non-inlined cross-module call per sample; such loops must
+    reproduce {!acc_add}'s arithmetic exactly.  Everyone else should
+    treat the fields as read-only and go through the accessors. *)
 
 val acc_create : unit -> acc
 val acc_add : acc -> float -> unit

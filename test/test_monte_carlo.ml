@@ -113,13 +113,13 @@ let test_parallel_matches_sequential_statistics () =
   let s = Monte_carlo.simulate ~runs:20_000 ~seed:5 c ~spec in
   let y = Circuit.find_exn c "y" in
   let sp = Monte_carlo.stats p y and ss = Monte_carlo.stats s y in
-  (* different streams, same statistics within MC noise *)
-  Alcotest.(check bool) "p_rise agrees" true
-    (Float.abs (Monte_carlo.p_rise sp -. Monte_carlo.p_rise ss) < 0.02);
-  Alcotest.(check bool) "rise mean agrees" true
-    (Float.abs
-       (Stats.acc_mean sp.Monte_carlo.rise_times -. Stats.acc_mean ss.Monte_carlo.rise_times)
-    < 0.05)
+  (* trial [i] always draws from stream [i] and the chunk reduction tree
+     is fixed, so the parallel result IS the sequential one, bit for bit *)
+  Alcotest.(check int) "rise counts equal" ss.Monte_carlo.count_rise sp.Monte_carlo.count_rise;
+  Alcotest.(check (float 0.0)) "rise mean equal" (Stats.acc_mean ss.Monte_carlo.rise_times)
+    (Stats.acc_mean sp.Monte_carlo.rise_times);
+  Alcotest.(check (float 0.0)) "rise m2 equal" ss.Monte_carlo.rise_times.Stats.m2
+    sp.Monte_carlo.rise_times.Stats.m2
 
 let test_parallel_deterministic () =
   let c = tree_circuit () in
@@ -137,9 +137,7 @@ let test_parallel_deterministic () =
   Alcotest.(check (float 0.0)) "same fall mean" (Stats.acc_mean sa.Monte_carlo.fall_times)
     (Stats.acc_mean sb.Monte_carlo.fall_times)
 
-(* one shard means one generator seeded from the master stream: the
-   parallel path with [domains:1] must agree with an explicit [merge] of
-   itself split into nothing — i.e. the shard decomposition is exact *)
+(* an odd run count must still be fully covered by the chunk ranges *)
 let test_parallel_shards_cover_runs () =
   let c = tree_circuit () in
   let spec _ = Input_spec.case_i in
@@ -151,11 +149,111 @@ let test_parallel_shards_cover_runs () =
     (s.Monte_carlo.count_rise + s.Monte_carlo.count_fall <= 1999
     && s.Monte_carlo.count_rise > 0)
 
+(* the packed engine must equal the scalar oracle exactly: all counts,
+   and the Welford accumulators bit for bit *)
+let check_results_equal label (a : Monte_carlo.result) (b : Monte_carlo.result) =
+  Alcotest.(check int) (label ^ ": runs") a.Monte_carlo.runs b.Monte_carlo.runs;
+  Array.iteri
+    (fun i (x : Monte_carlo.net_stats) ->
+      let y = b.Monte_carlo.per_net.(i) in
+      if
+        x.Monte_carlo.count_zero <> y.Monte_carlo.count_zero
+        || x.Monte_carlo.count_one <> y.Monte_carlo.count_one
+        || x.Monte_carlo.count_rise <> y.Monte_carlo.count_rise
+        || x.Monte_carlo.count_fall <> y.Monte_carlo.count_fall
+      then Alcotest.failf "%s: net %d counts differ" label i;
+      let acc_eq (p : Stats.acc) (q : Stats.acc) =
+        p.Stats.n = q.Stats.n && p.Stats.mu = q.Stats.mu && p.Stats.m2 = q.Stats.m2
+        && p.Stats.lo = q.Stats.lo && p.Stats.hi = q.Stats.hi
+      in
+      if not (acc_eq x.Monte_carlo.rise_times y.Monte_carlo.rise_times) then
+        Alcotest.failf "%s: net %d rise accumulators differ" label i;
+      if not (acc_eq x.Monte_carlo.fall_times y.Monte_carlo.fall_times) then
+        Alcotest.failf "%s: net %d fall accumulators differ" label i)
+    a.Monte_carlo.per_net
+
+let test_engines_bit_identical () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_ii in
+  (* 1300 runs: full chunks, a partial chunk, and partial 64-lane blocks *)
+  let run engine = Monte_carlo.simulate ~runs:1300 ~engine ~seed:21 c ~spec in
+  check_results_equal "plain" (run `Scalar) (run `Packed);
+  let run_sigma engine =
+    let mis = Spsta_logic.Mis_model.make ~max_slowdown:0.25 ~min_speedup:0.2 () in
+    Monte_carlo.simulate ~delay_sigma:0.2 ~mis ~runs:700 ~engine ~seed:23 c ~spec
+  in
+  check_results_equal "sigma+mis" (run_sigma `Scalar) (run_sigma `Packed)
+
+let test_domains_independence () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_i in
+  let base = Monte_carlo.simulate ~runs:2100 ~seed:31 c ~spec in
+  List.iter
+    (fun domains ->
+      check_results_equal
+        (Printf.sprintf "domains=%d" domains)
+        base
+        (Monte_carlo.simulate ~runs:2100 ~domains ~seed:31 c ~spec))
+    [ 2; 3; 5 ]
+
+let test_merge_zero_runs () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_i in
+  let some = Monte_carlo.simulate ~runs:300 ~seed:3 c ~spec in
+  let none = Monte_carlo.simulate ~runs:0 ~seed:3 c ~spec in
+  Alcotest.(check int) "zero-run result" 0 none.Monte_carlo.runs;
+  let y = Circuit.find_exn c "y" in
+  let sn = Monte_carlo.stats none y in
+  (* the pre-fix ratio helpers divided by n_runs = 0 here *)
+  Alcotest.(check (float 0.0)) "p_rise of empty" 0.0 (Monte_carlo.p_rise sn);
+  Alcotest.(check (float 0.0)) "SP of empty" 0.0 (Monte_carlo.signal_probability sn);
+  Alcotest.(check (float 0.0)) "toggling of empty" 0.0 (Monte_carlo.toggling_rate sn);
+  (* merging with an empty side is the identity, bit for bit *)
+  check_results_equal "empty on the right" some (Monte_carlo.merge some none);
+  check_results_equal "empty on the left" some (Monte_carlo.merge none some);
+  match Monte_carlo.simulate ~runs:(-1) ~seed:3 c ~spec with
+  | _ -> Alcotest.fail "negative runs accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_merge_associative_and_exact () =
+  let c = tree_circuit () in
+  let spec _ = Input_spec.case_i in
+  let a = Monte_carlo.simulate ~runs:400 ~seed:1 c ~spec in
+  let b = Monte_carlo.simulate ~runs:600 ~seed:2 c ~spec in
+  let d = Monte_carlo.simulate ~runs:500 ~seed:3 c ~spec in
+  let left = Monte_carlo.merge (Monte_carlo.merge a b) d in
+  let right = Monte_carlo.merge a (Monte_carlo.merge b d) in
+  Alcotest.(check int) "runs" 1500 left.Monte_carlo.runs;
+  let y = Circuit.find_exn c "y" in
+  let sl = Monte_carlo.stats left y and sr = Monte_carlo.stats right y in
+  (* counts are order-free integers: exactly associative *)
+  Alcotest.(check int) "rise counts associative" sl.Monte_carlo.count_rise
+    sr.Monte_carlo.count_rise;
+  Alcotest.(check int) "fall counts associative" sl.Monte_carlo.count_fall
+    sr.Monte_carlo.count_fall;
+  (* Welford merging is associative only up to rounding; 1e-12 here *)
+  Alcotest.(check (float 1e-12)) "mean associative"
+    (Stats.acc_mean sl.Monte_carlo.rise_times)
+    (Stats.acc_mean sr.Monte_carlo.rise_times);
+  Alcotest.(check (float 1e-12)) "stddev associative"
+    (Stats.acc_stddev sl.Monte_carlo.rise_times)
+    (Stats.acc_stddev sr.Monte_carlo.rise_times);
+  (* min/max are exact in any order *)
+  Alcotest.(check (float 0.0)) "lo associative" sl.Monte_carlo.rise_times.Stats.lo
+    sr.Monte_carlo.rise_times.Stats.lo;
+  Alcotest.(check (float 0.0)) "hi associative" sl.Monte_carlo.rise_times.Stats.hi
+    sr.Monte_carlo.rise_times.Stats.hi
+
 let suite =
   suite
   @ [
       Alcotest.test_case "merge" `Quick test_merge;
-      Alcotest.test_case "parallel statistics" `Slow test_parallel_matches_sequential_statistics;
+      Alcotest.test_case "parallel equals sequential" `Slow
+        test_parallel_matches_sequential_statistics;
       Alcotest.test_case "parallel determinism" `Quick test_parallel_deterministic;
       Alcotest.test_case "parallel shard coverage" `Quick test_parallel_shards_cover_runs;
+      Alcotest.test_case "engines bit-identical" `Quick test_engines_bit_identical;
+      Alcotest.test_case "domains independence" `Quick test_domains_independence;
+      Alcotest.test_case "merge zero runs" `Quick test_merge_zero_runs;
+      Alcotest.test_case "merge associativity" `Quick test_merge_associative_and_exact;
     ]

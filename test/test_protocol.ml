@@ -60,7 +60,15 @@ let all_requests : Protocol.request list =
       kind = Analyze { circuit = "bench/x.bench"; case = Protocol.Case_ii; top = 3 } };
     { id = "s1"; deadline_ms = None; kind = Ssta { circuit = "s1196"; top = 5 } };
     { id = "m1"; deadline_ms = Some 100.0;
-      kind = Mc { circuit = "s386"; case = Protocol.Case_ii; runs = 2000; seed = 7; top = 0 } };
+      kind =
+        Mc
+          { circuit = "s386"; case = Protocol.Case_ii; runs = 2000; seed = 7; top = 0;
+            engine = Protocol.Packed } };
+    { id = "m2"; deadline_ms = None;
+      kind =
+        Mc
+          { circuit = "s27"; case = Protocol.Case_i; runs = 100; seed = 1; top = 2;
+            engine = Protocol.Scalar } };
     { id = "p1"; deadline_ms = None;
       kind =
         Paths
@@ -91,7 +99,9 @@ let test_request_defaults () =
     Alcotest.(check int) "default seed" 42 p.Protocol.seed;
     Alcotest.(check int) "default top" 0 p.Protocol.top;
     Alcotest.(check bool) "no deadline" true (deadline_ms = None);
-    Alcotest.(check string) "case defaults to I" "I" (Protocol.case_name p.Protocol.case)
+    Alcotest.(check string) "case defaults to I" "I" (Protocol.case_name p.Protocol.case);
+    Alcotest.(check string) "engine defaults to packed" "packed"
+      (Protocol.mc_engine_name p.Protocol.engine)
   | Ok _ -> Alcotest.fail "wrong kind"
 
 (* ---------- response round trips ---------- *)
@@ -152,6 +162,8 @@ let test_reject_bad_field () =
       "{\"id\":\"x\",\"kind\":\"analyze\",\"circuit\":\"s27\",\"case\":\"XVII\"}";
       "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"runs\":-4}";
       "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"runs\":\"many\"}";
+      "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"mc_engine\":\"quantum\"}";
+      "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"mc_engine\":3}";
       "{\"id\":\"x\",\"kind\":\"paths\",\"circuit\":\"s27\",\"k\":0}";
       "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":-1}";
       "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":\"soon\"}" ]

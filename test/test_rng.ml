@@ -111,6 +111,60 @@ let test_split_independence () =
   let child2 = Rng.split parent in
   Alcotest.(check bool) "split children differ" true (Rng.bits64 child1 <> Rng.bits64 child2)
 
+let test_stream_determinism () =
+  let a = Rng.stream ~seed:47 9 and b = Rng.stream ~seed:47 9 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "equal (seed, index) give equal streams" (Rng.bits64 a) (Rng.bits64 b)
+  done;
+  (* random access: building stream 9 never requires streams 0..8 *)
+  let c = Rng.stream ~seed:47 9 in
+  let _ = Rng.stream ~seed:47 0 in
+  let d = Rng.stream ~seed:47 9 in
+  Alcotest.(check int64) "independent of other streams" (Rng.bits64 c) (Rng.bits64 d)
+
+let test_stream_distinct () =
+  (* non-overlap smoke: the first draws of many streams — and of the
+     plain create-seeded generator — never collide *)
+  let seen = Hashtbl.create 1024 in
+  let record what v =
+    if Hashtbl.mem seen v then Alcotest.failf "%s: duplicate draw" what;
+    Hashtbl.replace seen v ()
+  in
+  for index = 0 to 63 do
+    let rng = Rng.stream ~seed:53 index in
+    for draw = 1 to 4 do
+      record (Printf.sprintf "stream %d draw %d" index draw) (Rng.bits64 rng)
+    done
+  done;
+  let plain = Rng.create ~seed:53 in
+  for draw = 1 to 4 do
+    record (Printf.sprintf "create draw %d" draw) (Rng.bits64 plain)
+  done;
+  Alcotest.check_raises "negative index" (Invalid_argument "Rng.stream: negative index")
+    (fun () -> ignore (Rng.stream ~seed:53 (-1)))
+
+let test_jump () =
+  let a = Rng.create ~seed:59 and b = Rng.create ~seed:59 in
+  Rng.jump a;
+  Rng.jump b;
+  Alcotest.(check int64) "jump is deterministic" (Rng.bits64 a) (Rng.bits64 b);
+  let plain = Rng.create ~seed:59 in
+  let jumped = Rng.create ~seed:59 in
+  Rng.jump jumped;
+  Alcotest.(check bool) "jump advances the state" true (Rng.bits64 plain <> Rng.bits64 jumped);
+  (* 2^128-step substreams from repeated jumps stay disjoint in practice *)
+  let seen = Hashtbl.create 64 in
+  let walker = Rng.create ~seed:59 in
+  for sub = 0 to 7 do
+    let r = Rng.copy walker in
+    for draw = 1 to 4 do
+      let v = Rng.bits64 r in
+      if Hashtbl.mem seen v then Alcotest.failf "substream %d draw %d collides" sub draw;
+      Hashtbl.replace seen v ()
+    done;
+    Rng.jump walker
+  done
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -126,4 +180,7 @@ let suite =
     Alcotest.test_case "choose_index distribution" `Quick test_choose_index;
     Alcotest.test_case "choose_index invalid" `Quick test_choose_index_invalid;
     Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "stream determinism" `Quick test_stream_determinism;
+    Alcotest.test_case "stream non-overlap smoke" `Quick test_stream_distinct;
+    Alcotest.test_case "jump" `Quick test_jump;
   ]
