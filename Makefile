@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json
+.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json lint check-smoke
 
 all: build
 
@@ -34,6 +34,18 @@ examples:
 	dune exec examples/process_variation.exe
 	dune exec examples/sequential_analysis.exe
 	dune exec examples/gate_sizing.exe
+
+# static netlist/model checking over the whole bundled suite; exits
+# non-zero on any Error-severity finding (see doc/lint.md)
+lint:
+	dune exec bin/spsta_cli.exe -- lint c17 s27 s208 s298 s344 s349 s382 s386 s526 s1196 s1238
+
+# run every analyzer on s27 under the engine-wired invariant sanitizer:
+# any NaN, negative mass, lost probability mass or non-monotone CDF at
+# any gate fails the target with the offending net named
+check-smoke:
+	dune exec bin/spsta_cli.exe -- check s27
+	dune exec bin/spsta_cli.exe -- check c17
 
 # pipe a 3-request JSONL file through the analysis server and check that
 # every request is answered ok (see doc/server.md for the protocol)

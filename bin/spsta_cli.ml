@@ -2,6 +2,8 @@
 
    Subcommands:
      analyze    - SPSTA on a .bench file or named suite circuit
+     lint       - static netlist / model checks with structured findings
+     check      - run every analyzer under the invariant sanitizer
      ssta       - the min/max-separated SSTA baseline
      mc         - Monte Carlo reference simulation
      power      - transition densities and dynamic power
@@ -100,6 +102,20 @@ let mc_domains_arg =
   in
   Arg.(value & opt int 1 & info [ "mc-domains"; "domains" ] ~docv:"N" ~doc)
 
+let check_arg =
+  let doc =
+    "Install the per-gate invariant sanitizer: after every gate evaluation verify the \
+     propagated state (finite moments, non-negative masses, conservation up to the \
+     tracked truncation bound) and abort with a diagnostic naming the circuit, net, gate \
+     kind and level on the first violation.  Also enabled by SPSTA_CHECK=1; without \
+     either, no wrapper is installed and results are bit-identical to a run without the \
+     feature."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+(* flag absent -> None: fall back to the SPSTA_CHECK environment toggle *)
+let resolve_check flag = if flag then Some true else None
+
 let resolve_domains = function
   | 0 -> Spsta_util.Parallel.default_domains ()
   | d when d >= 1 -> d
@@ -113,12 +129,15 @@ let print_header circuit =
 let endpoint_ids circuit = Circuit.endpoints circuit
 
 let analyze_cmd =
-  let run name case_str domains =
+  let run name case_str domains check =
     let circuit = load_circuit name in
     let case = case_of_string case_str in
     let spec = Experiments.Workloads.spec_fn case in
     print_header circuit;
-    let result = Analyzer.Moments.analyze ~domains:(resolve_domains domains) circuit ~spec in
+    let result =
+      Analyzer.Moments.analyze ?check:(resolve_check check)
+        ~domains:(resolve_domains domains) circuit ~spec
+    in
     let table =
       Spsta_util.Table.create
         ~headers:[ "endpoint"; "P(r)"; "mu(r)"; "sigma(r)"; "P(f)"; "mu(f)"; "sigma(f)"; "SP" ]
@@ -143,13 +162,185 @@ let analyze_cmd =
     print_endline (Spsta_util.Table.render table)
   in
   let info = Cmd.info "analyze" ~doc:"SPSTA endpoint timing statistics" in
-  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ domains_arg)
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ domains_arg $ check_arg)
+
+module Lint = Spsta_lint.Lint
+
+let lint_cmd =
+  let run names json strict case_str lib_name dt eps =
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    let library =
+      match lib_name with
+      | "unit" -> Spsta_netlist.Cell_library.unit_delay
+      | "default" -> Spsta_netlist.Cell_library.default
+      | other ->
+        Printf.eprintf "error: unknown cell library %s (unit or default)\n" other;
+        exit 1
+    in
+    let grid = (dt, eps) in
+    let lint_one name =
+      if Sys.file_exists name then Lint.lint_path ~library ~spec ~grid name
+      else
+        match Experiments.Benchmarks.load name with
+        | circuit -> Lint.check_circuit ~library ~spec ~grid circuit
+        | exception Not_found ->
+          [
+            {
+              Lint.rule = "io-error";
+              severity = Lint.Error;
+              nets = [];
+              message = Printf.sprintf "%s is neither a file nor a suite circuit" name;
+            };
+          ]
+    in
+    let results = List.map (fun name -> (name, lint_one name)) names in
+    if json then
+      print_endline
+        (Printf.sprintf "[%s]"
+           (String.concat ","
+              (List.map
+                 (fun (name, findings) -> Lint.json_of_findings ~subject:name findings)
+                 results)))
+    else
+      List.iter
+        (fun (name, findings) ->
+          Printf.printf "%s: %d error(s), %d warning(s), %d info(s)\n" name
+            (Lint.count Lint.Error findings)
+            (Lint.count Lint.Warning findings)
+            (Lint.count Lint.Info findings);
+          print_string (Lint.render_text findings))
+        results;
+    let code =
+      List.fold_left (fun acc (_, findings) -> max acc (Lint.exit_code ~strict findings)) 0 results
+    in
+    if code <> 0 then exit code
+  in
+  let circuits_arg =
+    let doc = "Circuits to lint: .bench/.v file paths or suite names." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit findings as a JSON array (one object per circuit)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_arg =
+    let doc = "Exit non-zero on Warning findings too." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  let lib_arg =
+    let doc = "Cell library whose delays are checked: unit or default." in
+    Arg.(value & opt string "unit" & info [ "lib" ] ~docv:"LIB" ~doc)
+  in
+  let dt_lint_arg =
+    let doc = "Grid step checked against the error-bound and sigma rules." in
+    Arg.(value & opt float 0.1 & info [ "dt" ] ~docv:"DT" ~doc)
+  in
+  let eps_lint_arg =
+    let doc = "Grid truncation threshold checked against the error-bound rule." in
+    Arg.(value & opt float 1e-9 & info [ "truncate-eps" ] ~docv:"EPS" ~doc)
+  in
+  let exits =
+    Cmd.Exit.defaults
+    @ [
+        Cmd.Exit.info ~doc:"on Error findings in any linted circuit." 3;
+        Cmd.Exit.info ~doc:"on Warning findings with $(b,--strict) (and no Errors)." 4;
+      ]
+  in
+  let info =
+    Cmd.info "lint" ~exits
+      ~doc:"Static netlist and timing-model checks with structured findings"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Walks each circuit (and the selected cell library, input statistics and \
+             grid settings) and reports structural defects (dangling or dead logic, \
+             arity violations, degenerate flip-flop wiring) and model defects \
+             (probabilities outside [0,1], vectors not summing to 1, negative or zero \
+             delays, grid settings whose truncation bound cannot stay small).  Files \
+             that fail to parse or finalize report the rejection as an error finding \
+             (undriven nets, multiply-driven nets and combinational cycles are \
+             classified individually, with the offending nets named).";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ circuits_arg $ json_arg $ strict_arg $ case_arg $ lib_arg $ dt_lint_arg
+      $ eps_lint_arg)
+
+let check_cmd =
+  let run name case_str dt domains =
+    let circuit = load_circuit name in
+    let case = case_of_string case_str in
+    let spec = Experiments.Workloads.spec_fn case in
+    print_header circuit;
+    let domains = resolve_domains domains in
+    let failures = ref 0 in
+    let run_one label f =
+      let t0 = Unix.gettimeofday () in
+      match f () with
+      | () -> Printf.printf "  %-16s ok (%.3f s)\n%!" label (Unix.gettimeofday () -. t0)
+      | exception (Spsta_engine.Propagate.Sanitize.Violation _ as exn) ->
+        incr failures;
+        Printf.printf "  %-16s VIOLATION: %s\n%!" label (Printexc.to_string exn)
+    in
+    run_one "spsta-moments" (fun () ->
+        ignore (Analyzer.Moments.analyze ~check:true ~domains circuit ~spec));
+    run_one "spsta-grid" (fun () ->
+        let module B = (val Spsta_core.Top.discrete_backend ~dt ()) in
+        let module A = Spsta_core.Analyzer.Make (B) in
+        ignore (A.analyze ~check:true ~domains circuit ~spec));
+    run_one "ssta" (fun () ->
+        ignore (Spsta_ssta.Ssta.analyze ~check:true ~domains circuit));
+    run_one "sta" (fun () -> ignore (Spsta_ssta.Sta.analyze ~check:true ~domains circuit));
+    run_one "bounds-ssta" (fun () ->
+        ignore (Spsta_ssta.Bounds_ssta.analyze ~check:true ~domains circuit));
+    run_one "canonical-ssta" (fun () ->
+        let model =
+          Spsta_variation.Param_model.create ~sigma_global:0.1 ~sigma_spatial:0.1
+            ~sigma_random:0.1 ~grid:4 ()
+        in
+        let placement = Spsta_variation.Param_model.place model circuit in
+        ignore (Spsta_variation.Canonical_ssta.analyze ~check:true ~domains model placement circuit));
+    run_one "interval-sta" (fun () ->
+        ignore (Spsta_variation.Interval_sta.analyze ~check:true ~domains circuit));
+    if !failures > 0 then begin
+      Printf.printf "%d analysis(es) reported sanitizer violations\n" !failures;
+      exit 3
+    end
+    else print_endline "all analyses completed with zero sanitizer violations"
+  in
+  let dt_arg =
+    let doc = "Grid step for the discrete-backend SPSTA pass." in
+    Arg.(value & opt float 0.1 & info [ "dt" ] ~docv:"DT" ~doc)
+  in
+  let exits =
+    Cmd.Exit.defaults @ [ Cmd.Exit.info ~doc:"on any sanitizer violation." 3 ]
+  in
+  let info =
+    Cmd.info "check" ~exits
+      ~doc:"Run every analyzer under the invariant sanitizer"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Runs SPSTA (both t.o.p. backends), SSTA, corner STA, bounds-based SSTA, \
+             canonical-form SSTA and interval STA over the circuit with the per-gate \
+             invariant sanitizer installed, reporting the first violation (if any) per \
+             analysis with the offending circuit, net, gate kind and level.";
+        ]
+  in
+  Cmd.v info Term.(const run $ circuit_arg $ case_arg $ dt_arg $ domains_arg)
 
 let ssta_cmd =
-  let run name domains =
+  let run name domains check =
     let circuit = load_circuit name in
     print_header circuit;
-    let result = Spsta_ssta.Ssta.analyze ~domains:(resolve_domains domains) circuit in
+    let result =
+      Spsta_ssta.Ssta.analyze ?check:(resolve_check check)
+        ~domains:(resolve_domains domains) circuit
+    in
     let table =
       Spsta_util.Table.create ~headers:[ "endpoint"; "mu(r)"; "sigma(r)"; "mu(f)"; "sigma(f)" ]
     in
@@ -169,7 +360,7 @@ let ssta_cmd =
     print_endline (Spsta_util.Table.render table)
   in
   let info = Cmd.info "ssta" ~doc:"Min/max-separated SSTA baseline" in
-  Cmd.v info Term.(const run $ circuit_arg $ domains_arg)
+  Cmd.v info Term.(const run $ circuit_arg $ domains_arg $ check_arg)
 
 let mc_cmd =
   let run name case_str runs seed domains engine =
@@ -350,7 +541,7 @@ let chip_delay_cmd =
   Cmd.v info Term.(const run $ circuit_arg $ case_arg $ top_arg)
 
 let variation_cmd =
-  let run name sigma_global sigma_spatial sigma_random grid domains =
+  let run name sigma_global sigma_spatial sigma_random grid domains check =
     let circuit = load_circuit name in
     print_header circuit;
     let model =
@@ -358,8 +549,8 @@ let variation_cmd =
     in
     let placement = Spsta_variation.Param_model.place model circuit in
     let r =
-      Spsta_variation.Canonical_ssta.analyze ~domains:(resolve_domains domains) model placement
-        circuit
+      Spsta_variation.Canonical_ssta.analyze ?check:(resolve_check check)
+        ~domains:(resolve_domains domains) model placement circuit
     in
     let chip = Spsta_variation.Canonical_ssta.chip_delay r in
     Printf.printf "canonical-form SSTA chip delay: mean %.3f, sigma %.3f\n"
@@ -397,7 +588,7 @@ let variation_cmd =
       $ sigma "sigma-global" 0.1 "Die-to-die delay sigma."
       $ sigma "sigma-spatial" 0.1 "Within-die spatially correlated sigma."
       $ sigma "sigma-random" 0.1 "Per-gate independent sigma."
-      $ grid_arg $ domains_arg)
+      $ grid_arg $ domains_arg $ check_arg)
 
 let report_cmd =
   let run name clock =
@@ -419,7 +610,7 @@ let report_cmd =
   Cmd.v info Term.(const run $ circuit_arg $ clock_arg)
 
 let waveform_cmd =
-  let run name net_name case_str =
+  let run name net_name case_str check =
     let circuit = load_circuit name in
     let case = case_of_string case_str in
     let spec = Experiments.Workloads.spec_fn case in
@@ -441,7 +632,7 @@ let waveform_cmd =
     print_header circuit;
     let module B = (val Spsta_core.Top.discrete_backend ~dt:0.1 ()) in
     let module A = Spsta_core.Analyzer.Make (B) in
-    let r = A.analyze circuit ~spec in
+    let r = A.analyze ?check:(resolve_check check) circuit ~spec in
     let s = A.signal r net in
     Printf.printf "net %s: " (Circuit.net_name circuit net);
     Format.printf "%a@." Spsta_core.Four_value.pp s.A.probs;
@@ -471,7 +662,7 @@ let waveform_cmd =
     Arg.(value & pos 1 (some string) None & info [] ~docv:"NET" ~doc)
   in
   let info = Cmd.info "waveform" ~doc:"ASCII t.o.p. waveform of a net" in
-  Cmd.v info Term.(const run $ circuit_arg $ net_arg $ case_arg)
+  Cmd.v info Term.(const run $ circuit_arg $ net_arg $ case_arg $ check_arg)
 
 let export_cmd =
   let run name case_str out_dir runs seed =
@@ -640,8 +831,12 @@ let batch_cmd =
     let doc = "JSONL request file (one request object per line)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
+  let exits =
+    Cmd.Exit.defaults
+    @ [ Cmd.Exit.info ~doc:"when any response in the batch is an error." 2 ]
+  in
   let info =
-    Cmd.info "batch"
+    Cmd.info "batch" ~exits
       ~doc:"Execute a JSONL request file concurrently; print responses in request order"
   in
   Cmd.v info
@@ -649,12 +844,32 @@ let batch_cmd =
       const run $ file_arg $ workers_arg $ queue_arg $ cache_arg $ deadline_arg
       $ analysis_domains_arg)
 
+let subcommands =
+  [ analyze_cmd; lint_cmd; check_cmd; ssta_cmd; mc_cmd; power_cmd; exact_prob_cmd;
+    paths_cmd; sequential_cmd; chip_delay_cmd; variation_cmd; report_cmd; waveform_cmd;
+    export_cmd; gen_cmd; experiment_cmd; list_cmd; serve_cmd; batch_cmd ]
+
 let main =
   let doc = "Signal Probability Based Statistical Timing Analysis (DATE 2008)" in
   let info = Cmd.info "spsta" ~version:"1.0.0" ~doc in
-  Cmd.group info
-    [ analyze_cmd; ssta_cmd; mc_cmd; power_cmd; exact_prob_cmd; paths_cmd; sequential_cmd;
-      chip_delay_cmd; variation_cmd; report_cmd; waveform_cmd; export_cmd; gen_cmd;
-      experiment_cmd; list_cmd; serve_cmd; batch_cmd ]
+  Cmd.group info subcommands
 
-let () = exit (Cmd.eval main)
+(* Cmdliner's unknown-command error does not enumerate the choices;
+   pre-scan the first argument so a typo gets the full subcommand list
+   (unambiguous prefixes are still accepted and left to cmdliner). *)
+let () =
+  let names = List.map Cmd.name subcommands in
+  ( match Sys.argv with
+  | [||] | [| _ |] -> ()
+  | argv ->
+    let cmd = argv.(1) in
+    let is_prefix name =
+      String.length cmd <= String.length name && String.sub name 0 (String.length cmd) = cmd
+    in
+    if String.length cmd > 0 && cmd.[0] <> '-' && not (List.exists is_prefix names) then begin
+      Printf.eprintf "spsta: unknown subcommand %s\navailable subcommands: %s\n" cmd
+        (String.concat ", " names);
+      Printf.eprintf "run 'spsta --help' for details\n";
+      exit Cmd.Exit.cli_error
+    end );
+  exit (Cmd.eval main)

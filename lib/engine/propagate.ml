@@ -12,6 +12,63 @@ module type DOMAIN = sig
   val eval : Circuit.t -> Circuit.id -> Circuit.driver -> state array -> state
 end
 
+module Sanitize = struct
+  type 'state check = Circuit.t -> Circuit.id -> 'state -> (string * string) option
+
+  exception
+    Violation of {
+      circuit : string;
+      net : string;
+      driver : string;
+      level : int;
+      rule : string;
+      message : string;
+    }
+
+  let () =
+    Printexc.register_printer (function
+      | Violation { circuit; net; driver; level; rule; message } ->
+        Some
+          (Printf.sprintf "sanitizer violation [%s] at net %S (%s, level %d) in circuit %S: %s"
+             rule net driver level circuit message)
+      | _ -> None)
+
+  let driver_label circuit id =
+    match Circuit.driver circuit id with
+    | Circuit.Input -> "input"
+    | Circuit.Dff_output _ -> "dff"
+    | Circuit.Gate { kind; _ } -> Spsta_logic.Gate_kind.to_string kind
+
+  let enabled_by_env () =
+    match Sys.getenv_opt "SPSTA_CHECK" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false
+
+  let resolve = function Some enabled -> enabled | None -> enabled_by_env ()
+
+  let checked circuit check id state =
+    match check circuit id state with
+    | None -> state
+    | Some (rule, message) ->
+      raise
+        (Violation
+           { circuit = Circuit.name circuit;
+             net = Circuit.net_name circuit id;
+             driver = driver_label circuit id;
+             level = Circuit.level circuit id;
+             rule;
+             message })
+
+  let wrap (type s) ~circuit ~(check : s check) (module D : DOMAIN with type state = s) :
+      (module DOMAIN with type state = s) =
+    (module struct
+      type state = s
+
+      let source id = checked circuit check id (D.source id)
+      let eval c id driver operands = checked circuit check id (D.eval c id driver operands)
+    end)
+end
+
 module Make (D : DOMAIN) = struct
   (* One gate of the propagation, reading operands from [per_net] and
      writing its own slot.  Gates within one level never read each

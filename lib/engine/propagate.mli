@@ -52,6 +52,53 @@ module type DOMAIN = sig
       the sequential one. *)
 end
 
+(** Engine-wired invariant sanitizer: wrap any {!DOMAIN} so that every
+    state the engine produces — each source seed and each gate output —
+    is verified by a caller-supplied predicate before propagation
+    continues.  The first violated invariant raises {!Sanitize.Violation}
+    naming the circuit, net, driver kind and logic level, which turns
+    "the numbers look wrong somewhere" into a pinpointed diagnostic.
+
+    The wrapper is applied (or not) when the domain is built, so an
+    unchecked analysis runs the exact same code as before — strictly
+    zero overhead when checking is off. *)
+module Sanitize : sig
+  type 'state check =
+    Spsta_netlist.Circuit.t -> Spsta_netlist.Circuit.id -> 'state -> (string * string) option
+  (** [check circuit id state] returns [Some (rule, message)] when
+      [state] violates the invariant named [rule], [None] when healthy.
+      Must be pure — it runs inside the (possibly parallel) sweep. *)
+
+  exception
+    Violation of {
+      circuit : string;  (** circuit name ("" when unnamed) *)
+      net : string;  (** net whose state violated the invariant *)
+      driver : string;  (** "input", "dff", or the gate kind ("NAND", …) *)
+      level : int;  (** logic level of the net *)
+      rule : string;  (** invariant identifier, e.g. "mass-conservation" *)
+      message : string;
+    }
+  (** Registered with [Printexc] so uncaught violations print the full
+      location. *)
+
+  val enabled_by_env : unit -> bool
+  (** True when the [SPSTA_CHECK] environment variable is set to [1],
+      [true], [yes] or [on]. *)
+
+  val resolve : bool option -> bool
+  (** Resolve an analyzer's [?check] argument: the explicit value when
+      given, otherwise {!enabled_by_env}. *)
+
+  val wrap :
+    circuit:Spsta_netlist.Circuit.t ->
+    check:'s check ->
+    (module DOMAIN with type state = 's) ->
+    (module DOMAIN with type state = 's)
+  (** [wrap ~circuit ~check (module D)] is [D] with every [source] and
+      [eval] result passed through [check]; a [Some] verdict raises
+      {!Violation} located at the offending net. *)
+end
+
 module Make (D : DOMAIN) : sig
   val run :
     ?domains:int ->

@@ -1,0 +1,111 @@
+module Normal = Spsta_dist.Normal
+module Mixture = Spsta_dist.Mixture
+module Discrete = Spsta_dist.Discrete
+
+type issue = { rule : string; message : string }
+
+let finite x = Float.is_finite x
+
+let first = function [] -> None | { rule; message } :: _ -> Some (rule, message)
+
+let prob_tolerance = 1e-6
+
+let issue rule fmt = Printf.ksprintf (fun message -> { rule; message }) fmt
+
+let check_finite ~what x =
+  if finite x then [] else [ issue "non-finite" "%s is %h" what x ]
+
+let check_nonnegative ~what x =
+  if not (finite x) then [ issue "non-finite" "%s is %h" what x ]
+  else if x < 0.0 then [ issue "negative-mass" "%s is negative (%.17g)" what x ]
+  else []
+
+let check_prob ~what p =
+  if not (finite p) then [ issue "non-finite" "%s is %h" what p ]
+  else if p < -.prob_tolerance || p > 1.0 +. prob_tolerance then
+    [ issue "probability-range" "%s = %.17g is outside [0, 1]" what p ]
+  else []
+
+let check_prob_sum ~what components =
+  let ranges =
+    List.concat_map
+      (fun (name, p) -> check_prob ~what:(Printf.sprintf "%s %s" what name) p)
+      components
+  in
+  let sum = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 components in
+  if not (finite sum) then ranges
+  else if Float.abs (sum -. 1.0) > prob_tolerance then
+    ranges @ [ issue "probability-sum" "%s sums to %.17g, expected 1" what sum ]
+  else ranges
+
+let check_normal ~what (n : Normal.t) =
+  check_finite ~what:(what ^ " mean") (Normal.mean n)
+  @
+  let sigma = Normal.stddev n in
+  if not (finite sigma) then [ issue "non-finite" "%s sigma is %h" what sigma ]
+  else if sigma < 0.0 then
+    [ issue "negative-sigma" "%s sigma is negative (%.17g)" what sigma ]
+  else []
+
+let check_interval ~what (lo, hi) =
+  check_finite ~what:(what ^ " lower bound") lo
+  @ check_finite ~what:(what ^ " upper bound") hi
+  @
+  if finite lo && finite hi && lo > hi then
+    [ issue "inverted-interval" "%s bounds inverted: [%.17g, %.17g]" what lo hi ]
+  else []
+
+let check_cdf ~what cdf =
+  let issues = ref [] in
+  let n = Array.length cdf in
+  for i = n - 1 downto 0 do
+    ( match check_prob ~what:(Printf.sprintf "%s[%d]" what i) cdf.(i) with
+    | [] -> ()
+    | found -> issues := found @ !issues );
+    if i > 0 && finite cdf.(i) && finite cdf.(i - 1) && cdf.(i) < cdf.(i - 1) -. prob_tolerance
+    then
+      issues :=
+        issue "non-monotone-cdf" "%s decreases at index %d (%.17g -> %.17g)" what i
+          cdf.(i - 1) cdf.(i)
+        :: !issues
+  done;
+  !issues
+
+let check_total ~what total =
+  check_nonnegative ~what total
+  @
+  if finite total && total > 1.0 +. prob_tolerance then
+    [ issue "probability-range" "%s = %.17g exceeds 1" what total ]
+  else []
+
+let check_mixture ~what m =
+  check_total ~what:(what ^ " total weight") (Mixture.total_weight m)
+  @ List.concat
+      (List.mapi
+         (fun i (c : Mixture.component) ->
+           let cw = Printf.sprintf "%s component %d" what i in
+           check_nonnegative ~what:(cw ^ " weight") c.Mixture.weight
+           @ check_normal ~what:cw c.Mixture.dist)
+         (Mixture.components m))
+
+let check_discrete ~what d =
+  check_total ~what:(what ^ " total mass") (Discrete.total d)
+  @ check_nonnegative ~what:(what ^ " dropped mass") (Discrete.dropped_mass d)
+  @ check_finite ~what:(what ^ " mean") (Discrete.mean d)
+  @ check_finite ~what:(what ^ " variance") (Discrete.variance d)
+  @ List.concat_map
+      (fun (t, m) ->
+        check_nonnegative ~what:(Printf.sprintf "%s mass at t=%g" what t) m)
+      (Discrete.series d)
+
+let mass_conserved ?(tol = prob_tolerance) ~expected ~total ~dropped () =
+  finite expected && finite total && finite dropped
+  && total <= expected +. tol
+  && total >= expected -. dropped -. tol
+
+let check_mass_conservation ~what ~expected ~total ~dropped =
+  if mass_conserved ~expected ~total ~dropped () then []
+  else
+    [ issue "mass-conservation"
+        "%s carries mass %.17g, expected %.17g (accumulated truncation bound %.17g)" what total
+        expected dropped ]

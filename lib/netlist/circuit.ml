@@ -72,8 +72,10 @@ module Builder = struct
     reference b name
 
   (* Kahn topological sort restricted to combinational edges; flip-flops
-     break timing loops (Q is a source, D an endpoint). *)
-  let topo_sort drivers =
+     break timing loops (Q is a source, D an endpoint).  [names] is only
+     consulted on failure, to name the nets stuck on (or fed by) a
+     cycle. *)
+  let topo_sort ~names drivers =
     let n = Array.length drivers in
     let indegree = Array.make n 0 in
     let succs = Array.make n [] in
@@ -104,7 +106,29 @@ module Builder = struct
       in
       List.iter release succs.(i)
     done;
-    if !seen <> n then invalid "combinational cycle detected";
+    if !seen <> n then begin
+      (* nets with remaining indegree are on a cycle or downstream of
+         one; iteratively trimming stuck nets with no stuck successor
+         peels off the downstream tails (a DAG) and leaves exactly the
+         cycle nets *)
+      let stuck = Array.map (fun d -> d > 0) indegree in
+      let shrunk = ref true in
+      while !shrunk do
+        shrunk := false;
+        Array.iteri
+          (fun i s ->
+            if s && not (List.exists (fun j -> stuck.(j)) succs.(i)) then begin
+              stuck.(i) <- false;
+              shrunk := true
+            end)
+          stuck
+      done;
+      let on_cycle =
+        Array.to_list (Array.mapi (fun i s -> (i, s)) stuck)
+        |> List.filter_map (fun (i, s) -> if s then Some names.(i) else None)
+      in
+      invalid "combinational cycle detected among nets: %s" (String.concat ", " on_cycle)
+    end;
     Array.of_list (List.rev !order)
 
   let finalize b =
@@ -134,7 +158,7 @@ module Builder = struct
             Gate { kind; inputs = Array.of_list (List.map id_of inputs) })
         names
     in
-    let topo = topo_sort drivers in
+    let topo = topo_sort ~names drivers in
     let n = Array.length drivers in
     let levels = Array.make n 0 in
     Array.iter

@@ -149,8 +149,14 @@ let load_circuit t name =
 let memo_key ~digest (kind : Protocol.kind) =
   match kind with
   | Protocol.Analyze p ->
-    Printf.sprintf "analyze|%s|case=%s|top=%d" digest (Protocol.case_name p.case) p.top
-  | Protocol.Ssta p -> Printf.sprintf "ssta|%s|top=%d" digest p.top
+    (* [check] is part of the key even though checked and unchecked runs
+       return bit-identical payloads: a checked run that was memoised
+       would otherwise let a later [check:true] request hit the cache and
+       skip the verification the client asked for *)
+    Printf.sprintf "analyze|%s|case=%s|top=%d%s" digest (Protocol.case_name p.case) p.top
+      (if p.check then "|check=1" else "")
+  | Protocol.Ssta p ->
+    Printf.sprintf "ssta|%s|top=%d%s" digest p.top (if p.check then "|check=1" else "")
   | Protocol.Mc p ->
     (* deliberately engine-free: the packed and scalar engines return
        bit-identical results for equal (runs, seed), so a payload cached

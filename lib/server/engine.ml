@@ -51,9 +51,12 @@ let endpoints_payload circuit ~top ~extra ~mean_of ~endpoint_json =
     @ extra
     @ [ ("endpoints", Json.List (List.map endpoint_json endpoints)) ])
 
-let analyze_payload circuit ~case ~top ~domains =
+(* [check = false] maps to [Some false], not [None]: the server decides
+   per request, so the worker's SPSTA_CHECK environment must not leak
+   into the answer. *)
+let analyze_payload circuit ~case ~top ~check ~domains =
   let spec = spec_of_case case in
-  let result = Analyzer.Moments.analyze ~domains circuit ~spec in
+  let result = Analyzer.Moments.analyze ~check ~domains circuit ~spec in
   let endpoint_json e =
     let s = Analyzer.Moments.signal result e in
     let rmu, rsig, rp = Analyzer.Moments.transition_stats s `Rise in
@@ -74,8 +77,8 @@ let analyze_payload circuit ~case ~top ~domains =
     ~extra:[ ("case", Json.string (Protocol.case_name case)) ]
     ~mean_of ~endpoint_json
 
-let ssta_payload circuit ~top ~domains =
-  let result = Spsta_ssta.Ssta.analyze ~domains circuit in
+let ssta_payload circuit ~top ~check ~domains =
+  let result = Spsta_ssta.Ssta.analyze ~check ~domains circuit in
   let open Spsta_dist.Normal in
   let endpoint_json e =
     let a = Spsta_ssta.Ssta.arrival result e in
@@ -142,8 +145,9 @@ let paths_payload circuit ~k ~sigma_global ~sigma_spatial ~sigma_random =
 let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
   let circuit_of name = (Cache.load_circuit cache name).Cache.circuit in
   match kind with
-  | Protocol.Analyze p -> analyze_payload (circuit_of p.circuit) ~case:p.case ~top:p.top ~domains
-  | Protocol.Ssta p -> ssta_payload (circuit_of p.circuit) ~top:p.top ~domains
+  | Protocol.Analyze p ->
+    analyze_payload (circuit_of p.circuit) ~case:p.case ~top:p.top ~check:p.check ~domains
+  | Protocol.Ssta p -> ssta_payload (circuit_of p.circuit) ~top:p.top ~check:p.check ~domains
   | Protocol.Mc p ->
     mc_payload (circuit_of p.circuit) ~case:p.case ~runs:p.runs ~seed:p.seed ~top:p.top
       ~engine:p.engine
@@ -199,6 +203,10 @@ let execute ?(domains = 1) (cache : Cache.t) (request : Protocol.request) : Prot
     Protocol.Error { id = Some request.Protocol.id; code; message }
   | Circuit.Invalid_circuit message ->
     Protocol.Error { id = Some request.Protocol.id; code = Protocol.Parse_failure; message }
+  | Spsta_engine.Propagate.Sanitize.Violation _ as e ->
+    Protocol.Error
+      { id = Some request.Protocol.id; code = Protocol.Invariant_violation;
+        message = Printexc.to_string e }
   | e ->
     Protocol.Error
       { id = Some request.Protocol.id; code = Protocol.Internal; message = Printexc.to_string e }

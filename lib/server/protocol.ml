@@ -12,7 +12,10 @@
 
    Any analysis request may carry "deadline_ms": the server answers with a
    structured "timeout" error if the result cannot be produced within that
-   budget.  Responses are either
+   budget.  Propagation-backed kinds (analyze, ssta) also accept
+   "check":true, which runs the analysis under the engine's invariant
+   sanitizer and reports any per-gate numeric violation as an
+   "invariant_violation" error.  Responses are either
 
      {"id":"r1","status":"ok","kind":"analyze","elapsed_ms":1.93,"result":{...}}
      {"id":"r1","status":"error","code":"timeout","message":"..."}
@@ -29,7 +32,10 @@ let case_of_string = function
   | "II" | "ii" | "2" -> Some Case_ii
   | _ -> None
 
-type analyze_params = { circuit : string; case : case; top : int }
+(* [check = true] runs the analysis under the engine's invariant
+   sanitizer ({!Spsta_engine.Propagate.Sanitize}); a violation comes
+   back as an [invariant_violation] error instead of a payload. *)
+type analyze_params = { circuit : string; case : case; top : int; check : bool }
 
 (* Which Monte Carlo engine serves the request.  Both produce
    bit-identical results (the packed engine is the fast path, the scalar
@@ -53,7 +59,7 @@ type mc_params = {
   engine : mc_engine;
 }
 
-type ssta_params = { circuit : string; top : int }
+type ssta_params = { circuit : string; top : int; check : bool }
 
 type paths_params = {
   circuit : string;
@@ -88,6 +94,7 @@ type error_code =
   | Bad_field
   | Circuit_not_found
   | Parse_failure
+  | Invariant_violation
   | Timeout
   | Overloaded
   | Internal
@@ -99,6 +106,7 @@ let error_code_name = function
   | Bad_field -> "bad_field"
   | Circuit_not_found -> "circuit_not_found"
   | Parse_failure -> "parse_error"
+  | Invariant_violation -> "invariant_violation"
   | Timeout -> "timeout"
   | Overloaded -> "overloaded"
   | Internal -> "internal"
@@ -110,6 +118,7 @@ let error_code_of_name = function
   | "bad_field" -> Some Bad_field
   | "circuit_not_found" -> Some Circuit_not_found
   | "parse_error" -> Some Parse_failure
+  | "invariant_violation" -> Some Invariant_violation
   | "timeout" -> Some Timeout
   | "overloaded" -> Some Overloaded
   | "internal" -> Some Internal
@@ -135,7 +144,10 @@ let request_to_json (r : request) : Json.t =
     | Analyze p ->
       [ ("circuit", Json.string p.circuit); ("case", Json.string (case_name p.case));
         ("top", Json.int p.top) ]
-    | Ssta p -> [ ("circuit", Json.string p.circuit); ("top", Json.int p.top) ]
+      @ (if p.check then [ ("check", Json.bool true) ] else [])
+    | Ssta p ->
+      [ ("circuit", Json.string p.circuit); ("top", Json.int p.top) ]
+      @ (if p.check then [ ("check", Json.bool true) ] else [])
     | Mc p ->
       [ ("circuit", Json.string p.circuit); ("case", Json.string (case_name p.case));
         ("runs", Json.int p.runs); ("seed", Json.int p.seed); ("top", Json.int p.top);
@@ -217,11 +229,13 @@ let decode_request_json (json : Json.t) : (request, decode_error) Stdlib.result 
         let* circuit = field_string ~id json "circuit" in
         let* case = decode_case ~id json in
         let* top = opt_with ~id json "top" Json.to_int_opt "an integer" ~default:0 in
-        Stdlib.Ok (Analyze { circuit; case; top })
+        let* check = opt_with ~id json "check" Json.to_bool_opt "a boolean" ~default:false in
+        Stdlib.Ok (Analyze { circuit; case; top; check })
       | "ssta" ->
         let* circuit = field_string ~id json "circuit" in
         let* top = opt_with ~id json "top" Json.to_int_opt "an integer" ~default:0 in
-        Stdlib.Ok (Ssta { circuit; top })
+        let* check = opt_with ~id json "check" Json.to_bool_opt "a boolean" ~default:false in
+        Stdlib.Ok (Ssta { circuit; top; check })
       | "mc" ->
         let* circuit = field_string ~id json "circuit" in
         let* case = decode_case ~id json in

@@ -173,6 +173,54 @@ module Make (B : Top.BACKEND) = struct
 
   type result = signal Propagate.result
 
+  (* Sanitizer checker: validates every per-net signal the engine
+     produces.  The four-value probabilities must be a distribution, each
+     direction's t.o.p. must be internally healthy (finite, non-negative,
+     sub-unit mass), and its total mass must match the transition
+     probability up to the representation's own tracked truncation bound
+     plus enumeration slack: branches whose t.o.p. was epsilon-truncated
+     to zero mass still count toward the probability but not the mass. *)
+  let signal_check : signal Propagate.Sanitize.check =
+    fun _circuit _id s ->
+    let open Spsta_lint.Invariant in
+    let direction label p top =
+      match B.check ~what:(label ^ " t.o.p.") top with
+      | Some _ as violation -> violation
+      | None ->
+        first
+          (check_mass_conservation
+             ~what:(label ^ " t.o.p. mass")
+             ~expected:p ~total:(B.total top) ~dropped:(B.dropped top))
+    in
+    match
+      first
+        (check_prob_sum ~what:"four-value probability"
+           [
+             ("p_zero", s.probs.Four_value.p_zero);
+             ("p_one", s.probs.Four_value.p_one);
+             ("p_rise", s.probs.Four_value.p_rise);
+             ("p_fall", s.probs.Four_value.p_fall);
+           ])
+    with
+    | Some _ as violation -> violation
+    | None -> (
+      match direction "rise" s.probs.Four_value.p_rise s.rise with
+      | Some _ as violation -> violation
+      | None -> direction "fall" s.probs.Four_value.p_fall s.fall )
+
+  let domain ~spec eval : (module Propagate.DOMAIN with type state = signal) =
+    (module struct
+      type state = signal
+
+      let source s = source_signal (spec s)
+      let eval = eval
+    end)
+
+  let checked_domain ?check circuit dom =
+    if Propagate.Sanitize.resolve check then
+      Propagate.Sanitize.wrap ~circuit ~check:signal_check dom
+    else dom
+
   (* The engine's per-gate transfer function, closed over the per-call
      parameters: a pure function of the gate's operand signals, which is
      what makes the engine's parallel schedule bit-identical to the
@@ -187,29 +235,23 @@ module Make (B : Top.BACKEND) = struct
           (Array.to_list operands)
       | Circuit.Input | Circuit.Dff_output _ -> assert false
 
-  let analyze ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin ?domains
-      ?instrument circuit ~spec =
+  let analyze ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin ?check
+      ?domains ?instrument circuit ~spec =
     let eval = gate_eval ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin () in
-    let module E = Propagate.Make (struct
-      type state = signal
-
-      let source s = source_signal (spec s)
-      let eval = eval
-    end) in
+    let module D = (val checked_domain ?check circuit (domain ~spec eval)) in
+    let module E = Propagate.Make (D) in
     E.run ?domains ?instrument circuit
 
   let circuit (r : result) = r.Propagate.circuit
   let signal (r : result) id = r.Propagate.per_net.(id)
 
-  let update ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin r ~changed
-      ~spec =
+  let update ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin ?check r
+      ~changed ~spec =
     let eval = gate_eval ?gate_delay ?delay_sigma ?delay_of ?delay_rf ?mis ?max_enumerated_fanin () in
-    let module E = Propagate.Make (struct
-      type state = signal
-
-      let source s = source_signal (spec s)
-      let eval = eval
-    end) in
+    let module D =
+      (val checked_domain ?check r.Propagate.circuit (domain ~spec eval))
+    in
+    let module E = Propagate.Make (D) in
     E.update r ~changed
 
   let direction_top s = function `Rise -> s.rise | `Fall -> s.fall

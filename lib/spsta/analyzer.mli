@@ -43,6 +43,7 @@ module Make (B : Top.BACKEND) : sig
     ?delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
     ?mis:Spsta_logic.Mis_model.t ->
     ?max_enumerated_fanin:int ->
+    ?check:bool ->
     ?domains:int ->
     ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
     Spsta_netlist.Circuit.t ->
@@ -61,7 +62,16 @@ module Make (B : Top.BACKEND) : sig
       domain count.  Raises [Invalid_argument] if [domains < 1].
 
       [instrument] receives per-level gate counts and wall-clock timings
-      (see {!Spsta_engine.Propagate.level_stat}). *)
+      (see {!Spsta_engine.Propagate.level_stat}).
+
+      [check] (default: {!Spsta_engine.Propagate.Sanitize.enabled_by_env})
+      verifies every per-net signal the engine produces — four-value
+      probabilities forming a distribution, t.o.p. masses non-negative
+      and conserved up to the backend's tracked truncation bound, finite
+      moments — raising {!Spsta_engine.Propagate.Sanitize.Violation}
+      naming the circuit, net, gate kind and level on the first
+      violation.  When off, no wrapper is installed and results are
+      bit-identical to a run without the feature. *)
 
   val circuit : result -> Spsta_netlist.Circuit.t
   val signal : result -> Spsta_netlist.Circuit.id -> signal
@@ -73,6 +83,7 @@ module Make (B : Top.BACKEND) : sig
     ?delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
     ?mis:Spsta_logic.Mis_model.t ->
     ?max_enumerated_fanin:int ->
+    ?check:bool ->
     result ->
     changed:Spsta_netlist.Circuit.id list ->
     spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->

@@ -18,6 +18,8 @@ module type BACKEND = sig
   val mean : top -> float
   val stddev : top -> float
   val compact : top -> top
+  val dropped : top -> float
+  val check : what:string -> top -> (string * string) option
 
   module Acc : sig
     type t
@@ -58,6 +60,8 @@ module Moment_backend : BACKEND with type top = Mixture.t = struct
   let mean = Mixture.mean
   let stddev = Mixture.stddev
   let compact top = Mixture.compact ~max_components:16 top
+  let dropped _ = 0.0
+  let check ~what top = Spsta_lint.Invariant.(first (check_mixture ~what top))
 
   (* mixtures are persistent component lists; the accumulator is just a
      fold cell (Mixture.add is already O(|new components|)) *)
@@ -110,6 +114,9 @@ let discrete_backend ?(truncate_eps = 1e-9) ?(cache_normals = true) ~dt () :
        stays accounted for in Discrete.dropped_mass *)
     let compact top =
       if truncate_eps > 0.0 then Discrete.truncate ~eps:truncate_eps top else top
+
+    let dropped = Discrete.dropped_mass
+    let check ~what top = Spsta_lint.Invariant.(first (check_discrete ~what top))
 
     module Acc = struct
       type t = Discrete.Accum.t

@@ -44,6 +44,18 @@ module type BACKEND = sig
   val compact : top -> top
   (** Bound representation growth (no-op where not needed). *)
 
+  val dropped : top -> float
+  (** Accumulated truncation bound: an upper bound on the mass this
+      representation has shed relative to an exact computation (0 for
+      exact backends).  The sanitizer admits a total mass up to this
+      much below the expected transition probability. *)
+
+  val check : what:string -> top -> (string * string) option
+  (** Deep representation validation for the {!Spsta_engine.Propagate.Sanitize}
+      wrapper: [None] when healthy, [Some (rule, message)] naming the
+      first violated invariant (non-finite moment, negative mass, total
+      mass above 1, ...). *)
+
   (** In-place accumulation of a WEIGHTED SUM chain, bit-identical to
       folding {!add} over the same operands in the same order.  The
       engine keeps one accumulator per output direction while

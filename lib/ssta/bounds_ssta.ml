@@ -8,8 +8,30 @@ type result = { grid : float array; bands : (float array * float array) Propagat
 
 let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
 
+(* Sanitizer checker: both tabulated cdf bounds must be monotone
+   probabilities and the Frechet band must not invert. *)
+let band_check : (float array * float array) Propagate.Sanitize.check =
+ fun _circuit _id (lower, upper) ->
+  let open Spsta_lint.Invariant in
+  match
+    first (check_cdf ~what:"lower cdf bound" lower @ check_cdf ~what:"upper cdf bound" upper)
+  with
+  | Some _ as violation -> violation
+  | None ->
+    let n = min (Array.length lower) (Array.length upper) in
+    let rec scan i =
+      if i >= n then None
+      else if lower.(i) > upper.(i) +. prob_tolerance then
+        Some
+          ( "inverted-interval",
+            Printf.sprintf "cdf band inverted at grid index %d: lower %.17g > upper %.17g" i
+              lower.(i) upper.(i) )
+      else scan (i + 1)
+    in
+    scan 0
+
 let analyze ?(gate_delay = 1.0) ?(dt = 0.1) ?horizon ?(input_arrival = Normal.standard)
-    ?domains ?instrument circuit =
+    ?check ?domains ?instrument circuit =
   let depth = float_of_int (Circuit.depth circuit) in
   let horizon =
     match horizon with
@@ -27,30 +49,38 @@ let analyze ?(gate_delay = 1.0) ?(dt = 0.1) ?horizon ?(input_arrival = Normal.st
   let shift cdf =
     Array.init n_grid (fun i -> if i < shift_bins then 0.0 else cdf.(i - shift_bins))
   in
-  let module E = Propagate.Make (struct
-    type state = float array * float array
+  let dom : (module Propagate.DOMAIN with type state = float array * float array) =
+    (module struct
+      type state = float array * float array
 
-    let source _ = (source_cdf, source_cdf)
+      let source _ = (source_cdf, source_cdf)
 
-    (* Frechet combination of the operand cdf bands, then the delay
-       shift: a pure function of the operand slots, so the engine's
-       parallel schedule is bit-identical to the sequential sweep *)
-    let eval _circuit _g driver operands =
-      match driver with
-      | Circuit.Gate _ ->
-        let k = Array.length operands in
-        let lower =
-          Array.init n_grid (fun i ->
-              let s = Array.fold_left (fun acc band -> acc +. (fst band).(i)) 0.0 operands in
-              clamp01 (s -. float_of_int (k - 1)))
-        in
-        let upper =
-          Array.init n_grid (fun i ->
-              Array.fold_left (fun acc band -> Float.min acc (snd band).(i)) 1.0 operands)
-        in
-        (shift lower, shift upper)
-      | Circuit.Input | Circuit.Dff_output _ -> assert false
-  end) in
+      (* Frechet combination of the operand cdf bands, then the delay
+         shift: a pure function of the operand slots, so the engine's
+         parallel schedule is bit-identical to the sequential sweep *)
+      let eval _circuit _g driver operands =
+        match driver with
+        | Circuit.Gate _ ->
+          let k = Array.length operands in
+          let lower =
+            Array.init n_grid (fun i ->
+                let s = Array.fold_left (fun acc band -> acc +. (fst band).(i)) 0.0 operands in
+                clamp01 (s -. float_of_int (k - 1)))
+          in
+          let upper =
+            Array.init n_grid (fun i ->
+                Array.fold_left (fun acc band -> Float.min acc (snd band).(i)) 1.0 operands)
+          in
+          (shift lower, shift upper)
+        | Circuit.Input | Circuit.Dff_output _ -> assert false
+    end)
+  in
+  let dom =
+    if Propagate.Sanitize.resolve check then
+      Propagate.Sanitize.wrap ~circuit ~check:band_check dom
+    else dom
+  in
+  let module E = Propagate.Make ((val dom)) in
   { grid; bands = E.run ?domains ?instrument circuit }
 
 let band r id =

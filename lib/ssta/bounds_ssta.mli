@@ -28,6 +28,7 @@ val analyze :
   ?dt:float ->
   ?horizon:float ->
   ?input_arrival:Spsta_dist.Normal.t ->
+  ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
@@ -39,7 +40,13 @@ val analyze :
     (default 1) evaluates each logic level's gates across that many
     OCaml domains with results bit-identical to the sequential
     traversal; [instrument] receives per-level gate counts and
-    wall-clock timings.  Raises [Invalid_argument] if [domains < 1]. *)
+    wall-clock timings.  Raises [Invalid_argument] if [domains < 1].
+
+    [check] (default: {!Spsta_engine.Propagate.Sanitize.enabled_by_env})
+    verifies both tabulated cdf bounds stay monotone probabilities and
+    the Frechet band never inverts, raising
+    {!Spsta_engine.Propagate.Sanitize.Violation} otherwise; when off no
+    wrapper is installed. *)
 
 val band : result -> Spsta_netlist.Circuit.id -> band
 

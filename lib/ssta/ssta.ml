@@ -49,47 +49,65 @@ let gate_eval ~delay_rf_of _circuit g driver operands =
 let source_of ~input_arrival ~input_arrival_of =
   match input_arrival_of with Some f -> f | None -> fun _ -> input_arrival
 
-let run ~delay_rf_of ?(input_arrival = default_input) ?input_arrival_of ?domains ?instrument
-    circuit =
-  let source = source_of ~input_arrival ~input_arrival_of in
-  let module E = Propagate.Make (struct
+(* Sanitizer checker: both direction arrivals must stay finite with
+   non-negative sigmas through every SUM / Clark MAX step. *)
+let arrival_check : arrival Propagate.Sanitize.check =
+ fun _circuit _id a ->
+  let open Spsta_lint.Invariant in
+  first
+    (check_normal ~what:"rise arrival" a.rise @ check_normal ~what:"fall arrival" a.fall)
+
+let domain ~source ~delay_rf_of : (module Propagate.DOMAIN with type state = arrival) =
+  (module struct
     type state = arrival
 
     let source = source
     let eval = gate_eval ~delay_rf_of
-  end) in
+  end)
+
+let checked_domain ?check circuit dom =
+  if Propagate.Sanitize.resolve check then
+    Propagate.Sanitize.wrap ~circuit ~check:arrival_check dom
+  else dom
+
+let run ~delay_rf_of ?(input_arrival = default_input) ?input_arrival_of ?check ?domains
+    ?instrument circuit =
+  let source = source_of ~input_arrival ~input_arrival_of in
+  let module D = (val checked_domain ?check circuit (domain ~source ~delay_rf_of)) in
+  let module E = Propagate.Make (D) in
   E.run ?domains ?instrument circuit
 
-let analyze ?(gate_delay = 1.0) ?input_arrival ?input_arrival_of ?domains ?instrument circuit =
+let analyze ?(gate_delay = 1.0) ?input_arrival ?input_arrival_of ?check ?domains ?instrument
+    circuit =
   let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
-  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival ?input_arrival_of ?domains
+  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival ?input_arrival_of ?check ?domains
     ?instrument circuit
 
-let analyze_variational ~gate_delay ?input_arrival ?input_arrival_of ?domains ?instrument
-    circuit =
+let analyze_variational ~gate_delay ?input_arrival ?input_arrival_of ?check ?domains
+    ?instrument circuit =
   run
     ~delay_rf_of:(fun g ->
       let d = gate_delay g in
       (d, d))
-    ?input_arrival ?input_arrival_of ?domains ?instrument circuit
+    ?input_arrival ?input_arrival_of ?check ?domains ?instrument circuit
 
-let analyze_rf ~delay_rf ?input_arrival ?input_arrival_of ?domains ?instrument circuit =
+let analyze_rf ~delay_rf ?input_arrival ?input_arrival_of ?check ?domains ?instrument circuit =
   let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
   run
     ~delay_rf_of:(fun g ->
       let rise, fall = delay_rf g in
       (to_normal rise, to_normal fall))
-    ?input_arrival ?input_arrival_of ?domains ?instrument circuit
+    ?input_arrival ?input_arrival_of ?check ?domains ?instrument circuit
 
-let update ?(gate_delay = 1.0) ?(input_arrival = default_input) ?input_arrival_of r ~changed =
+let update ?(gate_delay = 1.0) ?(input_arrival = default_input) ?input_arrival_of ?check r
+    ~changed =
   let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
   let source = source_of ~input_arrival ~input_arrival_of in
-  let module E = Propagate.Make (struct
-    type state = arrival
-
-    let source = source
-    let eval = gate_eval ~delay_rf_of:(fun _ -> (delay, delay))
-  end) in
+  let module D =
+    (val checked_domain ?check r.Propagate.circuit
+           (domain ~source ~delay_rf_of:(fun _ -> (delay, delay))))
+  in
+  let module E = Propagate.Make (D) in
   E.update r ~changed
 
 let arrival (r : result) id = r.Propagate.per_net.(id)

@@ -20,6 +20,7 @@ val analyze :
   ?gate_delay:float ->
   ?input_arrival:arrival ->
   ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
@@ -34,12 +35,20 @@ val analyze :
     [domains < 1].
 
     [instrument] receives per-level gate counts and wall-clock timings
-    (see {!Spsta_engine.Propagate.level_stat}). *)
+    (see {!Spsta_engine.Propagate.level_stat}).
+
+    [check] (default: {!Spsta_engine.Propagate.Sanitize.enabled_by_env})
+    verifies every propagated arrival pair stays finite with
+    non-negative sigmas, raising
+    {!Spsta_engine.Propagate.Sanitize.Violation} naming the circuit,
+    net, gate kind and level otherwise; when off no wrapper is
+    installed. *)
 
 val analyze_variational :
   gate_delay:(Spsta_netlist.Circuit.id -> Spsta_dist.Normal.t) ->
   ?input_arrival:arrival ->
   ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
@@ -51,6 +60,7 @@ val analyze_rf :
   delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
   ?input_arrival:arrival ->
   ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
@@ -62,6 +72,7 @@ val update :
   ?gate_delay:float ->
   ?input_arrival:arrival ->
   ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  ?check:bool ->
   result ->
   changed:Spsta_netlist.Circuit.id list ->
   result

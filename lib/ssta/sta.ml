@@ -22,25 +22,40 @@ let gate_eval ~gate_delay _circuit _g driver operands =
 let source_of ~input_bounds ~input_bounds_of =
   match input_bounds_of with Some f -> f | None -> fun _ -> input_bounds
 
-let analyze ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of ?domains
-    ?instrument circuit =
-  let source = source_of ~input_bounds ~input_bounds_of in
-  let module E = Propagate.Make (struct
+(* Sanitizer checker: the [earliest, latest] window must stay a finite,
+   ordered interval through every min/max/shift step. *)
+let bounds_check : bounds Propagate.Sanitize.check =
+ fun _circuit _id b ->
+  Spsta_lint.Invariant.(
+    first (check_interval ~what:"arrival window" (b.earliest, b.latest)))
+
+let domain ~source ~gate_delay : (module Propagate.DOMAIN with type state = bounds) =
+  (module struct
     type state = bounds
 
     let source = source
     let eval = gate_eval ~gate_delay
-  end) in
+  end)
+
+let checked_domain ?check circuit dom =
+  if Propagate.Sanitize.resolve check then
+    Propagate.Sanitize.wrap ~circuit ~check:bounds_check dom
+  else dom
+
+let analyze ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of ?check
+    ?domains ?instrument circuit =
+  let source = source_of ~input_bounds ~input_bounds_of in
+  let module D = (val checked_domain ?check circuit (domain ~source ~gate_delay)) in
+  let module E = Propagate.Make (D) in
   E.run ?domains ?instrument circuit
 
-let update ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of r ~changed =
+let update ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of ?check r
+    ~changed =
   let source = source_of ~input_bounds ~input_bounds_of in
-  let module E = Propagate.Make (struct
-    type state = bounds
-
-    let source = source
-    let eval = gate_eval ~gate_delay
-  end) in
+  let module D =
+    (val checked_domain ?check r.Propagate.circuit (domain ~source ~gate_delay))
+  in
+  let module E = Propagate.Make (D) in
   E.update r ~changed
 
 let bounds (r : result) id = r.Propagate.per_net.(id)

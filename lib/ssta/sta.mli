@@ -13,6 +13,7 @@ val analyze :
   ?gate_delay:float ->
   ?input_bounds:bounds ->
   ?input_bounds_of:(Spsta_netlist.Circuit.id -> bounds) ->
+  ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
@@ -26,12 +27,18 @@ val analyze :
     many OCaml domains; results are bit-identical to the sequential
     traversal at every domain count.  Raises [Invalid_argument] if
     [domains < 1].  [instrument] receives per-level gate counts and
-    wall-clock timings. *)
+    wall-clock timings.
+
+    [check] (default: {!Spsta_engine.Propagate.Sanitize.enabled_by_env})
+    verifies every propagated window stays a finite, ordered interval,
+    raising {!Spsta_engine.Propagate.Sanitize.Violation} otherwise;
+    when off no wrapper is installed. *)
 
 val update :
   ?gate_delay:float ->
   ?input_bounds:bounds ->
   ?input_bounds_of:(Spsta_netlist.Circuit.id -> bounds) ->
+  ?check:bool ->
   result ->
   changed:Spsta_netlist.Circuit.id list ->
   result

@@ -23,32 +23,65 @@ let base_arrivals kind inputs =
     let settle = Canonical.max_many both in
     (settle, settle)
 
-let analyze ?(input_sigma = 1.0) ?domains ?instrument model placement circuit =
+(* Sanitizer checker: a canonical form must keep a finite mean, finite
+   sensitivities, and a finite non-negative independent sigma through
+   every SUM / Clark MAX step. *)
+let canonical_check ~what (c : Canonical.t) =
+  let open Spsta_lint.Invariant in
+  check_finite ~what:(what ^ " mean") c.Canonical.mean
+  @ (if not (finite c.Canonical.rand) then
+       [ { rule = "non-finite"; message = Printf.sprintf "%s independent sigma is %h" what c.Canonical.rand } ]
+     else if c.Canonical.rand < 0.0 then
+       [
+         {
+           rule = "negative-sigma";
+           message =
+             Printf.sprintf "%s independent sigma is negative (%.17g)" what c.Canonical.rand;
+         };
+       ]
+     else [])
+  @ (Array.to_list c.Canonical.sens
+    |> List.concat_map (fun s -> check_finite ~what:(what ^ " sensitivity") s))
+
+let arrival_check : arrival Propagate.Sanitize.check =
+ fun _circuit _id a ->
+  Spsta_lint.Invariant.first
+    (canonical_check ~what:"rise arrival" a.rise @ canonical_check ~what:"fall arrival" a.fall)
+
+let analyze ?(input_sigma = 1.0) ?check ?domains ?instrument model placement circuit =
   let nparams = Param_model.num_params model in
   let source_arrival =
     let s = Canonical.make ~mean:0.0 ~sens:(Array.make nparams 0.0) ~rand:input_sigma in
     { rise = s; fall = s }
   in
-  let module E = Propagate.Make (struct
-    type state = arrival
+  let dom : (module Propagate.DOMAIN with type state = arrival) =
+    (module struct
+      type state = arrival
 
-    let source _ = source_arrival
+      let source _ = source_arrival
 
-    (* pure in its operands ([gate_delay_canonical] allocates a fresh
-       sensitivity vector per call and only reads the model), so the
-       engine's parallel schedule is bit-identical to the sequential
-       sweep *)
-    let eval _circuit g driver operands =
-      match driver with
-      | Circuit.Gate { kind; _ } ->
-        let base_rise, base_fall = base_arrivals kind (Array.to_list operands) in
-        let rise0, fall0 =
-          if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
-        in
-        let delay = Param_model.gate_delay_canonical model placement g in
-        { rise = Canonical.add rise0 delay; fall = Canonical.add fall0 delay }
-      | Circuit.Input | Circuit.Dff_output _ -> assert false
-  end) in
+      (* pure in its operands ([gate_delay_canonical] allocates a fresh
+         sensitivity vector per call and only reads the model), so the
+         engine's parallel schedule is bit-identical to the sequential
+         sweep *)
+      let eval _circuit g driver operands =
+        match driver with
+        | Circuit.Gate { kind; _ } ->
+          let base_rise, base_fall = base_arrivals kind (Array.to_list operands) in
+          let rise0, fall0 =
+            if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
+          in
+          let delay = Param_model.gate_delay_canonical model placement g in
+          { rise = Canonical.add rise0 delay; fall = Canonical.add fall0 delay }
+        | Circuit.Input | Circuit.Dff_output _ -> assert false
+    end)
+  in
+  let dom =
+    if Propagate.Sanitize.resolve check then
+      Propagate.Sanitize.wrap ~circuit ~check:arrival_check dom
+    else dom
+  in
+  let module E = Propagate.Make ((val dom)) in
   E.run ?domains ?instrument circuit
 
 let arrival (r : result) id = r.Propagate.per_net.(id)

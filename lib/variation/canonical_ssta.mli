@@ -11,6 +11,7 @@ type result
 
 val analyze :
   ?input_sigma:float ->
+  ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Param_model.t ->
@@ -25,7 +26,13 @@ val analyze :
     (default 1) evaluates each logic level's gates across that many
     OCaml domains with results bit-identical to the sequential
     traversal; [instrument] receives per-level gate counts and
-    wall-clock timings.  Raises [Invalid_argument] if [domains < 1]. *)
+    wall-clock timings.  Raises [Invalid_argument] if [domains < 1].
+
+    [check] (default: {!Spsta_engine.Propagate.Sanitize.enabled_by_env})
+    verifies every canonical form keeps a finite mean, finite
+    sensitivities and a non-negative independent sigma, raising
+    {!Spsta_engine.Propagate.Sanitize.Violation} otherwise; when off no
+    wrapper is installed. *)
 
 val arrival : result -> Spsta_netlist.Circuit.id -> arrival
 

@@ -30,36 +30,68 @@ let symbol_bases circuit =
   done;
   base
 
-let analyze ?(gate_delay = 1.0) ?(delay_radius = 0.0) ?(input_radius = 3.0) ?domains
+(* Sanitizer checker: both enclosures must stay finite ordered
+   intervals, and they must overlap — each is guaranteed to contain the
+   true arrival, so an empty intersection means one of them is wrong. *)
+let state_check : state Propagate.Sanitize.check =
+ fun _circuit _id s ->
+  let open Spsta_lint.Invariant in
+  let alo, ahi = Affine.interval s.affine in
+  let nlo, nhi = s.naive in
+  match
+    first
+      (check_interval ~what:"affine enclosure" (alo, ahi)
+      @ check_interval ~what:"naive enclosure" (nlo, nhi))
+  with
+  | Some _ as violation -> violation
+  | None ->
+    if Float.max alo nlo > Float.min ahi nhi +. prob_tolerance then
+      Some
+        ( "inverted-interval",
+          Printf.sprintf
+            "affine enclosure [%.17g, %.17g] and naive enclosure [%.17g, %.17g] do not \
+             intersect"
+            alo ahi nlo nhi )
+    else None
+
+let analyze ?(gate_delay = 1.0) ?(delay_radius = 0.0) ?(input_radius = 3.0) ?check ?domains
     ?instrument circuit =
   if delay_radius < 0.0 || input_radius < 0.0 then
     invalid_arg "Interval_sta.analyze: negative radius";
   let base = symbol_bases circuit in
-  let module E = Propagate.Make (struct
-    type nonrec state = state
+  let dom : (module Propagate.DOMAIN with type state = state) =
+    (module struct
+      type nonrec state = state
 
-    let source s =
-      let ctx = Affine.create_context ~first:base.(s) () in
-      { affine = Affine.make ctx ~center:0.0 ~radius:input_radius;
-        naive = (-.input_radius, input_radius) }
+      let source s =
+        let ctx = Affine.create_context ~first:base.(s) () in
+        { affine = Affine.make ctx ~center:0.0 ~radius:input_radius;
+          naive = (-.input_radius, input_radius) }
 
-    let eval _circuit g driver operands =
-      match driver with
-      | Circuit.Gate _ ->
-        let ctx = Affine.create_context ~first:base.(g) () in
-        let affines = List.map (fun s -> s.affine) (Array.to_list operands) in
-        let delay = Affine.make ctx ~center:gate_delay ~radius:delay_radius in
-        let affine = Affine.add (Affine.join_max_many ctx affines) delay in
-        let lo =
-          Array.fold_left (fun acc s -> Float.max acc (fst s.naive)) neg_infinity operands
-        in
-        let hi =
-          Array.fold_left (fun acc s -> Float.max acc (snd s.naive)) neg_infinity operands
-        in
-        { affine;
-          naive = (lo +. gate_delay -. delay_radius, hi +. gate_delay +. delay_radius) }
-      | Circuit.Input | Circuit.Dff_output _ -> assert false
-  end) in
+      let eval _circuit g driver operands =
+        match driver with
+        | Circuit.Gate _ ->
+          let ctx = Affine.create_context ~first:base.(g) () in
+          let affines = List.map (fun s -> s.affine) (Array.to_list operands) in
+          let delay = Affine.make ctx ~center:gate_delay ~radius:delay_radius in
+          let affine = Affine.add (Affine.join_max_many ctx affines) delay in
+          let lo =
+            Array.fold_left (fun acc s -> Float.max acc (fst s.naive)) neg_infinity operands
+          in
+          let hi =
+            Array.fold_left (fun acc s -> Float.max acc (snd s.naive)) neg_infinity operands
+          in
+          { affine;
+            naive = (lo +. gate_delay -. delay_radius, hi +. gate_delay +. delay_radius) }
+        | Circuit.Input | Circuit.Dff_output _ -> assert false
+    end)
+  in
+  let dom =
+    if Propagate.Sanitize.resolve check then
+      Propagate.Sanitize.wrap ~circuit ~check:state_check dom
+    else dom
+  in
+  let module E = Propagate.Make ((val dom)) in
   E.run ?domains ?instrument circuit
 
 let arrival (r : result) id = r.Propagate.per_net.(id).affine

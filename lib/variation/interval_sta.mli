@@ -17,6 +17,7 @@ val analyze :
   ?gate_delay:float ->
   ?delay_radius:float ->
   ?input_radius:float ->
+  ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
@@ -30,7 +31,13 @@ val analyze :
     (default 1) parallelism is race-free and bit-identical to the
     sequential traversal at every domain count; [instrument] receives
     per-level gate counts and wall-clock timings.  Raises
-    [Invalid_argument] if [domains < 1]. *)
+    [Invalid_argument] if [domains < 1].
+
+    [check] (default: {!Spsta_engine.Propagate.Sanitize.enabled_by_env})
+    verifies both enclosures stay finite ordered intervals and always
+    intersect (each is guaranteed to contain the true arrival), raising
+    {!Spsta_engine.Propagate.Sanitize.Violation} otherwise; when off no
+    wrapper is installed. *)
 
 val arrival : result -> Spsta_netlist.Circuit.id -> Affine.t
 

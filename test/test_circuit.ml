@@ -139,6 +139,30 @@ let test_combinational_cycle () =
       Circuit.Builder.add_output b "y";
       Circuit.Builder.finalize b)
 
+let test_cycle_names_nets () =
+  (* the error must name exactly the nets on the cycle — not the
+     downstream nets that are merely starved by it *)
+  let message =
+    try
+      let b = Circuit.Builder.create () in
+      Circuit.Builder.add_input b "a";
+      Circuit.Builder.add_gate b ~output:"x" Gate_kind.And [ "a"; "y" ];
+      Circuit.Builder.add_gate b ~output:"y" Gate_kind.And [ "a"; "x" ];
+      Circuit.Builder.add_gate b ~output:"z" Gate_kind.Not [ "y" ];
+      Circuit.Builder.add_output b "z";
+      ignore (Circuit.Builder.finalize b);
+      Alcotest.fail "cycle accepted"
+    with Circuit.Invalid_circuit m -> m
+  in
+  let contains sub =
+    let n = String.length sub and len = String.length message in
+    let rec go i = i + n <= len && (String.sub message i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names x" true (contains "x");
+  Alcotest.(check bool) "names y" true (contains "y");
+  Alcotest.(check bool) "does not name downstream z" false (contains "z")
+
 let test_dff_breaks_cycle () =
   (* the same loop through a flip-flop is fine (sequential feedback) *)
   let b = Circuit.Builder.create () in
@@ -181,6 +205,7 @@ let suite =
     Alcotest.test_case "undriven net rejected" `Quick test_undriven_net;
     Alcotest.test_case "duplicate driver rejected" `Quick test_duplicate_driver;
     Alcotest.test_case "combinational cycle rejected" `Quick test_combinational_cycle;
+    Alcotest.test_case "cycle error names the cycle nets" `Quick test_cycle_names_nets;
     Alcotest.test_case "dff breaks cycles" `Quick test_dff_breaks_cycle;
     Alcotest.test_case "gate arity validated" `Quick test_arity_validation;
     Alcotest.test_case "undriven output rejected" `Quick test_undriven_output;

@@ -55,10 +55,11 @@ let test_json_numbers () =
 
 let all_requests : Protocol.request list =
   [ { id = "a1"; deadline_ms = None;
-      kind = Analyze { circuit = "s344"; case = Protocol.Case_i; top = 0 } };
+      kind = Analyze { circuit = "s344"; case = Protocol.Case_i; top = 0; check = false } };
     { id = "a2"; deadline_ms = Some 12.5;
-      kind = Analyze { circuit = "bench/x.bench"; case = Protocol.Case_ii; top = 3 } };
-    { id = "s1"; deadline_ms = None; kind = Ssta { circuit = "s1196"; top = 5 } };
+      kind = Analyze { circuit = "bench/x.bench"; case = Protocol.Case_ii; top = 3; check = true } };
+    { id = "s1"; deadline_ms = None; kind = Ssta { circuit = "s1196"; top = 5; check = false } };
+    { id = "s2"; deadline_ms = None; kind = Ssta { circuit = "s27"; top = 0; check = true } };
     { id = "m1"; deadline_ms = Some 100.0;
       kind =
         Mc
