@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json lint check-smoke
+.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json lint check-smoke size-smoke
 
 all: build
 
@@ -46,6 +46,15 @@ lint:
 check-smoke:
 	dune exec bin/spsta_cli.exe -- check s27
 	dune exec bin/spsta_cli.exe -- check c17
+
+# statistical gate sizing under the sanitizer on a small ISCAS circuit:
+# the run must commit moves that improve the 99th-percentile chip delay
+# (the CLI prints "(improved)" exactly when objective_after < before)
+size-smoke:
+	@dune exec bin/spsta_cli.exe -- size s344 --max-moves 24 --check | tee /tmp/spsta_size_smoke.txt
+	@grep -q "(improved)" /tmp/spsta_size_smoke.txt || { \
+	  echo "size-smoke: FAILED (objective did not improve)"; exit 1; }
+	@echo "size-smoke: ok"
 
 # pipe a 3-request JSONL file through the analysis server and check that
 # every request is answered ok (see doc/server.md for the protocol)

@@ -12,6 +12,8 @@
      sequential - steady-state flip-flop statistics (fixed point vs sim)
      chip-delay - chip-level delay distribution, yield, criticality
      variation  - canonical-form SSTA under a correlated process model
+     criticality - per-gate statistical criticality and slack
+     size       - greedy statistical gate sizing on the incremental engine
      gen        - emit a synthetic suite circuit as .bench
      experiment - regenerate a paper table/figure
      list       - list suite circuits and experiments *)
@@ -609,6 +611,284 @@ let report_cmd =
   let info = Cmd.info "report" ~doc:"Structural and slack report" in
   Cmd.v info Term.(const run $ circuit_arg $ clock_arg)
 
+(* ---------- optimization workloads ---------- *)
+
+module Json = Spsta_server.Json
+module Criticality = Spsta_opt.Criticality
+module Sizer = Spsta_opt.Sizer
+module Sized_library = Spsta_netlist.Sized_library
+module Cell_library = Spsta_netlist.Cell_library
+
+let lib_of_name = function
+  | "unit" -> Cell_library.unit_delay
+  | "default" -> Cell_library.default
+  | other ->
+    Printf.eprintf "error: unknown cell library %s (unit or default)\n" other;
+    exit 1
+
+let criticality_cmd =
+  let run name domain case_str lib_name dt top json check =
+    let circuit = load_circuit name in
+    let check = resolve_check check in
+    let crit =
+      match domain with
+      | `Ssta ->
+        let library = lib_of_name lib_name in
+        let result =
+          Spsta_ssta.Ssta.analyze_rf ?check
+            ~delay_rf:(fun id -> Cell_library.gate_delays library circuit id)
+            circuit
+        in
+        Criticality.of_ssta result
+      | `Grid ->
+        let case = case_of_string case_str in
+        let spec = Experiments.Workloads.spec_fn case in
+        let module B = (val Spsta_core.Top.discrete_backend ~dt ()) in
+        let module A = Spsta_core.Analyzer.Make (B) in
+        let result = A.analyze ?check circuit ~spec in
+        Criticality.of_transition_stats circuit ~stats:(fun id dir ->
+            A.transition_stats (A.signal result id) dir)
+    in
+    let chip = Criticality.chip_delay crit in
+    let ranked = Criticality.ranked crit in
+    let shown = if top > 0 then List.filteri (fun i _ -> i < top) ranked else ranked in
+    if json then begin
+      let gate (g, c) =
+        Json.Obj
+          [ ("net", Json.string (Circuit.net_name circuit g));
+            ("criticality", Json.float c);
+            ("slack", Json.float (Criticality.slack crit g)) ]
+      in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [ ("circuit", Json.string (Circuit.name circuit));
+                ("domain", Json.string (match domain with `Ssta -> "ssta" | `Grid -> "grid"));
+                ( "chip_delay",
+                  Json.Obj
+                    [ ("mean", Json.float (Spsta_dist.Normal.mean chip));
+                      ("stddev", Json.float (Spsta_dist.Normal.stddev chip));
+                      ("q99", Json.float (Criticality.quantile crit 0.99)) ] );
+                ("gates", Json.List (List.map gate shown)) ]))
+    end
+    else begin
+      print_header circuit;
+      Printf.printf "chip delay: mean %.3f, sigma %.3f, q99 %.3f\n"
+        (Spsta_dist.Normal.mean chip) (Spsta_dist.Normal.stddev chip)
+        (Criticality.quantile crit 0.99);
+      let table =
+        Spsta_util.Table.create ~headers:[ "gate"; "criticality"; "slack" ]
+      in
+      List.iter
+        (fun (g, c) ->
+          Spsta_util.Table.add_row table
+            [ Circuit.net_name circuit g;
+              Printf.sprintf "%.4f" c;
+              Printf.sprintf "%.3f" (Criticality.slack crit g) ])
+        shown;
+      print_endline (Spsta_util.Table.render table)
+    end
+  in
+  let domain_arg =
+    let doc =
+      "Timing domain the criticality is computed in: ssta (Clark moment-matched \
+       arrivals under cell-library delays) or grid (discretised SPSTA t.o.p. \
+       transition statistics)."
+    in
+    Arg.(value & opt (Arg.enum [ ("ssta", `Ssta); ("grid", `Grid) ]) `Ssta
+         & info [ "domain" ] ~docv:"DOMAIN" ~doc)
+  in
+  let lib_arg =
+    let doc = "Cell library for the ssta domain: unit or default." in
+    Arg.(value & opt string "default" & info [ "lib" ] ~docv:"LIB" ~doc)
+  in
+  let dt_arg =
+    let doc = "Grid step for the grid domain." in
+    Arg.(value & opt float 0.1 & info [ "dt" ] ~docv:"DT" ~doc)
+  in
+  let top_arg =
+    let doc = "Show only the N most critical gates (0 = all)." in
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the report as a JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let info =
+    Cmd.info "criticality"
+      ~doc:"Per-gate statistical criticality and slack"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Computes the probability every gate lies on the statistically critical \
+             path: Clark tightness splits the chip delay over endpoints and a reverse \
+             topological pass distributes each gate's criticality over its fan-in.  \
+             Available in the SSTA domain (normal arrivals under cell-library delays) \
+             and the grid-SPSTA domain (transition statistics of the discretised \
+             t.o.p. functions).";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ circuit_arg $ domain_arg $ case_arg $ lib_arg $ dt_arg $ top_arg
+      $ json_arg $ check_arg)
+
+let size_cmd =
+  let run name quantile target area_budget max_moves candidates threshold sizes ratio
+      initial json check =
+    let circuit = load_circuit name in
+    let sized =
+      try Sized_library.family ~sizes ~ratio Cell_library.default
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let initial =
+      match initial with
+      | "smallest" -> None
+      | "largest" ->
+        Some (Sized_library.uniform sized circuit ~size:(Sized_library.num_sizes sized - 1))
+      | other ->
+        Printf.eprintf "error: unknown initial assignment %s (smallest or largest)\n" other;
+        exit 1
+    in
+    let config =
+      {
+        Sizer.quantile;
+        target = (if target > 0.0 then Some target else None);
+        area_budget = (if area_budget > 0.0 then Some area_budget else None);
+        max_moves;
+        candidates;
+        downsize_threshold = threshold;
+      }
+    in
+    let report =
+      try Sizer.run ~config ?check:(resolve_check check) ?initial sized circuit
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let dir = function `Up -> "up" | `Down -> "down" in
+    if json then begin
+      let move (m : Sizer.move) =
+        Json.Obj
+          [ ("net", Json.string (Circuit.net_name circuit m.Sizer.net));
+            ("direction", Json.string (dir m.Sizer.direction));
+            ("from_size", Json.int m.Sizer.from_size);
+            ("to_size", Json.int m.Sizer.to_size);
+            ("objective_after", Json.float m.Sizer.objective_after);
+            ("area_after", Json.float m.Sizer.area_after) ]
+      in
+      let curve points =
+        Json.List
+          (List.map
+             (fun (p, t) ->
+               Json.Obj [ ("yield", Json.float p); ("clock", Json.float t) ])
+             points)
+      in
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [ ("circuit", Json.string (Circuit.name circuit));
+                ("quantile", Json.float quantile);
+                ("objective_before", Json.float report.Sizer.objective_before);
+                ("objective_after", Json.float report.Sizer.objective_after);
+                ("area_before", Json.float report.Sizer.area_before);
+                ("area_after", Json.float report.Sizer.area_after);
+                ("capacitance_before", Json.float report.Sizer.capacitance_before);
+                ("capacitance_after", Json.float report.Sizer.capacitance_after);
+                ("evaluations", Json.int report.Sizer.evaluations);
+                ("moves", Json.List (List.map move report.Sizer.moves));
+                ("yield_before", curve report.Sizer.yield_before);
+                ("yield_after", curve report.Sizer.yield_after) ]))
+    end
+    else begin
+      print_header circuit;
+      Printf.printf "objective (q%.2g): %.4f -> %.4f%s\n" quantile
+        report.Sizer.objective_before report.Sizer.objective_after
+        (if report.Sizer.objective_after < report.Sizer.objective_before then " (improved)"
+         else "");
+      Printf.printf "area: %.1f -> %.1f\n" report.Sizer.area_before report.Sizer.area_after;
+      Printf.printf "switched capacitance: %.1f -> %.1f\n" report.Sizer.capacitance_before
+        report.Sizer.capacitance_after;
+      Printf.printf "moves: %d (%d incremental evaluations)\n"
+        (List.length report.Sizer.moves)
+        report.Sizer.evaluations;
+      List.iter
+        (fun (m : Sizer.move) ->
+          Printf.printf "  %-4s %-12s %d -> %d  objective %.4f  area %.1f\n"
+            (dir m.Sizer.direction)
+            (Circuit.net_name circuit m.Sizer.net)
+            m.Sizer.from_size m.Sizer.to_size m.Sizer.objective_after m.Sizer.area_after)
+        report.Sizer.moves
+    end
+  in
+  let quantile_arg =
+    let doc = "Objective percentile of the chip-delay distribution, in (0, 1)." in
+    Arg.(value & opt float 0.99 & info [ "quantile" ] ~docv:"Q" ~doc)
+  in
+  let target_arg =
+    let doc = "Target objective: stop upsizing once reached (0 = minimize)." in
+    Arg.(value & opt float 0.0 & info [ "target" ] ~docv:"T" ~doc)
+  in
+  let budget_arg =
+    let doc = "Absolute total-area budget (0 = unbounded)." in
+    Arg.(value & opt float 0.0 & info [ "area-budget" ] ~docv:"A" ~doc)
+  in
+  let moves_arg =
+    let doc = "Maximum committed moves across both phases." in
+    Arg.(value & opt int 400 & info [ "max-moves" ] ~docv:"N" ~doc)
+  in
+  let candidates_arg =
+    let doc = "Critical gates trialled per upsize iteration." in
+    Arg.(value & opt int 8 & info [ "candidates" ] ~docv:"K" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Criticality at or below which a gate may be downsized." in
+    Arg.(value & opt float 0.01 & info [ "downsize-threshold" ] ~docv:"C" ~doc)
+  in
+  let sizes_arg =
+    let doc = "Sized variants per cell." in
+    Arg.(value & opt int 4 & info [ "sizes" ] ~docv:"N" ~doc)
+  in
+  let ratio_arg =
+    let doc = "Drive-strength ratio between adjacent sizes (> 1)." in
+    Arg.(value & opt float 1.5 & info [ "ratio" ] ~docv:"R" ~doc)
+  in
+  let initial_arg =
+    let doc =
+      "Starting assignment: smallest (tightening run) or largest (power recovery: \
+       phase B downsizes everything the target can spare)."
+    in
+    Arg.(value & opt string "smallest" & info [ "initial" ] ~docv:"START" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the full move/yield report as a JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let info =
+    Cmd.info "size"
+      ~doc:"Greedy statistical gate sizing on the incremental SSTA engine"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Runs a TILOS-style sensitivity-guided sizing loop over a derived \
+             drive-strength family of the default cell library: upsize the best \
+             objective-per-area move on the statistically critical set, then downsize \
+             off-critical gates to recover area and switched capacitance.  Every \
+             candidate move is evaluated with dirty-cone incremental re-analysis; the \
+             loop is deterministic and reproduces bit-identical reports for a fixed \
+             circuit and flags.";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ circuit_arg $ quantile_arg $ target_arg $ budget_arg $ moves_arg
+      $ candidates_arg $ threshold_arg $ sizes_arg $ ratio_arg $ initial_arg $ json_arg
+      $ check_arg)
+
 let waveform_cmd =
   let run name net_name case_str check =
     let circuit = load_circuit name in
@@ -846,8 +1126,9 @@ let batch_cmd =
 
 let subcommands =
   [ analyze_cmd; lint_cmd; check_cmd; ssta_cmd; mc_cmd; power_cmd; exact_prob_cmd;
-    paths_cmd; sequential_cmd; chip_delay_cmd; variation_cmd; report_cmd; waveform_cmd;
-    export_cmd; gen_cmd; experiment_cmd; list_cmd; serve_cmd; batch_cmd ]
+    paths_cmd; sequential_cmd; chip_delay_cmd; variation_cmd; report_cmd; criticality_cmd;
+    size_cmd; waveform_cmd; export_cmd; gen_cmd; experiment_cmd; list_cmd; serve_cmd;
+    batch_cmd ]
 
 let main =
   let doc = "Signal Probability Based Statistical Timing Analysis (DATE 2008)" in

@@ -130,12 +130,27 @@ module Make (D : DOMAIN) = struct
   let update r ~changed =
     let circuit = r.circuit in
     let n = Circuit.num_nets circuit in
-    (* mark the union of fanout cones of the changed nets *)
+    (* Mark the union of fanout cones of the changed nets — through
+       combinational edges only.  A flip-flop's Q net is a *source* of
+       the levelized timing graph: its seed is [D.source q], which does
+       not read the D arrival, so crossing the D -> Q structural edge
+       would re-derive bit-identical values while flooding the dirty
+       set through every register (on the sequential ISCAS circuits a
+       critical gate's structural cone is the whole netlist; its
+       combinational cone is a few percent).  Callers whose *seed*
+       changed — a Q net after a sequential iteration, a source with
+       new input statistics — name that net in [changed] and it is
+       marked as a root here. *)
     let dirty = Array.make n false in
     let rec mark id =
       if not dirty.(id) then begin
         dirty.(id) <- true;
-        Array.iter mark (Circuit.fanout circuit id)
+        Array.iter
+          (fun out ->
+            match Circuit.driver circuit out with
+            | Circuit.Dff_output _ -> ()
+            | Circuit.Gate _ | Circuit.Input -> mark out)
+          (Circuit.fanout circuit id)
       end
     in
     List.iter mark changed;

@@ -126,8 +126,13 @@ module Make (D : DOMAIN) : sig
     D.state result
   (** Incremental re-propagation after the sources in [changed] (or the
       domain parameters affecting them) changed: marks the union of the
-      fanout cones of [changed], re-seeds the dirty sources and
-      re-evaluates the dirty gates in topological order.  States outside
+      combinational fanout cones of [changed], re-seeds the dirty
+      sources and re-evaluates the dirty gates in topological order.
+      Marking stops at register boundaries — a flip-flop Q net is a
+      source whose seed does not read the D arrival, so a dirty D net
+      leaves the Q side untouched; callers whose seed itself changed (a
+      source with new statistics, a Q net between sequential
+      iterations) list that net in [changed] directly.  States outside
       the cones are physically shared with the input result, which is
       not mutated.  Equivalent to a full {!run} with the updated domain
       whenever the domain's [source]/[eval] differ from the original

@@ -1,5 +1,6 @@
 module Circuit = Spsta_netlist.Circuit
 module Cell_library = Spsta_netlist.Cell_library
+module Sized_library = Spsta_netlist.Sized_library
 module Bench_io = Spsta_netlist.Bench_io
 module Verilog_io = Spsta_netlist.Verilog_io
 module Gate_kind = Spsta_logic.Gate_kind
@@ -54,6 +55,10 @@ let rules =
     ("grid-eps", Error, "the truncation threshold is negative, non-finite, or >= 1");
     ("grid-error-bound", Warning, "the worst-case accumulated truncation bound is too large");
     ("grid-dt-coarse", Warning, "the grid step exceeds a source arrival sigma");
+    ( "size-group",
+      Error,
+      "a size group used by the circuit breaks the drive-strength laws: delay must be \
+       finite and non-increasing, area/capacitance non-decreasing" );
   ]
 
 let severity_of_rule rule =
@@ -178,7 +183,9 @@ let check_structure circuit =
 
 (* ---------- cell library ---------- *)
 
-let check_library library circuit =
+(* The (kind, fan-in) pairs the circuit actually instantiates, in first
+   appearance order — the cells whose models the analyses will read. *)
+let instantiated_pairs circuit =
   let pairs = Hashtbl.create 16 in
   let count = ref 0 in
   for id = 0 to Circuit.num_nets circuit - 1 do
@@ -191,11 +198,12 @@ let check_library library circuit =
       end
     | Circuit.Input | Circuit.Dff_output _ -> ()
   done;
-  let ordered =
-    Hashtbl.fold (fun key order acc -> (order, key) :: acc) pairs []
-    |> List.sort compare
-    |> List.map snd
-  in
+  Hashtbl.fold (fun key order acc -> (order, key) :: acc) pairs []
+  |> List.sort compare
+  |> List.map snd
+
+let check_library library circuit =
+  let ordered = instantiated_pairs circuit in
   List.concat_map
     (fun (kind, fanin) ->
       let describe dir delay =
@@ -216,6 +224,52 @@ let check_library library circuit =
       let rise, fall = Cell_library.rise_fall_of library kind ~fanin in
       describe "rise" rise @ describe "fall" fall)
     ordered
+
+(* ---------- size groups ---------- *)
+
+let check_sized_library sized circuit =
+  let n = Sized_library.num_sizes sized in
+  let series ~what ~law values =
+    (* [law] is the direction the drive-strength ladder must respect:
+       `Down for delays, `Up for area and capacitance. *)
+    let bad = ref [] in
+    Array.iteri
+      (fun k v ->
+        if not (Invariant.finite v) || v < 0.0 then
+          bad := finding "size-group" "%s at size %d is %h" what k v :: !bad)
+      values;
+    for k = 1 to n - 1 do
+      let prev = values.(k - 1) and cur = values.(k) in
+      if Invariant.finite prev && Invariant.finite cur then begin
+        let broken, direction =
+          match law with
+          | `Down -> (cur > prev, "increases")
+          | `Up -> (cur < prev, "decreases")
+        in
+        if broken then
+          bad :=
+            finding "size-group" "%s %s from size %d to %d (%g -> %g)" what direction
+              (k - 1) k prev cur
+            :: !bad
+      end
+    done;
+    List.rev !bad
+  in
+  List.concat_map
+    (fun (kind, fanin) ->
+      let label what =
+        Printf.sprintf "%s %s (fan-in %d)" (Gate_kind.to_string kind) what fanin
+      in
+      let of_size f = Array.init n (fun k -> f ~size:k kind ~fanin) in
+      series ~what:(label "rise delay") ~law:`Down
+        (of_size (fun ~size kind ~fanin -> Sized_library.delay sized ~size kind ~fanin `Rise))
+      @ series ~what:(label "fall delay") ~law:`Down
+          (of_size (fun ~size kind ~fanin ->
+               Sized_library.delay sized ~size kind ~fanin `Fall))
+      @ series ~what:(label "area") ~law:`Up (of_size (Sized_library.area sized))
+      @ series ~what:(label "capacitance") ~law:`Up
+          (of_size (Sized_library.capacitance sized)))
+    (instantiated_pairs circuit)
 
 (* ---------- input statistics ---------- *)
 
@@ -302,10 +356,13 @@ let check_grid ?spec ~dt ~truncate_eps circuit =
     in
     budget @ coarse
 
-let check_circuit ?library ?spec ?grid circuit =
+let check_circuit ?library ?sized ?spec ?grid circuit =
   check_structure circuit
   @ (match library with
     | Some library -> check_library library circuit
+    | None -> [])
+  @ (match sized with
+    | Some sized -> check_sized_library sized circuit
     | None -> [])
   @ (match spec with Some spec -> check_spec ~spec circuit | None -> [])
   @

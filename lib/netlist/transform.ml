@@ -88,6 +88,21 @@ let strip_buffers circuit =
     (Circuit.topo_gates circuit);
   Circuit.Builder.finalize b
 
+let resize_gate sized circuit (asg : Sized_library.assignment) id ~size =
+  (match Circuit.driver circuit id with
+  | Circuit.Gate _ -> ()
+  | Circuit.Input | Circuit.Dff_output _ ->
+    invalid_arg "Transform.resize_gate: net is not gate-driven");
+  if size < 0 || size >= Sized_library.num_sizes sized then
+    invalid_arg
+      (Printf.sprintf "Transform.resize_gate: size %d outside [0, %d)" size
+         (Sized_library.num_sizes sized));
+  if asg.(id) = size then []
+  else begin
+    asg.(id) <- size;
+    [ id ]
+  end
+
 let statistics circuit =
   let max_fanout =
     let worst = ref 0 in

@@ -18,6 +18,17 @@ val strip_buffers : Circuit.t -> Circuit.t
     Buffers that drive primary outputs or flip-flops are kept (the name
     is part of the interface). *)
 
+val resize_gate :
+  Sized_library.t -> Circuit.t -> Sized_library.assignment -> Circuit.id -> size:int ->
+  Circuit.id list
+(** Swap the cell driving this net for the [size]-indexed variant of its
+    size group, in place, and return the dirty net set to hand to the
+    incremental analyzers ([Ssta.update_rf] / [Propagate.update]).  The
+    delay model is load-independent, so only the gate's own output net is
+    dirtied; returns [[]] when the gate already has that size.  Raises
+    [Invalid_argument] if the net is not gate-driven or [size] is outside
+    the family. *)
+
 val statistics : Circuit.t -> (string * int) list
 (** Named structural counters (nets, gates per kind, fanout max, ...)
     for reports. *)

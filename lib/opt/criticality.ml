@@ -1,0 +1,129 @@
+module Circuit = Spsta_netlist.Circuit
+module Normal = Spsta_dist.Normal
+module Clark = Spsta_dist.Clark
+module Ssta = Spsta_ssta.Ssta
+
+type t = {
+  circuit : Circuit.t;
+  arrivals : Normal.t array;
+  chip : Normal.t;
+  crit : float array;
+  required : float array;
+}
+
+(* P(element i is the max of the list): tightness of arrival i against
+   the Clark MAX of all the others, via prefix/suffix max arrays so the
+   whole split is O(n) Clark steps. *)
+let selection_probs (arrivals : Normal.t array) =
+  let n = Array.length arrivals in
+  if n = 1 then [| 1.0 |]
+  else begin
+    let prefix = Array.make n arrivals.(0) in
+    for i = 1 to n - 1 do
+      prefix.(i) <- Clark.max_normal prefix.(i - 1) arrivals.(i)
+    done;
+    let suffix = Array.make n arrivals.(n - 1) in
+    for i = n - 2 downto 0 do
+      suffix.(i) <- Clark.max_normal arrivals.(i) suffix.(i + 1)
+    done;
+    let raw =
+      Array.init n (fun i ->
+          let others =
+            if i = 0 then suffix.(1)
+            else if i = n - 1 then prefix.(n - 2)
+            else Clark.max_normal prefix.(i - 1) suffix.(i + 1)
+          in
+          Clark.tightness arrivals.(i) others)
+    in
+    (* The events are exhaustive but Clark is approximate: renormalise
+       so the split conserves the parent's criticality exactly. *)
+    let total = Array.fold_left ( +. ) 0.0 raw in
+    if total > 0.0 then Array.map (fun p -> p /. total) raw
+    else Array.make n (1.0 /. float_of_int n)
+  end
+
+let of_arrivals circuit ~arrival =
+  let n = Circuit.num_nets circuit in
+  let arrivals = Array.init n arrival in
+  let endpoints = Array.of_list (Circuit.endpoints circuit) in
+  if Array.length endpoints = 0 then
+    invalid_arg "Criticality.of_arrivals: circuit has no endpoints";
+  let endpoint_arrivals = Array.map (fun e -> arrivals.(e)) endpoints in
+  let chip = Clark.max_normal_many (Array.to_list endpoint_arrivals) in
+  let crit = Array.make n 0.0 in
+  let split = selection_probs endpoint_arrivals in
+  Array.iteri (fun i e -> crit.(e) <- crit.(e) +. split.(i)) endpoints;
+  (* Backward pass: distribute each gate's criticality over its fanin by
+     the per-input selection probabilities.  topo_gates is forward
+     topological, so the reverse sweep sees every gate after all its
+     fanout. *)
+  let gates = Circuit.topo_gates circuit in
+  for k = Array.length gates - 1 downto 0 do
+    let g = gates.(k) in
+    let c = crit.(g) in
+    if c > 0.0 then
+      match Circuit.driver circuit g with
+      | Circuit.Gate { inputs; _ } ->
+        let split = selection_probs (Array.map (fun i -> arrivals.(i)) inputs) in
+        Array.iteri (fun i input -> crit.(input) <- crit.(input) +. (c *. split.(i))) inputs
+      | Circuit.Input | Circuit.Dff_output _ -> assert false
+  done;
+  (* Mean-based required times: endpoints owe the chip-delay mean; a
+     gate's effective mean delay is its mean arrival minus the latest
+     mean over its inputs. *)
+  let required = Array.make n infinity in
+  Array.iter
+    (fun e -> required.(e) <- Float.min required.(e) (Normal.mean chip))
+    endpoints;
+  for k = Array.length gates - 1 downto 0 do
+    let g = gates.(k) in
+    match Circuit.driver circuit g with
+    | Circuit.Gate { inputs; _ } ->
+      let latest_in =
+        Array.fold_left
+          (fun acc i -> Float.max acc (Normal.mean arrivals.(i)))
+          neg_infinity inputs
+      in
+      let d = Normal.mean arrivals.(g) -. latest_in in
+      Array.iter
+        (fun i -> required.(i) <- Float.min required.(i) (required.(g) -. d))
+        inputs
+    | Circuit.Input | Circuit.Dff_output _ -> assert false
+  done;
+  { circuit; arrivals; chip; crit; required }
+
+let settle_of_ssta (a : Ssta.arrival) = Clark.max_normal a.Ssta.rise a.Ssta.fall
+
+let of_ssta result =
+  let circuit = Ssta.circuit_of result in
+  of_arrivals circuit ~arrival:(fun id -> settle_of_ssta (Ssta.arrival result id))
+
+let mixture_normal (mr, sr, pr) (mf, sf, pf) =
+  let p = pr +. pf in
+  if p <= 0.0 then Normal.make ~mu:0.0 ~sigma:0.0
+  else begin
+    let mu = ((pr *. mr) +. (pf *. mf)) /. p in
+    let second =
+      ((pr *. ((sr *. sr) +. (mr *. mr))) +. (pf *. ((sf *. sf) +. (mf *. mf)))) /. p
+    in
+    Normal.make ~mu ~sigma:(sqrt (Float.max 0.0 (second -. (mu *. mu))))
+  end
+
+let of_transition_stats circuit ~stats =
+  of_arrivals circuit ~arrival:(fun id ->
+      mixture_normal (stats id `Rise) (stats id `Fall))
+
+let circuit t = t.circuit
+let chip_delay t = t.chip
+let quantile t p = Normal.quantile t.chip p
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let criticality t id = clamp01 t.crit.(id)
+let slack t id = t.required.(id) -. Normal.mean t.arrivals.(id)
+
+let ranked t =
+  Circuit.topo_gates t.circuit |> Array.to_list
+  |> List.map (fun g -> (g, clamp01 t.crit.(g)))
+  |> List.stable_sort (fun (g1, c1) (g2, c2) ->
+         match compare c2 c1 with 0 -> compare g1 g2 | n -> n)

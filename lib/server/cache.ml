@@ -166,6 +166,16 @@ let memo_key ~digest (kind : Protocol.kind) =
   | Protocol.Paths p ->
     Printf.sprintf "paths|%s|k=%d|sg=%.9g|ss=%.9g|sr=%.9g" digest p.k p.sigma_global
       p.sigma_spatial p.sigma_random
+  | Protocol.Size p ->
+    (* [check] is in the key for the same reason as analyze/ssta: a
+       cached unchecked payload must not satisfy a request that asked
+       for the sanitizer *)
+    Printf.sprintf "size|%s|q=%.9g|target=%s|moves=%d|cand=%d|sizes=%d|ratio=%.9g|init=%s%s"
+      digest p.quantile
+      (match p.target with None -> "-" | Some t -> Printf.sprintf "%.9g" t)
+      p.max_moves p.candidates p.sizes p.ratio
+      (Protocol.size_initial_name p.initial)
+      (if p.check then "|check=1" else "")
   | Protocol.Stats | Protocol.Shutdown -> invalid_arg "Cache.memo_key: not a cacheable kind"
 
 let find_result t key = Lru.find t.results key

@@ -142,6 +142,53 @@ let paths_payload circuit ~k ~sigma_global ~sigma_spatial ~sigma_random =
     (circuit_header circuit
     @ [ ("k", Json.int k); ("paths", Json.List (List.mapi path_json paths)) ])
 
+let size_payload circuit ~quantile ~target ~max_moves ~candidates ~sizes ~ratio ~initial
+    ~check =
+  let sized =
+    Spsta_netlist.Sized_library.family ~sizes ~ratio Spsta_netlist.Cell_library.default
+  in
+  let config =
+    { Spsta_opt.Sizer.default_config with
+      Spsta_opt.Sizer.quantile; target; max_moves; candidates }
+  in
+  let initial =
+    match initial with
+    | Protocol.Smallest -> None
+    | Protocol.Largest ->
+      Some
+        (Spsta_netlist.Sized_library.uniform sized circuit
+           ~size:(Spsta_netlist.Sized_library.num_sizes sized - 1))
+  in
+  let report = Spsta_opt.Sizer.run ~config ~check ?initial sized circuit in
+  let open Spsta_opt.Sizer in
+  let move m =
+    Json.Obj
+      [ ("net", Json.string (Circuit.net_name circuit m.net));
+        ("direction", Json.string (match m.direction with `Up -> "up" | `Down -> "down"));
+        ("from_size", Json.int m.from_size); ("to_size", Json.int m.to_size);
+        ("objective_after", Json.float m.objective_after);
+        ("area_after", Json.float m.area_after) ]
+  in
+  let curve points =
+    Json.List
+      (List.map
+         (fun (p, t) -> Json.Obj [ ("yield", Json.float p); ("clock", Json.float t) ])
+         points)
+  in
+  Json.Obj
+    (circuit_header circuit
+    @ [ ("quantile", Json.float quantile);
+        ("objective_before", Json.float report.objective_before);
+        ("objective_after", Json.float report.objective_after);
+        ("area_before", Json.float report.area_before);
+        ("area_after", Json.float report.area_after);
+        ("capacitance_before", Json.float report.capacitance_before);
+        ("capacitance_after", Json.float report.capacitance_after);
+        ("evaluations", Json.int report.evaluations);
+        ("moves", Json.List (List.map move report.moves));
+        ("yield_before", curve report.yield_before);
+        ("yield_after", curve report.yield_after) ])
+
 let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
   let circuit_of name = (Cache.load_circuit cache name).Cache.circuit in
   match kind with
@@ -154,6 +201,10 @@ let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
   | Protocol.Paths p ->
     paths_payload (circuit_of p.circuit) ~k:p.k ~sigma_global:p.sigma_global
       ~sigma_spatial:p.sigma_spatial ~sigma_random:p.sigma_random
+  | Protocol.Size p ->
+    size_payload (circuit_of p.circuit) ~quantile:p.quantile ~target:p.target
+      ~max_moves:p.max_moves ~candidates:p.candidates ~sizes:p.sizes ~ratio:p.ratio
+      ~initial:p.initial ~check:p.check
   | Protocol.Stats | Protocol.Shutdown -> invalid_arg "Engine.compute_payload: control request"
 
 (* Execute an analysis request, memoising through the cache.  Control
@@ -183,7 +234,8 @@ let execute ?(domains = 1) (cache : Cache.t) (request : Protocol.request) : Prot
     let loaded =
       match request.Protocol.kind with
       | Protocol.Analyze { circuit; _ } | Protocol.Ssta { circuit; _ }
-      | Protocol.Mc { circuit; _ } | Protocol.Paths { circuit; _ } ->
+      | Protocol.Mc { circuit; _ } | Protocol.Paths { circuit; _ }
+      | Protocol.Size { circuit; _ } ->
         Cache.load_circuit cache circuit
       | Protocol.Stats | Protocol.Shutdown ->
         invalid_arg "Engine.execute: control request"

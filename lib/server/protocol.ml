@@ -7,8 +7,9 @@
      {"id":"r2","kind":"mc","circuit":"s344","runs":2000,"seed":7}
      {"id":"r3","kind":"ssta","circuit":"s1196"}
      {"id":"r4","kind":"paths","circuit":"s386","k":8,"sigma_global":0.05}
-     {"id":"r5","kind":"stats"}
-     {"id":"r6","kind":"shutdown"}
+     {"id":"r5","kind":"size","circuit":"s344","quantile":0.99,"max_moves":50}
+     {"id":"r6","kind":"stats"}
+     {"id":"r7","kind":"shutdown"}
 
    Any analysis request may carry "deadline_ms": the server answers with a
    structured "timeout" error if the result cannot be produced within that
@@ -69,11 +70,30 @@ type paths_params = {
   sigma_random : float;
 }
 
+(* Gate-sizing request: the knobs of the [spsta size] CLI subcommand
+   that change the result — all of them are part of the memo key. *)
+type size_initial = Smallest | Largest
+
+let size_initial_name = function Smallest -> "smallest" | Largest -> "largest"
+
+type size_params = {
+  circuit : string;
+  quantile : float;
+  target : float option;
+  max_moves : int;
+  candidates : int;
+  sizes : int;
+  ratio : float;
+  initial : size_initial;
+  check : bool;
+}
+
 type kind =
   | Analyze of analyze_params
   | Ssta of ssta_params
   | Mc of mc_params
   | Paths of paths_params
+  | Size of size_params
   | Stats
   | Shutdown
 
@@ -82,6 +102,7 @@ let kind_name = function
   | Ssta _ -> "ssta"
   | Mc _ -> "mc"
   | Paths _ -> "paths"
+  | Size _ -> "size"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
@@ -157,6 +178,13 @@ let request_to_json (r : request) : Json.t =
         ("sigma_global", Json.float p.sigma_global);
         ("sigma_spatial", Json.float p.sigma_spatial);
         ("sigma_random", Json.float p.sigma_random) ]
+    | Size p ->
+      [ ("circuit", Json.string p.circuit); ("quantile", Json.float p.quantile);
+        ("max_moves", Json.int p.max_moves); ("candidates", Json.int p.candidates);
+        ("sizes", Json.int p.sizes); ("ratio", Json.float p.ratio);
+        ("initial", Json.string (size_initial_name p.initial)) ]
+      @ (match p.target with None -> [] | Some t -> [ ("target", Json.float t) ])
+      @ (if p.check then [ ("check", Json.bool true) ] else [])
     | Stats | Shutdown -> []
   in
   Json.Obj (base @ params @ deadline)
@@ -263,6 +291,50 @@ let decode_request_json (json : Json.t) : (request, decode_error) Stdlib.result 
         in
         if k <= 0 then decode_fail ~id Bad_field "field \"k\" must be positive"
         else Stdlib.Ok (Paths { circuit; k; sigma_global; sigma_spatial; sigma_random })
+      | "size" ->
+        let* circuit = field_string ~id json "circuit" in
+        let* quantile =
+          opt_with ~id json "quantile" Json.to_float_opt "a number" ~default:0.99
+        in
+        let* target =
+          opt_with ~id json "target"
+            (fun v -> Option.map Option.some (Json.to_float_opt v))
+            "a number" ~default:None
+        in
+        let* max_moves =
+          opt_with ~id json "max_moves" Json.to_int_opt "an integer" ~default:400
+        in
+        let* candidates =
+          opt_with ~id json "candidates" Json.to_int_opt "an integer" ~default:8
+        in
+        let* sizes = opt_with ~id json "sizes" Json.to_int_opt "an integer" ~default:4 in
+        let* ratio = opt_with ~id json "ratio" Json.to_float_opt "a number" ~default:1.5 in
+        let* initial =
+          opt_with ~id json "initial"
+            (fun v ->
+              Option.bind (Json.to_string_opt v) (function
+                | "smallest" -> Some Smallest
+                | "largest" -> Some Largest
+                | _ -> None))
+            {|"smallest" or "largest"|} ~default:Smallest
+        in
+        let* check = opt_with ~id json "check" Json.to_bool_opt "a boolean" ~default:false in
+        if not (quantile > 0.0 && quantile < 1.0) then
+          decode_fail ~id Bad_field "field \"quantile\" must lie in (0, 1)"
+        else if max_moves < 0 then
+          decode_fail ~id Bad_field "field \"max_moves\" must be non-negative"
+        else if candidates <= 0 then
+          decode_fail ~id Bad_field "field \"candidates\" must be positive"
+        else if sizes <= 0 then decode_fail ~id Bad_field "field \"sizes\" must be positive"
+        else if not (ratio > 1.0) then
+          decode_fail ~id Bad_field "field \"ratio\" must exceed 1"
+        else if (match target with Some t -> not (t > 0.0) | None -> false) then
+          decode_fail ~id Bad_field "field \"target\" must be positive"
+        else
+          Stdlib.Ok
+            (Size
+               { circuit; quantile; target; max_moves; candidates; sizes; ratio; initial;
+                 check })
       | "stats" -> Stdlib.Ok Stats
       | "shutdown" -> Stdlib.Ok Shutdown
       | other -> decode_fail ~id Unknown_kind "unknown request kind %S" other

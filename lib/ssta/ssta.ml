@@ -110,6 +110,19 @@ let update ?(gate_delay = 1.0) ?(input_arrival = default_input) ?input_arrival_o
   let module E = Propagate.Make (D) in
   E.update r ~changed
 
+let update_rf ~delay_rf ?(input_arrival = default_input) ?input_arrival_of ?check r ~changed =
+  let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
+  let delay_rf_of g =
+    let rise, fall = delay_rf g in
+    (to_normal rise, to_normal fall)
+  in
+  let source = source_of ~input_arrival ~input_arrival_of in
+  let module D = (val checked_domain ?check r.Propagate.circuit (domain ~source ~delay_rf_of)) in
+  let module E = Propagate.Make (D) in
+  E.update r ~changed
+
+let circuit_of (r : result) = r.Propagate.circuit
+
 let arrival (r : result) id = r.Propagate.per_net.(id)
 
 let mean_of direction a =

@@ -83,6 +83,21 @@ val update :
     provided nothing outside the cones changed; arrivals outside the
     cones are physically shared.  The input [result] is not mutated. *)
 
+val update_rf :
+  delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
+  ?input_arrival:arrival ->
+  ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  ?check:bool ->
+  result ->
+  changed:Spsta_netlist.Circuit.id list ->
+  result
+(** {!update} under per-gate (rise, fall) delays — the incremental
+    counterpart of {!analyze_rf}.  [delay_rf] is consulted for every
+    dirty gate, so passing a resized gate's output net in [changed]
+    re-evaluates it with its new cell ({!Spsta_netlist.Transform.resize_gate}). *)
+
+val circuit_of : result -> Spsta_netlist.Circuit.t
+
 val arrival : result -> Spsta_netlist.Circuit.id -> arrival
 
 val critical_endpoint : result -> [ `Rise | `Fall ] -> Spsta_netlist.Circuit.id

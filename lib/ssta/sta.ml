@@ -7,7 +7,7 @@ type result = bounds Propagate.result
 
 let default_input = { earliest = 0.0; latest = 0.0 }
 
-let gate_eval ~gate_delay _circuit _g driver operands =
+let gate_eval ~gate_delay_of _circuit g driver operands =
   match driver with
   | Circuit.Gate _ ->
     let earliest =
@@ -16,6 +16,7 @@ let gate_eval ~gate_delay _circuit _g driver operands =
     let latest =
       Array.fold_left (fun acc (b : bounds) -> Float.max acc b.latest) neg_infinity operands
     in
+    let gate_delay = gate_delay_of g in
     { earliest = earliest +. gate_delay; latest = latest +. gate_delay }
   | Circuit.Input | Circuit.Dff_output _ -> assert false
 
@@ -29,12 +30,12 @@ let bounds_check : bounds Propagate.Sanitize.check =
   Spsta_lint.Invariant.(
     first (check_interval ~what:"arrival window" (b.earliest, b.latest)))
 
-let domain ~source ~gate_delay : (module Propagate.DOMAIN with type state = bounds) =
+let domain ~source ~gate_delay_of : (module Propagate.DOMAIN with type state = bounds) =
   (module struct
     type state = bounds
 
     let source = source
-    let eval = gate_eval ~gate_delay
+    let eval = gate_eval ~gate_delay_of
   end)
 
 let checked_domain ?check circuit dom =
@@ -42,18 +43,23 @@ let checked_domain ?check circuit dom =
     Propagate.Sanitize.wrap ~circuit ~check:bounds_check dom
   else dom
 
-let analyze ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of ?check
-    ?domains ?instrument circuit =
+let resolve_delay ~gate_delay ~gate_delay_of =
+  match gate_delay_of with Some f -> f | None -> fun _ -> gate_delay
+
+let analyze ?(gate_delay = 1.0) ?gate_delay_of ?(input_bounds = default_input)
+    ?input_bounds_of ?check ?domains ?instrument circuit =
   let source = source_of ~input_bounds ~input_bounds_of in
-  let module D = (val checked_domain ?check circuit (domain ~source ~gate_delay)) in
+  let gate_delay_of = resolve_delay ~gate_delay ~gate_delay_of in
+  let module D = (val checked_domain ?check circuit (domain ~source ~gate_delay_of)) in
   let module E = Propagate.Make (D) in
   E.run ?domains ?instrument circuit
 
-let update ?(gate_delay = 1.0) ?(input_bounds = default_input) ?input_bounds_of ?check r
-    ~changed =
+let update ?(gate_delay = 1.0) ?gate_delay_of ?(input_bounds = default_input)
+    ?input_bounds_of ?check r ~changed =
   let source = source_of ~input_bounds ~input_bounds_of in
+  let gate_delay_of = resolve_delay ~gate_delay ~gate_delay_of in
   let module D =
-    (val checked_domain ?check r.Propagate.circuit (domain ~source ~gate_delay))
+    (val checked_domain ?check r.Propagate.circuit (domain ~source ~gate_delay_of))
   in
   let module E = Propagate.Make (D) in
   E.update r ~changed

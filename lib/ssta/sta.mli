@@ -11,6 +11,7 @@ type result
 
 val analyze :
   ?gate_delay:float ->
+  ?gate_delay_of:(Spsta_netlist.Circuit.id -> float) ->
   ?input_bounds:bounds ->
   ?input_bounds_of:(Spsta_netlist.Circuit.id -> bounds) ->
   ?check:bool ->
@@ -18,7 +19,11 @@ val analyze :
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
   Spsta_netlist.Circuit.t ->
   result
-(** [input_bounds] defaults to {earliest = 0.; latest = 0.}; the paper's
+(** [gate_delay_of] overrides [gate_delay] (default 1.0) per gate-output
+    net — e.g. sized-cell mean delays from
+    {!Spsta_netlist.Sized_library}.
+
+    [input_bounds] defaults to {earliest = 0.; latest = 0.}; the paper's
     N(0,1) inputs are commonly bounded at +-3 sigma, i.e.
     [{earliest = -3.; latest = 3.}].  [input_bounds_of] overrides the
     window per source net.
@@ -36,6 +41,7 @@ val analyze :
 
 val update :
   ?gate_delay:float ->
+  ?gate_delay_of:(Spsta_netlist.Circuit.id -> float) ->
   ?input_bounds:bounds ->
   ?input_bounds_of:(Spsta_netlist.Circuit.id -> bounds) ->
   ?check:bool ->

@@ -89,6 +89,35 @@ let test_ssta_noop_update () =
   let incremental = Ssta.update base ~changed:[] in
   ssta_equal c "noop" base incremental
 
+(* Idempotence under mutation: resize a gate, update, resize it back,
+   update again — the second update recomputes the same cone from the
+   same inputs with the same delays, so the result must be bit-identical
+   to the untouched analysis (exact float equality, not tolerance). *)
+let test_ssta_resize_roundtrip_bit_identical () =
+  let module Sized = Spsta_netlist.Sized_library in
+  let module Transform = Spsta_netlist.Transform in
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let sized = Sized.default in
+  let asg = Sized.initial c in
+  let delay_rf id = Sized.delay_rf sized c asg id in
+  let base = Ssta.analyze_rf ~delay_rf c in
+  let gates = Circuit.topo_gates c in
+  (* a mid-level gate: non-trivial cone both above and below *)
+  let g = gates.(Array.length gates / 2) in
+  let up = Ssta.update_rf ~delay_rf base ~changed:(Transform.resize_gate sized c asg g ~size:3) in
+  let back =
+    Ssta.update_rf ~delay_rf up ~changed:(Transform.resize_gate sized c asg g ~size:0)
+  in
+  Alcotest.(check int) "assignment restored" 0 (Sized.size_of asg g);
+  for i = 0 to Circuit.num_nets c - 1 do
+    let a = Ssta.arrival base i and b = Ssta.arrival back i in
+    let label = Printf.sprintf "roundtrip/%s" (Circuit.net_name c i) in
+    close (label ^ " rise mean") (Normal.mean a.Ssta.rise) (Normal.mean b.Ssta.rise) ~tol:0.0;
+    close (label ^ " rise sigma") (Normal.stddev a.Ssta.rise) (Normal.stddev b.Ssta.rise) ~tol:0.0;
+    close (label ^ " fall mean") (Normal.mean a.Ssta.fall) (Normal.mean b.Ssta.fall) ~tol:0.0;
+    close (label ^ " fall sigma") (Normal.stddev a.Ssta.fall) (Normal.stddev b.Ssta.fall) ~tol:0.0
+  done
+
 (* ---------- STA ---------- *)
 
 let default_window = { Sta.earliest = 0.0; latest = 0.0 }
@@ -138,6 +167,8 @@ let suite =
     Alcotest.test_case "SSTA update is pure" `Quick test_ssta_update_is_pure;
     Alcotest.test_case "SSTA clean cone shared" `Quick test_ssta_clean_cone_shared;
     Alcotest.test_case "SSTA no-op update" `Quick test_ssta_noop_update;
+    Alcotest.test_case "SSTA resize round-trip bit-identical" `Quick
+      test_ssta_resize_roundtrip_bit_identical;
     Alcotest.test_case "STA source change" `Quick test_sta_update_matches_full;
     Alcotest.test_case "STA clean cone shared" `Quick test_sta_clean_cone_shared;
     Alcotest.test_case "STA no-op update" `Quick test_sta_noop_update;

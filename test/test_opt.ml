@@ -1,0 +1,246 @@
+(* The optimization layer: criticality calculus on both analysis
+   domains, and the greedy sizer — improvement, determinism, target and
+   budget semantics, sanitizer-clean runs. *)
+
+module Circuit = Spsta_netlist.Circuit
+module Normal = Spsta_dist.Normal
+module Sized = Spsta_netlist.Sized_library
+module Ssta = Spsta_ssta.Ssta
+module Analyzer = Spsta_core.Analyzer
+module Criticality = Spsta_opt.Criticality
+module Sizer = Spsta_opt.Sizer
+
+let close ?(tol = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > tol then
+    Alcotest.failf "%s: expected %.10f, got %.10f" name expected actual
+
+(* ---------- criticality ---------- *)
+
+let test_criticality_bounds () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let crit = Criticality.of_ssta (Ssta.analyze c) in
+  Array.iter
+    (fun g ->
+      let p = Criticality.criticality crit g in
+      if p < 0.0 || p > 1.0 then
+        Alcotest.failf "criticality of %s = %g outside [0,1]" (Circuit.net_name c g) p)
+    (Circuit.topo_gates c)
+
+let test_criticality_endpoint_split () =
+  (* endpoint criticalities are the selection probabilities of the chip
+     MAX and sum to 1 — provided no endpoint also feeds other logic
+     (an endpoint with fanout additionally accumulates its fanouts'
+     contributions, as on the ISCAS netlists).  Dedicated output gates
+     with different depths keep the split non-trivial. *)
+  let b = Circuit.Builder.create ~name:"split" () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_input b "b";
+  Circuit.Builder.add_gate b ~output:"m" Spsta_logic.Gate_kind.And [ "a"; "b" ];
+  Circuit.Builder.add_gate b ~output:"x" Spsta_logic.Gate_kind.Not [ "m" ];
+  Circuit.Builder.add_gate b ~output:"y" Spsta_logic.Gate_kind.Or [ "m"; "a" ];
+  Circuit.Builder.add_gate b ~output:"z" Spsta_logic.Gate_kind.Not [ "y" ];
+  Circuit.Builder.add_output b "x";
+  Circuit.Builder.add_output b "z";
+  let c = Circuit.Builder.finalize b in
+  let crit = Criticality.of_ssta (Ssta.analyze c) in
+  let total =
+    List.fold_left (fun acc e -> acc +. Criticality.criticality crit e) 0.0
+      (Circuit.endpoints c)
+  in
+  close "endpoint criticalities sum to 1" 1.0 total ~tol:1e-6;
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "each endpoint selected with positive probability" true
+        (Criticality.criticality crit e > 0.0))
+    (Circuit.endpoints c)
+
+let test_criticality_ranked () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let crit = Criticality.of_ssta (Ssta.analyze c) in
+  let ranked = Criticality.ranked crit in
+  Alcotest.(check bool) "ranking is non-empty" true (ranked <> []);
+  let rec descending = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && descending rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "ranking descends" true (descending ranked);
+  let top, top_p = List.hd ranked in
+  Alcotest.(check bool) "top gate is critical" true (top_p > 0.0);
+  (* the most critical gate has the least slack headroom of the ranking *)
+  Alcotest.(check bool) "top slack below median slack" true
+    (Criticality.slack crit top
+    <= Criticality.slack crit (fst (List.nth ranked (List.length ranked / 2))) +. 1e-9)
+
+let test_criticality_single_path () =
+  (* a pure chain is critical everywhere: every gate has criticality 1 *)
+  let b = Circuit.Builder.create ~name:"chain" () in
+  Circuit.Builder.add_input b "a";
+  Circuit.Builder.add_gate b ~output:"x" Spsta_logic.Gate_kind.Not [ "a" ];
+  Circuit.Builder.add_gate b ~output:"y" Spsta_logic.Gate_kind.Buf [ "x" ];
+  Circuit.Builder.add_gate b ~output:"z" Spsta_logic.Gate_kind.Not [ "y" ];
+  Circuit.Builder.add_output b "z";
+  let c = Circuit.Builder.finalize b in
+  let crit = Criticality.of_ssta (Ssta.analyze c) in
+  Array.iter
+    (fun g -> close (Circuit.net_name c g) 1.0 (Criticality.criticality crit g) ~tol:1e-9)
+    (Circuit.topo_gates c)
+
+let test_criticality_grid_domain () =
+  (* the transition-stats adapter: same circuit through the grid
+     backend; chip delay is finite and the ranking non-degenerate *)
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let spec = Spsta_experiments.Workloads.spec_fn Spsta_experiments.Workloads.Case_i in
+  let module D = Analyzer.Make ((val Spsta_core.Top.discrete_backend ~dt:0.1 ())) in
+  let r = D.analyze c ~spec in
+  let crit =
+    Criticality.of_transition_stats c ~stats:(fun id dir -> D.transition_stats (D.signal r id) dir)
+  in
+  let chip = Criticality.chip_delay crit in
+  Alcotest.(check bool) "chip mean finite" true (Float.is_finite (Normal.mean chip));
+  Alcotest.(check bool) "some gate is critical" true
+    (List.exists (fun (_, p) -> p > 0.5) (Criticality.ranked crit))
+
+(* ---------- sizer ---------- *)
+
+let small_config = { Sizer.default_config with Sizer.max_moves = 24 }
+
+let test_sizer_improves () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let r = Sizer.run ~config:small_config Sized.default c in
+  Alcotest.(check bool) "objective improved" true
+    (r.Sizer.objective_after < r.Sizer.objective_before);
+  Alcotest.(check bool) "moves committed" true (r.Sizer.moves <> []);
+  Alcotest.(check bool) "evaluations counted" true
+    (r.Sizer.evaluations >= List.length r.Sizer.moves)
+
+let test_sizer_deterministic () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let a = Sizer.run ~config:small_config Sized.default c in
+  let b = Sizer.run ~config:small_config Sized.default c in
+  Alcotest.(check bool) "bit-identical reports" true (a = b)
+
+let test_sizer_check_clean () =
+  (* the sanitizer must stay silent across every incremental trial *)
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let r = Sizer.run ~config:small_config ~check:true Sized.default c in
+  Alcotest.(check bool) "checked run improves" true
+    (r.Sizer.objective_after <= r.Sizer.objective_before)
+
+let test_sizer_target_stops () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let free = Sizer.run ~config:small_config Sized.default c in
+  let target =
+    (free.Sizer.objective_before +. free.Sizer.objective_after) /. 2.0
+  in
+  let r =
+    Sizer.run ~config:{ small_config with Sizer.target = Some target } Sized.default c
+  in
+  Alcotest.(check bool) "target reached" true (r.Sizer.objective_after <= target);
+  Alcotest.(check bool) "stops early: fewer up moves than the free run" true
+    (List.length (List.filter (fun m -> m.Sizer.direction = `Up) r.Sizer.moves)
+    <= List.length (List.filter (fun m -> m.Sizer.direction = `Up) free.Sizer.moves))
+
+let test_sizer_respects_budget () =
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let free = Sizer.run ~config:small_config Sized.default c in
+  let budget = (free.Sizer.area_before +. free.Sizer.area_after) /. 2.0 in
+  let r =
+    Sizer.run ~config:{ small_config with Sizer.area_budget = Some budget } Sized.default c
+  in
+  Alcotest.(check bool) "area stays within budget" true (r.Sizer.area_after <= budget +. 1e-9)
+
+let test_sizer_zero_moves () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let r = Sizer.run ~config:{ small_config with Sizer.max_moves = 0 } Sized.default c in
+  Alcotest.(check int) "no moves" 0 (List.length r.Sizer.moves);
+  close "objective untouched" r.Sizer.objective_before r.Sizer.objective_after ~tol:0.0;
+  close "area untouched" r.Sizer.area_before r.Sizer.area_after ~tol:0.0
+
+let test_sizer_yield_curve () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let r = Sizer.run ~config:small_config Sized.default c in
+  Alcotest.(check int) "same curve points" (List.length r.Sizer.yield_before)
+    (List.length r.Sizer.yield_after);
+  List.iter2
+    (fun (t0, clk0) (t1, clk1) ->
+      close "same yield targets" t0 t1 ~tol:0.0;
+      Alcotest.(check bool) "clock never worse after sizing" true (clk1 <= clk0 +. 1e-9))
+    r.Sizer.yield_before r.Sizer.yield_after
+
+let test_sizer_recovery_from_largest () =
+  (* power recovery: from the all-largest start a target with slack lets
+     phase B downsize off-critical gates — area drops while the
+     objective stays within the limit *)
+  let c = Spsta_experiments.Benchmarks.load "s344" in
+  let sized = Sized.default in
+  let largest = Sized.uniform sized c ~size:(Sized.num_sizes sized - 1) in
+  (* a target 10% above the all-largest objective leaves recovery room *)
+  let probe =
+    Sizer.run ~config:{ small_config with Sizer.max_moves = 0 } ~initial:largest sized c
+  in
+  let target = 1.1 *. probe.Sizer.objective_before in
+  let config =
+    { Sizer.default_config with Sizer.max_moves = 200; target = Some target }
+  in
+  let r = Sizer.run ~config ~initial:largest sized c in
+  close "starts at the all-largest objective" probe.Sizer.objective_before
+    r.Sizer.objective_before ~tol:0.0;
+  Alcotest.(check bool) "area recovered" true (r.Sizer.area_after < r.Sizer.area_before);
+  Alcotest.(check bool) "capacitance recovered" true
+    (r.Sizer.capacitance_after < r.Sizer.capacitance_before);
+  Alcotest.(check bool) "objective stays within the target" true
+    (r.Sizer.objective_after <= target +. 1e-9);
+  Alcotest.(check bool) "every move is a downsize" true
+    (List.for_all (fun m -> m.Sizer.direction = `Down) r.Sizer.moves);
+  Alcotest.(check bool) "some gates ended smaller" true
+    (Array.exists (fun s -> s < Sized.num_sizes sized - 1) r.Sizer.assignment)
+
+let test_sizer_initial_validation () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let raises name initial =
+    match Sizer.run ~initial Sized.default c with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "wrong length" (Array.make (Circuit.num_nets c + 1) 0);
+  raises "size past the family" (Array.make (Circuit.num_nets c) 99);
+  raises "negative size" (Array.make (Circuit.num_nets c) (-1));
+  (* the given array is copied, not mutated in place *)
+  let given = Sized.initial c in
+  let r = Sizer.run ~config:small_config ~initial:given Sized.default c in
+  Alcotest.(check bool) "input assignment untouched" true
+    (Array.for_all (fun s -> s = 0) given);
+  Alcotest.(check bool) "run still moved" true (r.Sizer.moves <> [])
+
+let test_sizer_config_validation () =
+  let c = Spsta_experiments.Benchmarks.s27 () in
+  let raises name cfg =
+    match Sizer.run ~config:cfg Sized.default c with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  raises "quantile 0" { small_config with Sizer.quantile = 0.0 };
+  raises "quantile 1" { small_config with Sizer.quantile = 1.0 };
+  raises "negative moves" { small_config with Sizer.max_moves = -1 };
+  raises "no candidates" { small_config with Sizer.candidates = 0 };
+  raises "non-positive target" { small_config with Sizer.target = Some 0.0 }
+
+let suite =
+  [
+    Alcotest.test_case "criticality in [0,1]" `Quick test_criticality_bounds;
+    Alcotest.test_case "endpoint split sums to 1" `Quick test_criticality_endpoint_split;
+    Alcotest.test_case "ranking order" `Quick test_criticality_ranked;
+    Alcotest.test_case "single path fully critical" `Quick test_criticality_single_path;
+    Alcotest.test_case "grid-domain adapter" `Quick test_criticality_grid_domain;
+    Alcotest.test_case "sizer improves the objective" `Quick test_sizer_improves;
+    Alcotest.test_case "sizer is deterministic" `Quick test_sizer_deterministic;
+    Alcotest.test_case "sizer clean under --check" `Quick test_sizer_check_clean;
+    Alcotest.test_case "target stops upsizing" `Quick test_sizer_target_stops;
+    Alcotest.test_case "area budget respected" `Quick test_sizer_respects_budget;
+    Alcotest.test_case "zero-move run is identity" `Quick test_sizer_zero_moves;
+    Alcotest.test_case "yield curve improves" `Quick test_sizer_yield_curve;
+    Alcotest.test_case "recovery from the all-largest start" `Quick
+      test_sizer_recovery_from_largest;
+    Alcotest.test_case "initial assignment validation" `Quick test_sizer_initial_validation;
+    Alcotest.test_case "config validation" `Quick test_sizer_config_validation;
+  ]

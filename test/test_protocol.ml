@@ -75,6 +75,16 @@ let all_requests : Protocol.request list =
         Paths
           { circuit = "c17"; k = 8; sigma_global = 0.05; sigma_spatial = 0.1;
             sigma_random = 0.02 } };
+    { id = "z1"; deadline_ms = None;
+      kind =
+        Size
+          { circuit = "s344"; quantile = 0.99; target = None; max_moves = 50; candidates = 8;
+            sizes = 4; ratio = 1.5; initial = Protocol.Smallest; check = false } };
+    { id = "z2"; deadline_ms = Some 5000.0;
+      kind =
+        Size
+          { circuit = "s5378"; quantile = 0.95; target = Some 12.0; max_moves = 200;
+            candidates = 4; sizes = 6; ratio = 2.0; initial = Protocol.Largest; check = true } };
     { id = "st"; deadline_ms = None; kind = Stats };
     { id = "sd"; deadline_ms = None; kind = Shutdown } ]
 
@@ -103,6 +113,21 @@ let test_request_defaults () =
     Alcotest.(check string) "case defaults to I" "I" (Protocol.case_name p.Protocol.case);
     Alcotest.(check string) "engine defaults to packed" "packed"
       (Protocol.mc_engine_name p.Protocol.engine)
+  | Ok _ -> Alcotest.fail "wrong kind"
+
+let test_size_defaults () =
+  match Protocol.request_of_line "{\"id\":\"x\",\"kind\":\"size\",\"circuit\":\"s27\"}" with
+  | Error e -> Alcotest.fail e.Protocol.message
+  | Ok { kind = Size p; _ } ->
+    Alcotest.(check (float 0.0)) "default quantile" 0.99 p.Protocol.quantile;
+    Alcotest.(check bool) "no target" true (p.Protocol.target = None);
+    Alcotest.(check int) "default max_moves" 400 p.Protocol.max_moves;
+    Alcotest.(check int) "default candidates" 8 p.Protocol.candidates;
+    Alcotest.(check int) "default sizes" 4 p.Protocol.sizes;
+    Alcotest.(check (float 0.0)) "default ratio" 1.5 p.Protocol.ratio;
+    Alcotest.(check string) "initial defaults to smallest" "smallest"
+      (Protocol.size_initial_name p.Protocol.initial);
+    Alcotest.(check bool) "check defaults off" false p.Protocol.check
   | Ok _ -> Alcotest.fail "wrong kind"
 
 (* ---------- response round trips ---------- *)
@@ -166,6 +191,10 @@ let test_reject_bad_field () =
       "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"mc_engine\":\"quantum\"}";
       "{\"id\":\"x\",\"kind\":\"mc\",\"circuit\":\"s27\",\"mc_engine\":3}";
       "{\"id\":\"x\",\"kind\":\"paths\",\"circuit\":\"s27\",\"k\":0}";
+      "{\"id\":\"x\",\"kind\":\"size\",\"circuit\":\"s27\",\"quantile\":1.5}";
+      "{\"id\":\"x\",\"kind\":\"size\",\"circuit\":\"s27\",\"target\":0}";
+      "{\"id\":\"x\",\"kind\":\"size\",\"circuit\":\"s27\",\"ratio\":1.0}";
+      "{\"id\":\"x\",\"kind\":\"size\",\"circuit\":\"s27\",\"initial\":\"medium\"}";
       "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":-1}";
       "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":\"soon\"}" ]
   in
@@ -183,6 +212,7 @@ let suite =
     Alcotest.test_case "json numbers" `Quick test_json_numbers;
     Alcotest.test_case "request round trip" `Quick test_request_round_trip;
     Alcotest.test_case "request defaults" `Quick test_request_defaults;
+    Alcotest.test_case "size request defaults" `Quick test_size_defaults;
     Alcotest.test_case "response round trip" `Quick test_response_round_trip;
     Alcotest.test_case "error code names" `Quick test_error_code_names;
     Alcotest.test_case "reject bad json" `Quick test_reject_bad_json;
