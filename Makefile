@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json lint check-smoke size-smoke
+.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json lint check-smoke size-smoke scale-smoke
 
 all: build
 
@@ -55,6 +55,13 @@ size-smoke:
 	@grep -q "(improved)" /tmp/spsta_size_smoke.txt || { \
 	  echo "size-smoke: FAILED (objective did not improve)"; exit 1; }
 	@echo "size-smoke: ok"
+
+# bounded 100k-gate scale gate: generation and SSTA wall-time budgets,
+# bit-identity of the pooled schedule, the dirty-cone update speedup,
+# and (on multi-core hosts only) a ?domains speedup floor
+scale-smoke:
+	dune exec bench/main.exe -- --scale-smoke
+	@echo "scale-smoke: ok"
 
 # pipe a 3-request JSONL file through the analysis server and check that
 # every request is answered ok (see doc/server.md for the protocol)

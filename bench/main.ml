@@ -656,6 +656,116 @@ let json_bench_circuit ~mc_runs ~domains name =
            ("dropped_mass", Json.float dropped) ]);
       ("sizing", json_bench_sizing circuit) ]
 
+(* ---------- scale section: the 100k / 1M-gate generated profiles ----------
+
+   Wall-clock at netlist sizes where asymptotics, not constants, decide
+   the outcome: generation, full SSTA (sequential and across the domain
+   pool), and the dirty-cone incremental update against the full-sweep
+   baseline it replaces.  The grid/moment engines only run at c100k —
+   at a million gates they are minutes-long and the scale story they'd
+   tell is the same.  Domain speedups here are honest measurements on
+   the current host; on a single-core machine they sit near 1.0 by
+   construction (see doc/perf.md). *)
+
+let scale_dirty_cone circuit root =
+  (* register-bounded fanout marking, mirroring Propagate.update *)
+  let n = Circuit.num_nets circuit in
+  let dirty = Array.make n false in
+  let gates = ref 0 in
+  let rec mark id =
+    if not dirty.(id) then begin
+      dirty.(id) <- true;
+      (match Circuit.driver circuit id with
+      | Circuit.Gate _ -> incr gates
+      | Circuit.Input | Circuit.Dff_output _ -> ());
+      Array.iter
+        (fun out ->
+          match Circuit.driver circuit out with
+          | Circuit.Dff_output _ -> ()
+          | Circuit.Gate _ | Circuit.Input -> mark out)
+        (Circuit.fanout circuit id)
+    end
+  in
+  mark root;
+  !gates
+
+let scale_profile name =
+  match Spsta_netlist.Generator.find_profile name with
+  | Some p -> p
+  | None -> failwith (Printf.sprintf "unknown scale profile %s" name)
+
+let json_bench_scale ~domains name =
+  let profile = scale_profile name in
+  let t_gen, circuit = wall (fun () -> Spsta_netlist.Generator.generate profile) in
+  let gates = Circuit.gate_count circuit in
+  let t_ssta, r0, n_ssta = wall_best (fun () -> Ssta.analyze circuit) in
+  let t_ssta_par, _, n_ssta_par = wall_best (fun () -> Ssta.analyze ~domains circuit) in
+  (* two incremental workloads: a mid-topo gate flip (the sizer's move
+     evaluation — typically a tiny cone) and a primary-input re-seed
+     (the sequential-iteration workload — a larger cone) *)
+  let topo = Circuit.topo_gates circuit in
+  let root = topo.(Array.length topo / 2) in
+  let dirty_gates = scale_dirty_cone circuit root in
+  let t_upd, _, n_upd = wall_best (fun () -> Ssta.update r0 ~changed:[ root ]) in
+  let src_root = List.hd (Circuit.sources circuit) in
+  let src_dirty = scale_dirty_cone circuit src_root in
+  let t_src_upd, _, n_src_upd = wall_best (fun () -> Ssta.update r0 ~changed:[ src_root ]) in
+  let ratio num den = if den > 0.0 then num /. den else 0.0 in
+  let with_grid = gates <= 200_000 in
+  let grid_fields =
+    if not with_grid then []
+    else begin
+      let spec = Experiments.Workloads.spec_fn Experiments.Workloads.Case_i in
+      let t_moment, _, n_moment =
+        wall_best (fun () -> Analyzer.Moments.analyze circuit ~spec)
+      in
+      let t_moment_par, _, n_moment_par =
+        wall_best (fun () -> Analyzer.Moments.analyze ~domains circuit ~spec)
+      in
+      [ ("moment_s", Json.float t_moment);
+        ("moment_parallel_s", Json.float t_moment_par);
+        ("moment_domains", Json.float (ratio t_moment t_moment_par));
+        ("moment_n", Json.int n_moment);
+        ("moment_parallel_n", Json.int n_moment_par) ]
+    end
+  in
+  Printf.eprintf
+    "  %-8s gen %.2fs ssta %.3fs (par %.3fs, x%.2f) update %.5fs (x%.0f, %d dirty) \
+src-update %.5fs (x%.0f, %d dirty)\n%!"
+    name t_gen t_ssta t_ssta_par (ratio t_ssta t_ssta_par) t_upd (ratio t_ssta t_upd)
+    dirty_gates t_src_upd (ratio t_ssta t_src_upd) src_dirty;
+  Json.Obj
+    ([ ("name", Json.string name);
+       ("gates", Json.int gates);
+       ("depth", Json.int (Circuit.depth circuit));
+       ("generate_s", Json.float t_gen);
+       ("ssta_s", Json.float t_ssta);
+       ("ssta_parallel_s", Json.float t_ssta_par);
+       ("ssta_domains", Json.float (ratio t_ssta t_ssta_par));
+       ("incremental_update_s", Json.float t_upd);
+       ("incremental_speedup", Json.float (ratio t_ssta t_upd));
+       ("dirty_gates", Json.int dirty_gates);
+       ("source_update_s", Json.float t_src_upd);
+       ("source_update_speedup", Json.float (ratio t_ssta t_src_upd));
+       ("source_dirty_gates", Json.int src_dirty);
+       ("timing_n",
+        Json.Obj
+          [ ("ssta_s", Json.int n_ssta);
+            ("ssta_parallel_s", Json.int n_ssta_par);
+            ("incremental_update_s", Json.int n_upd);
+            ("source_update_s", Json.int n_src_upd) ]) ]
+    @ grid_fields)
+
+let scale_names () =
+  match Sys.getenv_opt "SPSTA_BENCH_SCALE" with
+  | None -> [ "c100k"; "c1000k" ]
+  | Some s -> (
+    match String.trim s with
+    | "" | "0" | "off" -> []
+    | "1" | "on" -> [ "c100k"; "c1000k" ]
+    | s ->
+      String.split_on_char ',' s |> List.map String.trim |> List.filter (fun s -> s <> ""))
+
 let json_mode path =
   let circuits =
     match Sys.getenv_opt "SPSTA_BENCH_CIRCUITS" with
@@ -666,15 +776,19 @@ let json_mode path =
   in
   let mc_runs = min runs 2_000 in
   let domains = Spsta_util.Parallel.default_domains () in
-  Printf.eprintf "bench json mode: %s (mc runs %d, %d domains)\n%!"
-    (String.concat ", " circuits) mc_runs domains;
+  let scale = scale_names () in
+  Printf.eprintf "bench json mode: %s (mc runs %d, %d domains; scale: %s)\n%!"
+    (String.concat ", " circuits) mc_runs domains
+    (if scale = [] then "off" else String.concat ", " scale);
   let doc =
     Json.Obj
-      [ ("schema", Json.string "spsta-bench/3");
+      [ ("schema", Json.string "spsta-bench/4");
         ("mc_runs", Json.int mc_runs);
         ("seed", Json.int seed);
         ("domains", Json.int domains);
-        ("circuits", Json.List (List.map (json_bench_circuit ~mc_runs ~domains) circuits)) ]
+        ("host_cores", Json.int (Domain.recommended_domain_count ()));
+        ("circuits", Json.List (List.map (json_bench_circuit ~mc_runs ~domains) circuits));
+        ("scale", Json.List (List.map (json_bench_scale ~domains) scale)) ]
   in
   let oc = open_out path in
   output_string oc (Json.to_string doc);
@@ -682,11 +796,70 @@ let json_mode path =
   close_out oc;
   Printf.eprintf "wrote %s\n%!" path
 
+(* Bounded CI gate for the scale work (`make scale-smoke`): c100k must
+   generate and analyze inside generous wall-time budgets, the pooled
+   sweep must be bit-identical to the sequential one, and the dirty-cone
+   update must beat the full sweep by a wide margin.  The ?domains
+   speedup floor is guarded by the host's core count — a single-core
+   runner cannot speed anything up and is not asked to. *)
+let scale_smoke () =
+  let failed = ref false in
+  let check name ok detail =
+    Printf.printf "%s  %-42s %s\n%!" (if ok then "PASS" else "FAIL") name detail;
+    if not ok then failed := true
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "scale smoke: c100k on %d core(s)\n%!" cores;
+  let t_gen, circuit = wall (fun () -> Spsta_netlist.Generator.generate (scale_profile "c100k")) in
+  check "generation under 60 s" (t_gen < 60.0) (Printf.sprintf "%.2fs" t_gen);
+  let t_ssta, r_seq, _ = wall_best (fun () -> Ssta.analyze circuit) in
+  check "ssta under 10 s" (t_ssta < 10.0) (Printf.sprintf "%.3fs" t_ssta);
+  (* pooled schedule must be bit-identical to the sequential sweep *)
+  let domains = if cores >= 4 then 4 else max 2 cores in
+  let r_par = Ssta.analyze ~domains circuit in
+  let identical = ref true in
+  for i = 0 to Circuit.num_nets circuit - 1 do
+    let a = Ssta.arrival r_seq i and b = Ssta.arrival r_par i in
+    let eq n m =
+      Spsta_dist.Normal.mean n = Spsta_dist.Normal.mean m
+      && Spsta_dist.Normal.stddev n = Spsta_dist.Normal.stddev m
+    in
+    if not (eq a.Ssta.rise b.Ssta.rise && eq a.Ssta.fall b.Ssta.fall) then identical := false
+  done;
+  check
+    (Printf.sprintf "bit-identical at domains=%d" domains)
+    !identical
+    (Printf.sprintf "%d nets" (Circuit.num_nets circuit));
+  (* speedup floor, guarded by what the host can physically deliver *)
+  (if cores >= 2 then begin
+     let t_par, _, _ = wall_best (fun () -> Ssta.analyze ~domains circuit) in
+     let speedup = if t_par > 0.0 then t_ssta /. t_par else 0.0 in
+     let floor = if cores >= 4 then 1.5 else 1.05 in
+     check
+       (Printf.sprintf "ssta domains=%d speedup >= %.2f" domains floor)
+       (speedup >= floor)
+       (Printf.sprintf "x%.2f" speedup)
+   end
+   else Printf.printf "SKIP  %-42s single-core host\n%!" "ssta ?domains speedup floor");
+  (* dirty-cone incremental update vs the full sweep it replaces: the
+     sizer-style single-gate flip *)
+  let topo = Circuit.topo_gates circuit in
+  let root = topo.(Array.length topo / 2) in
+  let t_upd, _, _ = wall_best (fun () -> Ssta.update r_seq ~changed:[ root ]) in
+  let speedup = if t_upd > 0.0 then t_ssta /. t_upd else 0.0 in
+  check "incremental update speedup >= 20"
+    (speedup >= 20.0)
+    (Printf.sprintf "x%.0f (%d dirty gates)" speedup (scale_dirty_cone circuit root));
+  if !failed then exit 1
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--json" :: rest ->
     let path = match rest with p :: _ -> p | [] -> "BENCH_spsta.json" in
     json_mode path;
+    exit 0
+  | _ :: "--scale-smoke" :: _ ->
+    scale_smoke ();
     exit 0
   | _ -> ()
 

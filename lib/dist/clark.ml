@@ -32,11 +32,31 @@ let max_moments ?(cov = 0.0) (a : Normal.t) (b : Normal.t) =
     { mean; variance = Float.max (second -. (mean *. mean)) 0.0 }
   end
 
-let negate (n : Normal.t) = Normal.make ~mu:(-.Normal.mean n) ~sigma:(Normal.stddev n)
-
-let min_moments ?(cov = 0.0) a b =
-  let m = max_moments ~cov (negate a) (negate b) in
-  { m with mean = -.m.mean }
+(* MIN(t1, t2) = -MAX(-t1, -t2), with the negations folded into the
+   float arithmetic instead of allocating two mirrored [Normal.t]s per
+   call: on a million-gate sweep the MIN chain runs once per AND/OR
+   input pair and the throwaway records were measurable.  Negation is
+   exact in IEEE arithmetic, so every intermediate here carries the same
+   bits as the negate-then-[max_moments] formulation. *)
+let min_moments ?(cov = 0.0) (a : Normal.t) (b : Normal.t) =
+  let th = theta ~cov a b in
+  let mu1 = -.Normal.mean a
+  and mu2 = -.Normal.mean b in
+  if th <= 0.0 then
+    if mu1 >= mu2 then { mean = -.mu1; variance = Normal.variance a }
+    else { mean = -.mu2; variance = Normal.variance b }
+  else begin
+    let lambda = (mu1 -. mu2) /. th in
+    let p = Spsta_util.Special.normal_pdf lambda in
+    let q = Spsta_util.Special.normal_cdf lambda in
+    let mean = (mu1 *. q) +. (mu2 *. (1.0 -. q)) +. (th *. p) in
+    let second =
+      (((mu1 *. mu1) +. Normal.variance a) *. q)
+      +. (((mu2 *. mu2) +. Normal.variance b) *. (1.0 -. q))
+      +. ((mu1 +. mu2) *. th *. p)
+    in
+    { mean = -.mean; variance = Float.max (second -. (mean *. mean)) 0.0 }
+  end
 
 let to_normal (m : moments) = Normal.make ~mu:m.mean ~sigma:(sqrt m.variance)
 
@@ -49,3 +69,33 @@ let fold_many name op = function
 
 let max_normal_many dists = fold_many "Clark.max_normal_many" (max_normal ~cov:0.0) dists
 let min_normal_many dists = fold_many "Clark.min_normal_many" (min_normal ~cov:0.0) dists
+
+(* Array counterparts used by the per-gate hot path: same left-to-right
+   pairwise folds as the [_many] list versions (hence bit-identical
+   results), minus the per-gate [Array.to_list] / [List.map] garbage. *)
+
+let fold_map name op f xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg (name ^ ": empty array");
+  let acc = ref (f xs.(0)) in
+  for i = 1 to n - 1 do
+    acc := op !acc (f xs.(i))
+  done;
+  !acc
+
+let max_normal_map f xs =
+  fold_map "Clark.max_normal_map" (fun acc n -> max_normal acc n) f xs
+
+let min_normal_map f xs =
+  fold_map "Clark.min_normal_map" (fun acc n -> min_normal acc n) f xs
+
+let max_normal_map2 f g xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Clark.max_normal_map2: empty array";
+  let acc = ref (f xs.(0)) in
+  acc := max_normal !acc (g xs.(0));
+  for i = 1 to n - 1 do
+    acc := max_normal !acc (f xs.(i));
+    acc := max_normal !acc (g xs.(i))
+  done;
+  !acc

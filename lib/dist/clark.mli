@@ -24,6 +24,18 @@ val max_normal_many : Normal.t list -> Normal.t
 
 val min_normal_many : Normal.t list -> Normal.t
 
+val max_normal_map : ('a -> Normal.t) -> 'a array -> Normal.t
+(** [max_normal_map f xs] is [max_normal_many (List.map f (Array.to_list xs))]
+    without the intermediate lists — the same left-to-right pairwise fold,
+    bit-identical results.  Raises [Invalid_argument] on an empty array. *)
+
+val min_normal_map : ('a -> Normal.t) -> 'a array -> Normal.t
+
+val max_normal_map2 : ('a -> Normal.t) -> ('a -> Normal.t) -> 'a array -> Normal.t
+(** Folds [f xs.(0); g xs.(0); f xs.(1); g xs.(1); ...] through
+    {!max_normal} — the XOR settle order.  Raises [Invalid_argument] on
+    an empty array. *)
+
 val tightness : ?cov:float -> Normal.t -> Normal.t -> float
 (** Clark's Q = P(t1 > t2): the probability the first input dominates the
     MAX. Used for criticality estimation. *)

@@ -81,30 +81,67 @@ module Make (D : DOMAIN) = struct
       per_net.(g) <- D.eval circuit g driver (Array.map (fun i -> per_net.(i)) inputs)
     | Circuit.Input | Circuit.Dff_output _ -> assert false
 
+  (* Narrow levels aren't worth a barrier; the cutoff only affects
+     scheduling, never values. *)
+  let wide_cutoff domains = max 16 (2 * domains)
+
+  (* One wide level across the persistent domain pool: the level is cut
+     into chunks (several per domain, each a contiguous gate range of at
+     least ~8 gates) claimed through an atomic work index, so uneven
+     per-gate costs load-balance while the chunk decomposition — hence
+     the result — stays a pure function of (width, domains). *)
+  let par_level ~domains circuit per_net gates =
+    let width = Array.length gates in
+    let chunks = min width (max domains (min (4 * domains) (width / 8))) in
+    let bounds = Parallel.ranges ~chunks width in
+    Parallel.run_chunks ~domains ~chunks:(Array.length bounds) (fun k ->
+        let lo, hi = bounds.(k) in
+        for i = lo to hi - 1 do
+          step circuit per_net gates.(i)
+        done)
+
   let sweep_levels ~domains ~instrument circuit per_net =
-    Array.iter
-      (fun gates ->
-        let width = Array.length gates in
-        let start =
-          match instrument with None -> 0.0 | Some _ -> Unix.gettimeofday ()
-        in
-        (* narrow levels aren't worth a domain spawn; the cutoff only
-           affects scheduling, never values *)
-        if domains = 1 || width < max 16 (2 * domains) then
-          Array.iter (step circuit per_net) gates
-        else
-          Parallel.iter_ranges ~domains width (fun lo hi ->
-              for i = lo to hi - 1 do
-                step circuit per_net gates.(i)
-              done);
-        match instrument with
-        | None -> ()
-        | Some f ->
+    let by_level = Circuit.gates_by_level circuit in
+    let cutoff = wide_cutoff domains in
+    match instrument with
+    | Some f ->
+      (* instrumented path: exact per-level stats, no fusion *)
+      Array.iter
+        (fun gates ->
+          let width = Array.length gates in
+          let start = Unix.gettimeofday () in
+          if domains = 1 || width < cutoff then Array.iter (step circuit per_net) gates
+          else par_level ~domains circuit per_net gates;
           f
             { level = Circuit.level circuit gates.(0);
               gates = width;
-              elapsed_s = Unix.gettimeofday () -. start })
-      (Circuit.gates_by_level circuit)
+              (* clamped: [gettimeofday] is not monotone, and a clock
+                 step must not report a negative level time *)
+              elapsed_s = Float.max 0.0 (Unix.gettimeofday () -. start) })
+        by_level
+    | None ->
+      (* runs of adjacent narrow levels are fused into one sequential
+         batch on the calling domain — zero scheduler interaction —
+         so only the genuinely wide levels pay a barrier *)
+      let nlev = Array.length by_level in
+      let i = ref 0 in
+      while !i < nlev do
+        let gates = by_level.(!i) in
+        if domains > 1 && Array.length gates >= cutoff then begin
+          par_level ~domains circuit per_net gates;
+          incr i
+        end
+        else begin
+          Array.iter (step circuit per_net) gates;
+          incr i;
+          while
+            !i < nlev && (domains = 1 || Array.length by_level.(!i) < cutoff)
+          do
+            Array.iter (step circuit per_net) by_level.(!i);
+            incr i
+          done
+        end
+      done
 
   let run ?domains ?instrument circuit =
     let domains =
@@ -141,10 +178,21 @@ module Make (D : DOMAIN) = struct
        changed — a Q net after a sequential iteration, a source with
        new input statistics — name that net in [changed] and it is
        marked as a root here. *)
-    let dirty = Array.make n false in
+    (* a byte per net, not a word: initialising the mark store is part of
+       every update's fixed cost, and at 100k+ nets the word-array
+       [Array.make n false] was the single largest term for small cones *)
+    let dirty = Bytes.make n '\000' in
+    (* collect the dirty *gates* while marking: re-evaluation then costs
+       O(cone log cone), not the O(circuit) floor of scanning every gate
+       in topo order for its dirty bit — at a million gates that scan
+       ate the entire incremental win *)
+    let cone = ref [] in
     let rec mark id =
-      if not dirty.(id) then begin
-        dirty.(id) <- true;
+      if Bytes.get dirty id = '\000' then begin
+        Bytes.set dirty id '\001';
+        (match Circuit.driver circuit id with
+        | Circuit.Gate _ -> cone := id :: !cone
+        | Circuit.Input | Circuit.Dff_output _ -> ());
         Array.iter
           (fun out ->
             match Circuit.driver circuit out with
@@ -154,13 +202,24 @@ module Make (D : DOMAIN) = struct
       end
     in
     List.iter mark changed;
+    let cone = Array.of_list !cone in
+    (* sequential evaluation order, restricted to the cone: sorting on
+       the topo position replays exactly the full sweep's order *)
+    Array.sort
+      (fun a b ->
+        compare (Circuit.topo_position circuit a) (Circuit.topo_position circuit b))
+      cone;
     let per_net = Array.copy r.per_net in
-    (* refresh dirty sources (their seed may be what changed) *)
+    (* refresh changed sources (their seed is what changed); marking
+       itself never reaches a source — fanout targets are always gates
+       or register D pins — so the changed roots are the only
+       candidates *)
     List.iter
-      (fun s -> if dirty.(s) then per_net.(s) <- D.source s)
-      (Circuit.sources circuit);
-    Array.iter
-      (fun g -> if dirty.(g) then step circuit per_net g)
-      (Circuit.topo_gates circuit);
+      (fun id ->
+        match Circuit.driver circuit id with
+        | Circuit.Input | Circuit.Dff_output _ -> per_net.(id) <- D.source id
+        | Circuit.Gate _ -> ())
+      changed;
+    Array.iter (step circuit per_net) cone;
     { circuit; per_net }
 end

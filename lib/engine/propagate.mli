@@ -10,9 +10,12 @@
 
     - the sequential topological sweep,
     - the levelized domain-parallel sweep ({!Spsta_netlist.Circuit.gates_by_level}
-      + {!Spsta_util.Parallel.iter_ranges}), bit-identical to the
-      sequential one at every domain count,
-    - dirty-cone incremental {!Make.update} via fanout marking, and
+      + the persistent worker pool behind {!Spsta_util.Parallel.run_chunks}:
+      wide levels are cut into chunks claimed through an atomic work
+      index, runs of narrow levels are fused into one sequential batch),
+      bit-identical to the sequential one at every domain count,
+    - dirty-cone incremental {!Make.update} via fanout marking, with
+      re-evaluation cost proportional to the cone, and
     - per-level timing / gate-count instrumentation hooks. *)
 
 type 'state result = {
@@ -109,11 +112,16 @@ module Make (D : DOMAIN) : sig
       evaluate every gate with {!DOMAIN.eval} in dependency order.
 
       [domains] (default 1) evaluates each logic level's gates across
-      that many OCaml domains; levels narrower than
-      [max 16 (2 * domains)] gates run sequentially (the cutoff affects
-      scheduling only, never values).  Results are bit-identical to the
-      sequential traversal at every domain count.  Raises
-      [Invalid_argument] if [domains < 1].
+      that many domains of the persistent {!Spsta_util.Parallel} pool
+      (spawned once per process, reused across levels, sweeps and
+      analyses).  Levels narrower than [max 16 (2 * domains)] gates run
+      sequentially on the calling domain, and adjacent narrow levels
+      are fused into one batch so deep narrow regions pay no barriers;
+      wide levels are split into chunks claimed through an atomic work
+      index.  The cutoff, fusion and chunking affect scheduling only,
+      never values: results are bit-identical to the sequential
+      traversal at every domain count.  Raises [Invalid_argument] if
+      [domains < 1].
 
       [instrument] is called once per logic level, in ascending level
       order, with the level's gate count and wall-clock time.  Supplying
@@ -126,8 +134,12 @@ module Make (D : DOMAIN) : sig
     D.state result
   (** Incremental re-propagation after the sources in [changed] (or the
       domain parameters affecting them) changed: marks the union of the
-      combinational fanout cones of [changed], re-seeds the dirty
-      sources and re-evaluates the dirty gates in topological order.
+      combinational fanout cones of [changed], collecting the dirty
+      gates as it goes, re-seeds the changed sources and re-evaluates
+      exactly the dirty gates in the sequential evaluation order (sorted
+      by topo position) — the work is O(cone), never a scan of the whole
+      gate list, so update cost tracks the cone size even on
+      million-gate circuits.
       Marking stops at register boundaries — a flip-flop Q net is a
       source whose seed does not read the D arrival, so a dirty D net
       leaves the Q side untouched; callers whose seed itself changed (a

@@ -19,9 +19,12 @@ type t = {
   dffs : (id * id) list;
   fanouts : id array array;
   topo : id array; (* gate nets only, in evaluation order *)
+  topo_pos : int array; (* gate net -> index in [topo]; -1 for sources *)
   levels : int array;
   depth : int;
   by_level : id array array; (* gate nets grouped by level, topo order within *)
+  sources : id list; (* primary inputs @ flip-flop Q nets, precomputed *)
+  endpoints : id list; (* primary outputs @ flip-flop D nets, deduplicated *)
 }
 
 module Builder = struct
@@ -32,7 +35,7 @@ module Builder = struct
 
   type t = {
     circuit_name : string;
-    mutable order : string list; (* declaration order, reversed *)
+    mutable order : (string * pending) list; (* declaration order, reversed *)
     table : (string, pending) Hashtbl.t;
     mutable outs : string list; (* reversed *)
     referenced : (string, unit) Hashtbl.t;
@@ -41,10 +44,13 @@ module Builder = struct
   let create ?(name = "") () =
     { circuit_name = name; order = []; table = Hashtbl.create 64; outs = []; referenced = Hashtbl.create 64 }
 
+  (* [order] carries the pending payload so [finalize] never has to look
+     a declared net up by name again: at a million gates the repeated
+     string-keyed [Hashtbl.find]s were a measurable slice of build time *)
   let declare b name pending =
     if Hashtbl.mem b.table name then invalid "net %s has multiple drivers" name;
     Hashtbl.replace b.table name pending;
-    b.order <- name :: b.order
+    b.order <- (name, pending) :: b.order
 
   let reference b name = Hashtbl.replace b.referenced name ()
 
@@ -74,18 +80,41 @@ module Builder = struct
   (* Kahn topological sort restricted to combinational edges; flip-flops
      break timing loops (Q is a source, D an endpoint).  [names] is only
      consulted on failure, to name the nets stuck on (or fed by) a
-     cycle. *)
+     cycle.
+
+     Successor edges live in a flat CSR layout (offsets + one edge
+     array): at a million gates the per-edge cons cells were costlier
+     than the sort itself.  Each net's successor slice is walked from
+     the high end, which replays the exact release order of the old
+     prepend-built lists — the resulting topological order, and with it
+     [gates_by_level], is unchanged. *)
   let topo_sort ~names drivers =
     let n = Array.length drivers in
     let indegree = Array.make n 0 in
-    let succs = Array.make n [] in
+    let succ_off = Array.make (n + 1) 0 in
+    Array.iter
+      (fun d ->
+        match d with
+        | Input | Dff_output _ -> ()
+        | Gate { inputs; _ } ->
+          Array.iter (fun i -> succ_off.(i + 1) <- succ_off.(i + 1) + 1) inputs)
+      drivers;
+    for i = 0 to n - 1 do
+      succ_off.(i + 1) <- succ_off.(i + 1) + succ_off.(i)
+    done;
+    let succ = Array.make succ_off.(n) 0 in
+    let cursor = Array.init n (fun i -> succ_off.(i)) in
     Array.iteri
       (fun out d ->
         match d with
         | Input | Dff_output _ -> ()
         | Gate { inputs; _ } ->
           indegree.(out) <- Array.length inputs;
-          Array.iter (fun i -> succs.(i) <- out :: succs.(i)) inputs)
+          Array.iter
+            (fun i ->
+              succ.(cursor.(i)) <- out;
+              cursor.(i) <- cursor.(i) + 1)
+            inputs)
       drivers;
     let queue = Queue.create () in
     Array.iteri
@@ -94,17 +123,22 @@ module Builder = struct
         | Input | Dff_output _ -> Queue.add i queue
         | Gate _ -> if indegree.(i) = 0 then Queue.add i queue)
       drivers;
-    let order = ref [] in
+    let order = Array.make n 0 in
+    let gates = ref 0 in
     let seen = ref 0 in
     while not (Queue.is_empty queue) do
       let i = Queue.pop queue in
       incr seen;
-      (match drivers.(i) with Gate _ -> order := i :: !order | Input | Dff_output _ -> ());
-      let release out =
+      (match drivers.(i) with
+      | Gate _ ->
+        order.(!gates) <- i;
+        incr gates
+      | Input | Dff_output _ -> ());
+      for k = succ_off.(i + 1) - 1 downto succ_off.(i) do
+        let out = succ.(k) in
         indegree.(out) <- indegree.(out) - 1;
         if indegree.(out) = 0 then Queue.add out queue
-      in
-      List.iter release succs.(i)
+      done
     done;
     if !seen <> n then begin
       (* nets with remaining indegree are on a cycle or downstream of
@@ -112,12 +146,16 @@ module Builder = struct
          peels off the downstream tails (a DAG) and leaves exactly the
          cycle nets *)
       let stuck = Array.map (fun d -> d > 0) indegree in
+      let has_stuck_succ i =
+        let rec scan k = k < succ_off.(i + 1) && (stuck.(succ.(k)) || scan (k + 1)) in
+        scan succ_off.(i)
+      in
       let shrunk = ref true in
       while !shrunk do
         shrunk := false;
         Array.iteri
           (fun i s ->
-            if s && not (List.exists (fun j -> stuck.(j)) succs.(i)) then begin
+            if s && not (has_stuck_succ i) then begin
               stuck.(i) <- false;
               shrunk := true
             end)
@@ -129,10 +167,10 @@ module Builder = struct
       in
       invalid "combinational cycle detected among nets: %s" (String.concat ", " on_cycle)
     end;
-    Array.of_list (List.rev !order)
+    Array.sub order 0 !gates
 
   let finalize b =
-    let order = List.rev b.order in
+    let order = Array.of_list (List.rev b.order) in
     (* every referenced net must be driven *)
     Hashtbl.iter
       (fun name () -> if not (Hashtbl.mem b.table name) then invalid "net %s is referenced but never driven" name)
@@ -140,7 +178,7 @@ module Builder = struct
     List.iter
       (fun name -> if not (Hashtbl.mem b.table name) then invalid "output %s is never driven" name)
       (List.rev b.outs);
-    let names = Array.of_list order in
+    let names = Array.map fst order in
     let ids = Hashtbl.create (Array.length names) in
     Array.iteri (fun i name -> Hashtbl.replace ids name i) names;
     let id_of name =
@@ -150,16 +188,18 @@ module Builder = struct
     in
     let drivers =
       Array.map
-        (fun name ->
-          match Hashtbl.find b.table name with
+        (fun (_, pending) ->
+          match pending with
           | P_input -> Input
           | P_dff d -> Dff_output { data = id_of d }
           | P_gate (kind, inputs) ->
             Gate { kind; inputs = Array.of_list (List.map id_of inputs) })
-        names
+        order
     in
     let topo = topo_sort ~names drivers in
     let n = Array.length drivers in
+    let topo_pos = Array.make n (-1) in
+    Array.iteri (fun i g -> topo_pos.(g) <- i) topo;
     let levels = Array.make n 0 in
     Array.iter
       (fun g ->
@@ -171,45 +211,75 @@ module Builder = struct
     let depth = Array.fold_left max 0 levels in
     (* gates grouped by level: within a level no gate feeds another, so
        the whole group can be evaluated concurrently; keeping topo order
-       inside each group preserves the sequential evaluation order *)
+       inside each group preserves the sequential evaluation order.
+       Counting passes + exact-size arrays, like the fanout map below:
+       the intermediate per-bucket lists were pure allocation churn. *)
     let by_level =
-      let buckets = Array.make (depth + 1) [] in
-      Array.iter (fun g -> buckets.(levels.(g)) <- g :: buckets.(levels.(g))) topo;
-      let groups =
-        Array.to_list buckets
-        |> List.filter_map (function
-             | [] -> None
-             | gates -> Some (Array.of_list (List.rev gates)))
-      in
-      Array.of_list groups
+      let counts = Array.make (depth + 1) 0 in
+      Array.iter (fun g -> counts.(levels.(g)) <- counts.(levels.(g)) + 1) topo;
+      let buckets = Array.map (fun c -> Array.make c 0) counts in
+      let cursor = Array.make (depth + 1) 0 in
+      Array.iter
+        (fun g ->
+          let l = levels.(g) in
+          buckets.(l).(cursor.(l)) <- g;
+          cursor.(l) <- cursor.(l) + 1)
+        topo;
+      Array.of_list
+        (List.filter (fun gates -> Array.length gates > 0) (Array.to_list buckets))
     in
-    let fanout_lists = Array.make n [] in
-    Array.iteri
-      (fun out d ->
-        match d with
-        | Input -> ()
-        | Dff_output { data } -> fanout_lists.(data) <- out :: fanout_lists.(data)
-        | Gate { inputs; _ } ->
-          Array.iter (fun i -> fanout_lists.(i) <- out :: fanout_lists.(i)) inputs)
-      drivers;
-    let fanouts = Array.map (fun l -> Array.of_list (List.rev l)) fanout_lists in
-    let primary_inputs =
-      List.filter_map
-        (fun name ->
-          match Hashtbl.find b.table name with
-          | P_input -> Some (id_of name)
-          | P_dff _ | P_gate _ -> None)
-        order
+    let fanouts =
+      let counts = Array.make n 0 in
+      let count i = counts.(i) <- counts.(i) + 1 in
+      Array.iter
+        (fun d ->
+          match d with
+          | Input -> ()
+          | Dff_output { data } -> count data
+          | Gate { inputs; _ } -> Array.iter count inputs)
+        drivers;
+      let fanouts = Array.map (fun c -> Array.make c 0) counts in
+      let cursor = Array.make n 0 in
+      Array.iteri
+        (fun out d ->
+          let push i =
+            fanouts.(i).(cursor.(i)) <- out;
+            cursor.(i) <- cursor.(i) + 1
+          in
+          match d with
+          | Input -> ()
+          | Dff_output { data } -> push data
+          | Gate { inputs; _ } -> Array.iter push inputs)
+        drivers;
+      fanouts
     in
-    let dffs =
-      List.filter_map
-        (fun name ->
-          match Hashtbl.find b.table name with
-          | P_dff d -> Some (id_of name, id_of d)
-          | P_input | P_gate _ -> None)
-        order
-    in
+    (* declaration order = id order, so scanning [drivers] backwards with
+       prepends rebuilds both lists in their historical order without
+       another name lookup per net *)
+    let primary_inputs = ref [] in
+    let dffs = ref [] in
+    for i = n - 1 downto 0 do
+      match drivers.(i) with
+      | Input -> primary_inputs := i :: !primary_inputs
+      | Dff_output { data } -> dffs := (i, data) :: !dffs
+      | Gate _ -> ()
+    done;
+    let primary_inputs = !primary_inputs in
+    let dffs = !dffs in
     let primary_outputs = List.map id_of (List.rev b.outs) in
+    let sources = primary_inputs @ List.map fst dffs in
+    let endpoints =
+      let candidates = primary_outputs @ List.map snd dffs in
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun i ->
+          if Hashtbl.mem seen i then false
+          else begin
+            Hashtbl.replace seen i ();
+            true
+          end)
+        candidates
+    in
     {
       name = b.circuit_name;
       names;
@@ -220,9 +290,12 @@ module Builder = struct
       dffs;
       fanouts;
       topo;
+      topo_pos;
       levels;
       depth;
       by_level;
+      sources;
+      endpoints;
     }
 end
 
@@ -242,22 +315,16 @@ let driver t i = t.drivers.(i)
 let primary_inputs t = t.primary_inputs
 let primary_outputs t = t.primary_outputs
 let dffs t = t.dffs
-let sources t = t.primary_inputs @ List.map fst t.dffs
 
-let endpoints t =
-  let candidates = t.primary_outputs @ List.map snd t.dffs in
-  let seen = Hashtbl.create 16 in
-  List.filter
-    (fun i ->
-      if Hashtbl.mem seen i then false
-      else begin
-        Hashtbl.replace seen i ();
-        true
-      end)
-    candidates
+(* both lists are built once in [Builder.finalize]: [sources] is hit on
+   every analysis *and* on every incremental update (once per sizer
+   trial), so a per-call allocation was measurable *)
+let sources t = t.sources
+let endpoints t = t.endpoints
 
 let fanout t i = t.fanouts.(i)
 let topo_gates t = t.topo
+let topo_position t i = t.topo_pos.(i)
 let gates_by_level t = t.by_level
 let level t i = t.levels.(i)
 let depth t = t.depth

@@ -54,17 +54,23 @@ val dffs : t -> (id * id) list
 
 val sources : t -> id list
 (** Primary inputs followed by flip-flop outputs: the nets that receive
-    input statistics. *)
+    input statistics.  Precomputed at {!Builder.finalize}; O(1). *)
 
 val endpoints : t -> id list
 (** Primary outputs followed by flip-flop data nets (deduplicated):
-    where critical-path statistics are read. *)
+    where critical-path statistics are read.  Precomputed at
+    {!Builder.finalize}; O(1). *)
 
 val fanout : t -> id -> id array
 (** Gates (and flip-flops, via their data pin) driven by a net. *)
 
 val topo_gates : t -> id array
 (** All [Gate] nets in a valid combinational evaluation order. *)
+
+val topo_position : t -> id -> int
+(** Index of a gate net in {!topo_gates} (-1 for sources).  Lets sparse
+    gate sets be replayed in exactly the sequential evaluation order by
+    sorting on this key — the incremental engine's dirty cone is. *)
 
 val gates_by_level : t -> id array array
 (** {!topo_gates} grouped by {!level}, ascending, preserving topological

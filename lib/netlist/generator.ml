@@ -18,9 +18,40 @@ let kind_choices =
      (Gate_kind.Nor, 0.14); (Gate_kind.Not, 0.18); (Gate_kind.Buf, 0.02);
      (Gate_kind.Xor, 0.05); (Gate_kind.Xnor, 0.05) |]
 
-let pick_kind rng =
-  let weights = Array.map snd kind_choices in
-  fst kind_choices.(Rng.choose_index rng weights)
+(* hoisted: rebuilding the weight array per generated gate showed up at
+   the million-gate profiles *)
+let kind_weights = Array.map snd kind_choices
+
+let pick_kind rng = fst kind_choices.(Rng.choose_index rng kind_weights)
+
+(* Growable net-name pools, one per level.  Picks must be O(1): the old
+   [string list] pools were converted to arrays on *every* pick, an
+   O(gates) cost per gate — O(gates^2) generation that made the 100k/1M
+   scale profiles unreachable.  Lists prepended, so list index [i] was
+   the [len - 1 - i]-th insertion: [pick] keeps that mapping (and the
+   level-0 pool is seeded in reverse) so every existing profile seed
+   still generates the byte-identical netlist. *)
+module Pool = struct
+  type t = { mutable names : string array; mutable len : int }
+
+  let create () = { names = [||]; len = 0 }
+
+  let push t name =
+    if t.len = Array.length t.names then begin
+      let grown = Array.make (max 8 (2 * t.len)) name in
+      Array.blit t.names 0 grown 0 t.len;
+      t.names <- grown
+    end;
+    t.names.(t.len) <- name;
+    t.len <- t.len + 1
+
+  let len t = t.len
+
+  (* element [i] in the old newest-first list order *)
+  let nth t i = t.names.(t.len - 1 - i)
+
+  let pick rng t = nth t (Rng.int rng t.len)
+end
 
 let pick_fanin rng kind =
   match kind with
@@ -45,9 +76,13 @@ let generate p =
   let dff_q_names = List.init p.n_dffs (fun i -> Printf.sprintf "Q%d" i) in
   List.iter (Circuit.Builder.add_input builder) input_names;
   let sources = Array.of_list (input_names @ dff_q_names) in
-  (* nets_at.(l) = names of nets whose unit-delay level is l *)
-  let nets_at = Array.make (p.target_depth + 1) [] in
-  nets_at.(0) <- Array.to_list sources;
+  (* nets_at.(l) = names of nets whose unit-delay level is l; the level-0
+     pool is pushed in reverse so [Pool.pick]'s newest-first indexing
+     reproduces the historical source order *)
+  let nets_at = Array.init (p.target_depth + 1) (fun _ -> Pool.create ()) in
+  for i = Array.length sources - 1 downto 0 do
+    Pool.push nets_at.(0) sources.(i)
+  done;
   let any_net_below rng l =
     (* uniform over levels [0, l), then uniform within the level; biases
        toward higher levels are applied by callers choosing l *)
@@ -55,31 +90,27 @@ let generate p =
       if tries = 0 then sources.(Rng.int rng (Array.length sources))
       else begin
         let lvl = Rng.int rng l in
-        match nets_at.(lvl) with
-        | [] -> attempt (tries - 1)
-        | nets ->
-          let arr = Array.of_list nets in
-          arr.(Rng.int rng (Array.length arr))
+        if Pool.len nets_at.(lvl) = 0 then attempt (tries - 1)
+        else Pool.pick rng nets_at.(lvl)
       end
     in
     attempt 8
   in
   let net_at_level rng l =
-    match nets_at.(l) with
-    | [] -> any_net_below rng (l + 1)
-    | nets ->
-      let arr = Array.of_list nets in
-      arr.(Rng.int rng (Array.length arr))
+    if Pool.len nets_at.(l) = 0 then any_net_below rng (l + 1)
+    else Pool.pick rng nets_at.(l)
   in
   let gate_counter = ref 0 in
+  (* same "N<k>" names as [Printf.sprintf "N%d"], minus the format
+     interpreter: this runs a million times per scale-profile build *)
   let fresh_gate_name () =
     incr gate_counter;
-    Printf.sprintf "N%d" !gate_counter
+    "N" ^ string_of_int !gate_counter
   in
   let emit_gate ~level kind inputs =
     let name = fresh_gate_name () in
     Circuit.Builder.add_gate builder ~output:name kind inputs;
-    nets_at.(level) <- name :: nets_at.(level);
+    Pool.push nets_at.(level) name;
     name
   in
   (* depth spine: a chain of 2-input gates guaranteeing the target depth *)
@@ -119,14 +150,26 @@ let generate p =
     in
     ignore (emit_gate ~level:l kind inputs)
   done;
-  (* primary outputs: spine end first, then deepest-available gates *)
+  (* primary outputs: spine end first, then deepest-available gates.
+     Built deepest level first, newest-first within a level — the order
+     the old list concatenation produced — with one linear pass instead
+     of a quadratic [acc @ nets_at.(l)] fold *)
   let deep_nets =
-    let rec collect l acc =
-      if l = 0 then acc else collect (l - 1) (acc @ nets_at.(l))
-    in
-    collect p.target_depth []
+    let total = ref 0 in
+    for l = 1 to p.target_depth do
+      total := !total + Pool.len nets_at.(l)
+    done;
+    let out = Array.make (max 1 !total) "" in
+    let w = ref 0 in
+    for l = p.target_depth downto 1 do
+      let pool = nets_at.(l) in
+      for i = 0 to Pool.len pool - 1 do
+        out.(!w) <- Pool.nth pool i;
+        incr w
+      done
+    done;
+    Array.sub out 0 !total
   in
-  let deep_nets = Array.of_list deep_nets in
   Circuit.Builder.add_output builder !spine_end;
   let used = Hashtbl.create 16 in
   Hashtbl.replace used !spine_end ();
@@ -168,5 +211,18 @@ let extended_profiles =
     { name = "s15850"; n_inputs = 77; n_outputs = 150; n_dffs = 534; n_gates = 9772; target_depth = 16; seed = 1585001 };
   ]
 
+(* Scale profiles for the million-gate roadmap: wide mid-depth levels
+   (~3k gates/level at c100k, ~21k at c1000k) so the levelized engine
+   has real parallel width, with register counts in ISCAS proportion.
+   Generation is linear in n_gates (see [Pool]); both profiles are
+   seeded, so every bench/test run sees the identical netlist. *)
+let scale_profiles =
+  [
+    { name = "c100k"; n_inputs = 64; n_outputs = 64; n_dffs = 512; n_gates = 100_000; target_depth = 32; seed = 100_001 };
+    { name = "c1000k"; n_inputs = 128; n_outputs = 128; n_dffs = 2048; n_gates = 1_000_000; target_depth = 48; seed = 1_000_001 };
+  ]
+
 let find_profile name =
-  List.find_opt (fun p -> p.name = name) (iscas89_profiles @ extended_profiles)
+  List.find_opt
+    (fun p -> p.name = name)
+    (iscas89_profiles @ extended_profiles @ scale_profiles)

@@ -37,5 +37,12 @@ val extended_profiles : profile list
 (** Larger ISCAS'89 profiles (s5378 .. s15850) beyond the paper's
     evaluation set, for scaling studies. *)
 
+val scale_profiles : profile list
+(** Seeded synthetic scale profiles: [c100k] (100,000 gates, depth 32)
+    and [c1000k] (1,000,000 gates, depth 48), with wide mid-depth levels
+    so the levelized engine has real parallel width.  Generation is
+    linear in the gate count. *)
+
 val find_profile : string -> profile option
-(** Look up a profile by name (covering both lists), e.g. "s344". *)
+(** Look up a profile by name (covering all three lists), e.g. "s344"
+    or "c100k". *)

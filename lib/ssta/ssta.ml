@@ -14,21 +14,20 @@ let default_input = { rise = Normal.standard; fall = Normal.standard }
    under which operation.  AND: output rise = MAX of input rises, output
    fall = MIN of input falls; OR is the dual; XOR is direction-agnostic
    and conservatively takes the MAX over both directions of all inputs. *)
-let base_arrivals kind (inputs : arrival list) =
+let rise_of a = a.rise
+let fall_of a = a.fall
+
+let base_arrivals kind (inputs : arrival array) =
   match kind with
-  | Gate_kind.Not | Gate_kind.Buf -> (
-    match inputs with
-    | [ a ] -> (a.rise, a.fall)
-    | [] | _ :: _ -> invalid_arg "Ssta: NOT/BUF expects one input" )
+  | Gate_kind.Not | Gate_kind.Buf ->
+    if Array.length inputs = 1 then (inputs.(0).rise, inputs.(0).fall)
+    else invalid_arg "Ssta: NOT/BUF expects one input"
   | Gate_kind.And | Gate_kind.Nand ->
-    ( Clark.max_normal_many (List.map (fun a -> a.rise) inputs),
-      Clark.min_normal_many (List.map (fun a -> a.fall) inputs) )
+    (Clark.max_normal_map rise_of inputs, Clark.min_normal_map fall_of inputs)
   | Gate_kind.Or | Gate_kind.Nor ->
-    ( Clark.min_normal_many (List.map (fun a -> a.rise) inputs),
-      Clark.max_normal_many (List.map (fun a -> a.fall) inputs) )
+    (Clark.min_normal_map rise_of inputs, Clark.max_normal_map fall_of inputs)
   | Gate_kind.Xor | Gate_kind.Xnor ->
-    let both = List.concat_map (fun a -> [ a.rise; a.fall ]) inputs in
-    let settle = Clark.max_normal_many both in
+    let settle = Clark.max_normal_map2 rise_of fall_of inputs in
     (settle, settle)
 
 (* The engine's per-gate transfer function: a pure function of the
@@ -37,8 +36,7 @@ let base_arrivals kind (inputs : arrival list) =
 let gate_eval ~delay_rf_of _circuit g driver operands =
   match driver with
   | Circuit.Gate { kind; _ } ->
-    let input_arrivals = Array.to_list operands in
-    let base_rise, base_fall = base_arrivals kind input_arrivals in
+    let base_rise, base_fall = base_arrivals kind operands in
     let rise0, fall0 =
       if Gate_kind.inverting kind then (base_fall, base_rise) else (base_rise, base_fall)
     in

@@ -99,6 +99,87 @@ let test_update_touches_only_the_cone () =
   Alcotest.(check (array int)) "update preserves values" base.Propagate.per_net
     updated.Propagate.per_net
 
+(* A circuit shaped to exercise both scheduler paths at once: one wide
+   level (well above the pool cutoff) followed by a deep chain of
+   single-gate levels (fused into one sequential batch). *)
+let wide_then_narrow () =
+  let b = Circuit.Builder.create ~name:"wide-narrow" () in
+  let n_in = 8 and wide = 300 and chain = 40 in
+  for i = 0 to n_in - 1 do
+    Circuit.Builder.add_input b (Printf.sprintf "i%d" i)
+  done;
+  for g = 0 to wide - 1 do
+    Circuit.Builder.add_gate b
+      ~output:(Printf.sprintf "w%d" g)
+      Spsta_logic.Gate_kind.And
+      [ Printf.sprintf "i%d" (g mod n_in); Printf.sprintf "i%d" ((g + 1) mod n_in) ]
+  done;
+  let prev = ref "w0" in
+  for k = 0 to chain - 1 do
+    let out = Printf.sprintf "c%d" k in
+    Circuit.Builder.add_gate b ~output:out Spsta_logic.Gate_kind.Buf [ !prev ];
+    prev := out
+  done;
+  Circuit.Builder.add_output b !prev;
+  Circuit.Builder.finalize b
+
+let test_pooled_wide_and_fused_narrow () =
+  let c = wide_then_narrow () in
+  let seq = Levels.run c in
+  List.iter
+    (fun domains ->
+      let par = Levels.run ~domains c in
+      Alcotest.(check (array int))
+        (Printf.sprintf "pooled sweep identical at domains=%d" domains)
+        seq.Propagate.per_net par.Propagate.per_net;
+      for i = 0 to Circuit.num_nets c - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "level of %s at domains=%d" (Circuit.net_name c i) domains)
+          (Circuit.level c i)
+          par.Propagate.per_net.(i)
+      done)
+    [ 2; 3; 4 ]
+
+let test_update_union_of_two_cones () =
+  let c = Spsta_experiments.Benchmarks.load "s386" in
+  let evals = ref 0 in
+  let module Counting = Propagate.Make (struct
+    type state = int
+
+    let source _ = 0
+
+    let eval _circuit _id _driver operands =
+      incr evals;
+      1 + Array.fold_left max 0 operands
+  end) in
+  let base = Counting.run c in
+  let roots =
+    match Circuit.primary_inputs c with a :: b :: _ -> [ a; b ] | _ -> assert false
+  in
+  (* independent marking of the union cone, register-bounded like the
+     engine's *)
+  let dirty = Hashtbl.create 64 in
+  let rec mark id =
+    if not (Hashtbl.mem dirty id) then begin
+      Hashtbl.replace dirty id ();
+      Array.iter
+        (fun out ->
+          match Circuit.driver c out with
+          | Circuit.Dff_output _ -> ()
+          | Circuit.Gate _ | Circuit.Input -> mark out)
+        (Circuit.fanout c id)
+    end
+  in
+  List.iter mark roots;
+  let dirty_gates =
+    Array.to_list (Circuit.topo_gates c) |> List.filter (Hashtbl.mem dirty) |> List.length
+  in
+  evals := 0;
+  let updated = Counting.update base ~changed:roots in
+  Alcotest.(check int) "update evaluates the union cone once" dirty_gates !evals;
+  Alcotest.(check (array int)) "update preserves values" base.Propagate.per_net
+    updated.Propagate.per_net
+
 let test_empty_circuit () =
   (* a source-only circuit propagates to just the seeds *)
   let b = Circuit.Builder.create () in
@@ -114,5 +195,9 @@ let suite =
     Alcotest.test_case "domain count validated" `Quick test_domains_validated;
     Alcotest.test_case "instrument hook" `Quick test_instrument_hook;
     Alcotest.test_case "update touches only the cone" `Quick test_update_touches_only_the_cone;
+    Alcotest.test_case "pooled wide level + fused narrow chain" `Quick
+      test_pooled_wide_and_fused_narrow;
+    Alcotest.test_case "update on the union of two cones" `Quick
+      test_update_union_of_two_cones;
     Alcotest.test_case "source-only circuit" `Quick test_empty_circuit;
   ]

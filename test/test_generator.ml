@@ -102,3 +102,28 @@ let test_extended_profiles () =
     Alcotest.(check bool) "s5378 depth" true (Circuit.depth c >= 12)
 
 let suite = suite @ [ Alcotest.test_case "extended profiles" `Quick test_extended_profiles ]
+
+let test_scale_profile_smoke () =
+  (* the c100k scale profile end-to-end: generate, structural lint,
+     SSTA — the pipeline `make scale-smoke` runs with timing asserts *)
+  Alcotest.(check int) "two scale profiles" 2 (List.length Generator.scale_profiles);
+  match Generator.find_profile "c100k" with
+  | None -> Alcotest.fail "c100k profile missing"
+  | Some p ->
+    let c = Generator.generate p in
+    Alcotest.(check int) "c100k gates" 100_000 (Circuit.gate_count c);
+    Alcotest.(check bool) "c100k depth" true (Circuit.depth c >= p.Generator.target_depth);
+    let errors =
+      Spsta_lint.Lint.count Spsta_lint.Lint.Error (Spsta_lint.Lint.check_structure c)
+    in
+    Alcotest.(check int) "lint clean" 0 errors;
+    let r = Spsta_ssta.Ssta.analyze c in
+    let a = Spsta_ssta.Ssta.max_arrival r `Rise in
+    Alcotest.(check bool) "finite critical arrival" true
+      (Float.is_finite (Spsta_dist.Normal.mean a)
+      && Float.is_finite (Spsta_dist.Normal.stddev a));
+    (* inverting gates swap rise/fall along the way, so the rise-critical
+       endpoint need not sit at full depth — just require a real path *)
+    Alcotest.(check bool) "non-trivial arrival" true (Spsta_dist.Normal.mean a > 1.0)
+
+let suite = suite @ [ Alcotest.test_case "c100k scale profile smoke" `Slow test_scale_profile_smoke ]

@@ -1,0 +1,104 @@
+(* The persistent domain pool behind every ?domains knob: exact chunk
+   coverage, exception propagation, worker reuse across jobs, and the
+   inline fallbacks (domains = 1, nested parallel regions). *)
+
+module Parallel = Spsta_util.Parallel
+
+exception Boom of int
+
+let test_ranges_partition () =
+  List.iter
+    (fun (chunks, n) ->
+      let bounds = Parallel.ranges ~chunks n in
+      Alcotest.(check int) "chunk count" (min chunks n) (Array.length bounds);
+      (* contiguous, ordered, covering [0, n) exactly once *)
+      let expected_lo = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          Alcotest.(check int) "contiguous" !expected_lo lo;
+          Alcotest.(check bool) "non-empty" true (hi > lo);
+          expected_lo := hi)
+        bounds;
+      Alcotest.(check int) "covers n" n !expected_lo)
+    [ (1, 10); (3, 10); (10, 10); (16, 7); (7, 1_000) ]
+
+let test_run_chunks_exactly_once () =
+  let chunks = 37 in
+  let hits = Array.make chunks 0 in
+  (* distinct chunks write distinct slots, so no synchronisation needed *)
+  Parallel.run_chunks ~domains:4 ~chunks (fun k -> hits.(k) <- hits.(k) + 1);
+  Array.iteri
+    (fun k h -> Alcotest.(check int) (Printf.sprintf "chunk %d runs once" k) 1 h)
+    hits
+
+let test_inline_when_single_domain () =
+  let jobs_before = Parallel.pool_jobs () in
+  let hits = Array.make 8 0 in
+  Parallel.run_chunks ~domains:1 ~chunks:8 (fun k -> hits.(k) <- hits.(k) + 1);
+  Alcotest.(check int) "all chunks ran" 8 (Array.fold_left ( + ) 0 hits);
+  Alcotest.(check int) "no pooled job posted" jobs_before (Parallel.pool_jobs ())
+
+let test_workers_reused_across_jobs () =
+  (* warm the pool, then check repeated jobs bump the job counter
+     without growing the worker set — the whole point of pooling *)
+  Parallel.run_chunks ~domains:3 ~chunks:6 (fun _ -> ());
+  let size = Parallel.pool_size () in
+  let jobs = Parallel.pool_jobs () in
+  Alcotest.(check bool) "pool spawned" true (size >= 1);
+  for _ = 1 to 5 do
+    Parallel.run_chunks ~domains:3 ~chunks:6 (fun _ -> ())
+  done;
+  Alcotest.(check int) "no respawn" size (Parallel.pool_size ());
+  Alcotest.(check int) "five more jobs" (jobs + 5) (Parallel.pool_jobs ())
+
+let test_exception_propagates () =
+  let ran = Atomic.make 0 in
+  let raised =
+    try
+      Parallel.run_chunks ~domains:4 ~chunks:16 (fun k ->
+          ignore (Atomic.fetch_and_add ran 1);
+          if k = 5 then raise (Boom k));
+      false
+    with Boom 5 -> true
+  in
+  Alcotest.(check bool) "Boom reached the caller" true raised;
+  (* chunks claimed after the failure are skipped, but accounting stays
+     exact: the pool is immediately reusable *)
+  let hits = Array.make 4 0 in
+  Parallel.run_chunks ~domains:4 ~chunks:4 (fun k -> hits.(k) <- 1);
+  Alcotest.(check int) "pool healthy after failure" 4 (Array.fold_left ( + ) 0 hits)
+
+let test_nested_calls_fall_back_inline () =
+  (* a chunk that itself opens a parallel region must not deadlock on
+     the busy pool: the inner call detects it and runs inline *)
+  let inner = Array.make 64 0 in
+  Parallel.run_chunks ~domains:4 ~chunks:8 (fun k ->
+      Parallel.run_chunks ~domains:4 ~chunks:8 (fun j ->
+          inner.((k * 8) + j) <- inner.((k * 8) + j) + 1));
+  Array.iteri
+    (fun i h -> Alcotest.(check int) (Printf.sprintf "inner unit %d" i) 1 h)
+    inner
+
+let test_iter_ranges_covers () =
+  let n = 1000 in
+  let seen = Array.make n 0 in
+  Parallel.iter_ranges ~domains:4 n (fun lo hi ->
+      for i = lo to hi - 1 do
+        seen.(i) <- seen.(i) + 1
+      done);
+  Array.iteri
+    (fun i h -> Alcotest.(check int) (Printf.sprintf "index %d" i) 1 h)
+    seen
+
+let suite =
+  [
+    Alcotest.test_case "ranges partition [0, n)" `Quick test_ranges_partition;
+    Alcotest.test_case "run_chunks covers chunks exactly once" `Quick
+      test_run_chunks_exactly_once;
+    Alcotest.test_case "domains = 1 stays inline" `Quick test_inline_when_single_domain;
+    Alcotest.test_case "workers reused across jobs" `Quick test_workers_reused_across_jobs;
+    Alcotest.test_case "chunk exception reaches the caller" `Quick test_exception_propagates;
+    Alcotest.test_case "nested regions fall back inline" `Quick
+      test_nested_calls_fall_back_inline;
+    Alcotest.test_case "iter_ranges covers [0, n)" `Quick test_iter_ranges_covers;
+  ]
