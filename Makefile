@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench serve-smoke bench-json lint check-smoke size-smoke scale-smoke
+.PHONY: all build test bench examples clean doc quickbench serve-smoke session-smoke bench-json lint check-smoke size-smoke scale-smoke
 
 all: build
 
@@ -76,6 +76,44 @@ serve-smoke:
 	  cat /tmp/spsta_serve_smoke.jsonl; \
 	  exit 1; \
 	fi
+
+# stateful session smoke over a real unix socket: stream 120 ECO
+# mutations on s5378 through one session; the final state must be
+# bit-identical to a from-scratch sweep of the mutated circuit with a
+# >=5x per-mutation speedup, the server must drain cleanly on SIGTERM,
+# and a second instance on the same --store must answer a
+# previously-computed batch request as a warm hit without re-analysing
+session-smoke:
+	@dune build bin/spsta_cli.exe
+	@rm -f /tmp/spsta_session.sock /tmp/spsta_session.store
+	@_build/default/bin/spsta_cli.exe serve \
+	  --socket /tmp/spsta_session.sock --store /tmp/spsta_session.store \
+	  2>/tmp/spsta_session_server.log & \
+	server=$$!; \
+	for i in $$(seq 1 100); do \
+	  [ -S /tmp/spsta_session.sock ] && break; sleep 0.1; \
+	done; \
+	_build/default/bin/spsta_cli.exe session --socket /tmp/spsta_session.sock \
+	  --exercise s5378 --mutations 120 --min-speedup 5 \
+	  || { echo "session-smoke: FAILED (exercise)"; kill $$server; exit 1; }; \
+	kill -TERM $$server; \
+	wait $$server \
+	  || { echo "session-smoke: FAILED (server did not drain cleanly)"; exit 1; }
+	@_build/default/bin/spsta_cli.exe session \
+	  --script examples/session_requests.jsonl > /dev/null \
+	  || { echo "session-smoke: FAILED (example transcript replay)"; exit 1; }
+	@printf '%s\n%s\n' \
+	  '{"id":"warm","kind":"ssta","circuit":"s344"}' \
+	  '{"id":"st","kind":"stats"}' > /tmp/spsta_session_batch.jsonl
+	@_build/default/bin/spsta_cli.exe batch /tmp/spsta_session_batch.jsonl \
+	  --store /tmp/spsta_session.store > /dev/null
+	@_build/default/bin/spsta_cli.exe batch /tmp/spsta_session_batch.jsonl \
+	  --store /tmp/spsta_session.store > /tmp/spsta_session_warm.jsonl
+	@grep -o '"store":{[^}]*}' /tmp/spsta_session_warm.jsonl \
+	  | grep -q '"hits":1' \
+	  || { echo "session-smoke: FAILED (no warm store hit on restart)"; \
+	       cat /tmp/spsta_session_warm.jsonl; exit 1; }
+	@echo "session-smoke: ok"
 
 clean:
 	dune clean

@@ -16,7 +16,10 @@
      size       - greedy statistical gate sizing on the incremental engine
      gen        - emit a synthetic suite circuit as .bench
      experiment - regenerate a paper table/figure
-     list       - list suite circuits and experiments *)
+     list       - list suite circuits and experiments
+     serve      - JSONL analysis/session service (stdin, Unix socket or TCP)
+     batch      - execute a JSONL request file concurrently
+     session    - interactive timing-session client (scripts, ECO exercise, REPL) *)
 
 open Cmdliner
 
@@ -1045,8 +1048,10 @@ let list_cmd =
 
 module Server = Spsta_server.Server
 module Protocol = Spsta_server.Protocol
+module Transport = Spsta_server.Transport
 
-let server_config workers queue cache deadline_ms analysis_domains =
+let server_config workers queue cache deadline_ms analysis_domains max_sessions idle_timeout
+    store max_frame max_inflight no_fsync =
   let base = Server.default_config in
   {
     base with
@@ -1056,6 +1061,12 @@ let server_config workers queue cache deadline_ms analysis_domains =
     default_deadline_ms = (if deadline_ms > 0.0 then Some deadline_ms else None);
     analysis_domains =
       (if analysis_domains > 0 then analysis_domains else base.Server.analysis_domains);
+    max_sessions = (if max_sessions > 0 then max_sessions else base.Server.max_sessions);
+    idle_timeout_s = (if idle_timeout > 0.0 then idle_timeout else base.Server.idle_timeout_s);
+    store_path = (if store = "" then None else Some store);
+    store_fsync = not no_fsync;
+    max_frame_bytes = (if max_frame > 0 then max_frame else base.Server.max_frame_bytes);
+    max_inflight = (if max_inflight > 0 then max_inflight else base.Server.max_inflight);
   }
 
 let workers_arg =
@@ -1082,26 +1093,75 @@ let analysis_domains_arg =
   in
   Arg.(value & opt int 0 & info [ "analysis-domains" ] ~docv:"N" ~doc)
 
+let max_sessions_arg =
+  let doc = "Maximum concurrently open timing sessions (0 = default)." in
+  Arg.(value & opt int 0 & info [ "max-sessions" ] ~docv:"N" ~doc)
+
+let idle_timeout_arg =
+  let doc = "Evict sessions idle longer than this many seconds (socket transports only)." in
+  Arg.(value & opt float 0.0 & info [ "idle-timeout" ] ~docv:"S" ~doc)
+
+let store_arg =
+  let doc =
+    "Persistent result store (append-only JSONL).  Memoised analysis payloads survive \
+     restarts, and any instance pointed at the same path answers previously-computed \
+     requests as warm cache hits."
+  in
+  Arg.(value & opt string "" & info [ "store" ] ~docv:"PATH" ~doc)
+
+let max_frame_arg =
+  let doc = "Maximum JSONL frame size in bytes on socket transports (0 = default 1 MiB)." in
+  Arg.(value & opt int 0 & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+
+let max_inflight_arg =
+  let doc = "Maximum in-flight requests per connection before [overloaded] (0 = default)." in
+  Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let no_fsync_arg =
+  let doc = "Skip the fsync after each store append (faster, loses crash durability)." in
+  Arg.(value & flag & info [ "no-fsync" ] ~doc)
+
+let config_term =
+  Term.(
+    const server_config $ workers_arg $ queue_arg $ cache_arg $ deadline_arg
+    $ analysis_domains_arg $ max_sessions_arg $ idle_timeout_arg $ store_arg $ max_frame_arg
+    $ max_inflight_arg $ no_fsync_arg)
+
+let socket_arg =
+  let doc = "Serve on (or connect to) a Unix-domain socket at this path." in
+  Arg.(value & opt string "" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Serve on (or connect to) TCP 127.0.0.1:$(docv)." in
+  Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc)
+
 let serve_cmd =
-  let run workers queue cache deadline_ms analysis_domains =
-    let config = server_config workers queue cache deadline_ms analysis_domains in
-    let t = Server.serve ~config stdin stdout in
+  let run config socket port =
+    let listen =
+      if socket <> "" then Transport.Unix_socket socket
+      else if port > 0 then Transport.Tcp port
+      else Transport.Stdio
+    in
+    (* transport events are chatter on the stdio transport, where stderr
+       already carries the final metrics block *)
+    let log = match listen with Transport.Stdio -> fun _ -> () | _ -> prerr_endline in
+    let t = Transport.run ~config ~log listen in
     prerr_string (Spsta_server.Metrics.render (Server.metrics t))
   in
   let info =
     Cmd.info "serve"
-      ~doc:"Serve JSONL analysis requests from stdin, streaming responses to stdout"
+      ~doc:
+        "Serve JSONL analysis and session requests — from stdin, a Unix-domain socket \
+         ($(b,--socket)) or TCP ($(b,--port)).  SIGTERM/SIGINT drain gracefully."
   in
-  Cmd.v info
-    Term.(const run $ workers_arg $ queue_arg $ cache_arg $ deadline_arg $ analysis_domains_arg)
+  Cmd.v info Term.(const run $ config_term $ socket_arg $ port_arg)
 
 let batch_cmd =
-  let run file workers queue cache deadline_ms analysis_domains =
+  let run file config =
     if not (Sys.file_exists file) then begin
       Printf.eprintf "error: no request file %s\n" file;
       exit 1
     end;
-    let config = server_config workers queue cache deadline_ms analysis_domains in
     let t, responses = Server.run_batch_file ~config file in
     List.iter (fun r -> print_endline (Protocol.response_to_line r)) responses;
     prerr_string (Spsta_server.Metrics.render (Server.metrics t));
@@ -1119,16 +1179,243 @@ let batch_cmd =
     Cmd.info "batch" ~exits
       ~doc:"Execute a JSONL request file concurrently; print responses in request order"
   in
+  Cmd.v info Term.(const run $ file_arg $ config_term)
+
+(* ---------- session client ---------- *)
+
+(* Lock-step JSONL client: one request on the wire at a time, so the
+   next line read is always the matching response. *)
+let session_rpc ic oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  match input_line ic with
+  | exception End_of_file ->
+    Printf.eprintf "error: server closed the connection\n";
+    exit 1
+  | response -> response
+
+let session_request id kind = Protocol.request_to_line { Protocol.id; deadline_ms = None; kind }
+
+let session_expect_ok line =
+  match Protocol.response_of_line line with
+  | Ok (Protocol.Ok { result; _ }) -> result
+  | Ok (Protocol.Error { code; message; _ }) ->
+    Printf.eprintf "error: server answered %s: %s\n" (Protocol.error_code_name code) message;
+    exit 1
+  | Error e ->
+    Printf.eprintf "error: unparseable response: %s\n" e.Protocol.message;
+    exit 1
+
+let json_float json key =
+  match Spsta_server.Json.member key json with
+  | Some (Spsta_server.Json.Num n) -> n
+  | _ -> nan
+
+let json_bool json key =
+  match Spsta_server.Json.member key json with
+  | Some (Spsta_server.Json.Bool b) -> b
+  | _ -> false
+
+(* Connect to a running server, or — with neither [--socket] nor
+   [--port] — spin up an in-process stdio server on a pipe pair, so
+   scripts and quick experiments need no separate process. *)
+let session_connect config socket port =
+  if socket <> "" then begin
+    let ic, oc = Unix.open_connection (Unix.ADDR_UNIX socket) in
+    ((fun () -> try Unix.shutdown_connection ic with _ -> ()), ic, oc)
+  end
+  else if port > 0 then begin
+    let ic, oc = Unix.open_connection (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) in
+    ((fun () -> try Unix.shutdown_connection ic with _ -> ()), ic, oc)
+  end
+  else begin
+    let req_r, req_w = Unix.pipe () in
+    let resp_r, resp_w = Unix.pipe () in
+    let server =
+      Domain.spawn (fun () ->
+          let sic = Unix.in_channel_of_descr req_r in
+          let soc = Unix.out_channel_of_descr resp_w in
+          ignore (Server.serve ~config sic soc))
+    in
+    let ic = Unix.in_channel_of_descr resp_r in
+    let oc = Unix.out_channel_of_descr req_w in
+    let cleanup () =
+      close_out_noerr oc;
+      Domain.join server;
+      close_in_noerr ic
+    in
+    (cleanup, ic, oc)
+  end
+
+(* Scripted ECO exercise: open a session, stream [mutations] single-gate
+   edits (resizes with an occasional inversion-flip retype), then verify
+   the incremental state against a from-scratch sweep and report the
+   measured speedup.  Exits non-zero unless the arrivals are
+   bit-identical and the speedup clears [--min-speedup]. *)
+let session_exercise ic oc circuit mutations seed min_speedup =
+  let module Rng = Spsta_util.Rng in
+  let module Gate_kind = Spsta_logic.Gate_kind in
+  let c = Spsta_server.Cache.default_loader circuit in
+  let gates = Circuit.topo_gates c in
+  if Array.length gates = 0 then begin
+    Printf.eprintf "error: circuit %s has no gates to mutate\n" circuit;
+    exit 1
+  end;
+  let rng = Rng.create ~seed in
+  let session = Printf.sprintf "exercise-%d" seed in
+  let rpc kind = session_expect_ok (session_rpc ic oc (session_request session kind)) in
+  let sizes = 4 in
+  let opened =
+    rpc (Protocol.Session_open { session; circuit; sizes; ratio = 1.5 })
+  in
+  Printf.printf "opened %s on %s: %d gates, full analysis %.3f ms\n%!" session circuit
+    (Array.length gates) (json_float opened "full_ms");
+  (* mirror the server-side state so every resize really changes the
+     size and every retype flips the current kind *)
+  let size_of = Array.make (Circuit.num_nets c) 0 in
+  let kind_of =
+    Array.map
+      (fun g ->
+        match Circuit.driver c g with
+        | Circuit.Gate { kind; _ } -> kind
+        | Circuit.Input | Circuit.Dff_output _ -> Gate_kind.Buf)
+      (Array.init (Circuit.num_nets c) Fun.id)
+  in
+  let flip = function
+    | Gate_kind.And -> Gate_kind.Nand
+    | Gate_kind.Nand -> Gate_kind.And
+    | Gate_kind.Or -> Gate_kind.Nor
+    | Gate_kind.Nor -> Gate_kind.Or
+    | Gate_kind.Xor -> Gate_kind.Xnor
+    | Gate_kind.Xnor -> Gate_kind.Xor
+    | Gate_kind.Not -> Gate_kind.Buf
+    | Gate_kind.Buf -> Gate_kind.Not
+  in
+  let applied = ref 0 in
+  for i = 1 to mutations do
+    let g = gates.(Rng.int rng (Array.length gates)) in
+    let net = Circuit.net_name c g in
+    let mutation =
+      if i mod 5 = 0 then begin
+        let gate = flip kind_of.(g) in
+        kind_of.(g) <- gate;
+        Protocol.Retype { net; gate }
+      end
+      else begin
+        (* a fresh size uniform over the others *)
+        let shift = 1 + Rng.int rng (sizes - 1) in
+        let size = (size_of.(g) + shift) mod sizes in
+        size_of.(g) <- size;
+        Protocol.Resize { net; size }
+      end
+    in
+    let payload = rpc (Protocol.Session_mutate { session; mutation }) in
+    if json_bool payload "applied" then incr applied
+  done;
+  let v = rpc (Protocol.Session_verify { session }) in
+  let identical = json_bool v "identical" in
+  let speedup = json_float v "speedup" in
+  Printf.printf
+    "%d mutations (%d applied), mean dirty cone %.1f gates\n\
+     full sweep %.3f ms, mean incremental %.3f ms, speedup %.1fx\n\
+     bit-identical to from-scratch analysis: %b\n%!"
+    mutations !applied (json_float v "mean_dirty_cone") (json_float v "full_ms")
+    (json_float v "mean_incremental_ms") speedup identical;
+  ignore (rpc (Protocol.Session_close { session }));
+  if not identical then begin
+    Printf.eprintf "error: incremental state diverged from the from-scratch analysis\n";
+    exit 1
+  end;
+  if min_speedup > 0.0 && speedup < min_speedup then begin
+    Printf.eprintf "error: speedup %.2fx below required %.2fx\n" speedup min_speedup;
+    exit 1
+  end
+
+(* Replay a JSONL request file (or stdin) lock-step, printing each
+   response; exit 2 if any response is an error. *)
+let session_replay ic oc input =
+  let ok = ref true in
+  ( try
+      while true do
+        let line = String.trim (input_line input) in
+        if line <> "" then begin
+          let response = session_rpc ic oc line in
+          print_endline response;
+          match Protocol.response_of_line response with
+          | Ok r -> if not (Protocol.is_ok r) then ok := false
+          | Error _ -> ok := false
+        end
+      done
+    with End_of_file -> () );
+  if not !ok then exit 2
+
+let session_cmd =
+  let run config socket port script exercise mutations seed min_speedup =
+    let cleanup, ic, oc = session_connect config socket port in
+    Fun.protect ~finally:cleanup (fun () ->
+        match exercise with
+        | Some circuit -> session_exercise ic oc circuit mutations seed min_speedup
+        | None -> (
+          match script with
+          | Some file ->
+            if not (Sys.file_exists file) then begin
+              Printf.eprintf "error: no script file %s\n" file;
+              exit 1
+            end;
+            let input = open_in file in
+            Fun.protect ~finally:(fun () -> close_in_noerr input) (fun () ->
+                session_replay ic oc input)
+          | None -> session_replay ic oc stdin ))
+  in
+  let script_arg =
+    let doc = "Replay a JSONL request file lock-step and print each response." in
+    Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE" ~doc)
+  in
+  let exercise_arg =
+    let doc =
+      "Run a scripted ECO exercise against this circuit: open a session, stream random \
+       single-gate mutations, verify bit-identity against a from-scratch analysis and \
+       report the incremental speedup."
+    in
+    Arg.(value & opt (some string) None & info [ "exercise" ] ~docv:"CIRCUIT" ~doc)
+  in
+  let mutations_arg =
+    let doc = "Mutations to stream in $(b,--exercise) mode." in
+    Arg.(value & opt int 120 & info [ "mutations" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for $(b,--exercise) mode." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"K" ~doc)
+  in
+  let min_speedup_arg =
+    let doc =
+      "Fail unless the measured incremental speedup reaches this factor ($(b,--exercise) \
+       mode; 0 disables the gate)."
+    in
+    Arg.(value & opt float 0.0 & info [ "min-speedup" ] ~docv:"X" ~doc)
+  in
+  let exits =
+    Cmd.Exit.defaults
+    @ [ Cmd.Exit.info ~doc:"when any replayed response is an error." 2 ]
+  in
+  let info =
+    Cmd.info "session" ~exits
+      ~doc:
+        "Interactive timing-session client: connect to a server ($(b,--socket) or \
+         $(b,--port)) or run one in-process, then stream requests from a script, an \
+         exercise generator, or stdin."
+  in
   Cmd.v info
     Term.(
-      const run $ file_arg $ workers_arg $ queue_arg $ cache_arg $ deadline_arg
-      $ analysis_domains_arg)
+      const run $ config_term $ socket_arg $ port_arg $ script_arg $ exercise_arg
+      $ mutations_arg $ seed_arg $ min_speedup_arg)
 
 let subcommands =
   [ analyze_cmd; lint_cmd; check_cmd; ssta_cmd; mc_cmd; power_cmd; exact_prob_cmd;
     paths_cmd; sequential_cmd; chip_delay_cmd; variation_cmd; report_cmd; criticality_cmd;
     size_cmd; waveform_cmd; export_cmd; gen_cmd; experiment_cmd; list_cmd; serve_cmd;
-    batch_cmd ]
+    batch_cmd; session_cmd ]
 
 let main =
   let doc = "Signal Probability Based Statistical Timing Analysis (DATE 2008)" in

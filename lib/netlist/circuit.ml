@@ -312,6 +312,30 @@ let find_exn t name =
     invalid_arg (Printf.sprintf "Circuit.find_exn: no net %S in circuit %S" name t.name)
 
 let driver t i = t.drivers.(i)
+
+(* In-place driver-kind swap for ECO edits.  Topology, levels, topo
+   order and fanout maps all depend only on the input edges, which are
+   untouched, so every precomputed structure stays valid. *)
+let retype_gate t i kind =
+  match t.drivers.(i) with
+  | Gate { inputs; _ } ->
+    let n = Array.length inputs in
+    if n < Spsta_logic.Gate_kind.min_arity kind then
+      invalid_arg
+        (Printf.sprintf "Circuit.retype_gate: %s needs fan-in >= %d, net %S has %d"
+           (Spsta_logic.Gate_kind.to_string kind)
+           (Spsta_logic.Gate_kind.min_arity kind)
+           t.names.(i) n);
+    (match Spsta_logic.Gate_kind.max_arity kind with
+    | Some m when n > m ->
+      invalid_arg
+        (Printf.sprintf "Circuit.retype_gate: %s allows fan-in <= %d, net %S has %d"
+           (Spsta_logic.Gate_kind.to_string kind)
+           m t.names.(i) n)
+    | Some _ | None -> ());
+    t.drivers.(i) <- Gate { kind; inputs }
+  | Input | Dff_output _ -> invalid_arg "Circuit.retype_gate: net is not gate-driven"
+
 let primary_inputs t = t.primary_inputs
 let primary_outputs t = t.primary_outputs
 let dffs t = t.dffs

@@ -47,6 +47,15 @@ val find_exn : t -> string -> id
 
 val driver : t -> id -> driver
 
+val retype_gate : t -> id -> Spsta_logic.Gate_kind.t -> unit
+(** Swap the logical function of the gate driving this net, in place —
+    an ECO edit, deliberately {e not} semantics-preserving.  The input
+    edges are unchanged, so topology, levels, fanout maps and
+    topological order all remain valid; only analyses that consult the
+    gate kind (timing via the cell library, logic evaluation) see the
+    change.  Raises [Invalid_argument] if the net is not gate-driven or
+    the existing fan-in violates the new kind's arity bounds. *)
+
 val primary_inputs : t -> id list
 val primary_outputs : t -> id list
 val dffs : t -> (id * id) list

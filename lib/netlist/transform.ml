@@ -103,6 +103,17 @@ let resize_gate sized circuit (asg : Sized_library.assignment) id ~size =
     [ id ]
   end
 
+let retype_gate circuit id ~kind =
+  match Circuit.driver circuit id with
+  | Circuit.Gate { kind = old; _ } ->
+    if Gate_kind.equal old kind then []
+    else begin
+      Circuit.retype_gate circuit id kind;
+      [ id ]
+    end
+  | Circuit.Input | Circuit.Dff_output _ ->
+    invalid_arg "Transform.retype_gate: net is not gate-driven"
+
 let statistics circuit =
   let max_fanout =
     let worst = ref 0 in

@@ -1,10 +1,13 @@
 (** Structural netlist transformations.
 
-    These are semantics-preserving rewrites (checked by property tests):
-    the transformed circuit computes the same Boolean function on every
-    net that survives, which also pins down the probabilistic analyses —
-    signal probabilities are invariant, and unit-delay arrival times
-    scale with the structural depth in a predictable way. *)
+    {!decompose_gates} and {!strip_buffers} are semantics-preserving
+    rewrites (checked by property tests): the transformed circuit
+    computes the same Boolean function on every net that survives, which
+    also pins down the probabilistic analyses — signal probabilities are
+    invariant, and unit-delay arrival times scale with the structural
+    depth in a predictable way.  {!resize_gate} and {!retype_gate} are
+    instead ECO edits: in-place mutations whose dirty net set feeds the
+    incremental analyzers. *)
 
 val decompose_gates : ?max_fanin:int -> Circuit.t -> Circuit.t
 (** Rewrite every gate with more than [max_fanin] (default 2) inputs
@@ -28,6 +31,15 @@ val resize_gate :
     dirtied; returns [[]] when the gate already has that size.  Raises
     [Invalid_argument] if the net is not gate-driven or [size] is outside
     the family. *)
+
+val retype_gate :
+  Circuit.t -> Circuit.id -> kind:Spsta_logic.Gate_kind.t -> Circuit.id list
+(** Swap the logical function of the gate driving this net, in place
+    ({!Circuit.retype_gate}), and return the dirty net set for the
+    incremental analyzers; returns [[]] when the gate already has that
+    kind.  An ECO edit, {e not} semantics-preserving.  Raises
+    [Invalid_argument] if the net is not gate-driven or the fan-in
+    violates the new kind's arity bounds. *)
 
 val statistics : Circuit.t -> (string * int) list
 (** Named structural counters (nets, gates per kind, fanout max, ...)

@@ -99,6 +99,10 @@ type t = {
   circuits : loaded Lru.t;
   results : Json.t Lru.t;
   loader : string -> Circuit.t;
+  store : Store.t option;
+      (* persistent backing for the result memo: consulted on LRU miss,
+         appended on store, so memoised payloads survive process
+         restarts and are shared by every instance on the same path *)
 }
 
 exception Load_error of { code : Protocol.error_code; message : string }
@@ -110,10 +114,11 @@ let default_loader name_or_path =
     else Bench_io.parse_file name_or_path
   else Spsta_experiments.Benchmarks.load name_or_path
 
-let create ?(loader = default_loader) ?(circuit_capacity = 32) ?(result_capacity = 512) () =
+let create ?(loader = default_loader) ?store ?(circuit_capacity = 32)
+    ?(result_capacity = 512) () =
   { circuits = Lru.create ~capacity:circuit_capacity;
     results = Lru.create ~capacity:result_capacity;
-    loader }
+    loader; store }
 
 let load_circuit t name =
   match Lru.find t.circuits name with
@@ -176,14 +181,36 @@ let memo_key ~digest (kind : Protocol.kind) =
       p.max_moves p.candidates p.sizes p.ratio
       (Protocol.size_initial_name p.initial)
       (if p.check then "|check=1" else "")
-  | Protocol.Stats | Protocol.Shutdown -> invalid_arg "Cache.memo_key: not a cacheable kind"
+  | Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_query _
+  | Protocol.Session_verify _ | Protocol.Session_close _ | Protocol.Stats
+  | Protocol.Shutdown ->
+    invalid_arg "Cache.memo_key: not a cacheable kind"
 
-let find_result t key = Lru.find t.results key
-let store_result t key payload = Lru.add t.results key payload
+(* LRU first, then the persistent store; a store hit is promoted into
+   the LRU so repeats stay in memory. *)
+let find_result t key =
+  match Lru.find t.results key with
+  | Some _ as hit -> hit
+  | None -> (
+    match t.store with
+    | None -> None
+    | Some store -> (
+      match Store.find store key with
+      | Some payload ->
+        Lru.add t.results key payload;
+        Some payload
+      | None -> None ) )
+
+let store_result t key payload =
+  Lru.add t.results key payload;
+  match t.store with None -> () | Some store -> Store.add store key payload
+
+let store t = t.store
 
 let stats_json t =
   Json.Obj
-    [ ("circuits", Lru.counters_json t.circuits); ("results", Lru.counters_json t.results) ]
+    ( [ ("circuits", Lru.counters_json t.circuits); ("results", Lru.counters_json t.results) ]
+    @ match t.store with None -> [] | Some s -> [ ("store", Store.stats_json s) ] )
 
 let result_hits t = Lru.hits t.results
 let result_misses t = Lru.misses t.results

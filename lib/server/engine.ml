@@ -205,7 +205,24 @@ let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
     size_payload (circuit_of p.circuit) ~quantile:p.quantile ~target:p.target
       ~max_moves:p.max_moves ~candidates:p.candidates ~sizes:p.sizes ~ratio:p.ratio
       ~initial:p.initial ~check:p.check
+  | Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_query _
+  | Protocol.Session_verify _ | Protocol.Session_close _ ->
+    invalid_arg "Engine.compute_payload: session request"
   | Protocol.Stats | Protocol.Shutdown -> invalid_arg "Engine.compute_payload: control request"
+
+(* Session requests bypass the memo table entirely: their payloads
+   depend on the session's accumulated mutation state, not just the
+   request parameters. *)
+let session_payload sessions cache (kind : Protocol.kind) =
+  match kind with
+  | Protocol.Session_open p -> Session.open_session sessions cache p
+  | Protocol.Session_mutate { session; mutation } -> Session.mutate sessions session mutation
+  | Protocol.Session_query { session; top } -> Session.query sessions session ~top
+  | Protocol.Session_verify { session } -> Session.verify sessions session
+  | Protocol.Session_close { session } -> Session.close sessions session
+  | Protocol.Analyze _ | Protocol.Ssta _ | Protocol.Mc _ | Protocol.Paths _ | Protocol.Size _
+  | Protocol.Stats | Protocol.Shutdown ->
+    invalid_arg "Engine.session_payload: not a session request"
 
 (* Execute an analysis request, memoising through the cache.  Control
    requests ([stats], [shutdown]) never reach the engine.
@@ -221,7 +238,8 @@ let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
    [Rng.stream ~seed i], so both engines — at any domain count — return
    bit-identical results and the memo key stays engine-free.  The paths
    kind enumerates paths rather than propagating per-net state. *)
-let execute ?(domains = 1) (cache : Cache.t) (request : Protocol.request) : Protocol.response =
+let execute ?(domains = 1) ?sessions (cache : Cache.t) (request : Protocol.request) :
+    Protocol.response =
   let start = Unix.gettimeofday () in
   let finish result =
     Protocol.Ok
@@ -231,26 +249,40 @@ let execute ?(domains = 1) (cache : Cache.t) (request : Protocol.request) : Prot
         result }
   in
   try
-    let loaded =
-      match request.Protocol.kind with
-      | Protocol.Analyze { circuit; _ } | Protocol.Ssta { circuit; _ }
-      | Protocol.Mc { circuit; _ } | Protocol.Paths { circuit; _ }
-      | Protocol.Size { circuit; _ } ->
-        Cache.load_circuit cache circuit
-      | Protocol.Stats | Protocol.Shutdown ->
-        invalid_arg "Engine.execute: control request"
-    in
-    let key = Cache.memo_key ~digest:loaded.Cache.digest request.Protocol.kind in
-    let payload =
-      match Cache.find_result cache key with
-      | Some payload -> payload
-      | None ->
-        let payload = compute_payload ~domains cache request.Protocol.kind in
-        Cache.store_result cache key payload;
-        payload
-    in
-    finish payload
+    match request.Protocol.kind with
+    | ( Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_query _
+      | Protocol.Session_verify _ | Protocol.Session_close _ ) as kind ->
+      let sessions =
+        match sessions with
+        | Some s -> s
+        | None -> invalid_arg "Engine.execute: session request without a registry"
+      in
+      finish (session_payload sessions cache kind)
+    | _ ->
+      let loaded =
+        match request.Protocol.kind with
+        | Protocol.Analyze { circuit; _ } | Protocol.Ssta { circuit; _ }
+        | Protocol.Mc { circuit; _ } | Protocol.Paths { circuit; _ }
+        | Protocol.Size { circuit; _ } ->
+          Cache.load_circuit cache circuit
+        | Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_query _
+        | Protocol.Session_verify _ | Protocol.Session_close _ | Protocol.Stats
+        | Protocol.Shutdown ->
+          invalid_arg "Engine.execute: control request"
+      in
+      let key = Cache.memo_key ~digest:loaded.Cache.digest request.Protocol.kind in
+      let payload =
+        match Cache.find_result cache key with
+        | Some payload -> payload
+        | None ->
+          let payload = compute_payload ~domains cache request.Protocol.kind in
+          Cache.store_result cache key payload;
+          payload
+      in
+      finish payload
   with
+  | Session.Error { code; message } ->
+    Protocol.Error { id = Some request.Protocol.id; code; message }
   | Cache.Load_error { code; message } ->
     Protocol.Error { id = Some request.Protocol.id; code; message }
   | Circuit.Invalid_circuit message ->

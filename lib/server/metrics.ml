@@ -21,9 +21,24 @@ type per_kind = {
   histogram : Histogram.t;
 }
 
+(* Session lifecycle and incremental-analysis counters, all atomic so
+   sessions mutate them from worker domains while [stats] requests read
+   them from others.  [dirty_gates] accumulates the per-mutation dirty
+   cone sizes, so mean cone size = dirty_gates / incremental. *)
+type sessions = {
+  opened : int Atomic.t;
+  closed : int Atomic.t;
+  evicted : int Atomic.t;
+  mutations : int Atomic.t;
+  incremental : int Atomic.t; (* dirty-cone incremental re-analyses *)
+  full : int Atomic.t; (* full sweeps (session open / verify) *)
+  dirty_gates : int Atomic.t;
+}
+
 type t = {
   mutex : Mutex.t;
   kinds : (string, per_kind) Hashtbl.t;
+  sessions : sessions;
   started : float;
 }
 
@@ -32,7 +47,47 @@ let hist_hi = 500.0
 let hist_bins = 25
 
 let create () =
-  { mutex = Mutex.create (); kinds = Hashtbl.create 8; started = Unix.gettimeofday () }
+  { mutex = Mutex.create (); kinds = Hashtbl.create 8;
+    sessions =
+      { opened = Atomic.make 0; closed = Atomic.make 0; evicted = Atomic.make 0;
+        mutations = Atomic.make 0; incremental = Atomic.make 0; full = Atomic.make 0;
+        dirty_gates = Atomic.make 0 };
+    started = Unix.gettimeofday () }
+
+let session_opened t = Atomic.incr t.sessions.opened
+let session_closed t = Atomic.incr t.sessions.closed
+let session_evicted t = Atomic.incr t.sessions.evicted
+
+let session_mutation t ~dirty =
+  Atomic.incr t.sessions.mutations;
+  if dirty > 0 then begin
+    Atomic.incr t.sessions.incremental;
+    ignore (Atomic.fetch_and_add t.sessions.dirty_gates dirty)
+  end
+
+let session_full_analysis t = Atomic.incr t.sessions.full
+
+let sessions_mutations t = Atomic.get t.sessions.mutations
+let sessions_incremental t = Atomic.get t.sessions.incremental
+let sessions_opened_total t = Atomic.get t.sessions.opened
+
+(* [open_sessions] is a gauge owned by the session registry; it is
+   passed in at render time rather than double-counted here. *)
+let sessions_json t ~open_sessions =
+  let s = t.sessions in
+  let incremental = Atomic.get s.incremental in
+  let mean_cone =
+    if incremental = 0 then 0.0
+    else float_of_int (Atomic.get s.dirty_gates) /. float_of_int incremental
+  in
+  Json.Obj
+    [ ("open", Json.int open_sessions); ("opened", Json.int (Atomic.get s.opened));
+      ("closed", Json.int (Atomic.get s.closed)); ("evicted", Json.int (Atomic.get s.evicted));
+      ("mutations", Json.int (Atomic.get s.mutations));
+      ("incremental_analyses", Json.int incremental);
+      ("full_analyses", Json.int (Atomic.get s.full));
+      ("dirty_gates_total", Json.int (Atomic.get s.dirty_gates));
+      ("mean_dirty_cone", Json.float mean_cone) ]
 
 let per_kind t kind =
   match Hashtbl.find_opt t.kinds kind with
@@ -127,5 +182,19 @@ let render t =
              (Stats.acc_max p.latency));
       Buffer.add_char buf '\n')
     kinds;
+  let s = t.sessions in
+  if Atomic.get s.opened > 0 then begin
+    let incremental = Atomic.get s.incremental in
+    let mean_cone =
+      if incremental = 0 then 0.0
+      else float_of_int (Atomic.get s.dirty_gates) /. float_of_int incremental
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "sessions: opened %d closed %d evicted %d; mutations %d (incremental %d, full %d, \
+          mean cone %.1f gates)\n"
+         (Atomic.get s.opened) (Atomic.get s.closed) (Atomic.get s.evicted)
+         (Atomic.get s.mutations) incremental (Atomic.get s.full) mean_cone)
+  end;
   Mutex.unlock t.mutex;
   Buffer.contents buf

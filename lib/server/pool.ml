@@ -4,13 +4,25 @@
 
    - the queue is bounded; [submit] blocks the producer when it is full,
      giving natural back-pressure instead of unbounded memory growth;
+     [try_submit] instead refuses immediately, for callers (the socket
+     transport) that must answer [overloaded] rather than stall a
+     connection;
+   - jobs may carry an *affinity key*.  Jobs sharing a key execute
+     strictly in submission order, one at a time — while that key has a
+     running or runnable job, later jobs with the same key are parked in
+     a per-key queue and promoted only when their predecessor completes.
+     Jobs with distinct keys (or none) run in parallel as before.  This
+     is how one timing session's mutation stream serializes while the
+     pool keeps every other session's work flowing;
    - every job carries an optional absolute deadline.  Deadlines are
      cooperative: a job whose deadline has already passed when a worker
      dequeues it is failed immediately without running, and a job that
      finishes past its deadline reports [Timed_out] rather than its result.
      Either way the waiter always gets an outcome — nothing hangs;
    - [shutdown] is a graceful drain: no new jobs are accepted, workers
-     finish everything already queued, then the domains are joined.
+     finish everything already queued (including parked affinity chains,
+     promoted as their predecessors complete), then the domains are
+     joined.
 
    The pool is generic in the job result type; the server instantiates it
    with {!Protocol.response}. *)
@@ -32,6 +44,7 @@ type 'a job = {
   submitted : float;
   cell : 'a cell;
   on_complete : ('a outcome -> unit) option;
+  affinity : string option;
 }
 
 type 'a t = {
@@ -39,6 +52,10 @@ type 'a t = {
   not_empty : Condition.t;
   not_full : Condition.t;
   queue : 'a job Queue.t;
+  (* per-affinity-key parked jobs: a key present here has exactly one
+     job running or runnable in [queue]; its queue holds the successors
+     in submission order *)
+  parked : (string, 'a job Queue.t) Hashtbl.t;
   capacity : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t array;
@@ -80,6 +97,21 @@ let complete t job outcome =
     | _ -> Atomic.incr t.callback_errors ) );
   deliver job.cell outcome
 
+(* A keyed job finished: promote its parked successor into the runnable
+   queue (bypassing the capacity bound — it was admitted at submit time)
+   or retire the key. *)
+let release_affinity t job =
+  match job.affinity with
+  | None -> ()
+  | Some key ->
+    Mutex.lock t.mutex;
+    ( match Hashtbl.find_opt t.parked key with
+    | Some q when not (Queue.is_empty q) ->
+      Queue.push (Queue.pop q) t.queue;
+      Condition.signal t.not_empty
+    | _ -> Hashtbl.remove t.parked key );
+    Mutex.unlock t.mutex
+
 let worker_loop t () =
   let rec next () =
     Mutex.lock t.mutex;
@@ -111,6 +143,7 @@ let worker_loop t () =
           Atomic.incr t.timed_out;
           complete t job (Timed_out { budget_ms = budget_ms d; elapsed_ms = elapsed_ms () })
         | _ -> complete t job result ) );
+      release_affinity t job;
       next ()
     end
   in
@@ -121,7 +154,8 @@ let create ?(queue_capacity = 64) ~workers () =
   if queue_capacity <= 0 then invalid_arg "Pool.create: queue capacity must be positive";
   let t =
     { mutex = Mutex.create (); not_empty = Condition.create (); not_full = Condition.create ();
-      queue = Queue.create (); capacity = queue_capacity; stopping = false; workers = [||];
+      queue = Queue.create (); parked = Hashtbl.create 16; capacity = queue_capacity;
+      stopping = false; workers = [||];
       executed = Atomic.make 0; timed_out = Atomic.make 0; callback_errors = Atomic.make 0 }
   in
   t.workers <- Array.init workers (fun _ -> Domain.spawn (worker_loop t));
@@ -129,11 +163,25 @@ let create ?(queue_capacity = 64) ~workers () =
 
 let num_workers t = Array.length t.workers
 
-let submit ?deadline_ms ?on_complete t run =
+let make_job ?deadline_ms ?on_complete ?affinity run =
   let submitted = now () in
   let deadline = Option.map (fun ms -> submitted +. (ms /. 1000.0)) deadline_ms in
   let cell = { cell_mutex = Mutex.create (); cell_cond = Condition.create (); state = None } in
-  let job = { run; deadline; submitted; cell; on_complete } in
+  { run; deadline; submitted; cell; on_complete; affinity }
+
+(* Enqueue under [t.mutex]: a keyed job whose key is already live parks
+   behind its predecessor, everything else becomes runnable. *)
+let enqueue_locked t job =
+  ( match job.affinity with
+  | Some key when Hashtbl.mem t.parked key -> Queue.push job (Hashtbl.find t.parked key)
+  | affinity ->
+    (match affinity with Some key -> Hashtbl.add t.parked key (Queue.create ()) | None -> ());
+    Queue.push job t.queue;
+    Condition.signal t.not_empty );
+  job.cell
+
+let submit ?deadline_ms ?on_complete ?affinity t run =
+  let job = make_job ?deadline_ms ?on_complete ?affinity run in
   Mutex.lock t.mutex;
   if t.stopping then begin
     Mutex.unlock t.mutex;
@@ -146,10 +194,34 @@ let submit ?deadline_ms ?on_complete t run =
     Mutex.unlock t.mutex;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Queue.push job t.queue;
-  Condition.signal t.not_empty;
+  let cell = enqueue_locked t job in
   Mutex.unlock t.mutex;
   cell
+
+(* Non-blocking admission: [None] when the pool is stopping, the
+   runnable queue is at capacity, or the job's affinity chain already
+   holds a capacity's worth of parked work.  The socket transport turns
+   a refusal into a structured [overloaded] response instead of
+   stalling its read loop the way blocking [submit] would. *)
+let try_submit ?deadline_ms ?on_complete ?affinity t run =
+  Mutex.lock t.mutex;
+  let full =
+    t.stopping
+    ||
+    match affinity with
+    | Some key when Hashtbl.mem t.parked key ->
+      Queue.length (Hashtbl.find t.parked key) >= t.capacity
+    | _ -> Queue.length t.queue >= t.capacity
+  in
+  if full then begin
+    Mutex.unlock t.mutex;
+    None
+  end
+  else begin
+    let cell = enqueue_locked t (make_job ?deadline_ms ?on_complete ?affinity run) in
+    Mutex.unlock t.mutex;
+    Some cell
+  end
 
 let await (cell : 'a ticket) =
   Mutex.lock cell.cell_mutex;

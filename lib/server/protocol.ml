@@ -1,7 +1,7 @@
 (* JSON-lines request/response codec for the timing-analysis service.
 
-   One request per line, one response per line.  Requests mirror the CLI
-   subcommand flags:
+   One request per line, one response per line.  Batch requests mirror
+   the CLI subcommand flags:
 
      {"id":"r1","kind":"analyze","circuit":"s344","case":"II"}
      {"id":"r2","kind":"mc","circuit":"s344","runs":2000,"seed":7}
@@ -10,6 +10,21 @@
      {"id":"r5","kind":"size","circuit":"s344","quantile":0.99,"max_moves":50}
      {"id":"r6","kind":"stats"}
      {"id":"r7","kind":"shutdown"}
+
+   Stateful *session* requests load a circuit once and then stream ECO
+   mutations, each answered by a dirty-cone incremental re-analysis:
+
+     {"id":"o","kind":"open","session":"s1","circuit":"s5378"}
+     {"id":"m1","kind":"mutate","session":"s1","op":"resize","net":"g123","size":2}
+     {"id":"m2","kind":"mutate","session":"s1","op":"retype","net":"g77","gate":"NOR"}
+     {"id":"m3","kind":"mutate","session":"s1","op":"set_input","net":"pi4","mu_rise":0.5}
+     {"id":"q","kind":"query","session":"s1","top":5}
+     {"id":"v","kind":"verify","session":"s1"}
+     {"id":"c","kind":"close","session":"s1"}
+
+   Session ids are client-chosen so a mutation stream can be pipelined
+   without waiting for the open acknowledgement; the server serializes
+   requests of one session and runs distinct sessions in parallel.
 
    Any analysis request may carry "deadline_ms": the server answers with a
    structured "timeout" error if the result cannot be produced within that
@@ -88,12 +103,50 @@ type size_params = {
   check : bool;
 }
 
+(* ---------- sessions ---------- *)
+
+(* One ECO edit.  [Resize] swaps the driving cell for another size of
+   its group ({!Spsta_netlist.Transform.resize_gate}); [Retype] swaps
+   the gate's logical kind in place (same fan-in — an ECO edit, *not*
+   semantics-preserving); [Set_input] replaces the arrival statistics of
+   a timing source.  Each maps to a dirty-net set of exactly the edited
+   net, so the server's incremental re-analysis cost is the fanout
+   cone. *)
+type mutation =
+  | Resize of { net : string; size : int }
+  | Retype of { net : string; gate : Spsta_logic.Gate_kind.t }
+  | Set_input of {
+      net : string;
+      mu_rise : float;
+      sigma_rise : float;
+      mu_fall : float;
+      sigma_fall : float;
+    }
+
+let mutation_op = function
+  | Resize _ -> "resize"
+  | Retype _ -> "retype"
+  | Set_input _ -> "set_input"
+
+let mutation_net = function
+  | Resize { net; _ } | Retype { net; _ } | Set_input { net; _ } -> net
+
+(* [sizes]/[ratio] fix the drive-strength family of the session's sized
+   library (see {!Spsta_netlist.Sized_library.family}); every gate
+   starts at size 0. *)
+type session_open_params = { session : string; circuit : string; sizes : int; ratio : float }
+
 type kind =
   | Analyze of analyze_params
   | Ssta of ssta_params
   | Mc of mc_params
   | Paths of paths_params
   | Size of size_params
+  | Session_open of session_open_params
+  | Session_mutate of { session : string; mutation : mutation }
+  | Session_query of { session : string; top : int }
+  | Session_verify of { session : string }
+  | Session_close of { session : string }
   | Stats
   | Shutdown
 
@@ -103,8 +156,25 @@ let kind_name = function
   | Mc _ -> "mc"
   | Paths _ -> "paths"
   | Size _ -> "size"
+  | Session_open _ -> "open"
+  | Session_mutate _ -> "mutate"
+  | Session_query _ -> "query"
+  | Session_verify _ -> "verify"
+  | Session_close _ -> "close"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+
+(* The session a request addresses, when any — the server's affinity
+   key: requests of one session execute in submission order while
+   distinct sessions run in parallel on the pool. *)
+let session_of_kind = function
+  | Session_open { session; _ }
+  | Session_mutate { session; _ }
+  | Session_query { session; _ }
+  | Session_verify { session }
+  | Session_close { session } ->
+    Some session
+  | Analyze _ | Ssta _ | Mc _ | Paths _ | Size _ | Stats | Shutdown -> None
 
 type request = { id : string; deadline_ms : float option; kind : kind }
 
@@ -118,6 +188,11 @@ type error_code =
   | Invariant_violation
   | Timeout
   | Overloaded
+  | Frame_too_large
+  | Invalid_utf8
+  | Unknown_session
+  | Session_exists
+  | Session_limit
   | Internal
 
 let error_code_name = function
@@ -130,6 +205,11 @@ let error_code_name = function
   | Invariant_violation -> "invariant_violation"
   | Timeout -> "timeout"
   | Overloaded -> "overloaded"
+  | Frame_too_large -> "frame_too_large"
+  | Invalid_utf8 -> "invalid_utf8"
+  | Unknown_session -> "unknown_session"
+  | Session_exists -> "session_exists"
+  | Session_limit -> "session_limit"
   | Internal -> "internal"
 
 let error_code_of_name = function
@@ -142,6 +222,11 @@ let error_code_of_name = function
   | "invariant_violation" -> Some Invariant_violation
   | "timeout" -> Some Timeout
   | "overloaded" -> Some Overloaded
+  | "frame_too_large" -> Some Frame_too_large
+  | "invalid_utf8" -> Some Invalid_utf8
+  | "unknown_session" -> Some Unknown_session
+  | "session_exists" -> Some Session_exists
+  | "session_limit" -> Some Session_limit
   | "internal" -> Some Internal
   | _ -> None
 
@@ -185,6 +270,24 @@ let request_to_json (r : request) : Json.t =
         ("initial", Json.string (size_initial_name p.initial)) ]
       @ (match p.target with None -> [] | Some t -> [ ("target", Json.float t) ])
       @ (if p.check then [ ("check", Json.bool true) ] else [])
+    | Session_open p ->
+      [ ("session", Json.string p.session); ("circuit", Json.string p.circuit);
+        ("sizes", Json.int p.sizes); ("ratio", Json.float p.ratio) ]
+    | Session_mutate { session; mutation } ->
+      [ ("session", Json.string session); ("op", Json.string (mutation_op mutation)) ]
+      @ ( match mutation with
+        | Resize { net; size } -> [ ("net", Json.string net); ("size", Json.int size) ]
+        | Retype { net; gate } ->
+          [ ("net", Json.string net);
+            ("gate", Json.string (Spsta_logic.Gate_kind.to_string gate)) ]
+        | Set_input { net; mu_rise; sigma_rise; mu_fall; sigma_fall } ->
+          [ ("net", Json.string net); ("mu_rise", Json.float mu_rise);
+            ("sigma_rise", Json.float sigma_rise); ("mu_fall", Json.float mu_fall);
+            ("sigma_fall", Json.float sigma_fall) ] )
+    | Session_query { session; top } ->
+      [ ("session", Json.string session); ("top", Json.int top) ]
+    | Session_verify { session } | Session_close { session } ->
+      [ ("session", Json.string session) ]
     | Stats | Shutdown -> []
   in
   Json.Obj (base @ params @ deadline)
@@ -335,6 +438,72 @@ let decode_request_json (json : Json.t) : (request, decode_error) Stdlib.result 
             (Size
                { circuit; quantile; target; max_moves; candidates; sizes; ratio; initial;
                  check })
+      | "open" ->
+        let* session = field_string ~id json "session" in
+        let* circuit = field_string ~id json "circuit" in
+        let* sizes = opt_with ~id json "sizes" Json.to_int_opt "an integer" ~default:4 in
+        let* ratio = opt_with ~id json "ratio" Json.to_float_opt "a number" ~default:1.5 in
+        if session = "" then decode_fail ~id Bad_field "field \"session\" must be non-empty"
+        else if sizes <= 0 then decode_fail ~id Bad_field "field \"sizes\" must be positive"
+        else if not (ratio > 1.0) then
+          decode_fail ~id Bad_field "field \"ratio\" must exceed 1"
+        else Stdlib.Ok (Session_open { session; circuit; sizes; ratio })
+      | "mutate" ->
+        let* session = field_string ~id json "session" in
+        let* op = field_string ~id json "op" in
+        let* net = field_string ~id json "net" in
+        let* mutation =
+          match op with
+          | "resize" ->
+            let* size =
+              match Json.member "size" json with
+              | None -> decode_fail ~id Missing_field "missing required field \"size\""
+              | Some v -> (
+                match Json.to_int_opt v with
+                | Some s when s >= 0 -> Stdlib.Ok s
+                | Some _ -> decode_fail ~id Bad_field "field \"size\" must be non-negative"
+                | None -> decode_fail ~id Bad_field "field \"size\" must be an integer" )
+            in
+            Stdlib.Ok (Resize { net; size })
+          | "retype" ->
+            let* gate_s = field_string ~id json "gate" in
+            ( match Spsta_logic.Gate_kind.of_string gate_s with
+            | Some gate -> Stdlib.Ok (Retype { net; gate })
+            | None -> decode_fail ~id Bad_field "unknown gate kind %S" gate_s )
+          | "set_input" ->
+            let* mu_rise =
+              opt_with ~id json "mu_rise" Json.to_float_opt "a number" ~default:0.0
+            in
+            let* sigma_rise =
+              opt_with ~id json "sigma_rise" Json.to_float_opt "a number" ~default:1.0
+            in
+            let* mu_fall =
+              opt_with ~id json "mu_fall" Json.to_float_opt "a number" ~default:0.0
+            in
+            let* sigma_fall =
+              opt_with ~id json "sigma_fall" Json.to_float_opt "a number" ~default:1.0
+            in
+            if sigma_rise < 0.0 || sigma_fall < 0.0 then
+              decode_fail ~id Bad_field "arrival sigmas must be non-negative"
+            else if
+              not
+                (Float.is_finite mu_rise && Float.is_finite sigma_rise
+                && Float.is_finite mu_fall && Float.is_finite sigma_fall)
+            then decode_fail ~id Bad_field "arrival statistics must be finite"
+            else Stdlib.Ok (Set_input { net; mu_rise; sigma_rise; mu_fall; sigma_fall })
+          | other -> decode_fail ~id Bad_field "unknown mutation op %S" other
+        in
+        Stdlib.Ok (Session_mutate { session; mutation })
+      | "query" ->
+        let* session = field_string ~id json "session" in
+        let* top = opt_with ~id json "top" Json.to_int_opt "an integer" ~default:0 in
+        Stdlib.Ok (Session_query { session; top })
+      | "verify" ->
+        let* session = field_string ~id json "session" in
+        Stdlib.Ok (Session_verify { session })
+      | "close" ->
+        let* session = field_string ~id json "session" in
+        Stdlib.Ok (Session_close { session })
       | "stats" -> Stdlib.Ok Stats
       | "shutdown" -> Stdlib.Ok Shutdown
       | other -> decode_fail ~id Unknown_kind "unknown request kind %S" other

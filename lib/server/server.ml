@@ -25,6 +25,17 @@ type config = {
          the memo table.  Worth raising above 1 only when requests are
          few and circuits large — otherwise [workers] already saturates
          the cores. *)
+  max_sessions : int;
+  idle_timeout_s : float;
+      (* sessions idle longer than this are evicted by the transport's
+         sweep; the stdio loop has no sweep, so it only applies on
+         sockets *)
+  store_path : string option;
+      (* persistent backing for the result memo; [None] keeps the memo
+         purely in-memory as before *)
+  store_fsync : bool;
+  max_frame_bytes : int; (* JSONL frame bound on socket transports *)
+  max_inflight : int; (* per-connection in-flight request bound *)
 }
 
 let default_config =
@@ -33,24 +44,43 @@ let default_config =
     circuit_cache = 32;
     result_cache = 512;
     default_deadline_ms = None;
-    analysis_domains = 1 }
+    analysis_domains = 1;
+    max_sessions = 64;
+    idle_timeout_s = 300.0;
+    store_path = None;
+    store_fsync = true;
+    max_frame_bytes = 1 lsl 20;
+    max_inflight = 32 }
 
 type t = {
   config : config;
   cache : Cache.t;
   metrics : Metrics.t;
   pool : Protocol.response Pool.t;
+  sessions : Session.registry;
 }
 
 let create ?(config = default_config) () =
+  let store = Option.map (Store.open_ ~fsync:config.store_fsync) config.store_path in
+  let metrics = Metrics.create () in
   { config;
-    cache = Cache.create ~circuit_capacity:config.circuit_cache
+    cache = Cache.create ?store ~circuit_capacity:config.circuit_cache
         ~result_capacity:config.result_cache ();
-    metrics = Metrics.create ();
-    pool = Pool.create ~queue_capacity:config.queue_capacity ~workers:config.workers () }
+    metrics;
+    pool = Pool.create ~queue_capacity:config.queue_capacity ~workers:config.workers ();
+    sessions = Session.create_registry ~max_sessions:config.max_sessions metrics }
 
 let cache t = t.cache
 let metrics t = t.metrics
+let sessions t = t.sessions
+let config t = t.config
+
+(* Graceful drain: finish everything already accepted, then flush and
+   close the persistent store so its last append is durable. *)
+let drain t =
+  Pool.shutdown t.pool;
+  Session.close_all t.sessions;
+  match Cache.store t.cache with None -> () | Some s -> Store.close s
 
 let pool_json t =
   Json.Obj
@@ -63,6 +93,7 @@ let stats_response t ~id =
   let result =
     Json.Obj
       [ ("cache", Cache.stats_json t.cache); ("pool", pool_json t);
+        ("sessions", Session.stats_json t.sessions);
         ("metrics", Metrics.to_json t.metrics) ]
   in
   Metrics.record t.metrics ~kind:"stats" ~outcome:`Ok ~elapsed_ms:0.0;
@@ -90,25 +121,47 @@ let metrics_class = function
   | Pool.Done (Protocol.Ok _) -> `Ok
   | Pool.Done (Protocol.Error _) -> `Error
 
-(* Submit an analysis request to the pool.  [on_response], when given, runs
-   on the completing worker domain after metrics are recorded. *)
-let submit ?on_response t (request : Protocol.request) =
+(* Submit an analysis or session request to the pool.  [on_response],
+   when given, runs on the completing worker domain after metrics are
+   recorded.  Session requests carry their session name as the pool
+   affinity key — one session's stream executes in submission order
+   while distinct sessions run in parallel — and hold the registry's
+   per-name inflight count so the idle sweep never evicts a session
+   with queued work. *)
+let submission_parts ?on_response t (request : Protocol.request) =
   let deadline_ms =
     match request.Protocol.deadline_ms with
     | Some _ as d -> d
     | None -> t.config.default_deadline_ms
   in
   let kind = Protocol.kind_name request.Protocol.kind in
+  let affinity = Protocol.session_of_kind request.Protocol.kind in
+  Option.iter (Session.retain t.sessions) affinity;
   let submitted = Unix.gettimeofday () in
   let on_complete outcome =
+    Option.iter (Session.release t.sessions) affinity;
     let elapsed_ms = (Unix.gettimeofday () -. submitted) *. 1000.0 in
     Metrics.record t.metrics ~kind ~outcome:(metrics_class outcome) ~elapsed_ms;
     match on_response with
     | None -> ()
     | Some f -> f (response_of_outcome ~id:request.Protocol.id outcome)
   in
-  Pool.submit ?deadline_ms ~on_complete t.pool (fun () ->
-      Engine.execute ~domains:t.config.analysis_domains t.cache request)
+  let run () =
+    Engine.execute ~domains:t.config.analysis_domains ~sessions:t.sessions t.cache request
+  in
+  (deadline_ms, affinity, on_complete, run)
+
+let submit ?on_response t (request : Protocol.request) =
+  let deadline_ms, affinity, on_complete, run = submission_parts ?on_response t request in
+  Pool.submit ?deadline_ms ?affinity ~on_complete t.pool run
+
+(* Non-blocking variant for the socket transport: [None] means the pool
+   refused admission and the caller must answer [overloaded]. *)
+let try_submit ?on_response t (request : Protocol.request) =
+  let deadline_ms, affinity, on_complete, run = submission_parts ?on_response t request in
+  let ticket = Pool.try_submit ?deadline_ms ?affinity ~on_complete t.pool run in
+  if Option.is_none ticket then Option.iter (Session.release t.sessions) affinity;
+  ticket
 
 let record_invalid t = Metrics.record t.metrics ~kind:"invalid" ~outcome:`Error ~elapsed_ms:0.0
 
@@ -126,7 +179,7 @@ let serve ?config ic oc =
   in
   let rec loop () =
     match input_line ic with
-    | exception End_of_file -> Pool.shutdown t.pool
+    | exception End_of_file -> ()
     | "" -> loop ()
     | line -> (
       match Protocol.request_of_line line with
@@ -149,7 +202,7 @@ let serve ?config ic oc =
           loop () ) )
   in
   loop ();
-  Pool.shutdown t.pool;
+  drain t;
   t
 
 (* ---------- batch execution ---------- *)
@@ -188,7 +241,7 @@ let run_batch ?config lines =
           response_of_outcome ~id:request.Protocol.id (Pool.await ticket))
       pending
   in
-  Pool.shutdown t.pool;
+  drain t;
   (t, responses)
 
 let run_batch_file ?config path =

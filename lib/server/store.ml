@@ -1,0 +1,161 @@
+(* Persistent, append-only backing for the digest-keyed result memo.
+
+   One record per line: {"k":"<memo key>","v":<payload>}.  The file is
+   loaded into a hashtable on open (later records supersede earlier
+   ones, so re-writing a key is just another append), every append is
+   flushed and fsync'd before [add] returns, and the file is compacted —
+   rewritten with only the live records, via a tmp file + atomic rename
+   — when superseded records outnumber live ones.  A torn final line
+   from a crash mid-append is skipped on load and trimmed away by the
+   next compaction.
+
+   Memo payloads are deterministic (bit-identical at every worker/domain
+   count) and keyed by the circuit's content digest plus every parameter
+   that influences them, so a record written by one server process is
+   valid verbatim in any other: a restarted or second instance pointed
+   at the same path answers previously-computed requests as warm cache
+   hits without re-running the analysis.
+
+   All operations are mutex-guarded; counters are atomic so the [stats]
+   request can read them from other domains. *)
+
+type t = {
+  path : string;
+  mutable fd : Unix.file_descr;
+  table : (string, Json.t) Hashtbl.t;
+  mutex : Mutex.t;
+  fsync : bool;
+  mutable dead : int; (* superseded records physically in the file *)
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  appends : int Atomic.t;
+  compactions : int Atomic.t;
+  loaded : int Atomic.t; (* live records recovered at open *)
+  skipped : int Atomic.t; (* malformed lines ignored at open *)
+}
+
+let record_line key value =
+  Json.to_string (Json.Obj [ ("k", Json.Str key); ("v", value) ]) ^ "\n"
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+let decode_record line =
+  match Json.of_string_opt line with
+  | Some (Json.Obj _ as obj) -> (
+    match (Json.member "k" obj, Json.member "v" obj) with
+    | Some (Json.Str k), Some v -> Some (k, v)
+    | _ -> None )
+  | _ -> None
+
+let load_file t =
+  if Sys.file_exists t.path then begin
+    let ic = open_in t.path in
+    ( try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then
+            match decode_record line with
+            | Some (k, v) ->
+              if Hashtbl.mem t.table k then t.dead <- t.dead + 1;
+              Hashtbl.replace t.table k v
+            | None -> Atomic.incr t.skipped
+        done
+      with End_of_file -> () );
+    close_in ic
+  end
+
+let sync t = if t.fsync then Unix.fsync t.fd
+
+(* Rewrite the file with only the live records.  Crash-safe: the new
+   image is written and fsync'd to a tmp file first, then renamed over
+   the original (atomic on POSIX). *)
+let compact_locked t =
+  let tmp = t.path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let buf = Buffer.create 4096 in
+  Hashtbl.iter (fun k v -> Buffer.add_string buf (record_line k v)) t.table;
+  write_all fd (Buffer.contents buf);
+  if t.fsync then Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp t.path;
+  Unix.close t.fd;
+  t.fd <- Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644;
+  t.dead <- 0;
+  Atomic.incr t.compactions
+
+let needs_compaction t = t.dead > Hashtbl.length t.table && t.dead > 16
+
+let open_ ?(fsync = true) path =
+  let t =
+    { path; fd = Unix.stdout (* replaced below *); table = Hashtbl.create 256;
+      mutex = Mutex.create (); fsync; dead = 0;
+      hits = Atomic.make 0; misses = Atomic.make 0; appends = Atomic.make 0;
+      compactions = Atomic.make 0; loaded = Atomic.make 0; skipped = Atomic.make 0 }
+  in
+  load_file t;
+  Atomic.set t.loaded (Hashtbl.length t.table);
+  t.fd <- Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+  if needs_compaction t then compact_locked t;
+  t
+
+let find t key =
+  Mutex.lock t.mutex;
+  let v = Hashtbl.find_opt t.table key in
+  Mutex.unlock t.mutex;
+  (match v with Some _ -> Atomic.incr t.hits | None -> Atomic.incr t.misses);
+  v
+
+let add t key value =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some _ ->
+        (* deterministic payloads: a re-store of a known key carries the
+           same bytes, so skip the redundant append *)
+        ()
+      | None ->
+        Hashtbl.replace t.table key value;
+        write_all t.fd (record_line key value);
+        sync t;
+        Atomic.incr t.appends;
+        if needs_compaction t then compact_locked t)
+
+let flush t =
+  Mutex.lock t.mutex;
+  (try sync t with Unix.Unix_error _ -> ());
+  Mutex.unlock t.mutex
+
+let close t =
+  Mutex.lock t.mutex;
+  (try sync t with Unix.Unix_error _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mutex;
+  n
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+let appends t = Atomic.get t.appends
+let loaded t = Atomic.get t.loaded
+let path t = t.path
+
+let stats_json t =
+  Json.Obj
+    [ ("path", Json.string t.path); ("entries", Json.int (length t));
+      ("loaded", Json.int (Atomic.get t.loaded)); ("hits", Json.int (Atomic.get t.hits));
+      ("misses", Json.int (Atomic.get t.misses));
+      ("appends", Json.int (Atomic.get t.appends));
+      ("compactions", Json.int (Atomic.get t.compactions));
+      ("skipped_records", Json.int (Atomic.get t.skipped)) ]

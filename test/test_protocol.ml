@@ -85,6 +85,27 @@ let all_requests : Protocol.request list =
         Size
           { circuit = "s5378"; quantile = 0.95; target = Some 12.0; max_moves = 200;
             candidates = 4; sizes = 6; ratio = 2.0; initial = Protocol.Largest; check = true } };
+    { id = "o1"; deadline_ms = None;
+      kind = Session_open { session = "eco"; circuit = "s5378"; sizes = 4; ratio = 1.5 } };
+    { id = "o2"; deadline_ms = Some 250.0;
+      kind = Session_open { session = "big"; circuit = "bench/x.bench"; sizes = 6; ratio = 2.0 } };
+    { id = "mu1"; deadline_ms = None;
+      kind = Session_mutate { session = "eco"; mutation = Resize { net = "g12"; size = 2 } } };
+    { id = "mu2"; deadline_ms = None;
+      kind =
+        Session_mutate
+          { session = "eco"; mutation = Retype { net = "g7"; gate = Spsta_logic.Gate_kind.Nor } } };
+    { id = "mu3"; deadline_ms = None;
+      kind =
+        Session_mutate
+          { session = "eco";
+            mutation =
+              Set_input
+                { net = "pi4"; mu_rise = 0.5; sigma_rise = 0.25; mu_fall = 0.0;
+                  sigma_fall = 1.0 } } };
+    { id = "q1"; deadline_ms = None; kind = Session_query { session = "eco"; top = 5 } };
+    { id = "v1"; deadline_ms = None; kind = Session_verify { session = "eco" } };
+    { id = "c1"; deadline_ms = None; kind = Session_close { session = "eco" } };
     { id = "st"; deadline_ms = None; kind = Stats };
     { id = "sd"; deadline_ms = None; kind = Shutdown } ]
 
@@ -130,6 +151,27 @@ let test_size_defaults () =
     Alcotest.(check bool) "check defaults off" false p.Protocol.check
   | Ok _ -> Alcotest.fail "wrong kind"
 
+let test_session_defaults () =
+  ( match Protocol.request_of_line "{\"id\":\"x\",\"kind\":\"open\",\"session\":\"s\",\"circuit\":\"s27\"}" with
+  | Error e -> Alcotest.fail e.Protocol.message
+  | Ok { kind = Session_open p; _ } ->
+    Alcotest.(check int) "default sizes" 4 p.Protocol.sizes;
+    Alcotest.(check (float 0.0)) "default ratio" 1.5 p.Protocol.ratio
+  | Ok _ -> Alcotest.fail "wrong kind" );
+  ( match
+      Protocol.request_of_line
+        "{\"id\":\"x\",\"kind\":\"mutate\",\"session\":\"s\",\"op\":\"set_input\",\"net\":\"pi\"}"
+    with
+  | Error e -> Alcotest.fail e.Protocol.message
+  | Ok { kind = Session_mutate { mutation = Set_input { mu_rise; sigma_fall; _ }; _ }; _ } ->
+    Alcotest.(check (float 0.0)) "default mu" 0.0 mu_rise;
+    Alcotest.(check (float 0.0)) "default sigma" 1.0 sigma_fall
+  | Ok _ -> Alcotest.fail "wrong kind" );
+  match Protocol.request_of_line "{\"id\":\"x\",\"kind\":\"query\",\"session\":\"s\"}" with
+  | Error e -> Alcotest.fail e.Protocol.message
+  | Ok { kind = Session_query { top; _ }; _ } -> Alcotest.(check int) "default top" 0 top
+  | Ok _ -> Alcotest.fail "wrong kind"
+
 (* ---------- response round trips ---------- *)
 
 let all_responses : Protocol.response list =
@@ -157,7 +199,9 @@ let test_error_code_names () =
         (Option.get (Protocol.error_code_of_name (Protocol.error_code_name c))))
     [ Protocol.Bad_json; Protocol.Unknown_kind; Protocol.Missing_field; Protocol.Bad_field;
       Protocol.Circuit_not_found; Protocol.Parse_failure; Protocol.Timeout;
-      Protocol.Overloaded; Protocol.Internal ]
+      Protocol.Overloaded; Protocol.Frame_too_large; Protocol.Invalid_utf8;
+      Protocol.Unknown_session; Protocol.Session_exists; Protocol.Session_limit;
+      Protocol.Internal ]
 
 (* ---------- malformed requests ---------- *)
 
@@ -196,7 +240,14 @@ let test_reject_bad_field () =
       "{\"id\":\"x\",\"kind\":\"size\",\"circuit\":\"s27\",\"ratio\":1.0}";
       "{\"id\":\"x\",\"kind\":\"size\",\"circuit\":\"s27\",\"initial\":\"medium\"}";
       "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":-1}";
-      "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":\"soon\"}" ]
+      "{\"id\":\"x\",\"kind\":\"stats\",\"deadline_ms\":\"soon\"}";
+      "{\"id\":\"x\",\"kind\":\"open\",\"session\":\"\",\"circuit\":\"s27\"}";
+      "{\"id\":\"x\",\"kind\":\"open\",\"session\":\"s\",\"circuit\":\"s27\",\"sizes\":0}";
+      "{\"id\":\"x\",\"kind\":\"open\",\"session\":\"s\",\"circuit\":\"s27\",\"ratio\":1.0}";
+      "{\"id\":\"x\",\"kind\":\"mutate\",\"session\":\"s\",\"op\":\"resize\",\"net\":\"g\",\"size\":-1}";
+      "{\"id\":\"x\",\"kind\":\"mutate\",\"session\":\"s\",\"op\":\"retype\",\"net\":\"g\",\"gate\":\"FROB\"}";
+      "{\"id\":\"x\",\"kind\":\"mutate\",\"session\":\"s\",\"op\":\"set_input\",\"net\":\"g\",\"sigma_rise\":-0.5}";
+      "{\"id\":\"x\",\"kind\":\"mutate\",\"session\":\"s\",\"op\":\"transmogrify\",\"net\":\"g\"}" ]
   in
   List.iter
     (fun line ->
@@ -213,6 +264,7 @@ let suite =
     Alcotest.test_case "request round trip" `Quick test_request_round_trip;
     Alcotest.test_case "request defaults" `Quick test_request_defaults;
     Alcotest.test_case "size request defaults" `Quick test_size_defaults;
+    Alcotest.test_case "session request defaults" `Quick test_session_defaults;
     Alcotest.test_case "response round trip" `Quick test_response_round_trip;
     Alcotest.test_case "error code names" `Quick test_error_code_names;
     Alcotest.test_case "reject bad json" `Quick test_reject_bad_json;
