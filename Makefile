@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench serve-smoke session-smoke bench-json lint check-smoke size-smoke scale-smoke
+.PHONY: all build test bench examples clean doc quickbench serve-smoke session-smoke bench-json bench-compare lint check-smoke size-smoke scale-smoke
 
 all: build
 
@@ -25,6 +25,18 @@ quickbench:
 # machine-readable timings -> BENCH_spsta.json (see doc/perf.md)
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_spsta.json
+
+# tracked regression gate: re-time the tracked suite (s344, s1238,
+# c100k), append a per-commit record to the append-only history file,
+# and fail on wall-time regressions against the committed baseline
+# document (see doc/perf.md for the workflow).  The default threshold
+# is 15%; the gate runs at 25% because shared runners show sustained
+# ~1.2x scheduler drift on perfectly stable entries — real kernel
+# regressions land well beyond that
+bench-compare:
+	SPSTA_BENCH_CIRCUITS=s344,s1238 SPSTA_BENCH_RUNS=500 SPSTA_BENCH_SCALE=c100k \
+	dune exec bench/main.exe -- --json BENCH_current.json \
+	  --history bench_history.jsonl --compare BENCH_spsta.json --threshold 0.25
 
 examples:
 	dune exec examples/quickstart.exe

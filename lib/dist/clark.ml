@@ -1,62 +1,82 @@
 type moments = { mean : float; variance : float }
 
+type mv = {
+  mutable mv_mean : float;
+  mutable mv_var : float;
+  mutable mv_mean2 : float;
+  mutable mv_var2 : float;
+  mutable mv_cov : float;
+}
+
+let mv_create () = { mv_mean = 0.0; mv_var = 0.0; mv_mean2 = 0.0; mv_var2 = 0.0; mv_cov = 0.0 }
+
 (* theta^2 = var1 + var2 - 2 cov is the variance of (t1 - t2); when it
    vanishes the two arrivals differ by a constant and the MAX is exactly
    the one with the larger mean. *)
-let theta ~cov (a : Normal.t) (b : Normal.t) =
-  let v = Normal.variance a +. Normal.variance b -. (2.0 *. cov) in
-  sqrt (Float.max v 0.0)
+let theta_v ~cov v1 v2 = sqrt (Float.max (v1 +. v2 -. (2.0 *. cov)) 0.0)
+let theta ~cov (a : Normal.t) (b : Normal.t) = theta_v ~cov (Normal.variance a) (Normal.variance b)
 
 let tightness ?(cov = 0.0) (a : Normal.t) (b : Normal.t) =
   let th = theta ~cov a b in
   if th <= 0.0 then if Normal.mean a >= Normal.mean b then 1.0 else 0.0
   else Spsta_util.Special.normal_cdf ((Normal.mean a -. Normal.mean b) /. th)
 
-let max_moments ?(cov = 0.0) (a : Normal.t) (b : Normal.t) =
-  let th = theta ~cov a b in
-  if th <= 0.0 then
-    if Normal.mean a >= Normal.mean b then
-      { mean = Normal.mean a; variance = Normal.variance a }
-    else { mean = Normal.mean b; variance = Normal.variance b }
+(* The one Clark formula, at float level: both operands, the covariance
+   and the result travel through a caller-owned all-float buffer, so the
+   flat engine's folds cross this module boundary without boxing a single
+   float (pointer + immediate bool only) and without allocating.
+
+   MIN(t1, t2) = -MAX(-t1, -t2), with the negations folded into the
+   arithmetic under [neg] instead of allocating mirrored operands:
+   negation is exact in IEEE arithmetic, so every intermediate carries
+   the same bits as the negate-then-MAX formulation. *)
+let clark_mv (b : mv) ~min:neg =
+  let va = b.mv_var and vb = b.mv_var2 in
+  let th = theta_v ~cov:b.mv_cov va vb in
+  let mu1 = if neg then -.b.mv_mean else b.mv_mean in
+  let mu2 = if neg then -.b.mv_mean2 else b.mv_mean2 in
+  if th <= 0.0 then begin
+    if mu1 >= mu2 then ()
+    else begin
+      b.mv_mean <- (if neg then -.mu2 else mu2);
+      b.mv_var <- vb
+    end
+  end
   else begin
-    let mu1 = Normal.mean a and mu2 = Normal.mean b in
     let lambda = (mu1 -. mu2) /. th in
     let p = Spsta_util.Special.normal_pdf lambda in
     let q = Spsta_util.Special.normal_cdf lambda in
     let mean = (mu1 *. q) +. (mu2 *. (1.0 -. q)) +. (th *. p) in
     let second =
-      (((mu1 *. mu1) +. Normal.variance a) *. q)
-      +. (((mu2 *. mu2) +. Normal.variance b) *. (1.0 -. q))
+      (((mu1 *. mu1) +. va) *. q)
+      +. (((mu2 *. mu2) +. vb) *. (1.0 -. q))
       +. ((mu1 +. mu2) *. th *. p)
     in
-    { mean; variance = Float.max (second -. (mean *. mean)) 0.0 }
+    b.mv_mean <- (if neg then -.mean else mean);
+    b.mv_var <- Float.max (second -. (mean *. mean)) 0.0
   end
 
-(* MIN(t1, t2) = -MAX(-t1, -t2), with the negations folded into the
-   float arithmetic instead of allocating two mirrored [Normal.t]s per
-   call: on a million-gate sweep the MIN chain runs once per AND/OR
-   input pair and the throwaway records were measurable.  Negation is
-   exact in IEEE arithmetic, so every intermediate here carries the same
-   bits as the negate-then-[max_moments] formulation. *)
-let min_moments ?(cov = 0.0) (a : Normal.t) (b : Normal.t) =
-  let th = theta ~cov a b in
-  let mu1 = -.Normal.mean a
-  and mu2 = -.Normal.mean b in
-  if th <= 0.0 then
-    if mu1 >= mu2 then { mean = -.mu1; variance = Normal.variance a }
-    else { mean = -.mu2; variance = Normal.variance b }
-  else begin
-    let lambda = (mu1 -. mu2) /. th in
-    let p = Spsta_util.Special.normal_pdf lambda in
-    let q = Spsta_util.Special.normal_cdf lambda in
-    let mean = (mu1 *. q) +. (mu2 *. (1.0 -. q)) +. (th *. p) in
-    let second =
-      (((mu1 *. mu1) +. Normal.variance a) *. q)
-      +. (((mu2 *. mu2) +. Normal.variance b) *. (1.0 -. q))
-      +. ((mu1 +. mu2) *. th *. p)
-    in
-    { mean = -.mean; variance = Float.max (second -. (mean *. mean)) 0.0 }
-  end
+let max_mv b = clark_mv b ~min:false
+let min_mv b = clark_mv b ~min:true
+
+(* The record API is re-expressed through the float core so there is
+   exactly one formula; the per-call buffer is cheap here because these
+   entry points already allocate their result. *)
+let moments_via ~min ~cov (a : Normal.t) (b : Normal.t) =
+  let buf =
+    {
+      mv_mean = Normal.mean a;
+      mv_var = Normal.variance a;
+      mv_mean2 = Normal.mean b;
+      mv_var2 = Normal.variance b;
+      mv_cov = cov;
+    }
+  in
+  clark_mv buf ~min;
+  { mean = buf.mv_mean; variance = buf.mv_var }
+
+let max_moments ?(cov = 0.0) a b = moments_via ~min:false ~cov a b
+let min_moments ?(cov = 0.0) a b = moments_via ~min:true ~cov a b
 
 let to_normal (m : moments) = Normal.make ~mu:m.mean ~sigma:(sqrt m.variance)
 

@@ -7,6 +7,31 @@
 
 type moments = { mean : float; variance : float }
 
+type mv = {
+  mutable mv_mean : float;  (** operand 1 mean in, result mean out *)
+  mutable mv_var : float;  (** operand 1 variance in, result variance out *)
+  mutable mv_mean2 : float;  (** operand 2 mean *)
+  mutable mv_var2 : float;  (** operand 2 variance *)
+  mutable mv_cov : float;  (** covariance of the operands *)
+}
+(** Caller-owned operand/result buffer for the float-level entry points.
+    All fields are floats, so the record is flat: reads, writes and the
+    call itself never box or allocate — the representation the
+    allocation-free flat engine folds through.  Reuse one buffer per
+    fold; the accumulator lives in the first operand slot. *)
+
+val mv_create : unit -> mv
+(** A zeroed buffer. *)
+
+val max_mv : mv -> unit
+(** Clark MAX of the two operands in the buffer, written back into the
+    operand-1 slots.  Bit-identical to {!max_moments} on the same values:
+    both run the single underlying formula. *)
+
+val min_mv : mv -> unit
+(** MIN(t1, t2) = -MAX(-t1, -t2), negations folded into the arithmetic
+    (exact in IEEE); bit-identical to {!min_moments}. *)
+
 val max_moments : ?cov:float -> Normal.t -> Normal.t -> moments
 (** First two moments of MAX(t1, t2); [cov] defaults to 0 (independent). *)
 

@@ -46,18 +46,20 @@ module Sanitize = struct
 
   let resolve = function Some enabled -> enabled | None -> enabled_by_env ()
 
+  let fail ~circuit id ~rule ~message =
+    raise
+      (Violation
+         { circuit = Circuit.name circuit;
+           net = Circuit.net_name circuit id;
+           driver = driver_label circuit id;
+           level = Circuit.level circuit id;
+           rule;
+           message })
+
   let checked circuit check id state =
     match check circuit id state with
     | None -> state
-    | Some (rule, message) ->
-      raise
-        (Violation
-           { circuit = Circuit.name circuit;
-             net = Circuit.net_name circuit id;
-             driver = driver_label circuit id;
-             level = Circuit.level circuit id;
-             rule;
-             message })
+    | Some (rule, message) -> fail ~circuit id ~rule ~message
 
   let wrap (type s) ~circuit ~(check : s check) (module D : DOMAIN with type state = s) :
       (module DOMAIN with type state = s) =
@@ -69,16 +71,91 @@ module Sanitize = struct
     end)
 end
 
+(* Mark the union of fanout cones of the changed nets — through
+   combinational edges only.  A flip-flop's Q net is a *source* of
+   the levelized timing graph: its seed does not read the D arrival,
+   so crossing the D -> Q structural edge would re-derive bit-identical
+   values while flooding the dirty set through every register (on the
+   sequential ISCAS circuits a critical gate's structural cone is the
+   whole netlist; its combinational cone is a few percent).  Callers
+   whose *seed* changed — a Q net after a sequential iteration, a
+   source with new input statistics — name that net in [changed] and it
+   is marked as a root here.
+
+   Shared by the record engine's {!Make.update} and the flat kernels in
+   {!Flat}: one marking pass, one set of register-boundary semantics. *)
+let dirty_cone circuit ~changed =
+  let n = Circuit.num_nets circuit in
+  (* a byte per net, not a word: initialising the mark store is part of
+     every update's fixed cost, and at 100k+ nets the word-array
+     [Array.make n false] was the single largest term for small cones *)
+  let dirty = Bytes.make n '\000' in
+  (* collect the dirty *gates* while marking: re-evaluation then costs
+     O(cone log cone), not the O(circuit) floor of scanning every gate
+     in topo order for its dirty bit — at a million gates that scan
+     ate the entire incremental win *)
+  let cone = ref [] in
+  let rec mark id =
+    if Bytes.get dirty id = '\000' then begin
+      Bytes.set dirty id '\001';
+      (match Circuit.driver circuit id with
+      | Circuit.Gate _ -> cone := id :: !cone
+      | Circuit.Input | Circuit.Dff_output _ -> ());
+      Array.iter
+        (fun out ->
+          match Circuit.driver circuit out with
+          | Circuit.Dff_output _ -> ()
+          | Circuit.Gate _ | Circuit.Input -> mark out)
+        (Circuit.fanout circuit id)
+    end
+  in
+  List.iter mark changed;
+  let cone = Array.of_list !cone in
+  (* sequential evaluation order, restricted to the cone: sorting on
+     the topo position replays exactly the full sweep's order *)
+  Array.sort
+    (fun a b -> compare (Circuit.topo_position circuit a) (Circuit.topo_position circuit b))
+    cone;
+  cone
+
 module Make (D : DOMAIN) = struct
+  (* Reusable operand buffers, one per fan-in arity, replacing the
+     fresh [Array.map] allocation [step] used to pay per gate: on a
+     million-gate sweep those throwaway arrays were a measurable slice
+     of the minor-heap churn that serializes parallel domains on GC.
+     One scratch per worker — never shared across domains. *)
+  type scratch = D.state array array ref
+
+  let scratch_create () : scratch = ref [||]
+
+  let operand_buf (scratch : scratch) n init =
+    let tbl =
+      if Array.length !scratch <= n then begin
+        let t = Array.make (n + 1) [||] in
+        Array.blit !scratch 0 t 0 (Array.length !scratch);
+        scratch := t;
+        t
+      end
+      else !scratch
+    in
+    if Array.length tbl.(n) <> n then tbl.(n) <- Array.make n init;
+    tbl.(n)
+
   (* One gate of the propagation, reading operands from [per_net] and
      writing its own slot.  Gates within one level never read each
      other, so a whole level can run this step concurrently; [D.eval]
-     is pure, which makes the parallel schedule bit-identical to the
-     sequential one. *)
-  let step circuit per_net g =
+     is pure and must not retain the operand buffer, which makes the
+     parallel schedule bit-identical to the sequential one. *)
+  let step circuit per_net scratch g =
     match Circuit.driver circuit g with
     | Circuit.Gate { inputs; _ } as driver ->
-      per_net.(g) <- D.eval circuit g driver (Array.map (fun i -> per_net.(i)) inputs)
+      let n = Array.length inputs in
+      (* finalize rejects zero-arity gates, so [inputs.(0)] exists *)
+      let ops = operand_buf scratch n per_net.(inputs.(0)) in
+      for j = 0 to n - 1 do
+        ops.(j) <- per_net.(inputs.(j))
+      done;
+      per_net.(g) <- D.eval circuit g driver ops
     | Circuit.Input | Circuit.Dff_output _ -> assert false
 
   (* Narrow levels aren't worth a barrier; the cutoff only affects
@@ -95,14 +172,17 @@ module Make (D : DOMAIN) = struct
     let chunks = min width (max domains (min (4 * domains) (width / 8))) in
     let bounds = Parallel.ranges ~chunks width in
     Parallel.run_chunks ~domains ~chunks:(Array.length bounds) (fun k ->
+        (* per-chunk scratch: chunks of one level run concurrently *)
+        let scratch = scratch_create () in
         let lo, hi = bounds.(k) in
         for i = lo to hi - 1 do
-          step circuit per_net gates.(i)
+          step circuit per_net scratch gates.(i)
         done)
 
   let sweep_levels ~domains ~instrument circuit per_net =
     let by_level = Circuit.gates_by_level circuit in
     let cutoff = wide_cutoff domains in
+    let scratch = scratch_create () in
     match instrument with
     | Some f ->
       (* instrumented path: exact per-level stats, no fusion *)
@@ -110,7 +190,7 @@ module Make (D : DOMAIN) = struct
         (fun gates ->
           let width = Array.length gates in
           let start = Unix.gettimeofday () in
-          if domains = 1 || width < cutoff then Array.iter (step circuit per_net) gates
+          if domains = 1 || width < cutoff then Array.iter (step circuit per_net scratch) gates
           else par_level ~domains circuit per_net gates;
           f
             { level = Circuit.level circuit gates.(0);
@@ -132,12 +212,12 @@ module Make (D : DOMAIN) = struct
           incr i
         end
         else begin
-          Array.iter (step circuit per_net) gates;
+          Array.iter (step circuit per_net scratch) gates;
           incr i;
           while
             !i < nlev && (domains = 1 || Array.length by_level.(!i) < cutoff)
           do
-            Array.iter (step circuit per_net) by_level.(!i);
+            Array.iter (step circuit per_net scratch) by_level.(!i);
             incr i
           done
         end
@@ -159,56 +239,16 @@ module Make (D : DOMAIN) = struct
          (seeded below) or a gate (written before it is ever read) *)
       let per_net = Array.make n (D.source s0) in
       List.iter (fun s -> per_net.(s) <- D.source s) sources;
-      if domains = 1 && Option.is_none instrument then
-        Array.iter (step circuit per_net) (Circuit.topo_gates circuit)
+      if domains = 1 && Option.is_none instrument then begin
+        let scratch = scratch_create () in
+        Array.iter (step circuit per_net scratch) (Circuit.topo_gates circuit)
+      end
       else sweep_levels ~domains ~instrument circuit per_net;
       { circuit; per_net }
 
   let update r ~changed =
     let circuit = r.circuit in
-    let n = Circuit.num_nets circuit in
-    (* Mark the union of fanout cones of the changed nets — through
-       combinational edges only.  A flip-flop's Q net is a *source* of
-       the levelized timing graph: its seed is [D.source q], which does
-       not read the D arrival, so crossing the D -> Q structural edge
-       would re-derive bit-identical values while flooding the dirty
-       set through every register (on the sequential ISCAS circuits a
-       critical gate's structural cone is the whole netlist; its
-       combinational cone is a few percent).  Callers whose *seed*
-       changed — a Q net after a sequential iteration, a source with
-       new input statistics — name that net in [changed] and it is
-       marked as a root here. *)
-    (* a byte per net, not a word: initialising the mark store is part of
-       every update's fixed cost, and at 100k+ nets the word-array
-       [Array.make n false] was the single largest term for small cones *)
-    let dirty = Bytes.make n '\000' in
-    (* collect the dirty *gates* while marking: re-evaluation then costs
-       O(cone log cone), not the O(circuit) floor of scanning every gate
-       in topo order for its dirty bit — at a million gates that scan
-       ate the entire incremental win *)
-    let cone = ref [] in
-    let rec mark id =
-      if Bytes.get dirty id = '\000' then begin
-        Bytes.set dirty id '\001';
-        (match Circuit.driver circuit id with
-        | Circuit.Gate _ -> cone := id :: !cone
-        | Circuit.Input | Circuit.Dff_output _ -> ());
-        Array.iter
-          (fun out ->
-            match Circuit.driver circuit out with
-            | Circuit.Dff_output _ -> ()
-            | Circuit.Gate _ | Circuit.Input -> mark out)
-          (Circuit.fanout circuit id)
-      end
-    in
-    List.iter mark changed;
-    let cone = Array.of_list !cone in
-    (* sequential evaluation order, restricted to the cone: sorting on
-       the topo position replays exactly the full sweep's order *)
-    Array.sort
-      (fun a b ->
-        compare (Circuit.topo_position circuit a) (Circuit.topo_position circuit b))
-      cone;
+    let cone = dirty_cone circuit ~changed in
     let per_net = Array.copy r.per_net in
     (* refresh changed sources (their seed is what changed); marking
        itself never reaches a source — fanout targets are always gates
@@ -220,6 +260,7 @@ module Make (D : DOMAIN) = struct
         | Circuit.Input | Circuit.Dff_output _ -> per_net.(id) <- D.source id
         | Circuit.Gate _ -> ())
       changed;
-    Array.iter (step circuit per_net) cone;
+    let scratch = scratch_create () in
+    Array.iter (step circuit per_net scratch) cone;
     { circuit; per_net }
 end

@@ -52,8 +52,20 @@ module type DOMAIN = sig
       of the driver's [inputs.(i)]).  Must be a pure function of its
       arguments: the engine evaluates a whole logic level concurrently,
       and purity is what makes the parallel schedule bit-identical to
-      the sequential one. *)
+      the sequential one.  The [operands] array is a per-worker scratch
+      buffer the engine refills for every gate — read it eagerly during
+      the call and never retain it. *)
 end
+
+val dirty_cone :
+  Spsta_netlist.Circuit.t -> changed:Spsta_netlist.Circuit.id list -> Spsta_netlist.Circuit.id array
+(** The union of the combinational fanout cones of [changed]: every
+    gate-driven net reachable from a changed net without crossing a
+    register boundary (a flip-flop Q net is a timing source — its seed
+    does not read the D arrival), sorted by topological position so
+    replaying the array reproduces exactly the sequential sweep's
+    evaluation order.  O(cone log cone).  The marking pass behind both
+    {!Make.update} and the flat kernels' updates ({!Flat}). *)
 
 (** Engine-wired invariant sanitizer: wrap any {!DOMAIN} so that every
     state the engine produces — each source seed and each gate output —
@@ -91,6 +103,13 @@ module Sanitize : sig
   val resolve : bool option -> bool
   (** Resolve an analyzer's [?check] argument: the explicit value when
       given, otherwise {!enabled_by_env}. *)
+
+  val fail :
+    circuit:Spsta_netlist.Circuit.t -> Spsta_netlist.Circuit.id -> rule:string -> message:string -> 'a
+  (** Raise {!Violation} located at the given net (name, driver kind and
+      level are read off the circuit).  For checkers that verify states
+      outside a wrapped {!DOMAIN} — the flat kernels check float slots
+      directly and report violations through this. *)
 
   val wrap :
     circuit:Spsta_netlist.Circuit.t ->

@@ -38,14 +38,16 @@ let check_prob_sum ~what components =
     ranges @ [ issue "probability-sum" "%s sums to %.17g, expected 1" what sum ]
   else ranges
 
-let check_normal ~what (n : Normal.t) =
-  check_finite ~what:(what ^ " mean") (Normal.mean n)
+let check_normal_parts ~what ~mean ~sigma =
+  check_finite ~what:(what ^ " mean") mean
   @
-  let sigma = Normal.stddev n in
   if not (finite sigma) then [ issue "non-finite" "%s sigma is %h" what sigma ]
   else if sigma < 0.0 then
     [ issue "negative-sigma" "%s sigma is negative (%.17g)" what sigma ]
   else []
+
+let check_normal ~what (n : Normal.t) =
+  check_normal_parts ~what ~mean:(Normal.mean n) ~sigma:(Normal.stddev n)
 
 let check_interval ~what (lo, hi) =
   check_finite ~what:(what ^ " lower bound") lo

@@ -41,8 +41,13 @@ val check_prob_sum : what:string -> (string * float) list -> issue list
 (** Each named component a probability, and the sum within
     {!prob_tolerance} of 1 (["probability-sum"]). *)
 
+val check_normal_parts : what:string -> mean:float -> sigma:float -> issue list
+(** Finite mean; finite, non-negative sigma (["negative-sigma"]).  The
+    float-level form checked against the flat engine's slots without
+    materializing a record; {!check_normal} is expressed through it. *)
+
 val check_normal : what:string -> Spsta_dist.Normal.t -> issue list
-(** Finite mean; finite, non-negative sigma (["negative-sigma"]). *)
+(** {!check_normal_parts} of the distribution's moments. *)
 
 val check_interval : what:string -> float * float -> issue list
 (** Finite, ordered [(lo, hi)] bounds (["inverted-interval"]). *)

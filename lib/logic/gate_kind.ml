@@ -26,6 +26,29 @@ let of_string s =
   | "BUF" | "BUFF" -> Some Buf
   | _ -> None
 
+(* Stable dense codes (the [all] order) for kernels that store gate
+   kinds in flat int arrays; the inverse is total over 0..7. *)
+let to_code = function
+  | And -> 0
+  | Nand -> 1
+  | Or -> 2
+  | Nor -> 3
+  | Xor -> 4
+  | Xnor -> 5
+  | Not -> 6
+  | Buf -> 7
+
+let of_code = function
+  | 0 -> And
+  | 1 -> Nand
+  | 2 -> Or
+  | 3 -> Nor
+  | 4 -> Xor
+  | 5 -> Xnor
+  | 6 -> Not
+  | 7 -> Buf
+  | c -> invalid_arg (Printf.sprintf "Gate_kind.of_code: %d outside 0..7" c)
+
 let min_arity = function
   | Not | Buf -> 1
   | And | Nand | Or | Nor | Xor | Xnor -> 2

@@ -12,6 +12,13 @@ val to_string : t -> string
 val of_string : string -> t option
 (** Case-insensitive; accepts the "BUFF" spelling used by some benchmarks. *)
 
+val to_code : t -> int
+(** Stable dense code in [0..7] (the {!all} order) — the representation
+    flat struct-of-arrays kernels store per gate. *)
+
+val of_code : int -> t
+(** Inverse of {!to_code}.  Raises [Invalid_argument] outside [0..7]. *)
+
 val min_arity : t -> int
 val max_arity : t -> int option
 (** [None] = unbounded (AND/OR families accept any fan-in >= 1). *)

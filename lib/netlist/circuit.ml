@@ -9,6 +9,22 @@ exception Invalid_circuit of string
 
 let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_circuit s)) fmt
 
+(* Flat struct-of-arrays view of the gates for kernels whose inner loop
+   must not chase [driver] record pointers: gate [k] (in topological
+   order, the [topo] order) drives net [gate_net.(k)], computes kind
+   [Spsta_logic.Gate_kind.of_code kind_code.(k)] and reads operand nets
+   [fanin.(fanin_off.(k)) .. fanin.(fanin_off.(k+1) - 1)].  [level_off]
+   cuts the gate index space into the same groups as [by_level]:
+   group [l] is gates [level_off.(l) .. level_off.(l+1) - 1]. *)
+type csr = {
+  gate_net : id array;
+  kind_code : int array;
+  fanin_off : int array; (* length num_gates + 1 *)
+  fanin : id array;
+  level_off : int array; (* length num_groups + 1 *)
+  max_fanin : int;
+}
+
 type t = {
   name : string;
   names : string array;
@@ -25,6 +41,8 @@ type t = {
   by_level : id array array; (* gate nets grouped by level, topo order within *)
   sources : id list; (* primary inputs @ flip-flop Q nets, precomputed *)
   endpoints : id list; (* primary outputs @ flip-flop D nets, deduplicated *)
+  mutable csr : csr option; (* built on first demand, kind codes kept
+                               in sync by [retype_gate] *)
 }
 
 module Builder = struct
@@ -296,6 +314,7 @@ module Builder = struct
       by_level;
       sources;
       endpoints;
+      csr = None;
     }
 end
 
@@ -333,7 +352,12 @@ let retype_gate t i kind =
            (Spsta_logic.Gate_kind.to_string kind)
            m t.names.(i) n)
     | Some _ | None -> ());
-    t.drivers.(i) <- Gate { kind; inputs }
+    t.drivers.(i) <- Gate { kind; inputs };
+    (* the cached flat view stores the kind as a code; everything else
+       in it depends only on the untouched input edges *)
+    (match t.csr with
+    | Some csr -> csr.kind_code.(t.topo_pos.(i)) <- Spsta_logic.Gate_kind.to_code kind
+    | None -> ())
   | Input | Dff_output _ -> invalid_arg "Circuit.retype_gate: net is not gate-driven"
 
 let primary_inputs t = t.primary_inputs
@@ -348,6 +372,48 @@ let endpoints t = t.endpoints
 
 let fanout t i = t.fanouts.(i)
 let topo_gates t = t.topo
+
+(* Counting pass + exact-size arrays, like the fanout map in [finalize];
+   built lazily because only the flat kernels consume it, and cached
+   because they consume it on every sweep. *)
+let build_csr t =
+  let n_gates = Array.length t.topo in
+  let gate_net = Array.copy t.topo in
+  let kind_code = Array.make n_gates 0 in
+  let fanin_off = Array.make (n_gates + 1) 0 in
+  let max_fanin = ref 0 in
+  Array.iteri
+    (fun k g ->
+      match t.drivers.(g) with
+      | Gate { kind; inputs } ->
+        kind_code.(k) <- Spsta_logic.Gate_kind.to_code kind;
+        let a = Array.length inputs in
+        if a > !max_fanin then max_fanin := a;
+        fanin_off.(k + 1) <- fanin_off.(k) + a
+      | Input | Dff_output _ -> assert false)
+    gate_net;
+  let fanin = Array.make fanin_off.(n_gates) 0 in
+  Array.iteri
+    (fun k g ->
+      match t.drivers.(g) with
+      | Gate { inputs; _ } -> Array.blit inputs 0 fanin fanin_off.(k) (Array.length inputs)
+      | Input | Dff_output _ -> assert false)
+    gate_net;
+  (* [by_level] concatenated equals [topo], so the groups are contiguous
+     gate-index ranges *)
+  let level_off = Array.make (Array.length t.by_level + 1) 0 in
+  Array.iteri
+    (fun l gates -> level_off.(l + 1) <- level_off.(l) + Array.length gates)
+    t.by_level;
+  { gate_net; kind_code; fanin_off; fanin; level_off; max_fanin = !max_fanin }
+
+let csr t =
+  match t.csr with
+  | Some c -> c
+  | None ->
+    let c = build_csr t in
+    t.csr <- Some c;
+    c
 let topo_position t i = t.topo_pos.(i)
 let gates_by_level t = t.by_level
 let level t i = t.levels.(i)

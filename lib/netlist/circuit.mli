@@ -88,6 +88,25 @@ val gates_by_level : t -> id array array
     safe concurrent evaluation.  Empty levels are omitted; concatenating
     the groups is a valid evaluation order covering every gate once. *)
 
+type csr = {
+  gate_net : id array;  (** = {!topo_gates}: gate [k] drives [gate_net.(k)] *)
+  kind_code : int array;  (** {!Spsta_logic.Gate_kind.to_code} of gate [k] *)
+  fanin_off : int array;
+      (** length [num_gates + 1]; gate [k] reads
+          [fanin.(fanin_off.(k)) .. fanin.(fanin_off.(k+1) - 1)] *)
+  fanin : id array;  (** concatenated fan-in net ids, in declaration order *)
+  level_off : int array;
+      (** length [Array.length (gates_by_level t) + 1]; group [l] of
+          {!gates_by_level} is gates [level_off.(l) .. level_off.(l+1) - 1] *)
+  max_fanin : int;
+}
+(** Flat CSR view of the combinational gates, for kernels that walk the
+    circuit as int arrays instead of chasing [driver] constructors. *)
+
+val csr : t -> csr
+(** Built once on first use and cached on the circuit; {!retype_gate}
+    keeps the cached [kind_code] in sync.  Treat as read-only. *)
+
 val level : t -> id -> int
 (** Unit-delay logic level: 0 for sources, 1 + max(input levels) for
     gates. *)

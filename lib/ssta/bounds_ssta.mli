@@ -13,7 +13,15 @@
 
     This engine works on the unit-delay timing graph in STA style (every
     source launches one transition); cdfs are tabulated on a uniform
-    grid. *)
+    grid.
+
+    Unlike {!Ssta} and {!Sta}, this analyzer has no flat
+    struct-of-arrays fast path: its per-net state is a pair of cdf
+    arrays spanning the whole time grid, whose length is chosen at
+    analyze time from [dt]/[horizon] — not a small fixed tuple of
+    floats that could live in per-moment [floatarray] slots.  It rides
+    the generic record engine ({!Spsta_engine.Propagate.Make}), where
+    array-valued states are natural. *)
 
 type band = {
   times : float array;  (** grid points, ascending *)

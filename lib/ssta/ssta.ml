@@ -1,12 +1,21 @@
 module Circuit = Spsta_netlist.Circuit
 module Propagate = Spsta_engine.Propagate
+module Flat = Spsta_engine.Flat
 module Gate_kind = Spsta_logic.Gate_kind
 module Normal = Spsta_dist.Normal
 module Clark = Spsta_dist.Clark
 
 type arrival = { rise : Normal.t; fall : Normal.t }
 
-type result = arrival Propagate.result
+(* Two interchangeable engines compute the analysis: the flat
+   struct-of-arrays kernel (default — per-net moments in float arrays,
+   allocation-free sweeps) and the original record engine over
+   [Propagate.Make].  They are bit-identical by construction (the flat
+   folds replay the record operation order exactly; the test suite
+   asserts Int64-level equality across engines and domain counts), so
+   the representation is free to follow whichever engine produced it and
+   [arrival] records materialize only at this API boundary. *)
+type result = Flat_r of Flat.Ssta.state | Boxed of arrival Propagate.result
 
 let default_input = { rise = Normal.standard; fall = Normal.standard }
 
@@ -68,71 +77,168 @@ let checked_domain ?check circuit dom =
     Propagate.Sanitize.wrap ~circuit ~check:arrival_check dom
   else dom
 
-let run ~delay_rf_of ?(input_arrival = default_input) ?input_arrival_of ?check ?domains
-    ?instrument circuit =
-  let source = source_of ~input_arrival ~input_arrival_of in
+(* --- record engine ------------------------------------------------- *)
+
+let run_record ~delay_rf_of ~source ?check ?domains ?instrument circuit =
   let module D = (val checked_domain ?check circuit (domain ~source ~delay_rf_of)) in
   let module E = Propagate.Make (D) in
-  E.run ?domains ?instrument circuit
+  Boxed (E.run ?domains ?instrument circuit)
 
-let analyze ?(gate_delay = 1.0) ?input_arrival ?input_arrival_of ?check ?domains ?instrument
-    circuit =
-  let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
-  run ~delay_rf_of:(fun _ -> (delay, delay)) ?input_arrival ?input_arrival_of ?check ?domains
-    ?instrument circuit
-
-let analyze_variational ~gate_delay ?input_arrival ?input_arrival_of ?check ?domains
-    ?instrument circuit =
-  run
-    ~delay_rf_of:(fun g ->
-      let d = gate_delay g in
-      (d, d))
-    ?input_arrival ?input_arrival_of ?check ?domains ?instrument circuit
-
-let analyze_rf ~delay_rf ?input_arrival ?input_arrival_of ?check ?domains ?instrument circuit =
-  let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
-  run
-    ~delay_rf_of:(fun g ->
-      let rise, fall = delay_rf g in
-      (to_normal rise, to_normal fall))
-    ?input_arrival ?input_arrival_of ?check ?domains ?instrument circuit
-
-let update ?(gate_delay = 1.0) ?(input_arrival = default_input) ?input_arrival_of ?check r
-    ~changed =
-  let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
-  let source = source_of ~input_arrival ~input_arrival_of in
-  let module D =
-    (val checked_domain ?check r.Propagate.circuit
-           (domain ~source ~delay_rf_of:(fun _ -> (delay, delay))))
-  in
-  let module E = Propagate.Make (D) in
-  E.update r ~changed
-
-let update_rf ~delay_rf ?(input_arrival = default_input) ?input_arrival_of ?check r ~changed =
-  let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
-  let delay_rf_of g =
-    let rise, fall = delay_rf g in
-    (to_normal rise, to_normal fall)
-  in
-  let source = source_of ~input_arrival ~input_arrival_of in
+let update_record ~delay_rf_of ~source ?check r ~changed =
   let module D = (val checked_domain ?check r.Propagate.circuit (domain ~source ~delay_rf_of)) in
   let module E = Propagate.Make (D) in
-  E.update r ~changed
+  Boxed (E.update r ~changed)
 
-let circuit_of (r : result) = r.Propagate.circuit
+(* --- flat engine --------------------------------------------------- *)
 
-let arrival (r : result) id = r.Propagate.per_net.(id)
+(* The same per-net invariants ([arrival_check]), applied to the flat
+   kernel's float slots without materializing records; the kernel
+   locates violations itself. *)
+let flat_check check =
+  if Propagate.Sanitize.resolve check then
+    Some
+      (fun rise_mu rise_sig fall_mu fall_sig ->
+        let open Spsta_lint.Invariant in
+        first
+          (check_normal_parts ~what:"rise arrival" ~mean:rise_mu ~sigma:rise_sig
+          @ check_normal_parts ~what:"fall arrival" ~mean:fall_mu ~sigma:fall_sig))
+  else None
 
-let mean_of direction a =
-  match direction with `Rise -> Normal.mean a.rise | `Fall -> Normal.mean a.fall
+let flat_source source id (b : Flat.rf_buf) =
+  let a = source id in
+  b.Flat.rise_mu <- Normal.mean a.rise;
+  b.rise_sig <- Normal.stddev a.rise;
+  b.fall_mu <- Normal.mean a.fall;
+  b.fall_sig <- Normal.stddev a.fall
 
-let critical_endpoint (r : result) direction =
-  match Circuit.endpoints r.circuit with
+(* Per-gate delay writers, one per entry-point delay shape — the uniform
+   [analyze] path writes four constants per gate, no intermediate
+   records or tuples at all. *)
+let flat_delay_uniform mu (_g : Circuit.id) (b : Flat.rf_buf) =
+  b.Flat.rise_mu <- mu;
+  b.rise_sig <- 0.0;
+  b.fall_mu <- mu;
+  b.fall_sig <- 0.0
+
+let flat_delay_variational gate_delay g (b : Flat.rf_buf) =
+  let d = gate_delay g in
+  b.Flat.rise_mu <- Normal.mean d;
+  b.rise_sig <- Normal.stddev d;
+  b.fall_mu <- Normal.mean d;
+  b.fall_sig <- Normal.stddev d
+
+let flat_delay_rf delay_rf g (b : Flat.rf_buf) =
+  let rise, fall = delay_rf g in
+  b.Flat.rise_mu <- rise;
+  b.rise_sig <- 0.0;
+  b.fall_mu <- fall;
+  b.fall_sig <- 0.0
+
+let run_flat ~delay ~source ?check ?domains ?instrument circuit =
+  Flat_r
+    (Flat.Ssta.run ~source:(flat_source source) ~delay ?check:(flat_check check) ?domains
+       ?instrument circuit)
+
+(* --- entry points -------------------------------------------------- *)
+
+let analyze ?(gate_delay = 1.0) ?input_arrival ?input_arrival_of ?check ?domains ?instrument
+    ?(engine = `Flat) circuit =
+  let input_arrival = Option.value input_arrival ~default:default_input in
+  let source = source_of ~input_arrival ~input_arrival_of in
+  match engine with
+  | `Flat ->
+    run_flat ~delay:(flat_delay_uniform gate_delay) ~source ?check ?domains ?instrument circuit
+  | `Record ->
+    let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
+    run_record ~delay_rf_of:(fun _ -> (delay, delay)) ~source ?check ?domains ?instrument circuit
+
+let analyze_variational ~gate_delay ?input_arrival ?input_arrival_of ?check ?domains ?instrument
+    ?(engine = `Flat) circuit =
+  let input_arrival = Option.value input_arrival ~default:default_input in
+  let source = source_of ~input_arrival ~input_arrival_of in
+  match engine with
+  | `Flat ->
+    run_flat ~delay:(flat_delay_variational gate_delay) ~source ?check ?domains ?instrument
+      circuit
+  | `Record ->
+    run_record
+      ~delay_rf_of:(fun g ->
+        let d = gate_delay g in
+        (d, d))
+      ~source ?check ?domains ?instrument circuit
+
+let analyze_rf ~delay_rf ?input_arrival ?input_arrival_of ?check ?domains ?instrument
+    ?(engine = `Flat) circuit =
+  let input_arrival = Option.value input_arrival ~default:default_input in
+  let source = source_of ~input_arrival ~input_arrival_of in
+  match engine with
+  | `Flat -> run_flat ~delay:(flat_delay_rf delay_rf) ~source ?check ?domains ?instrument circuit
+  | `Record ->
+    let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
+    run_record
+      ~delay_rf_of:(fun g ->
+        let rise, fall = delay_rf g in
+        (to_normal rise, to_normal fall))
+      ~source ?check ?domains ?instrument circuit
+
+(* Updates follow the representation of the result they refine, so a
+   record-engine oracle stays on the record engine through a whole
+   incremental session and a flat result never pays boxing. *)
+let update ?(gate_delay = 1.0) ?(input_arrival = default_input) ?input_arrival_of ?check r
+    ~changed =
+  let source = source_of ~input_arrival ~input_arrival_of in
+  match r with
+  | Flat_r st ->
+    Flat_r
+      (Flat.Ssta.update ~source:(flat_source source) ~delay:(flat_delay_uniform gate_delay)
+         ?check:(flat_check check) st ~changed)
+  | Boxed br ->
+    let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
+    update_record ~delay_rf_of:(fun _ -> (delay, delay)) ~source ?check br ~changed
+
+let update_rf ~delay_rf ?(input_arrival = default_input) ?input_arrival_of ?check r ~changed =
+  let source = source_of ~input_arrival ~input_arrival_of in
+  match r with
+  | Flat_r st ->
+    Flat_r
+      (Flat.Ssta.update ~source:(flat_source source) ~delay:(flat_delay_rf delay_rf)
+         ?check:(flat_check check) st ~changed)
+  | Boxed br ->
+    let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
+    update_record
+      ~delay_rf_of:(fun g ->
+        let rise, fall = delay_rf g in
+        (to_normal rise, to_normal fall))
+      ~source ?check br ~changed
+
+(* --- accessors ----------------------------------------------------- *)
+
+let circuit_of = function
+  | Flat_r st -> Flat.Ssta.circuit st
+  | Boxed r -> r.Propagate.circuit
+
+let arrival r id =
+  match r with
+  | Boxed r -> r.Propagate.per_net.(id)
+  | Flat_r st ->
+    {
+      rise = Normal.make ~mu:(Flat.Ssta.rise_mean st id) ~sigma:(Flat.Ssta.rise_sigma st id);
+      fall = Normal.make ~mu:(Flat.Ssta.fall_mean st id) ~sigma:(Flat.Ssta.fall_sigma st id);
+    }
+
+let mean_at r direction id =
+  match (r, direction) with
+  | Boxed b, `Rise -> Normal.mean b.Propagate.per_net.(id).rise
+  | Boxed b, `Fall -> Normal.mean b.Propagate.per_net.(id).fall
+  | Flat_r st, `Rise -> Flat.Ssta.rise_mean st id
+  | Flat_r st, `Fall -> Flat.Ssta.fall_mean st id
+
+let critical_endpoint r direction =
+  match Circuit.endpoints (circuit_of r) with
   | [] -> invalid_arg "Ssta.critical_endpoint: circuit has no endpoints"
   | first :: rest ->
     List.fold_left
-      (fun best e ->
-        if mean_of direction r.per_net.(e) > mean_of direction r.per_net.(best) then e else best)
+      (fun best e -> if mean_at r direction e > mean_at r direction best then e else best)
       first rest
 
 let max_arrival r direction =

@@ -23,11 +23,22 @@ val analyze :
   ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
+  ?engine:[ `Flat | `Record ] ->
   Spsta_netlist.Circuit.t ->
   result
 (** [input_arrival] defaults to standard normal for both directions (the
     paper's source statistics); [input_arrival_of] overrides it per
     source net.  [gate_delay] is deterministic and defaults to 1.0.
+
+    [engine] selects the implementation: [`Flat] (default) runs the
+    allocation-free struct-of-arrays kernel ({!Spsta_engine.Flat.Ssta} —
+    per-net moments in flat float arrays, records materialized only at
+    this module's API), [`Record] the original boxed-record engine over
+    {!Spsta_engine.Propagate.Make}.  The two are bit-identical
+    (IEEE-exact, asserted in the test suite at every domain count); the
+    knob exists as a differential-testing oracle and a fallback.
+    {!update}/{!update_rf} stay on the engine that produced their input
+    result.
 
     [domains] (default 1) evaluates each logic level's gates across that
     many OCaml domains; results are bit-identical to the sequential
@@ -51,6 +62,7 @@ val analyze_variational :
   ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
+  ?engine:[ `Flat | `Record ] ->
   Spsta_netlist.Circuit.t ->
   result
 (** Same propagation with an independent normal delay per gate — used by
@@ -63,6 +75,7 @@ val analyze_rf :
   ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
+  ?engine:[ `Flat | `Record ] ->
   Spsta_netlist.Circuit.t ->
   result
 (** Deterministic but direction-dependent (rise, fall) delays per gate —
@@ -81,7 +94,9 @@ val update :
     under the same [gate_delay] as the original {!analyze} and the *new*
     source arrivals.  Matches a full {!analyze} with the new arrivals
     provided nothing outside the cones changed; arrivals outside the
-    cones are physically shared.  The input [result] is not mutated. *)
+    cones are carried over bit-for-bit from the input result (the
+    record engine shares them physically, the flat engine copies the
+    slots).  The input [result] is not mutated. *)
 
 val update_rf :
   delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->

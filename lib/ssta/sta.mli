@@ -17,11 +17,17 @@ val analyze :
   ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
+  ?engine:[ `Flat | `Record ] ->
   Spsta_netlist.Circuit.t ->
   result
 (** [gate_delay_of] overrides [gate_delay] (default 1.0) per gate-output
     net — e.g. sized-cell mean delays from
     {!Spsta_netlist.Sized_library}.
+
+    [engine] selects the implementation ([`Flat] default — the
+    struct-of-arrays kernel {!Spsta_engine.Flat.Sta}; [`Record] the
+    boxed engine); results are bit-identical, see {!Spsta_ssta.Ssta}.
+    {!update} stays on the engine that produced its input result.
 
     [input_bounds] defaults to {earliest = 0.; latest = 0.}; the paper's
     N(0,1) inputs are commonly bounded at +-3 sigma, i.e.
@@ -51,8 +57,8 @@ val update :
 (** Incremental re-analysis: recompute only the fanout cones of the
     [changed] nets under the new source windows; matches a full
     {!analyze} provided nothing outside the cones changed.  Bounds
-    outside the cones are physically shared; the input [result] is not
-    mutated. *)
+    outside the cones are carried over bit-for-bit; the input [result]
+    is not mutated. *)
 
 val bounds : result -> Spsta_netlist.Circuit.id -> bounds
 

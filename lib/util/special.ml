@@ -1,15 +1,32 @@
 (* erfc via the rational Chebyshev fit of Numerical Recipes (erfcc); its
    ~1e-7 relative accuracy is ample for moment-matching formulas. *)
+(* The Horner chain is written out by hand rather than folded over a
+   coefficient array: this sits inside every Clark MAX/MIN of the SSTA
+   sweeps, and a polymorphic fold over a float array boxes each
+   coefficient (tens of millions of minor-heap words per million-gate
+   sweep).  The nesting order matches the former
+   [Array.fold_right (fun c acc -> c +. t *. acc) coeffs 0.0] exactly,
+   so results are bit-identical. *)
 let erfc x =
   let z = Float.abs x in
   let t = 1.0 /. (1.0 +. (0.5 *. z)) in
-  let horner coeffs =
-    Array.fold_right (fun c acc -> c +. (t *. acc)) coeffs 0.0
-  in
   let poly =
-    horner
-      [| -1.26551223; 1.00002368; 0.37409196; 0.09678418; -0.18628806;
-         0.27886807; -1.13520398; 1.48851587; -0.82215223; 0.17087277 |]
+    -1.26551223
+    +. t
+       *. (1.00002368
+          +. t
+             *. (0.37409196
+                +. t
+                   *. (0.09678418
+                      +. t
+                         *. (-0.18628806
+                            +. t
+                               *. (0.27886807
+                                  +. t
+                                     *. (-1.13520398
+                                        +. t
+                                           *. (1.48851587
+                                              +. t *. (-0.82215223 +. (t *. 0.17087277)))))))))
   in
   let ans = t *. exp ((-.z *. z) +. poly) in
   if x >= 0.0 then ans else 2.0 -. ans
@@ -20,7 +37,9 @@ let inv_sqrt_2pi = 1.0 /. sqrt (2.0 *. Float.pi)
 
 let normal_pdf x = inv_sqrt_2pi *. exp (-0.5 *. x *. x)
 
-let normal_cdf x = 0.5 *. erfc (-.x /. sqrt 2.0)
+let sqrt_2 = sqrt 2.0
+
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt_2)
 
 (* Acklam's inverse-normal rational approximation with one Halley step,
    giving near machine-precision quantiles across (0,1). *)

@@ -69,17 +69,34 @@ let clean_gates c changed =
   mark changed;
   Array.to_list (Circuit.topo_gates c) |> List.filter (fun g -> not (Hashtbl.mem dirty g))
 
+(* Outside the dirty cone an update must carry the base values over
+   bit-for-bit (the flat engine copies slots; bitwise equality is the
+   portable contract), and the record engine moreover shares the state
+   records physically. *)
+let bits_equal a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
 let test_ssta_clean_cone_shared () =
   let c = Spsta_experiments.Benchmarks.load "s344" in
-  let base = Ssta.analyze c in
   let changed = List.hd (Circuit.sources c) in
   let arrival_of s = if s = changed then late_arrival else default_arrival in
-  let incremental = Ssta.update base ~input_arrival_of:arrival_of ~changed:[ changed ] in
   let clean = clean_gates c changed in
   Alcotest.(check bool) "some clean gates exist" true (clean <> []);
+  let base = Ssta.analyze c in
+  let incremental = Ssta.update base ~input_arrival_of:arrival_of ~changed:[ changed ] in
   List.iter
     (fun g ->
-      Alcotest.(check bool) "clean arrival physically shared" true
+      let a = Ssta.arrival base g and b = Ssta.arrival incremental g in
+      Alcotest.(check bool) "clean arrival bitwise unchanged" true
+        (bits_equal (Normal.mean a.Ssta.rise) (Normal.mean b.Ssta.rise)
+        && bits_equal (Normal.stddev a.Ssta.rise) (Normal.stddev b.Ssta.rise)
+        && bits_equal (Normal.mean a.Ssta.fall) (Normal.mean b.Ssta.fall)
+        && bits_equal (Normal.stddev a.Ssta.fall) (Normal.stddev b.Ssta.fall)))
+    clean;
+  let base = Ssta.analyze ~engine:`Record c in
+  let incremental = Ssta.update base ~input_arrival_of:arrival_of ~changed:[ changed ] in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "clean arrival physically shared (record engine)" true
         (Ssta.arrival base g == Ssta.arrival incremental g))
     clean
 
@@ -142,15 +159,23 @@ let test_sta_update_matches_full () =
 
 let test_sta_clean_cone_shared () =
   let c = Spsta_experiments.Benchmarks.load "s344" in
-  let base = Sta.analyze c in
   let changed = List.hd (Circuit.sources c) in
   let bounds_of s = if s = changed then wide_window else default_window in
-  let incremental = Sta.update base ~input_bounds_of:bounds_of ~changed:[ changed ] in
   let clean = clean_gates c changed in
   Alcotest.(check bool) "some clean gates exist" true (clean <> []);
+  let base = Sta.analyze c in
+  let incremental = Sta.update base ~input_bounds_of:bounds_of ~changed:[ changed ] in
   List.iter
     (fun g ->
-      Alcotest.(check bool) "clean bounds physically shared" true
+      let a = Sta.bounds base g and b = Sta.bounds incremental g in
+      Alcotest.(check bool) "clean bounds bitwise unchanged" true
+        (bits_equal a.Sta.earliest b.Sta.earliest && bits_equal a.Sta.latest b.Sta.latest))
+    clean;
+  let base = Sta.analyze ~engine:`Record c in
+  let incremental = Sta.update base ~input_bounds_of:bounds_of ~changed:[ changed ] in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "clean bounds physically shared (record engine)" true
         (Sta.bounds base g == Sta.bounds incremental g))
     clean
 
