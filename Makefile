@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench examples clean doc quickbench serve-smoke session-smoke bench-json bench-compare lint check-smoke size-smoke scale-smoke
+.PHONY: all build test bench examples clean doc quickbench serve-smoke session-smoke bench-json bench-compare lint check-smoke size-smoke scale-smoke static-smoke
 
 all: build
 
@@ -74,6 +74,25 @@ size-smoke:
 scale-smoke:
 	dune exec bench/main.exe -- --scale-smoke
 	@echo "scale-smoke: ok"
+
+# the lib/analysis pass stack end to end: all four passes over the
+# bundled ISCAS suite and the 100k-gate profile.  --min-regions 1 makes
+# the CLI exit nonzero unless every circuit yields at least one
+# reconvergent region (they all do, s5378 by the hundred), and the
+# greps assert the JSON report shape the server/bench consumers parse
+static-smoke:
+	dune exec bin/spsta_cli.exe -- static c17 s27 s344 s1196 s5378 --json --min-regions 1 \
+	  > /tmp/spsta_static_smoke.json
+	@for key in '"facts"' '"constants"' '"reconvergent_regions"' '"unobservable_gates"' \
+	  '"never_critical_gates"' '"regions"' '"t_lb"'; do \
+	  grep -q "$$key" /tmp/spsta_static_smoke.json || { \
+	    echo "static-smoke: FAILED (missing $$key in JSON report)"; exit 1; }; \
+	done
+	dune exec bin/spsta_cli.exe -- static c100k --json --min-regions 1 \
+	  > /tmp/spsta_static_c100k.json
+	@grep -q '"circuit":"c100k"' /tmp/spsta_static_c100k.json || { \
+	  echo "static-smoke: FAILED (no c100k report)"; exit 1; }
+	@echo "static-smoke: ok"
 
 # pipe a 3-request JSONL file through the analysis server and check that
 # every request is answered ok (see doc/server.md for the protocol)

@@ -453,6 +453,7 @@ let json_bench_sizing circuit =
   let module Transform = Spsta_netlist.Transform in
   let module Criticality = Spsta_opt.Criticality in
   let module Sizer = Spsta_opt.Sizer in
+  let module Crit_bounds = Spsta_analysis.Crit_bounds in
   let sized = Sized.default in
   let asg = Sized.initial circuit in
   let delay_rf id = Sized.delay_rf sized circuit asg id in
@@ -485,7 +486,20 @@ let json_bench_sizing circuit =
   let config =
     { Sizer.default_config with Sizer.max_moves = sizer_bench_moves; target = Some target }
   in
-  let t_sizer, report, n_sizer = wall_best (fun () -> Sizer.run ~config sized circuit) in
+  (* static criticality pruning (lib/analysis): gates no delay
+     realisation within the size family's bounds can make critical are
+     rejected before phase A spends a trial on them *)
+  let t_prune, bounds =
+    wall (fun () ->
+        Crit_bounds.run
+          ~delay_bounds:(fun id -> Crit_bounds.bounds_of_sized sized circuit id)
+          circuit)
+  in
+  let never_critical = Crit_bounds.num_never_critical bounds in
+  let t_sizer, report, n_sizer =
+    wall_best (fun () ->
+        Sizer.run ~config ~prune:(Crit_bounds.never_critical bounds) sized circuit)
+  in
   let up_moves, down_moves =
     List.fold_left
       (fun (u, d) (m : Sizer.move) ->
@@ -504,8 +518,10 @@ let json_bench_sizing circuit =
   in
   let ratio num den = if den > 0.0 then num /. den else 0.0 in
   Printf.eprintf
-    "           sizing: full %.5fs incr %.6fs (x%.1f) sizer %.3fs (%d up, %d down)\n%!"
-    t_full t_incr (ratio t_full t_incr) t_sizer up_moves down_moves;
+    "           sizing: full %.5fs incr %.6fs (x%.1f) sizer %.3fs (%d up, %d down; \
+%d never-critical, %d pruned)\n%!"
+    t_full t_incr (ratio t_full t_incr) t_sizer up_moves down_moves never_critical
+    report.Sizer.pruned;
   (* Power-recovery workload: the same timing target approached from the
      all-largest assignment, where phase A has nothing to upsize and
      phase B alone claws the area back. *)
@@ -549,6 +565,9 @@ let json_bench_sizing circuit =
       ("up_moves", Json.int up_moves);
       ("down_moves", Json.int down_moves);
       ("evaluations", Json.int report.Sizer.evaluations);
+      ("static_prune_s", Json.float t_prune);
+      ("never_critical", Json.int never_critical);
+      ("pruned", Json.int report.Sizer.pruned);
       ("objective_q99_before", Json.float report.Sizer.objective_before);
       ("objective_q99_after", Json.float report.Sizer.objective_after);
       ("area_before", Json.float report.Sizer.area_before);
@@ -754,6 +773,20 @@ let json_bench_scale ~domains name =
   let src_root = List.hd (Circuit.sources circuit) in
   let src_dirty = scale_dirty_cone circuit src_root in
   let t_src_upd, _, n_src_upd = wall_best (fun () -> Ssta.update r0 ~changed:[ src_root ]) in
+  (* the structural+dataflow lint sweep and the full static-analysis
+     pass stack (lib/analysis) at scale — both single-core, both pure
+     functions of the circuit *)
+  let t_lint, findings, n_lint =
+    wall_best (fun () -> Spsta_lint.Lint.check_circuit circuit)
+  in
+  let t_static, static, n_static =
+    wall_best (fun () -> Spsta_analysis.Static.run circuit)
+  in
+  let fact_fields =
+    List.map
+      (fun (name, count) -> (name, Json.int count))
+      (Spsta_analysis.Static.fact_counts static)
+  in
   let ratio num den = if den > 0.0 then num /. den else 0.0 in
   let with_grid = gates <= 200_000 in
   let grid_fields =
@@ -775,9 +808,11 @@ let json_bench_scale ~domains name =
   in
   Printf.eprintf
     "  %-8s gen %.2fs ssta %.3fs (par %.3fs, x%.2f) update %.5fs (x%.0f, %d dirty) \
-src-update %.5fs (x%.0f, %d dirty)\n%!"
+src-update %.5fs (x%.0f, %d dirty) lint %.3fs (%d findings) static %.3fs (%d facts)\n%!"
     name t_gen t_ssta t_ssta_par (ratio t_ssta t_ssta_par) t_upd (ratio t_ssta t_upd)
-    dirty_gates t_src_upd (ratio t_ssta t_src_upd) src_dirty;
+    dirty_gates t_src_upd (ratio t_ssta t_src_upd) src_dirty t_lint (List.length findings)
+    t_static
+    (Spsta_analysis.Static.total_facts static);
   Json.Obj
     ([ ("name", Json.string name);
        ("gates", Json.int gates);
@@ -792,12 +827,18 @@ src-update %.5fs (x%.0f, %d dirty)\n%!"
        ("source_update_s", Json.float t_src_upd);
        ("source_update_speedup", Json.float (ratio t_ssta t_src_upd));
        ("source_dirty_gates", Json.int src_dirty);
+       ("lint_s", Json.float t_lint);
+       ("lint_findings", Json.int (List.length findings));
+       ("static_s", Json.float t_static);
+       ("static_facts", Json.Obj fact_fields);
        ("timing_n",
         Json.Obj
           [ ("ssta_s", Json.int n_ssta);
             ("ssta_parallel_s", Json.int n_ssta_par);
             ("incremental_update_s", Json.int n_upd);
-            ("source_update_s", Json.int n_src_upd) ]) ]
+            ("source_update_s", Json.int n_src_upd);
+            ("lint_s", Json.int n_lint);
+            ("static_s", Json.int n_static) ]) ]
     @ grid_fields)
 
 let scale_names () =
@@ -903,6 +944,20 @@ let scale_smoke () =
     (Printf.sprintf "x%.0f (%d dirty gates)" speedup (scale_dirty_cone circuit root));
   check "incremental update under 10 ms" (t_upd < 0.010)
     (Printf.sprintf "%.4fs" t_upd);
+  (* the full static-analysis stack (ISSUE acceptance: all four passes
+     combined under 1 s single-core at c100k, bit-deterministic) *)
+  let module Static = Spsta_analysis.Static in
+  let t_static, s1, _ = wall_best (fun () -> Static.run circuit) in
+  check "static passes under 1 s" (t_static < 1.0) (Printf.sprintf "%.3fs" t_static);
+  let s2 = Static.run circuit in
+  let regions t =
+    match t.Static.reconvergence with
+    | None -> []
+    | Some r -> Spsta_analysis.Reconvergence.regions r
+  in
+  check "static run-twice deterministic"
+    (Static.fact_counts s1 = Static.fact_counts s2 && regions s1 = regions s2)
+    (Printf.sprintf "%d facts" (Static.total_facts s1));
   if !failed then exit 1
 
 (* ---------- regression tracking (lib/server/bench_track.ml) ---------- *)

@@ -13,6 +13,7 @@
      chip-delay - chip-level delay distribution, yield, criticality
      variation  - canonical-form SSTA under a correlated process model
      criticality - per-gate statistical criticality and slack
+     static     - dataflow passes: constants, reconvergence, observability, criticality
      size       - greedy statistical gate sizing on the incremental engine
      gen        - emit a synthetic suite circuit as .bench
      experiment - regenerate a paper table/figure
@@ -737,9 +738,226 @@ let criticality_cmd =
       const run $ circuit_arg $ domain_arg $ case_arg $ lib_arg $ dt_arg $ top_arg
       $ json_arg $ check_arg)
 
+module Static = Spsta_analysis.Static
+module Crit_bounds = Spsta_analysis.Crit_bounds
+module Reconvergence = Spsta_analysis.Reconvergence
+
+let static_cmd =
+  let run names pass_str lib_name p_source top json min_regions cross =
+    let passes =
+      match String.trim pass_str with
+      | "" | "all" -> Static.all_passes
+      | s ->
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun n -> n <> "")
+        |> List.map (fun n ->
+               match Static.pass_of_name n with
+               | Some p -> p
+               | None ->
+                 Printf.eprintf
+                   "error: unknown pass %s (const, reconv, obs, crit or all)\n" n;
+                 exit 1)
+    in
+    let library = lib_of_name lib_name in
+    let p_source =
+      match p_source with
+      | None -> None
+      | Some p when p >= 0.0 && p <= 1.0 -> Some (fun _ -> p)
+      | Some p ->
+        Printf.eprintf "error: --p-source %g outside [0,1]\n" p;
+        exit 1
+    in
+    let short = ref 0 in
+    let analyse name =
+      let circuit = load_circuit name in
+      let t =
+        Static.run ~passes ?p_source
+          ~delay_bounds:(fun id -> Crit_bounds.bounds_of_library library circuit id)
+          circuit
+      in
+      let regions =
+        match t.Static.reconvergence with
+        | None -> []
+        | Some r -> Reconvergence.regions r
+      in
+      ( match (min_regions, t.Static.reconvergence) with
+      | n, Some r when n > 0 && Reconvergence.num_regions r < n -> incr short
+      | _ -> () );
+      let widest =
+        List.stable_sort
+          (fun (a : Reconvergence.region) b ->
+            match compare b.width a.width with 0 -> compare a.stem b.stem | c -> c)
+          regions
+      in
+      let shown = if top > 0 then List.filteri (fun i _ -> i < top) widest else widest in
+      let checked =
+        if cross then
+          match t.Static.reconvergence with
+          | Some r -> Reconvergence.cross_check ?p_source circuit r
+          | None -> []
+        else []
+      in
+      (name, circuit, t, shown, checked)
+    in
+    let results = List.map analyse names in
+    if json then begin
+      let region circuit (r : Reconvergence.region) =
+        Json.Obj
+          [ ("stem", Json.string (Circuit.net_name circuit r.stem));
+            ("merge", Json.string (Circuit.net_name circuit r.merge));
+            ("width", Json.int r.width);
+            ("depth", Json.int r.depth);
+            ( "gates",
+              match r.gates with Some n -> Json.int n | None -> Json.Null ) ]
+      in
+      let one (name, circuit, t, shown, checked) =
+        let base =
+          [ ("circuit", Json.string name);
+            ("nets", Json.int (Circuit.num_nets circuit));
+            ("gates", Json.int (Array.length (Circuit.topo_gates circuit)));
+            ( "passes",
+              Json.List
+                (List.map (fun p -> Json.string (Static.pass_name p)) passes) );
+            ( "facts",
+              Json.Obj
+                (List.map (fun (k, v) -> (k, Json.int v)) (Static.fact_counts t)) );
+            ("regions", Json.List (List.map (region circuit) shown)) ]
+        in
+        let crit =
+          match t.Static.criticality with
+          | Some c -> [ ("t_lb", Json.float (Crit_bounds.t_lb c)) ]
+          | None -> []
+        in
+        let xs =
+          if cross then
+            [ ( "cross_check",
+                Json.List
+                  (List.map
+                     (fun (net, eq5, exact) ->
+                       Json.Obj
+                         [ ("net", Json.string (Circuit.net_name circuit net));
+                           ("eq5", Json.float eq5);
+                           ("exact", Json.float exact) ])
+                     checked) ) ]
+          else []
+        in
+        Json.Obj (base @ crit @ xs)
+      in
+      print_endline (Json.to_string (Json.List (List.map one results)))
+    end
+    else
+      List.iter
+        (fun (_, circuit, t, shown, checked) ->
+          print_header circuit;
+          List.iter
+            (fun (k, v) -> Printf.printf "  %-22s %d\n" k v)
+            (Static.fact_counts t);
+          ( match t.Static.criticality with
+          | Some c -> Printf.printf "  %-22s %.3f\n" "t_lb" (Crit_bounds.t_lb c)
+          | None -> () );
+          if shown <> [] then begin
+            let table =
+              Spsta_util.Table.create
+                ~headers:[ "stem"; "merge"; "width"; "depth"; "gates" ]
+            in
+            List.iter
+              (fun (r : Reconvergence.region) ->
+                Spsta_util.Table.add_row table
+                  [ Circuit.net_name circuit r.stem;
+                    Circuit.net_name circuit r.merge;
+                    string_of_int r.width;
+                    string_of_int r.depth;
+                    (match r.gates with Some n -> string_of_int n | None -> ">cap") ])
+              shown;
+            print_endline (Spsta_util.Table.render table)
+          end;
+          List.iter
+            (fun (net, eq5, exact) ->
+              Printf.printf "  cross-check %-12s eq5 %.6f exact %.6f (err %.2e)\n"
+                (Circuit.net_name circuit net) eq5 exact (abs_float (eq5 -. exact)))
+            checked)
+        results;
+    if !short > 0 then begin
+      Printf.eprintf "error: %d circuit(s) below --min-regions %d\n" !short min_regions;
+      exit 1
+    end
+  in
+  let circuits_arg =
+    let doc = "Circuits to analyse: .bench/.v file paths or suite names." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let pass_arg =
+    let doc =
+      "Comma-separated passes to run: const (constant & probability-interval \
+       propagation), reconv (reconvergent-fanout regions), obs (dead/unobservable \
+       logic), crit (static criticality bounds), or all."
+    in
+    Arg.(value & opt string "all" & info [ "pass" ] ~docv:"PASSES" ~doc)
+  in
+  let lib_arg =
+    let doc = "Cell library bounding the crit pass delays: unit or default." in
+    Arg.(value & opt string "unit" & info [ "lib" ] ~docv:"LIB" ~doc)
+  in
+  let p_source_arg =
+    let doc =
+      "Pin every source to this one-probability (exact 0/1 seeds constant cones); \
+       without it sources stay at the sound [0,1] interval."
+    in
+    Arg.(value & opt (some float) None & info [ "p-source" ] ~docv:"P" ~doc)
+  in
+  let top_arg =
+    let doc = "Show only the N widest reconvergent regions (0 = all)." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the reports as a JSON array (one object per circuit)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let min_regions_arg =
+    let doc =
+      "Fail unless the reconv pass finds at least N regions in every circuit \
+       (0 disables the gate)."
+    in
+    Arg.(value & opt int 0 & info [ "min-regions" ] ~docv:"N" ~doc)
+  in
+  let cross_arg =
+    let doc =
+      "BDD cross-check: report the eq. 5 (independent) versus exact probability at \
+       every region merge net (skipped silently when the circuit exceeds the BDD \
+       node budget)."
+    in
+    Arg.(value & flag & info [ "cross-check" ] ~doc)
+  in
+  let exits =
+    Cmd.Exit.defaults
+    @ [ Cmd.Exit.info ~doc:"when a circuit falls below $(b,--min-regions)." 1 ]
+  in
+  let info =
+    Cmd.info "static" ~exits
+      ~doc:"Dataflow static analysis: constants, reconvergence, observability, criticality"
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P
+            "Runs the reusable dataflow passes over each circuit's levelized CSR \
+             form: Fréchet-bounded constant and probability-interval propagation, \
+             post-dominator reconvergent-fanout region detection (the nets where the \
+             paper's eq. 5 independence assumption is unsound), backward \
+             observability (dead and constant-masked logic), and min/max arrival \
+             bounds that prove gates statically never-critical.  The same facts \
+             power the lint dataflow rules, the sizer's $(b,--static-prune) and the \
+             server's $(b,static) request kind.";
+        ]
+  in
+  Cmd.v info
+    Term.(
+      const run $ circuits_arg $ pass_arg $ lib_arg $ p_source_arg $ top_arg $ json_arg
+      $ min_regions_arg $ cross_arg)
+
 let size_cmd =
   let run name quantile target area_budget max_moves candidates threshold sizes ratio
-      initial json check =
+      initial static_prune json check =
     let circuit = load_circuit name in
     let sized =
       try Sized_library.family ~sizes ~ratio Cell_library.default
@@ -766,8 +984,19 @@ let size_cmd =
         downsize_threshold = threshold;
       }
     in
+    let never_critical, prune =
+      if static_prune then begin
+        let bounds =
+          Crit_bounds.run
+            ~delay_bounds:(fun id -> Crit_bounds.bounds_of_sized sized circuit id)
+            circuit
+        in
+        (Crit_bounds.num_never_critical bounds, Some (Crit_bounds.never_critical bounds))
+      end
+      else (0, None)
+    in
     let report =
-      try Sizer.run ~config ?check:(resolve_check check) ?initial sized circuit
+      try Sizer.run ~config ?check:(resolve_check check) ?initial ?prune sized circuit
       with Invalid_argument msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 1
@@ -802,6 +1031,8 @@ let size_cmd =
                 ("capacitance_before", Json.float report.Sizer.capacitance_before);
                 ("capacitance_after", Json.float report.Sizer.capacitance_after);
                 ("evaluations", Json.int report.Sizer.evaluations);
+                ("never_critical", Json.int never_critical);
+                ("pruned", Json.int report.Sizer.pruned);
                 ("moves", Json.List (List.map move report.Sizer.moves));
                 ("yield_before", curve report.Sizer.yield_before);
                 ("yield_after", curve report.Sizer.yield_after) ]))
@@ -818,6 +1049,9 @@ let size_cmd =
       Printf.printf "moves: %d (%d incremental evaluations)\n"
         (List.length report.Sizer.moves)
         report.Sizer.evaluations;
+      if static_prune then
+        Printf.printf "static prune: %d never-critical gate(s), %d candidate(s) skipped\n"
+          never_critical report.Sizer.pruned;
       List.iter
         (fun (m : Sizer.move) ->
           Printf.printf "  %-4s %-12s %d -> %d  objective %.4f  area %.1f\n"
@@ -866,6 +1100,14 @@ let size_cmd =
     in
     Arg.(value & opt string "smallest" & info [ "initial" ] ~docv:"START" ~doc)
   in
+  let static_prune_arg =
+    let doc =
+      "Skip upsize trials on gates the static arrival bounds \
+       ($(b,spsta static --pass crit)) prove can never be critical under any drive \
+       strength in the family; the skipped-candidate count is reported."
+    in
+    Arg.(value & flag & info [ "static-prune" ] ~doc)
+  in
   let json_arg =
     let doc = "Emit the full move/yield report as a JSON object." in
     Arg.(value & flag & info [ "json" ] ~doc)
@@ -889,8 +1131,8 @@ let size_cmd =
   Cmd.v info
     Term.(
       const run $ circuit_arg $ quantile_arg $ target_arg $ budget_arg $ moves_arg
-      $ candidates_arg $ threshold_arg $ sizes_arg $ ratio_arg $ initial_arg $ json_arg
-      $ check_arg)
+      $ candidates_arg $ threshold_arg $ sizes_arg $ ratio_arg $ initial_arg
+      $ static_prune_arg $ json_arg $ check_arg)
 
 let waveform_cmd =
   let run name net_name case_str check =
@@ -1414,7 +1656,7 @@ let session_cmd =
 let subcommands =
   [ analyze_cmd; lint_cmd; check_cmd; ssta_cmd; mc_cmd; power_cmd; exact_prob_cmd;
     paths_cmd; sequential_cmd; chip_delay_cmd; variation_cmd; report_cmd; criticality_cmd;
-    size_cmd; waveform_cmd; export_cmd; gen_cmd; experiment_cmd; list_cmd; serve_cmd;
+    static_cmd; size_cmd; waveform_cmd; export_cmd; gen_cmd; experiment_cmd; list_cmd; serve_cmd;
     batch_cmd; session_cmd ]
 
 let main =

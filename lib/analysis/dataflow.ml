@@ -1,0 +1,87 @@
+(* Generic dataflow driver: sweeps a PASS's transfer function over the
+   CSR gate stream in topological or reverse-topological order, with a
+   boundary hook for register crossings.  On the combinational DAG one
+   directed sweep reaches the fixpoint, so rounds are only spent when
+   the boundary hook keeps injecting changes (sequential feedback). *)
+
+module Circuit = Spsta_netlist.Circuit
+
+module Arena = struct
+  type lane = F of float array | B of Bytes.t | I of int array
+
+  type t = { n : int; lanes : (string, lane) Hashtbl.t }
+
+  let create circuit = { n = Circuit.num_nets circuit; lanes = Hashtbl.create 8 }
+  let num_nets t = t.n
+
+  let mismatch name = invalid_arg (Printf.sprintf "Arena: lane %S has another type" name)
+
+  let floats t name ~init =
+    match Hashtbl.find_opt t.lanes name with
+    | Some (F a) -> a
+    | Some _ -> mismatch name
+    | None ->
+      let a = Array.make t.n init in
+      Hashtbl.add t.lanes name (F a);
+      a
+
+  let bytes t name ~init =
+    match Hashtbl.find_opt t.lanes name with
+    | Some (B b) -> b
+    | Some _ -> mismatch name
+    | None ->
+      let b = Bytes.make t.n init in
+      Hashtbl.add t.lanes name (B b);
+      b
+
+  let ints t name ~init =
+    match Hashtbl.find_opt t.lanes name with
+    | Some (I a) -> a
+    | Some _ -> mismatch name
+    | None ->
+      let a = Array.make t.n init in
+      Hashtbl.add t.lanes name (I a);
+      a
+
+  let mem t name = Hashtbl.mem t.lanes name
+end
+
+type stats = { rounds : int; sweeps : int; gate_visits : int }
+
+module type PASS = sig
+  type t
+
+  val name : string
+  val direction : [ `Forward | `Backward ]
+  val state : t
+  val transfer : t -> Circuit.csr -> int -> bool
+  val boundary : t -> Circuit.t -> bool
+end
+
+let run ?(max_rounds = 64) circuit (module P : PASS) =
+  if max_rounds < 1 then invalid_arg "Dataflow.run: max_rounds < 1";
+  let csr = Circuit.csr circuit in
+  let n = Array.length csr.Circuit.gate_net in
+  let sweeps = ref 0 and visits = ref 0 and rounds = ref 0 in
+  let sweep () =
+    incr sweeps;
+    visits := !visits + n;
+    let changed = ref false in
+    (match P.direction with
+    | `Forward ->
+      for k = 0 to n - 1 do
+        if P.transfer P.state csr k then changed := true
+      done
+    | `Backward ->
+      for k = n - 1 downto 0 do
+        if P.transfer P.state csr k then changed := true
+      done);
+    !changed
+  in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    let (_ : bool) = sweep () in
+    continue := P.boundary P.state circuit
+  done;
+  { rounds = !rounds; sweeps = !sweeps; gate_visits = !visits }

@@ -1,0 +1,74 @@
+(** A reusable forward/backward dataflow fixpoint framework over
+    {!Spsta_netlist.Circuit}.
+
+    A pass is a first-class {!PASS} module: a lattice of per-net facts
+    (owned by the pass, usually as {!Arena} lanes), a sweep direction,
+    and a [transfer] function per gate.  {!run} drives the pass over the
+    circuit's CSR gate stream ({!Spsta_netlist.Circuit.csr}) in
+    topological (forward) or reverse-topological (backward) order, so a
+    single sweep reaches the combinational fixpoint; the [boundary]
+    hook carries facts across register boundaries and requests further
+    rounds until sequential convergence.
+
+    Facts live in a shared {!Arena}: named per-net lanes in
+    struct-of-arrays style (one flat array per fact, not one record per
+    net), so several passes over the same circuit can share storage and
+    read each other's results without boxing — the layout that keeps
+    the framework allocation-lean at c100k/c1000k scale. *)
+
+module Arena : sig
+  type t
+  (** A set of named per-net fact lanes for one circuit. *)
+
+  val create : Spsta_netlist.Circuit.t -> t
+  val num_nets : t -> int
+
+  val floats : t -> string -> init:float -> float array
+  (** The float lane of that name, creating it filled with [init] on
+      first request; later requests return the same array (and ignore
+      [init]).  Raises [Invalid_argument] if the name is already bound
+      to a lane of a different type. *)
+
+  val bytes : t -> string -> init:char -> Bytes.t
+  (** Byte lane (dense bool/small-enum facts), same discipline. *)
+
+  val ints : t -> string -> init:int -> int array
+  (** Int lane, same discipline. *)
+
+  val mem : t -> string -> bool
+  (** Whether a lane of that name exists (any type). *)
+end
+
+type stats = { rounds : int; sweeps : int; gate_visits : int }
+(** [rounds] is the number of sweep+boundary iterations executed,
+    [sweeps] the number of full passes over the gate stream, and
+    [gate_visits] the total [transfer] invocations. *)
+
+module type PASS = sig
+  type t
+  (** The pass's fact state — typically a record of {!Arena} lanes. *)
+
+  val name : string
+  val direction : [ `Forward | `Backward ]
+
+  val state : t
+
+  val transfer : t -> Spsta_netlist.Circuit.csr -> int -> bool
+  (** [transfer state csr k] updates the fact of gate [k]'s output from
+      the facts of its fan-in (forward) or fan-out (backward) and
+      returns whether anything changed.  [k] indexes the CSR gate
+      stream, not a net id — the output net is [csr.gate_net.(k)]. *)
+
+  val boundary : t -> Spsta_netlist.Circuit.t -> bool
+  (** Called after each sweep to transport facts across register
+      boundaries (flip-flop D to Q for forward passes, Q to D for
+      backward ones).  Returns whether any fact changed — [true]
+      schedules another round. *)
+end
+
+val run : ?max_rounds:int -> Spsta_netlist.Circuit.t -> (module PASS) -> stats
+(** Runs the pass to its fixpoint: sweep all gates in the pass's
+    direction, apply [boundary], and repeat while [boundary] reports a
+    change, up to [max_rounds] (default 64) rounds.  The caller keeps
+    the pass state it packed into the module; [run] returns only the
+    iteration statistics. *)

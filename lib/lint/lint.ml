@@ -59,6 +59,15 @@ let rules =
       Error,
       "a size group used by the circuit breaks the drive-strength laws: delay must be \
        finite and non-increasing, area/capacitance non-decreasing" );
+    ("constant-logic", Warning, "a gate output is statically tied to 0 or 1");
+    ( "unobservable-logic",
+      Warning,
+      "constant downstream logic masks a gate from every endpoint (structurally alive, \
+       yet unobservable)" );
+    ( "reconvergent-fanout",
+      Info,
+      "fanout paths remerge, so independent signal-probability propagation (eq. 5) is \
+       unsound on the merge cone" );
   ]
 
 let severity_of_rule rule =
@@ -356,8 +365,82 @@ let check_grid ?spec ~dt ~truncate_eps circuit =
     in
     budget @ coarse
 
+(* ---------- dataflow-powered rules ---------- *)
+
+(* Facts from lib/analysis: static constants, constant-masked
+   (unobservable) logic, and reconvergent-fanout regions.  The first two
+   report per net like the structural rules; reconvergence is summarised
+   in one finding per circuit — real netlists have hundreds of regions
+   and the per-region detail belongs to `spsta static`, not lint. *)
+let check_dataflow circuit =
+  let name id = Circuit.net_name circuit id in
+  let result =
+    Spsta_analysis.Static.run
+      ~passes:[ `Constants; `Reconvergence; `Observability ]
+      circuit
+  in
+  let constants =
+    match result.Spsta_analysis.Static.constants with
+    | None -> []
+    | Some c ->
+      List.map
+        (fun id ->
+          let v = match Spsta_analysis.Constprop.const_of c id with
+            | Some true -> 1
+            | _ -> 0
+          in
+          finding "constant-logic" ~nets:[ name id ]
+            "gate output %s is statically %d; its cone computes nothing" (name id) v)
+        (Spsta_analysis.Constprop.constants c)
+  in
+  let unobservable =
+    match result.Spsta_analysis.Static.observability with
+    | None -> []
+    | Some o ->
+      List.map
+        (fun id ->
+          finding "unobservable-logic" ~nets:[ name id ]
+            "gate %s never reaches an endpoint through non-constant logic; it cannot \
+             affect any reported arrival"
+            (name id))
+        (Spsta_analysis.Observability.sharpened o)
+  in
+  let reconvergent =
+    match result.Spsta_analysis.Static.reconvergence with
+    | None -> []
+    | Some r ->
+      (match Spsta_analysis.Reconvergence.regions r with
+      | [] -> []
+      | regions ->
+        let worst =
+          List.fold_left
+            (fun acc (reg : Spsta_analysis.Reconvergence.region) ->
+              match acc with
+              | Some (best : Spsta_analysis.Reconvergence.region)
+                when best.Spsta_analysis.Reconvergence.width >= reg.width -> acc
+              | _ -> Some reg)
+            None regions
+          |> Option.get
+        in
+        [
+          finding "reconvergent-fanout"
+            ~nets:[ name worst.Spsta_analysis.Reconvergence.stem;
+                    name worst.Spsta_analysis.Reconvergence.merge ]
+            "%d reconvergent fanout regions (%d nets where eq. 5 independence is \
+             unsound); widest: stem %s remerges at %s (width %d, depth %d)"
+            (List.length regions)
+            (Spsta_analysis.Reconvergence.num_tainted r)
+            (name worst.Spsta_analysis.Reconvergence.stem)
+            (name worst.Spsta_analysis.Reconvergence.merge)
+            worst.Spsta_analysis.Reconvergence.width
+            worst.Spsta_analysis.Reconvergence.depth;
+        ])
+  in
+  constants @ unobservable @ reconvergent
+
 let check_circuit ?library ?sized ?spec ?grid circuit =
   check_structure circuit
+  @ check_dataflow circuit
   @ (match library with
     | Some library -> check_library library circuit
     | None -> [])

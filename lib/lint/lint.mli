@@ -49,6 +49,15 @@ val check_sized_library :
     ladder.  Catches custom scaling hooks that break the laws
     {!Spsta_netlist.Sized_library.make} trusts. *)
 
+val check_dataflow : Spsta_netlist.Circuit.t -> finding list
+(** Rules powered by the {!Spsta_analysis} dataflow passes:
+    [constant-logic] (one finding per gate net statically tied to 0/1),
+    [unobservable-logic] (one per gate masked from every endpoint by
+    constant downstream logic — the constant-aware sharpening of
+    [dead-logic]), and [reconvergent-fanout] (one summary finding per
+    circuit naming the region count, the eq.-5-unsound net count and
+    the widest region; per-region detail lives in [spsta static]). *)
+
 val check_spec :
   spec:(Spsta_netlist.Circuit.id -> Spsta_sim.Input_spec.t) ->
   Spsta_netlist.Circuit.t ->
@@ -77,7 +86,8 @@ val check_circuit :
   ?grid:float * float ->
   Spsta_netlist.Circuit.t ->
   finding list
-(** All applicable rule groups; [grid] is [(dt, truncate_eps)]. *)
+(** All applicable rule groups (structural, dataflow, and the model
+    rules whose inputs were supplied); [grid] is [(dt, truncate_eps)]. *)
 
 val lint_path :
   ?library:Spsta_netlist.Cell_library.t ->

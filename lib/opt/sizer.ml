@@ -38,6 +38,7 @@ type move = {
 type report = {
   moves : move list;
   evaluations : int;
+  pruned : int;
   objective_before : float;
   objective_after : float;
   area_before : float;
@@ -70,13 +71,14 @@ let yield_points = [ 0.5; 0.9; 0.95; 0.99; 0.999 ]
 
 let yield_curve chip = List.map (fun p -> (p, Normal.quantile chip p)) yield_points
 
-(* Take the first [k] elements; the candidate lists are already ranked. *)
-let rec take k = function
+(* First [k] elements satisfying [f]; the candidate lists are already
+   ranked, so this is "the top of the list, skipping rejects". *)
+let rec take_where k f = function
   | [] -> []
   | _ when k <= 0 -> []
-  | x :: rest -> x :: take (k - 1) rest
+  | x :: rest -> if f x then x :: take_where (k - 1) f rest else take_where k f rest
 
-let run ?(config = default_config) ?check ?initial sized circuit =
+let run ?(config = default_config) ?check ?initial ?prune sized circuit =
   validate config;
   let endpoints = Circuit.endpoints circuit in
   if endpoints = [] then invalid_arg "Sizer.run: circuit has no endpoints";
@@ -106,6 +108,18 @@ let run ?(config = default_config) ?check ?initial sized circuit =
   let yield_before = yield_curve (chip_normal ~endpoints !result) in
   let moves = ref [] in
   let num_moves = ref 0 in
+  (* Upsize candidates rejected by the static never-critical filter —
+     hopeless moves the incremental engine never has to trial. *)
+  let pruned = ref 0 in
+  let keep g =
+    match prune with
+    | None -> true
+    | Some p ->
+      if p g then (
+        incr pruned;
+        false)
+      else true
+  in
   let record direction net from_size to_size =
     incr num_moves;
     moves :=
@@ -135,8 +149,7 @@ let run ?(config = default_config) ?check ?initial sized circuit =
     let crit = Criticality.of_ssta !result in
     let cands =
       Criticality.ranked crit
-      |> List.filter (fun (g, c) -> c > 0.0 && asg.(g) < top)
-      |> take config.candidates
+      |> take_where config.candidates (fun (g, c) -> c > 0.0 && asg.(g) < top && keep g)
     in
     let best =
       List.fold_left
@@ -213,6 +226,7 @@ let run ?(config = default_config) ?check ?initial sized circuit =
   {
     moves = List.rev !moves;
     evaluations = !evaluations;
+    pruned = !pruned;
     objective_before;
     objective_after = !phi;
     area_before;

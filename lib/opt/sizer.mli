@@ -48,6 +48,9 @@ type report = {
   evaluations : int;
       (** incremental re-analyses performed (trials + commits), not
           counting the single initial full propagation *)
+  pruned : int;
+      (** upsize candidates rejected by the [prune] filter before any
+          trial was spent on them (0 without [prune]) *)
   objective_before : float;
   objective_after : float;
   area_before : float;
@@ -64,10 +67,18 @@ val run :
   ?config:config ->
   ?check:bool ->
   ?initial:Spsta_netlist.Sized_library.assignment ->
+  ?prune:(Spsta_netlist.Circuit.id -> bool) ->
   Spsta_netlist.Sized_library.t ->
   Spsta_netlist.Circuit.t ->
   report
-(** Sizes the circuit starting from [initial] (default the all-smallest
+(** [prune] marks gates phase A must never trial an upsize on —
+    typically {!Spsta_analysis.Crit_bounds.never_critical} under
+    {!Spsta_analysis.Crit_bounds.bounds_of_sized}, which is sound for
+    every assignment the run could reach.  Pruned gates may still be
+    {e downsized} in phase B (shrinking a never-critical gate is
+    exactly the point).  Rejections are counted in [report.pruned].
+
+    Sizes the circuit starting from [initial] (default the all-smallest
     assignment; the given array is copied, not mutated).  Starting from
     {!Spsta_netlist.Sized_library.uniform} at the top size turns the
     run into power recovery: phase A finds nothing to upsize and phase

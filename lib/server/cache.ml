@@ -181,6 +181,10 @@ let memo_key ~digest (kind : Protocol.kind) =
       p.max_moves p.candidates p.sizes p.ratio
       (Protocol.size_initial_name p.initial)
       (if p.check then "|check=1" else "")
+  | Protocol.Static p ->
+    (* [passes] arrive canonicalised (sorted, deduplicated short names)
+       from the decoder, so equal selections share one entry *)
+    Printf.sprintf "static|%s|passes=%s" digest (String.concat "," p.passes)
   | Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_query _
   | Protocol.Session_verify _ | Protocol.Session_close _ | Protocol.Stats
   | Protocol.Shutdown ->

@@ -189,6 +189,46 @@ let size_payload circuit ~quantile ~target ~max_moves ~candidates ~sizes ~ratio 
         ("yield_before", curve report.yield_before);
         ("yield_after", curve report.yield_after) ])
 
+(* Static dataflow facts.  The pass set arrives canonicalised from the
+   decoder; regions are reported widest-first and capped so a stem-heavy
+   circuit cannot balloon the stored payload. *)
+let static_payload circuit ~passes =
+  let module Static = Spsta_analysis.Static in
+  let module Reconvergence = Spsta_analysis.Reconvergence in
+  let module Crit_bounds = Spsta_analysis.Crit_bounds in
+  let pass_list = List.filter_map Static.pass_of_name passes in
+  let t = Static.run ~passes:pass_list circuit in
+  let max_regions = 25 in
+  let regions =
+    match t.Static.reconvergence with
+    | None -> []
+    | Some r ->
+      let widest =
+        List.stable_sort
+          (fun (a : Reconvergence.region) b ->
+            match compare b.width a.width with 0 -> compare a.stem b.stem | c -> c)
+          (Reconvergence.regions r)
+      in
+      List.filteri (fun i _ -> i < max_regions) widest
+  in
+  let region (r : Reconvergence.region) =
+    Json.Obj
+      [ ("stem", Json.string (Circuit.net_name circuit r.stem));
+        ("merge", Json.string (Circuit.net_name circuit r.merge));
+        ("width", Json.int r.width); ("depth", Json.int r.depth);
+        ("gates", match r.gates with Some n -> Json.int n | None -> Json.Null) ]
+  in
+  Json.Obj
+    (circuit_header circuit
+    @ [ ("passes", Json.List (List.map Json.string passes));
+        ( "facts",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.int v)) (Static.fact_counts t)) );
+        ("regions", Json.List (List.map region regions)) ]
+    @
+    match t.Static.criticality with
+    | Some c -> [ ("t_lb", Json.float (Crit_bounds.t_lb c)) ]
+    | None -> [])
+
 let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
   let circuit_of name = (Cache.load_circuit cache name).Cache.circuit in
   match kind with
@@ -205,6 +245,7 @@ let compute_payload ~domains (cache : Cache.t) (kind : Protocol.kind) =
     size_payload (circuit_of p.circuit) ~quantile:p.quantile ~target:p.target
       ~max_moves:p.max_moves ~candidates:p.candidates ~sizes:p.sizes ~ratio:p.ratio
       ~initial:p.initial ~check:p.check
+  | Protocol.Static p -> static_payload (circuit_of p.circuit) ~passes:p.passes
   | Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_query _
   | Protocol.Session_verify _ | Protocol.Session_close _ ->
     invalid_arg "Engine.compute_payload: session request"
@@ -221,7 +262,7 @@ let session_payload sessions cache (kind : Protocol.kind) =
   | Protocol.Session_verify { session } -> Session.verify sessions session
   | Protocol.Session_close { session } -> Session.close sessions session
   | Protocol.Analyze _ | Protocol.Ssta _ | Protocol.Mc _ | Protocol.Paths _ | Protocol.Size _
-  | Protocol.Stats | Protocol.Shutdown ->
+  | Protocol.Static _ | Protocol.Stats | Protocol.Shutdown ->
     invalid_arg "Engine.session_payload: not a session request"
 
 (* Execute an analysis request, memoising through the cache.  Control
@@ -263,7 +304,7 @@ let execute ?(domains = 1) ?sessions (cache : Cache.t) (request : Protocol.reque
         match request.Protocol.kind with
         | Protocol.Analyze { circuit; _ } | Protocol.Ssta { circuit; _ }
         | Protocol.Mc { circuit; _ } | Protocol.Paths { circuit; _ }
-        | Protocol.Size { circuit; _ } ->
+        | Protocol.Size { circuit; _ } | Protocol.Static { circuit; _ } ->
           Cache.load_circuit cache circuit
         | Protocol.Session_open _ | Protocol.Session_mutate _ | Protocol.Session_query _
         | Protocol.Session_verify _ | Protocol.Session_close _ | Protocol.Stats

@@ -136,12 +136,18 @@ let mutation_net = function
    starts at size 0. *)
 type session_open_params = { session : string; circuit : string; sizes : int; ratio : float }
 
+(* Static-analysis request: [passes] holds canonical short pass names
+   ({!Spsta_analysis.Static.pass_name}), sorted and deduplicated at
+   decode time so equal selections share one memo entry. *)
+type static_params = { circuit : string; passes : string list }
+
 type kind =
   | Analyze of analyze_params
   | Ssta of ssta_params
   | Mc of mc_params
   | Paths of paths_params
   | Size of size_params
+  | Static of static_params
   | Session_open of session_open_params
   | Session_mutate of { session : string; mutation : mutation }
   | Session_query of { session : string; top : int }
@@ -156,6 +162,7 @@ let kind_name = function
   | Mc _ -> "mc"
   | Paths _ -> "paths"
   | Size _ -> "size"
+  | Static _ -> "static"
   | Session_open _ -> "open"
   | Session_mutate _ -> "mutate"
   | Session_query _ -> "query"
@@ -174,7 +181,7 @@ let session_of_kind = function
   | Session_verify { session }
   | Session_close { session } ->
     Some session
-  | Analyze _ | Ssta _ | Mc _ | Paths _ | Size _ | Stats | Shutdown -> None
+  | Analyze _ | Ssta _ | Mc _ | Paths _ | Size _ | Static _ | Stats | Shutdown -> None
 
 type request = { id : string; deadline_ms : float option; kind : kind }
 
@@ -270,6 +277,9 @@ let request_to_json (r : request) : Json.t =
         ("initial", Json.string (size_initial_name p.initial)) ]
       @ (match p.target with None -> [] | Some t -> [ ("target", Json.float t) ])
       @ (if p.check then [ ("check", Json.bool true) ] else [])
+    | Static p ->
+      [ ("circuit", Json.string p.circuit);
+        ("passes", Json.List (List.map Json.string p.passes)) ]
     | Session_open p ->
       [ ("session", Json.string p.session); ("circuit", Json.string p.circuit);
         ("sizes", Json.int p.sizes); ("ratio", Json.float p.ratio) ]
@@ -438,6 +448,29 @@ let decode_request_json (json : Json.t) : (request, decode_error) Stdlib.result 
             (Size
                { circuit; quantile; target; max_moves; candidates; sizes; ratio; initial;
                  check })
+      | "static" ->
+        let* circuit = field_string ~id json "circuit" in
+        let all = List.map Spsta_analysis.Static.pass_name Spsta_analysis.Static.all_passes in
+        let* passes =
+          match Json.member "passes" json with
+          | None -> Stdlib.Ok (List.sort_uniq compare all)
+          | Some (Json.List vs) ->
+            let rec convert acc = function
+              | [] -> Stdlib.Ok (List.rev acc)
+              | v :: rest -> (
+                match Option.bind (Json.to_string_opt v) Spsta_analysis.Static.pass_of_name with
+                | Some p -> convert (Spsta_analysis.Static.pass_name p :: acc) rest
+                | None ->
+                  decode_fail ~id Bad_field
+                    "field \"passes\" entries must name passes (const, reconv, obs, crit)" )
+            in
+            let* named = convert [] vs in
+            if named = [] then
+              decode_fail ~id Bad_field "field \"passes\" must not be empty"
+            else Stdlib.Ok (List.sort_uniq compare named)
+          | Some _ -> decode_fail ~id Bad_field "field \"passes\" must be an array"
+        in
+        Stdlib.Ok (Static { circuit; passes })
       | "open" ->
         let* session = field_string ~id json "session" in
         let* circuit = field_string ~id json "circuit" in

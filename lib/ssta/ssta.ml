@@ -64,13 +64,31 @@ let arrival_check : arrival Propagate.Sanitize.check =
   first
     (check_normal ~what:"rise arrival" a.rise @ check_normal ~what:"fall arrival" a.fall)
 
-let domain ~source ~delay_rf_of : (module Propagate.DOMAIN with type state = arrival) =
+(* Under a constant mask, a masked gate's output never transitions —
+   its arrival is the source statistics of its own net rather than the
+   Clark fold of its fan-in, so a folded cone costs one lookup per gate
+   and contributes nothing downstream but its launch arrival. *)
+let domain ?mask ~source ~delay_rf_of () :
+    (module Propagate.DOMAIN with type state = arrival) =
   (module struct
     type state = arrival
 
     let source = source
-    let eval = gate_eval ~delay_rf_of
+
+    let eval =
+      match mask with
+      | None -> gate_eval ~delay_rf_of
+      | Some m ->
+        fun circuit g driver operands ->
+          if Bytes.get m g <> '\000' then source g
+          else gate_eval ~delay_rf_of circuit g driver operands
   end)
+
+let validate_mask circuit = function
+  | None -> ()
+  | Some m ->
+    if Bytes.length m <> Circuit.num_nets circuit then
+      invalid_arg "Ssta: constant_mask length differs from the circuit's net count"
 
 let checked_domain ?check circuit dom =
   if Propagate.Sanitize.resolve check then
@@ -79,13 +97,15 @@ let checked_domain ?check circuit dom =
 
 (* --- record engine ------------------------------------------------- *)
 
-let run_record ~delay_rf_of ~source ?check ?domains ?instrument circuit =
-  let module D = (val checked_domain ?check circuit (domain ~source ~delay_rf_of)) in
+let run_record ?mask ~delay_rf_of ~source ?check ?domains ?instrument circuit =
+  let module D = (val checked_domain ?check circuit (domain ?mask ~source ~delay_rf_of ())) in
   let module E = Propagate.Make (D) in
   Boxed (E.run ?domains ?instrument circuit)
 
 let update_record ~delay_rf_of ~source ?check r ~changed =
-  let module D = (val checked_domain ?check r.Propagate.circuit (domain ~source ~delay_rf_of)) in
+  let module D =
+    (val checked_domain ?check r.Propagate.circuit (domain ~source ~delay_rf_of ()))
+  in
   let module E = Propagate.Make (D) in
   Boxed (E.update r ~changed)
 
@@ -141,16 +161,21 @@ let run_flat ~delay ~source ?check ?domains ?instrument circuit =
 
 (* --- entry points -------------------------------------------------- *)
 
-let analyze ?(gate_delay = 1.0) ?input_arrival ?input_arrival_of ?check ?domains ?instrument
-    ?(engine = `Flat) circuit =
+let analyze ?(gate_delay = 1.0) ?input_arrival ?input_arrival_of ?constant_mask ?check
+    ?domains ?instrument ?(engine = `Flat) circuit =
+  validate_mask circuit constant_mask;
   let input_arrival = Option.value input_arrival ~default:default_input in
   let source = source_of ~input_arrival ~input_arrival_of in
-  match engine with
-  | `Flat ->
+  match (engine, constant_mask) with
+  | `Flat, None ->
     run_flat ~delay:(flat_delay_uniform gate_delay) ~source ?check ?domains ?instrument circuit
-  | `Record ->
+  | (`Record, _ | `Flat, Some _) ->
+    (* a mask changes the per-gate transfer, which only the record
+       engine's first-class domain can express — force it *)
     let delay = Normal.make ~mu:gate_delay ~sigma:0.0 in
-    run_record ~delay_rf_of:(fun _ -> (delay, delay)) ~source ?check ?domains ?instrument circuit
+    run_record ?mask:constant_mask
+      ~delay_rf_of:(fun _ -> (delay, delay))
+      ~source ?check ?domains ?instrument circuit
 
 let analyze_variational ~gate_delay ?input_arrival ?input_arrival_of ?check ?domains ?instrument
     ?(engine = `Flat) circuit =
@@ -167,15 +192,17 @@ let analyze_variational ~gate_delay ?input_arrival ?input_arrival_of ?check ?dom
         (d, d))
       ~source ?check ?domains ?instrument circuit
 
-let analyze_rf ~delay_rf ?input_arrival ?input_arrival_of ?check ?domains ?instrument
-    ?(engine = `Flat) circuit =
+let analyze_rf ~delay_rf ?input_arrival ?input_arrival_of ?constant_mask ?check ?domains
+    ?instrument ?(engine = `Flat) circuit =
+  validate_mask circuit constant_mask;
   let input_arrival = Option.value input_arrival ~default:default_input in
   let source = source_of ~input_arrival ~input_arrival_of in
-  match engine with
-  | `Flat -> run_flat ~delay:(flat_delay_rf delay_rf) ~source ?check ?domains ?instrument circuit
-  | `Record ->
+  match (engine, constant_mask) with
+  | `Flat, None ->
+    run_flat ~delay:(flat_delay_rf delay_rf) ~source ?check ?domains ?instrument circuit
+  | (`Record, _ | `Flat, Some _) ->
     let to_normal d = Normal.make ~mu:d ~sigma:0.0 in
-    run_record
+    run_record ?mask:constant_mask
       ~delay_rf_of:(fun g ->
         let rise, fall = delay_rf g in
         (to_normal rise, to_normal fall))

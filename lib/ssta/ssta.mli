@@ -20,6 +20,7 @@ val analyze :
   ?gate_delay:float ->
   ?input_arrival:arrival ->
   ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  ?constant_mask:Bytes.t ->
   ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
@@ -29,6 +30,17 @@ val analyze :
 (** [input_arrival] defaults to standard normal for both directions (the
     paper's source statistics); [input_arrival_of] overrides it per
     source net.  [gate_delay] is deterministic and defaults to 1.0.
+
+    [constant_mask] (one byte per net, non-['\000'] = statically
+    constant — the shape {!Spsta_analysis.Constprop.mask} produces)
+    skips the Clark fold on masked gates: a constant net never
+    transitions, so its gate launches with its net's source arrival
+    statistics instead of folding its fan-in.  A mask forces the
+    [`Record] engine regardless of [engine] (the flat kernel's transfer
+    is fixed), and changes results only on masked cones.
+    {!update}/{!update_rf} do not take a mask; refine a masked result
+    only through mask-free nets.  Raises [Invalid_argument] when the
+    mask length differs from the circuit's net count.
 
     [engine] selects the implementation: [`Flat] (default) runs the
     allocation-free struct-of-arrays kernel ({!Spsta_engine.Flat.Ssta} —
@@ -72,6 +84,7 @@ val analyze_rf :
   delay_rf:(Spsta_netlist.Circuit.id -> float * float) ->
   ?input_arrival:arrival ->
   ?input_arrival_of:(Spsta_netlist.Circuit.id -> arrival) ->
+  ?constant_mask:Bytes.t ->
   ?check:bool ->
   ?domains:int ->
   ?instrument:(Spsta_engine.Propagate.level_stat -> unit) ->
@@ -79,7 +92,8 @@ val analyze_rf :
   Spsta_netlist.Circuit.t ->
   result
 (** Deterministic but direction-dependent (rise, fall) delays per gate —
-    for cell-library timing ({!Spsta_netlist.Cell_library}). *)
+    for cell-library timing ({!Spsta_netlist.Cell_library}).
+    [constant_mask] behaves as in {!analyze}. *)
 
 val update :
   ?gate_delay:float ->

@@ -1,0 +1,57 @@
+(* The unknown-subcommand hint must enumerate every subcommand — it is
+   generated from the cmdliner command list itself (one source of
+   truth), so this test catches a regression to a hand-maintained
+   hint, or a help wiring that drops a command. *)
+
+(* resolved relative to the test binary, not the cwd, so both
+   `dune runtest` and `dune exec test/test_main.exe` find it *)
+let cli = Filename.concat (Filename.dirname Sys.executable_name) "../bin/spsta_cli.exe"
+
+let run_capture cmd =
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process_in ic);
+  Buffer.contents buf
+
+let expected =
+  [ "analyze"; "lint"; "check"; "ssta"; "mc"; "power"; "exact-prob"; "paths"; "sequential";
+    "chip-delay"; "variation"; "report"; "criticality"; "static"; "size"; "waveform"; "export";
+    "gen"; "experiment"; "list"; "serve"; "batch"; "session" ]
+
+let test_unknown_subcommand_hint () =
+  let out = run_capture (Filename.quote cli ^ " no-such-subcommand 2>&1") in
+  Alcotest.(check bool) "names the bad subcommand" true
+    (let re = "unknown subcommand no-such-subcommand" in
+     let len = String.length re in
+     let rec find i = i + len <= String.length out && (String.sub out i len = re || find (i + 1)) in
+     find 0);
+  let hint_line =
+    match
+      List.find_opt
+        (fun l -> String.length l > 22 && String.sub l 0 22 = "available subcommands:")
+        (String.split_on_char '\n' out)
+    with
+    | Some l -> l
+    | None -> Alcotest.failf "no suggestion line in output:\n%s" out
+  in
+  let listed =
+    String.sub hint_line 22 (String.length hint_line - 22)
+    |> String.split_on_char ',' |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (Printf.sprintf "hint lists %s" name) true (List.mem name listed))
+    expected;
+  Alcotest.(check int) "and nothing else" (List.length expected) (List.length listed);
+  Alcotest.(check int) "no duplicates" (List.length listed)
+    (List.length (List.sort_uniq compare listed))
+
+let suite =
+  [ Alcotest.test_case "unknown subcommand hint enumerates all" `Quick
+      test_unknown_subcommand_hint ]
